@@ -1,0 +1,111 @@
+//! Ablation: architecture-related refinement overheads, measured on the
+//! simulator. Arbitration and the Model4 interface chain cost handshake
+//! steps per access; this bench quantifies the simulated micro-step
+//! overhead each implementation model pays for the same workload — the
+//! communication-cost dimension the paper's Section 5 weighs against bus
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modref_core::{refine, ImplModel};
+use modref_graph::AccessGraph;
+use modref_sim::Simulator;
+use modref_workloads::{medical_allocation, medical_partition, medical_spec, Design};
+
+fn bench_model_overheads(c: &mut Criterion) {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+
+    // Baseline: the unrefined functional model.
+    c.bench_function("simulate/original", |b| {
+        b.iter(|| Simulator::new(&spec).run().expect("completes"))
+    });
+
+    let mut group = c.benchmark_group("simulate_refined");
+    for model in ImplModel::ALL {
+        let refined = refine(&spec, &graph, &alloc, &part, model).expect("refines");
+        let steps = Simulator::new(&refined.spec)
+            .run()
+            .expect("completes")
+            .steps;
+        eprintln!("{model}: {steps} simulated micro-steps");
+        group.bench_with_input(BenchmarkId::from_parameter(model), &refined, |b, r| {
+            b.iter(|| Simulator::new(&r.spec).run().expect("completes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arbiter_policy(c: &mut Criterion) {
+    use modref_core::{refine_with_options, ArbiterPolicy, RefineOptions};
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+
+    let mut group = c.benchmark_group("arbiter_policy");
+    for (name, policy) in [
+        ("priority", ArbiterPolicy::Priority),
+        ("round_robin", ArbiterPolicy::RoundRobin),
+    ] {
+        let options = RefineOptions {
+            arbiter_policy: policy,
+            ..RefineOptions::default()
+        };
+        let refined =
+            refine_with_options(&spec, &graph, &alloc, &part, ImplModel::Model1, &options)
+                .expect("refines");
+        let steps = Simulator::new(&refined.spec)
+            .run()
+            .expect("completes")
+            .steps;
+        eprintln!(
+            "{name}: {steps} micro-steps, {} lines",
+            modref_spec::printer::line_count(&refined.spec)
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| Simulator::new(&refined.spec).run().expect("completes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fetch_coalescing(c: &mut Criterion) {
+    use modref_core::{refine_with_options, RefineOptions};
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+
+    let mut group = c.benchmark_group("fetch_coalescing");
+    for (name, coalesce) in [("per_access", false), ("coalesced", true)] {
+        let options = RefineOptions {
+            coalesce_reads: coalesce,
+            ..RefineOptions::default()
+        };
+        let refined =
+            refine_with_options(&spec, &graph, &alloc, &part, ImplModel::Model1, &options)
+                .expect("refines");
+        let r = Simulator::new(&refined.spec).run().expect("completes");
+        eprintln!(
+            "{name}: {} steps, {} signal writes, {} lines",
+            r.steps,
+            r.signal_writes,
+            modref_spec::printer::line_count(&refined.spec)
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| Simulator::new(&refined.spec).run().expect("completes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_overheads,
+    bench_arbiter_policy,
+    bench_fetch_coalescing
+);
+criterion_main!(benches);

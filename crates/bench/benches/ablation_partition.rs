@@ -1,0 +1,56 @@
+//! Ablation: partitioning algorithms. DESIGN.md calls out that the
+//! substrate's partitioners should trade quality for time the usual way —
+//! random < greedy < group migration ≈ annealing on cut quality, with
+//! increasing runtime. This bench measures both sides on a clustered
+//! synthetic design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use modref_partition::algorithms::{
+    GreedyPartitioner, GroupMigration, HierarchicalClustering, Partitioner, RandomPartitioner,
+    SimulatedAnnealing,
+};
+use modref_partition::{partition_cost, Allocation, CostConfig};
+use modref_workloads::{SynthConfig, SynthSpec};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let cfg = SynthConfig {
+        leaves: 12,
+        vars: 10,
+        stmts_per_leaf: 5,
+        fanout: 4,
+        loop_percent: 30,
+    };
+    let synth = SynthSpec::generate(7, &cfg);
+    let graph = synth.graph();
+    let alloc = Allocation::proc_plus_asic();
+    let cost_cfg = CostConfig::default();
+
+    let mut group = c.benchmark_group("partitioners");
+    let algos: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("random", Box::new(RandomPartitioner::new(1))),
+        ("greedy", Box::new(GreedyPartitioner::new())),
+        ("migration", Box::new(GroupMigration::new(8))),
+        ("annealing", Box::new(SimulatedAnnealing::new(1, 200))),
+        ("clustering", Box::new(HierarchicalClustering::new())),
+    ];
+    for (name, algo) in &algos {
+        group.bench_function(*name, |b| {
+            b.iter(|| algo.partition(&synth.spec, &graph, &alloc, &cost_cfg))
+        });
+    }
+    group.finish();
+
+    // Report the quality each achieves (printed once, not timed).
+    for (name, algo) in &algos {
+        let part = algo.partition(&synth.spec, &graph, &alloc, &cost_cfg);
+        let cost = partition_cost(&synth.spec, &graph, &alloc, &part, &cost_cfg);
+        eprintln!(
+            "partitioner {name:<10} total cost {:>10.1} (cut {:>7.1} bits)",
+            cost.total, cost.cut_bits
+        );
+    }
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

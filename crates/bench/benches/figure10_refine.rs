@@ -1,0 +1,41 @@
+//! Figure 10 benchmark: the CPU time of model refinement itself, per
+//! design and implementation model — the paper's right-hand column
+//! (reported there in seconds on a SPARC5; absolute values are
+//! incomparable, the per-model ordering is the reproducible shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modref_core::{refine, ImplModel};
+use modref_graph::AccessGraph;
+use modref_workloads::{medical_allocation, medical_partition, medical_spec, Design};
+
+fn bench_figure10(c: &mut Criterion) {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+
+    let mut group = c.benchmark_group("figure10_refine");
+    for design in Design::ALL {
+        let part = medical_partition(&spec, &alloc, design);
+        for model in ImplModel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(design.to_string(), model),
+                &model,
+                |b, &model| {
+                    b.iter(|| refine(&spec, &graph, &alloc, &part, model).expect("refines"))
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // The printing that produces the "# lines" column.
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model3).expect("refines");
+    c.bench_function("print_refined_spec/Design1_Model3", |b| {
+        b.iter(|| modref_spec::printer::line_count(&refined.spec))
+    });
+}
+
+criterion_group!(benches, bench_figure10);
+criterion_main!(benches);

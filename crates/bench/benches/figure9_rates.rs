@@ -1,0 +1,44 @@
+//! Figure 9 benchmark: computing the per-bus transfer-rate tables for the
+//! medical system, per design and implementation model. This measures the
+//! estimation pipeline (access counting, lifetimes, rate summation) that
+//! produces the paper's Figure 9 numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modref_core::{figure9_rates, ImplModel};
+use modref_estimate::LifetimeConfig;
+use modref_graph::AccessGraph;
+use modref_workloads::{medical_allocation, medical_partition, medical_spec, Design};
+
+fn bench_figure9(c: &mut Criterion) {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let cfg = LifetimeConfig::default();
+
+    let mut group = c.benchmark_group("figure9_rates");
+    for design in Design::ALL {
+        let part = medical_partition(&spec, &alloc, design);
+        for model in ImplModel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(design.to_string(), model),
+                &model,
+                |b, &model| {
+                    b.iter(|| {
+                        figure9_rates(&spec, &graph, &alloc, &part, model, &cfg)
+                            .expect("rates computable")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // The access-graph derivation that feeds every cell.
+    c.bench_function("derive_access_graph/medical", |b| {
+        b.iter(|| AccessGraph::derive(&spec))
+    });
+}
+
+criterion_group!(benches, bench_figure9);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end pipeline benchmark: parse → derive → partition → refine →
+//! print → simulate, on the medical system. This is the full designer
+//! loop the paper's productivity argument is about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use modref_core::{refine, ImplModel};
+use modref_graph::AccessGraph;
+use modref_partition::algorithms::{GroupMigration, Partitioner};
+use modref_partition::CostConfig;
+use modref_sim::Simulator;
+use modref_spec::{parser, printer};
+use modref_workloads::{medical_allocation, medical_partition, medical_spec, Design};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = medical_spec();
+    let text = printer::print(&spec);
+    let alloc = medical_allocation();
+
+    c.bench_function("pipeline/parse_medical", |b| {
+        b.iter(|| parser::parse(&text).expect("parses"))
+    });
+
+    c.bench_function("pipeline/full_manual_partition", |b| {
+        b.iter(|| {
+            let spec = parser::parse(&text).expect("parses");
+            let graph = AccessGraph::derive(&spec);
+            let part = medical_partition(&spec, &alloc, Design::Design1);
+            let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model2).expect("refines");
+            let lines = printer::line_count(&refined.spec);
+            let result = Simulator::new(&refined.spec).run().expect("completes");
+            (lines, result.time)
+        })
+    });
+
+    c.bench_function("pipeline/full_auto_partition", |b| {
+        b.iter(|| {
+            let spec = parser::parse(&text).expect("parses");
+            let graph = AccessGraph::derive(&spec);
+            let part =
+                GroupMigration::new(4).partition(&spec, &graph, &alloc, &CostConfig::default());
+            refine(&spec, &graph, &alloc, &part, ImplModel::Model2).expect("refines")
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Scaling benchmark behind the paper's productivity claim: automatic
+//! refinement time as the specification grows. The paper argues designers
+//! gain ~10x productivity because they write the functional model (hundreds
+//! of lines) and the tool writes the implementation model (thousands);
+//! here we measure that the tool side stays in the milliseconds while the
+//! generated text grows by orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use modref_core::{refine, ImplModel};
+use modref_partition::Allocation;
+use modref_workloads::{SynthConfig, SynthSpec};
+
+fn bench_scaling(c: &mut Criterion) {
+    let alloc = Allocation::proc_plus_asic();
+    let mut group = c.benchmark_group("refine_scaling");
+    for leaves in [4usize, 8, 16, 32] {
+        let cfg = SynthConfig {
+            leaves,
+            vars: leaves,
+            stmts_per_leaf: 6,
+            fanout: 4,
+            loop_percent: 30,
+        };
+        let synth = SynthSpec::generate(99, &cfg);
+        let graph = synth.graph();
+        let part = synth.partition(&alloc, 0);
+        let stmts = synth.spec.total_statements() as u64;
+        group.throughput(Throughput::Elements(stmts));
+        group.bench_with_input(
+            BenchmarkId::new("model2_leaves", leaves),
+            &leaves,
+            |b, _| {
+                b.iter(|| {
+                    refine(&synth.spec, &graph, &alloc, &part, ImplModel::Model2).expect("refines")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Simulation throughput on refined specs (statements interpreted).
+    let cfg = SynthConfig {
+        leaves: 8,
+        vars: 8,
+        stmts_per_leaf: 6,
+        fanout: 4,
+        loop_percent: 30,
+    };
+    let synth = SynthSpec::generate(99, &cfg);
+    let graph = synth.graph();
+    let part = synth.partition(&alloc, 0);
+    let refined = refine(&synth.spec, &graph, &alloc, &part, ImplModel::Model2).expect("refines");
+    c.bench_function("simulate_refined/synth8", |b| {
+        b.iter(|| {
+            modref_sim::Simulator::new(&refined.spec)
+                .run()
+                .expect("completes")
+        })
+    });
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! The CLI subcommand implementations.
+
+use std::fs;
+
+use modref_core::{figure9_rates, ImplModel};
+use modref_estimate::LifetimeConfig;
+use modref_graph::{AccessGraph, ChannelKind};
+use modref_partition::textfmt::{parse_partition, render_partition};
+use modref_sim::Simulator;
+use modref_spec::{printer, Spec};
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// `modref check`: the spec already parsed and validated; print stats.
+pub fn check(spec: &Spec) -> CmdResult {
+    let graph = AccessGraph::derive(spec);
+    println!("spec `{}` is valid", spec.name());
+    println!(
+        "  behaviors:     {} ({} leaves)",
+        spec.behavior_count(),
+        spec.leaves().len()
+    );
+    println!("  variables:     {}", spec.variable_count());
+    println!("  signals:       {}", spec.signal_count());
+    println!("  subroutines:   {}", spec.subroutine_count());
+    println!("  statements:    {}", spec.total_statements());
+    println!("  printed lines: {}", printer::line_count(spec));
+    println!(
+        "  channels:      {} data, {} control",
+        graph.data_channel_count(),
+        graph.control_channels().count()
+    );
+    Ok(())
+}
+
+/// `modref print`: canonical re-print.
+pub fn print_spec(spec: &Spec) -> CmdResult {
+    print!("{}", printer::print(spec));
+    Ok(())
+}
+
+/// `modref graph`: list every derived channel (or emit DOT).
+pub fn graph(spec: &Spec, dot: bool) -> CmdResult {
+    let graph = AccessGraph::derive(spec);
+    if dot {
+        print!("{}", modref_graph::dot::to_dot(spec, &graph));
+        return Ok(());
+    }
+    for ch in graph.channels() {
+        match ch.kind() {
+            ChannelKind::Data {
+                behavior,
+                var,
+                direction,
+                accesses,
+                bits_per_access,
+                in_guard,
+            } => {
+                let arrow = match direction {
+                    modref_graph::Direction::Read => "<-",
+                    modref_graph::Direction::Write => "->",
+                };
+                println!(
+                    "{}: {} {} {} ({:.1} accesses x {} bits{})",
+                    ch.id(),
+                    spec.behavior(*behavior).name(),
+                    arrow,
+                    spec.variable(*var).name(),
+                    accesses,
+                    bits_per_access,
+                    if *in_guard { ", in guard" } else { "" }
+                );
+            }
+            ChannelKind::Control { from, to } => {
+                println!(
+                    "{}: {} => {} (control)",
+                    ch.id(),
+                    spec.behavior(*from).name(),
+                    spec.behavior(*to).name()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `modref simulate`: run to completion, print final state.
+pub fn simulate(spec: &Spec, profile: bool, max_steps: Option<u64>) -> CmdResult {
+    let config = modref_sim::SimConfig {
+        max_steps: max_steps.unwrap_or(modref_sim::SimConfig::default().max_steps),
+    };
+    let result = Simulator::with_config(spec, config).run()?;
+    println!(
+        "completed at t={} after {} micro-steps ({} var writes, {} signal writes)",
+        result.time, result.steps, result.var_writes, result.signal_writes
+    );
+    for (name, value) in result.scalar_vars() {
+        println!("  {name} = {value}");
+    }
+    if profile {
+        println!("activation profile:");
+        for (name, count) in result.activations() {
+            if count > 0 {
+                println!("  {name} x{count}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `modref refine`: refine under a partition file, report and print.
+pub fn refine(
+    spec: &Spec,
+    part_text: &str,
+    model: ImplModel,
+    out: Option<&str>,
+    dot: Option<&str>,
+) -> CmdResult {
+    let (alloc, partition) = parse_partition(spec, part_text)?;
+    let graph = AccessGraph::derive(spec);
+    let refined = modref_core::refine(spec, &graph, &alloc, &partition, model)?;
+
+    eprintln!(
+        "refined `{}` under {model}: {} behaviors, {} lines",
+        spec.name(),
+        refined.spec.behavior_count(),
+        printer::line_count(&refined.spec)
+    );
+    eprintln!("architecture:");
+    for line in modref_core::report::describe(&refined.architecture).lines() {
+        eprintln!("  {line}");
+    }
+
+    if let Some(path) = dot {
+        fs::write(path, modref_core::dot::to_dot(&refined.architecture))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    let text = printer::print(&refined.spec);
+    match out {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `modref vhdl`: export a (refined) specification to VHDL.
+pub fn vhdl(spec: &Spec) -> CmdResult {
+    print!("{}", modref_spec::vhdl::export(spec)?);
+    Ok(())
+}
+
+/// `modref cgen`: export one process to C with a bus HAL.
+pub fn cgen(spec: &Spec, process: &str) -> CmdResult {
+    print!("{}", modref_spec::cgen::export_software(spec, process)?);
+    Ok(())
+}
+
+/// `modref estimate`: lifetimes and channel-rate report.
+pub fn estimate(spec: &Spec, part_text: &str) -> CmdResult {
+    let (alloc, partition) = parse_partition(spec, part_text)?;
+    let graph = AccessGraph::derive(spec);
+    let model_of = |b: modref_spec::BehaviorId| {
+        partition
+            .component_of_behavior(spec, b)
+            .map(|c| alloc.component(c).timing_model())
+            .unwrap_or_default()
+    };
+    print!(
+        "{}",
+        modref_estimate::estimation_report(spec, &graph, &model_of, &LifetimeConfig::default())
+    );
+    Ok(())
+}
+
+/// `modref rates`: Figure 9 tables for all four models.
+pub fn rates(spec: &Spec, part_text: &str) -> CmdResult {
+    let (alloc, partition) = parse_partition(spec, part_text)?;
+    let graph = AccessGraph::derive(spec);
+    let cfg = LifetimeConfig::default();
+    let (locals, globals) = partition.classify_all(spec, &graph);
+    println!(
+        "{} local / {} global variables",
+        locals.len(),
+        globals.len()
+    );
+    for model in ImplModel::ALL {
+        let table = figure9_rates(spec, &graph, &alloc, &partition, model, &cfg)?;
+        let cells: Vec<String> = table
+            .iter()
+            .map(|(bus, rate)| format!("{bus}={rate:.0}"))
+            .collect();
+        println!(
+            "{model}: [{}] Mbit/s, hot spot {}",
+            cells.join(", "),
+            table
+                .hot_spot()
+                .map(|(b, r)| format!("{b} @ {r:.0}"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    Ok(())
+}
+
+/// `modref demo`: write the medical spec + Design1/2/3 partition files.
+pub fn demo(dir: &str) -> CmdResult {
+    use modref_workloads::{medical_allocation, medical_partition, medical_spec, Design};
+    fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let spec = medical_spec();
+    let alloc = medical_allocation();
+    let spec_path = format!("{dir}/medical.spec");
+    fs::write(&spec_path, printer::print(&spec))?;
+    println!("wrote {spec_path}");
+    for design in Design::ALL {
+        let part = medical_partition(&spec, &alloc, design);
+        let path = format!("{dir}/medical_{}.part", design.to_string().to_lowercase());
+        // Insert the `default` line between the component declarations
+        // and the assignments.
+        let rendered = render_partition(&spec, &alloc, &part);
+        let split = rendered.find("behavior ").unwrap_or(rendered.len());
+        let (components, assignments) = rendered.split_at(split);
+        let text = format!(
+            "# {}\n{components}default PROC\n{assignments}",
+            design.label()
+        );
+        fs::write(&path, text)?;
+        println!("wrote {path}");
+    }
+    println!("\ntry:");
+    println!("  modref check {dir}/medical.spec");
+    println!("  modref rates {dir}/medical.spec -p {dir}/medical_design1.part");
+    println!(
+        "  modref refine {dir}/medical.spec -p {dir}/medical_design1.part -m 2 -o refined.spec"
+    );
+    println!("  modref simulate refined.spec");
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! `modref` — the command-line driver for the codesign flow.
+//!
+//! ```text
+//! modref check    <spec>                 parse + validate, print stats
+//! modref print    <spec>                 re-print the canonical form
+//! modref graph    <spec>                 list derived channels
+//! modref simulate <spec>                 run and print final state
+//! modref refine   <spec> -p <part> -m N  refine to ModelN, print result
+//! modref rates    <spec> -p <part>       Figure 9 rate table, all models
+//! modref demo     <dir>                  write the medical example files
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("modref: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "check" => commands::check(&read_spec(args, 1)?),
+        "print" => commands::print_spec(&read_spec(args, 1)?),
+        "graph" => {
+            let dot = args.iter().any(|a| a == "--dot");
+            commands::graph(&read_spec(args, 1)?, dot)
+        }
+        "simulate" => {
+            let spec = read_spec(args, 1)?;
+            let profile = args.iter().any(|a| a == "--profile");
+            let max_steps = flag_value(args, "--max-steps")
+                .map(|v| v.parse::<u64>())
+                .transpose()
+                .map_err(|e| format!("invalid --max-steps: {e}"))?;
+            commands::simulate(&spec, profile, max_steps)
+        }
+        "refine" => {
+            let spec = read_spec(args, 1)?;
+            let part_text = read_flag_file(args, "-p")?;
+            let model = parse_model(args)?;
+            let out = flag_value(args, "-o");
+            let dot = flag_value(args, "--dot");
+            commands::refine(&spec, &part_text, model, out.as_deref(), dot.as_deref())
+        }
+        "vhdl" => {
+            let spec = read_spec(args, 1)?;
+            commands::vhdl(&spec)
+        }
+        "cgen" => {
+            let spec = read_spec(args, 1)?;
+            let process =
+                flag_value(args, "--process").ok_or("missing `--process <behavior>` argument")?;
+            commands::cgen(&spec, &process)
+        }
+        "estimate" => {
+            let spec = read_spec(args, 1)?;
+            let part_text = read_flag_file(args, "-p")?;
+            commands::estimate(&spec, &part_text)
+        }
+        "rates" => {
+            let spec = read_spec(args, 1)?;
+            let part_text = read_flag_file(args, "-p")?;
+            commands::rates(&spec, &part_text)
+        }
+        "demo" => {
+            let dir = args.get(1).ok_or("usage: modref demo <directory>")?.clone();
+            commands::demo(&dir)
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `modref help`)").into()),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "modref — model refinement for hardware-software codesign
+
+USAGE:
+  modref check    <spec>                      parse + validate, print stats
+  modref print    <spec>                      re-print the canonical form
+  modref graph    <spec> [--dot]              list channels (or emit DOT)
+  modref simulate <spec> [--profile]          run and print final state
+                  [--max-steps N]             (+ activation counts / budget)
+  modref refine   <spec> -p <part> -m <1..4>  refine, print spec
+                  [-o FILE] [--dot FILE]      write spec / architecture DOT
+  modref rates    <spec> -p <part>            Figure 9 rate tables, all models
+  modref estimate <spec> -p <part>            lifetimes + channel rates report
+  modref vhdl     <spec>                      export to VHDL (refined specs)
+  modref cgen     <spec> --process <name>     export a process to C + bus HAL
+  modref demo     <dir>                       write the medical example files
+
+The <part> file format is documented in modref-partition's textfmt module:
+  component PROC processor 65536
+  component ASIC asic 10000 75
+  default PROC
+  behavior Sample -> ASIC
+  var samples     -> ASIC"
+    );
+}
+
+fn read_spec(args: &[String], pos: usize) -> Result<modref_spec::Spec, Box<dyn std::error::Error>> {
+    let path = args.get(pos).ok_or("missing specification file argument")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(modref_spec::parser::parse(&text)?)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn read_flag_file(args: &[String], flag: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let path = flag_value(args, flag)
+        .ok_or_else(|| format!("missing `{flag} <partition-file>` argument"))?;
+    Ok(fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?)
+}
+
+fn parse_model(args: &[String]) -> Result<modref_core::ImplModel, Box<dyn std::error::Error>> {
+    let value = flag_value(args, "-m").ok_or("missing `-m <1..4>` argument")?;
+    Ok(match value.as_str() {
+        "1" => modref_core::ImplModel::Model1,
+        "2" => modref_core::ImplModel::Model2,
+        "3" => modref_core::ImplModel::Model3,
+        "4" => modref_core::ImplModel::Model4,
+        other => return Err(format!("invalid model `{other}` (expected 1..4)").into()),
+    })
+}

@@ -1,0 +1,103 @@
+//! End-to-end CLI flow test: `demo` writes files that `check`, `rates`,
+//! `refine` and `simulate` can consume, driving the real binary through
+//! its file formats.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn modref_bin() -> PathBuf {
+    // target/debug/modref next to the test executable's directory.
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push("modref");
+    path
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("modref_cli_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+#[test]
+fn demo_check_rates_refine_simulate_round_trip() {
+    let bin = modref_bin();
+    let dir = tmpdir("flow");
+    let dir_s = dir.to_str().expect("utf8 tmpdir");
+
+    let run = |args: &[&str]| -> (String, String, bool) {
+        let out = Command::new(&bin).args(args).output().expect("binary runs");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.success(),
+        )
+    };
+
+    // demo
+    let (stdout, stderr, ok) = run(&["demo", dir_s]);
+    assert!(ok, "demo failed: {stderr}");
+    assert!(stdout.contains("medical.spec"));
+    let spec = format!("{dir_s}/medical.spec");
+    let part = format!("{dir_s}/medical_design1.part");
+
+    // check
+    let (stdout, stderr, ok) = run(&["check", &spec]);
+    assert!(ok, "check failed: {stderr}");
+    assert!(stdout.contains("16 ("), "expected behavior count: {stdout}");
+    assert!(stdout.contains("52 data"));
+
+    // rates
+    let (stdout, stderr, ok) = run(&["rates", &spec, "-p", &part]);
+    assert!(ok, "rates failed: {stderr}");
+    assert!(stdout.contains("Model1:"));
+    assert!(stdout.contains("hot spot"));
+
+    // refine to a file
+    let refined = format!("{dir_s}/refined.spec");
+    let (_, stderr, ok) = run(&["refine", &spec, "-p", &part, "-m", "2", "-o", &refined]);
+    assert!(ok, "refine failed: {stderr}");
+    assert!(stderr.contains("architecture:"));
+
+    // simulate the refined output
+    let (stdout, stderr, ok) = run(&["simulate", &refined]);
+    assert!(ok, "simulate failed: {stderr}");
+    assert!(stdout.contains("completed at t="));
+    assert!(stdout.contains("volume = 115"), "volume line: {stdout}");
+
+    // graph lists channels
+    let (stdout, _, ok) = run(&["graph", &spec]);
+    assert!(ok);
+    assert!(stdout.lines().count() >= 52);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let bin = modref_bin();
+    let out = Command::new(&bin)
+        .args(["check", "/definitely/not/here.spec"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("modref:"));
+
+    let out = Command::new(&bin)
+        .args(["frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let bin = modref_bin();
+    let out = Command::new(&bin).args(["help"]).output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

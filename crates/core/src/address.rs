@@ -1,0 +1,89 @@
+//! The global address map: every memory-resident variable gets a unique
+//! word address, so slaves on shared buses can decode which requests are
+//! theirs (the paper's `x_addr`).
+
+use std::collections::HashMap;
+
+use modref_spec::{Spec, VarId};
+
+/// Assigns global word addresses to memory-resident variables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AddressMap {
+    base: HashMap<VarId, u64>,
+    next: u64,
+}
+
+impl AddressMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a variable, reserving one word per element, and returns
+    /// its base address.
+    pub fn assign(&mut self, spec: &Spec, var: VarId) -> u64 {
+        let base = self.next;
+        self.base.insert(var, base);
+        self.next += u64::from(spec.variable(var).ty().element_count());
+        base
+    }
+
+    /// The base address of a variable, if assigned.
+    pub fn base(&self, var: VarId) -> Option<u64> {
+        self.base.get(&var).copied()
+    }
+
+    /// Total words assigned so far.
+    pub fn words(&self) -> u64 {
+        self.next
+    }
+
+    /// Address-bus width needed for the whole map.
+    pub fn addr_bits(&self) -> u32 {
+        modref_estimate::memory::address_width(self.next.max(1))
+    }
+
+    /// The inclusive address range `[lo, hi]` spanned by `vars`, or
+    /// `None` when the list is empty. Used by slaves to decode.
+    pub fn range_of(&self, spec: &Spec, vars: &[VarId]) -> Option<(u64, u64)> {
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        let mut any = false;
+        for &v in vars {
+            let base = self.base(v)?;
+            let end = base + u64::from(spec.variable(v).ty().element_count()) - 1;
+            lo = lo.min(base);
+            hi = hi.max(end);
+            any = true;
+        }
+        any.then_some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::types::{DataType, ScalarType};
+
+    #[test]
+    fn sequential_assignment_with_array_strides() {
+        let mut b = SpecBuilder::new("a");
+        let x = b.var_int("x", 16, 0);
+        let arr = b.var("buf", DataType::array(ScalarType::Int(8), 10), 0);
+        let y = b.var_int("y", 16, 0);
+        let leaf = b.leaf("L", vec![]);
+        let top = b.seq_in_order("Top", vec![leaf]);
+        let spec = b.finish(top).unwrap();
+
+        let mut map = AddressMap::new();
+        assert_eq!(map.assign(&spec, x), 0);
+        assert_eq!(map.assign(&spec, arr), 1);
+        assert_eq!(map.assign(&spec, y), 11);
+        assert_eq!(map.words(), 12);
+        assert_eq!(map.addr_bits(), 4);
+        assert_eq!(map.base(x), Some(0));
+        assert_eq!(map.range_of(&spec, &[arr, y]), Some((1, 11)));
+        assert_eq!(map.range_of(&spec, &[]), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! The architecture netlist that emerges from refinement: buses, memory
+//! modules, arbiters and bus interfaces.
+
+use modref_partition::ComponentId;
+use modref_spec::VarId;
+
+/// What role a bus plays in the refined architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// A per-component local bus between its behaviors and its local
+    /// memory (and, under Model4, its inbound bus interface).
+    Local(ComponentId),
+    /// A shared bus reaching a global memory (Model1/Model2), or one of
+    /// Model3's dedicated component→global-memory buses.
+    Global,
+    /// Model4: the bus between a component's behaviors and its outbound
+    /// bus interface.
+    InterfaceAccess(ComponentId),
+    /// Model4: the inter-component bus linking the bus interfaces.
+    InterComponent,
+}
+
+/// A bus in the refined architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bus {
+    /// Bus name (`b1`, `b2`, ... in paper order).
+    pub name: String,
+    /// Role.
+    pub kind: BusKind,
+    /// Data-line width in bits.
+    pub data_bits: u32,
+    /// Address-line width in bits.
+    pub addr_bits: u32,
+    /// Names of master behaviors driving transactions on this bus.
+    pub masters: Vec<String>,
+    /// Names of slave behaviors serving this bus.
+    pub slaves: Vec<String>,
+}
+
+impl Bus {
+    /// Pins the bus occupies crossing a chip boundary (data + address + 4
+    /// control lines of the Figure 5(d) handshake).
+    pub fn pins(&self) -> u32 {
+        modref_estimate::memory::bus_pins(self.data_bits, self.addr_bits)
+    }
+
+    /// Whether more than one master shares the bus (arbiter required).
+    pub fn needs_arbiter(&self) -> bool {
+        self.masters.len() > 1
+    }
+}
+
+/// A memory module in the refined architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryModule {
+    /// Module name (`Gmem_p0`, `Lmem_PROC`, ...).
+    pub name: String,
+    /// The component the memory sits on, or `None` for a standalone
+    /// global memory chip.
+    pub component: Option<ComponentId>,
+    /// Whether this is a global memory (holds globals) or local.
+    pub global: bool,
+    /// The buses its ports serve, one per port.
+    pub port_buses: Vec<String>,
+    /// The variables stored in the module.
+    pub vars: Vec<VarId>,
+    /// Addressable words.
+    pub words: u64,
+    /// Total size in bits.
+    pub bits: u64,
+}
+
+impl MemoryModule {
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.port_buses.len()
+    }
+}
+
+/// An arbiter inserted on a multi-master bus (Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbiterDesc {
+    /// The generated arbiter behavior's name.
+    pub name: String,
+    /// The bus it guards.
+    pub bus: String,
+    /// Master behavior names in priority order (index 0 = highest).
+    pub masters: Vec<String>,
+}
+
+/// A bus interface inserted for message passing (Figure 8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDesc {
+    /// The generated interface behavior's name.
+    pub name: String,
+    /// The component it belongs to.
+    pub component_name: String,
+    /// The bus it serves (listens on) as a slave.
+    pub serves_bus: String,
+    /// The bus it masters to forward requests.
+    pub masters_bus: String,
+}
+
+/// The complete emerging architecture of a refined design.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Architecture {
+    /// All buses, in paper naming order (`b1`, `b2`, ...).
+    pub buses: Vec<Bus>,
+    /// All memory modules.
+    pub memories: Vec<MemoryModule>,
+    /// All arbiters.
+    pub arbiters: Vec<ArbiterDesc>,
+    /// All bus interfaces (Model4 only).
+    pub interfaces: Vec<InterfaceDesc>,
+}
+
+impl Architecture {
+    /// Looks up a bus by name.
+    pub fn bus(&self, name: &str) -> Option<&Bus> {
+        self.buses.iter().find(|b| b.name == name)
+    }
+
+    /// Number of buses — compare against
+    /// [`ImplModel::max_buses`](crate::ImplModel::max_buses).
+    pub fn bus_count(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Number of memory modules — the Section 5 cost discussion counts 2
+    /// for Model1/Model4 and 4 for Model2/Model3 on the medical example.
+    pub fn memory_count(&self) -> usize {
+        self.memories.len()
+    }
+
+    /// Total memory bits across all modules.
+    pub fn total_memory_bits(&self) -> u64 {
+        self.memories.iter().map(|m| m.bits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_pins_and_arbiter_need() {
+        let bus = Bus {
+            name: "b1".into(),
+            kind: BusKind::Global,
+            data_bits: 16,
+            addr_bits: 5,
+            masters: vec!["A".into(), "B".into()],
+            slaves: vec!["Gmem".into()],
+        };
+        assert_eq!(bus.pins(), 16 + 5 + 4);
+        assert!(bus.needs_arbiter());
+    }
+
+    #[test]
+    fn architecture_queries() {
+        let mut a = Architecture::default();
+        a.buses.push(Bus {
+            name: "b1".into(),
+            kind: BusKind::Local(ComponentId::from_raw(0)),
+            data_bits: 8,
+            addr_bits: 3,
+            masters: vec!["A".into()],
+            slaves: vec![],
+        });
+        a.memories.push(MemoryModule {
+            name: "Lmem".into(),
+            component: Some(ComponentId::from_raw(0)),
+            global: false,
+            port_buses: vec!["b1".into()],
+            vars: vec![],
+            words: 4,
+            bits: 32,
+        });
+        assert_eq!(a.bus_count(), 1);
+        assert!(a.bus("b1").is_some());
+        assert!(!a.bus("b1").unwrap().needs_arbiter());
+        assert_eq!(a.memory_count(), 1);
+        assert_eq!(a.total_memory_bits(), 32);
+        assert_eq!(a.memories[0].ports(), 1);
+    }
+}

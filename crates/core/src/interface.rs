@@ -1,0 +1,208 @@
+//! Bus-interface generation for message passing — the paper's Figure 8.
+//!
+//! Under Model4 every variable is local, so a behavior reaching a remote
+//! variable sends a request through a chain of bus interfaces:
+//!
+//! ```text
+//! B1 --(interface-access bus)--> Iface_out --(inter bus)-->
+//!     Iface_in --(remote local bus)--> LMem
+//! ```
+//!
+//! Each interface is a server that slaves one bus and masters the next,
+//! buffering one word in a private temporary. The outbound interface
+//! serves its component's behaviors; the inbound one address-decodes the
+//! inter-component bus for requests targeting its component's memory.
+
+use modref_spec::{
+    expr, stmt, Behavior, BehaviorId, BehaviorKind, Spec, Stmt, SubroutineId, VarId,
+};
+
+use crate::protocol::{slave_loop, BusWires};
+
+/// The forwarding subroutines an interface uses on the bus it masters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardSubs {
+    /// `MST_receive` on the mastered bus.
+    pub recv: SubroutineId,
+    /// `MST_send` on the mastered bus.
+    pub send: SubroutineId,
+}
+
+/// Builds one bus-interface server behavior named `name`: it serves
+/// transactions on `serve` (optionally address-decoding `[lo, hi]`) and
+/// forwards each to the mastered bus via `forward`, buffering through a
+/// fresh temporary variable.
+pub fn make_interface(
+    spec: &mut Spec,
+    name: &str,
+    serve: BusWires,
+    decode: Option<(u64, u64)>,
+    forward: ForwardSubs,
+) -> (BehaviorId, VarId) {
+    let tmp_name = spec.fresh_variable_name(&format!("{name}_buf"));
+    // The buffer is as wide as the data lines.
+    let data_ty = *spec.signal(serve.data).ty();
+    let tmp = spec.add_variable(tmp_name, data_ty, 0, None);
+
+    let on_request: Vec<Stmt> = vec![
+        stmt::if_then(
+            expr::eq(expr::signal(serve.rd), expr::lit(1)),
+            vec![
+                stmt::call(
+                    forward.recv,
+                    vec![
+                        modref_spec::stmt::CallArg::In(expr::signal(serve.addr)),
+                        modref_spec::stmt::CallArg::Out(modref_spec::LValue::Var(tmp)),
+                    ],
+                ),
+                stmt::set_signal(serve.data, expr::var(tmp)),
+            ],
+        ),
+        stmt::if_then(
+            expr::eq(expr::signal(serve.wr), expr::lit(1)),
+            vec![
+                stmt::assign(tmp, expr::signal(serve.data)),
+                stmt::call(
+                    forward.send,
+                    vec![
+                        modref_spec::stmt::CallArg::In(expr::signal(serve.addr)),
+                        modref_spec::stmt::CallArg::In(expr::var(tmp)),
+                    ],
+                ),
+            ],
+        ),
+    ];
+    let decode_expr = decode.map(|(lo, hi)| {
+        expr::and(
+            expr::ge(expr::signal(serve.addr), expr::lit(lo as i64)),
+            expr::le(expr::signal(serve.addr), expr::lit(hi as i64)),
+        )
+    });
+    let body = slave_loop(serve, decode_expr, on_request);
+    let fresh = spec.fresh_behavior_name(name);
+    let id = spec.add_behavior(Behavior::new_server(fresh, BehaviorKind::Leaf { body }));
+    (id, tmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{make_memory_port, MemoryVar};
+    use crate::protocol::{make_mst_receive, make_mst_send};
+    use modref_sim::Simulator;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::stmt::CallArg;
+    use modref_spec::{DataType, LValue};
+
+    /// Full three-hop Figure 8 chain: a client on component 1 reads and
+    /// writes a word that lives in component 2's local memory, through
+    /// two interfaces and three buses.
+    #[test]
+    fn three_hop_remote_access_round_trips() {
+        let mut b = SpecBuilder::new("fig8");
+        let got = b.var_int("got", 16, 0);
+        let client = b.leaf("B1", vec![]);
+        let main = b.seq_in_order("Main", vec![client]);
+        let mut spec = b.finish_unchecked(main);
+
+        // Buses: ifc access (b2), inter (b3), remote local (b5).
+        let b2 = BusWires::create(&mut spec, "b2", 4, 16);
+        let b3 = BusWires::create(&mut spec, "b3", 4, 16);
+        let b5 = BusWires::create(&mut spec, "b5", 4, 16);
+
+        // Protocols each hop's master uses.
+        let b2_recv = make_mst_receive(&mut spec, "b2", b2, 4, 16, "", None);
+        let b2_send = make_mst_send(&mut spec, "b2", b2, 4, 16, "", None);
+        let b3_recv = make_mst_receive(&mut spec, "b3", b3, 4, 16, "", None);
+        let b3_send = make_mst_send(&mut spec, "b3", b3, 4, 16, "", None);
+        let b5_recv = make_mst_receive(&mut spec, "b5", b5, 4, 16, "", None);
+        let b5_send = make_mst_send(&mut spec, "b5", b5, 4, 16, "", None);
+
+        // Remote local memory: y at address 2, initial 31.
+        let y = spec.add_variable("y", DataType::int(16), 31, None);
+        let lm2 = make_memory_port(
+            &mut spec,
+            "Lmem_p1",
+            b5,
+            &[MemoryVar {
+                var: y,
+                base: 2,
+                elems: 1,
+            }],
+            Some((2, 2)),
+        );
+
+        // Interfaces.
+        let (ifc_out, _) = make_interface(
+            &mut spec,
+            "Bus_interface_1_out",
+            b2,
+            None,
+            ForwardSubs {
+                recv: b3_recv,
+                send: b3_send,
+            },
+        );
+        let (ifc_in, _) = make_interface(
+            &mut spec,
+            "Bus_interface_2_in",
+            b3,
+            Some((2, 2)),
+            ForwardSubs {
+                recv: b5_recv,
+                send: b5_send,
+            },
+        );
+
+        // Client: got := remote[2]; remote[2] := got + 9.
+        *spec.behavior_mut(client).body_mut().unwrap() = vec![
+            stmt::call(
+                b2_recv,
+                vec![CallArg::In(expr::lit(2)), CallArg::Out(LValue::Var(got))],
+            ),
+            stmt::call(
+                b2_send,
+                vec![
+                    CallArg::In(expr::lit(2)),
+                    CallArg::In(expr::add(expr::var(got), expr::lit(9))),
+                ],
+            ),
+        ];
+
+        let system = spec.add_behavior(Behavior::new(
+            "System",
+            BehaviorKind::Concurrent {
+                children: vec![main, lm2, ifc_out, ifc_in],
+            },
+        ));
+        spec.set_top(system);
+        modref_spec::validate::check(&spec).unwrap();
+
+        let r = Simulator::new(&spec).run().expect("chain completes");
+        assert_eq!(r.var_by_name("got"), Some(31));
+        assert_eq!(r.var_by_name("y"), Some(40));
+        let _ = (b2_send, b5_send);
+    }
+
+    #[test]
+    fn interface_buffer_has_bus_width() {
+        let mut b = SpecBuilder::new("width");
+        let leaf = b.leaf("L", vec![]);
+        let top = b.seq_in_order("Top", vec![leaf]);
+        let mut spec = b.finish_unchecked(top);
+        let wires = BusWires::create(&mut spec, "bX", 6, 24);
+        let fwd_recv = make_mst_receive(&mut spec, "bX", wires, 6, 24, "", None);
+        let fwd_send = make_mst_send(&mut spec, "bX", wires, 6, 24, "", None);
+        let (_, buf) = make_interface(
+            &mut spec,
+            "Iface",
+            wires,
+            None,
+            ForwardSubs {
+                recv: fwd_recv,
+                send: fwd_send,
+            },
+        );
+        assert_eq!(spec.variable(buf).ty().bit_width(), 24);
+    }
+}

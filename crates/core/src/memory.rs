@@ -1,0 +1,214 @@
+//! Slave memory behavior generation — the paper's Figure 5(c) `Memory`
+//! behavior, generalized to multi-variable, multi-port modules.
+//!
+//! Each memory *port* becomes one server behavior running a decode-serve
+//! loop on its bus: on a read whose address matches one of the module's
+//! variables, it drives the data lines with that variable's value; on a
+//! write it stores the data lines into the variable. Arrays occupy one
+//! word per element (`addr - base` indexes the element). A multi-port
+//! module (Model3) gets one such behavior per port, all sharing the same
+//! variables.
+
+use modref_spec::stmt::CallArg;
+use modref_spec::{
+    expr, stmt, Behavior, BehaviorId, BehaviorKind, Expr, LValue, Spec, Stmt, SubroutineId, VarId,
+};
+
+use crate::protocol::{slave_loop, BusWires};
+
+/// The slave-side protocol subroutines a memory port uses to move data —
+/// `SLV_send` (drive the data lines on a read) and `SLV_receive` (latch
+/// them on a write), as named in the paper's Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlvSubs {
+    /// `SLV_send_<bus>`.
+    pub send: SubroutineId,
+    /// `SLV_receive_<bus>`.
+    pub recv: SubroutineId,
+}
+
+/// One variable stored in a memory module, with its address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryVar {
+    /// The variable (an id in the *refined* spec).
+    pub var: VarId,
+    /// Base word address.
+    pub base: u64,
+    /// Number of words (1 for scalars, `len` for arrays).
+    pub elems: u32,
+}
+
+/// Builds one memory-port server behavior named `name`, serving `wires`
+/// and exposing `vars`. `decode` restricts which addresses this slave
+/// responds to (required when the bus hosts several slaves; pass the
+/// module's own range).
+pub fn make_memory_port(
+    spec: &mut Spec,
+    name: &str,
+    wires: BusWires,
+    vars: &[MemoryVar],
+    decode: Option<(u64, u64)>,
+) -> BehaviorId {
+    let body = memory_port_body(wires, vars, decode, None);
+    let fresh = spec.fresh_behavior_name(name);
+    spec.add_behavior(Behavior::new_server(fresh, BehaviorKind::Leaf { body }))
+}
+
+/// Builds the decode-serve loop body of one memory port, without creating
+/// a behavior — used to fill pre-created placeholder behaviors (whose
+/// names the stored variables are scoped to).
+pub fn memory_port_body(
+    wires: BusWires,
+    vars: &[MemoryVar],
+    decode: Option<(u64, u64)>,
+    slv: Option<SlvSubs>,
+) -> Vec<Stmt> {
+    let addr = || expr::signal(wires.addr);
+
+    let mut read_cases: Vec<Stmt> = Vec::new();
+    let mut write_cases: Vec<Stmt> = Vec::new();
+    for mv in vars {
+        let in_range: Expr = if mv.elems == 1 {
+            expr::eq(addr(), expr::lit(mv.base as i64))
+        } else {
+            expr::and(
+                expr::ge(addr(), expr::lit(mv.base as i64)),
+                expr::lt(addr(), expr::lit((mv.base + u64::from(mv.elems)) as i64)),
+            )
+        };
+        let read_value: Expr = if mv.elems == 1 {
+            expr::var(mv.var)
+        } else {
+            expr::index(mv.var, expr::sub(addr(), expr::lit(mv.base as i64)))
+        };
+        let read_stmt = match slv {
+            Some(s) => stmt::call(s.send, vec![CallArg::In(read_value)]),
+            None => stmt::set_signal(wires.data, read_value),
+        };
+        read_cases.push(stmt::if_then(in_range.clone(), vec![read_stmt]));
+        let write_target = if mv.elems == 1 {
+            LValue::Var(mv.var)
+        } else {
+            LValue::Index(mv.var, expr::sub(addr(), expr::lit(mv.base as i64)))
+        };
+        let write_stmt = match slv {
+            Some(s) => stmt::call(s.recv, vec![CallArg::Out(write_target)]),
+            None => Stmt::Assign {
+                target: write_target,
+                value: expr::signal(wires.data),
+            },
+        };
+        write_cases.push(stmt::if_then(in_range, vec![write_stmt]));
+    }
+
+    let on_request = vec![
+        stmt::if_then(expr::eq(expr::signal(wires.rd), expr::lit(1)), read_cases),
+        stmt::if_then(expr::eq(expr::signal(wires.wr), expr::lit(1)), write_cases),
+    ];
+    let decode_expr = decode.map(|(lo, hi)| {
+        expr::and(
+            expr::ge(addr(), expr::lit(lo as i64)),
+            expr::le(addr(), expr::lit(hi as i64)),
+        )
+    });
+    slave_loop(wires, decode_expr, on_request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{make_mst_receive, make_mst_send};
+    use modref_sim::Simulator;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::stmt::CallArg;
+    use modref_spec::types::ScalarType;
+    use modref_spec::{DataType, LValue};
+
+    /// A memory with a scalar and an array; the client reads and writes
+    /// both through the protocol, with two slaves address-decoding one
+    /// shared bus.
+    #[test]
+    fn decoded_slaves_share_a_bus() {
+        let mut b = SpecBuilder::new("mem");
+        let r1 = b.var_int("r1", 16, 0);
+        let r2 = b.var_int("r2", 16, 0);
+        let client = b.leaf("Client", vec![]);
+        let main = b.seq_in_order("Main", vec![client]);
+        let mut spec = b.finish_unchecked(main);
+
+        let wires = BusWires::create(&mut spec, "b1", 5, 16);
+        let recv = make_mst_receive(&mut spec, "b1", wires, 5, 16, "", None);
+        let send = make_mst_send(&mut spec, "b1", wires, 5, 16, "", None);
+
+        // Module A: scalar x at 0, array buf[4] at 1..4.
+        let x = spec.add_variable("x", DataType::int(16), 5, None);
+        let buf = spec.add_variable("buf", DataType::array(ScalarType::Int(16), 4), 9, None);
+        let mem_a = make_memory_port(
+            &mut spec,
+            "MemA",
+            wires,
+            &[
+                MemoryVar {
+                    var: x,
+                    base: 0,
+                    elems: 1,
+                },
+                MemoryVar {
+                    var: buf,
+                    base: 1,
+                    elems: 4,
+                },
+            ],
+            Some((0, 4)),
+        );
+        // Module B: scalar y at 5.
+        let y = spec.add_variable("y", DataType::int(16), 77, None);
+        let mem_b = make_memory_port(
+            &mut spec,
+            "MemB",
+            wires,
+            &[MemoryVar {
+                var: y,
+                base: 5,
+                elems: 1,
+            }],
+            Some((5, 5)),
+        );
+
+        *spec.behavior_mut(client).body_mut().unwrap() = vec![
+            // r1 := mem[0] (x = 5)
+            stmt::call(
+                recv,
+                vec![CallArg::In(expr::lit(0)), CallArg::Out(LValue::Var(r1))],
+            ),
+            // mem[3] := r1 + 1  (buf[2] = 6)
+            stmt::call(
+                send,
+                vec![
+                    CallArg::In(expr::lit(3)),
+                    CallArg::In(expr::add(expr::var(r1), expr::lit(1))),
+                ],
+            ),
+            // r2 := mem[5] (y = 77, served by module B)
+            stmt::call(
+                recv,
+                vec![CallArg::In(expr::lit(5)), CallArg::Out(LValue::Var(r2))],
+            ),
+        ];
+
+        let system = spec.add_behavior(Behavior::new(
+            "System",
+            BehaviorKind::Concurrent {
+                children: vec![main, mem_a, mem_b],
+            },
+        ));
+        spec.set_top(system);
+        modref_spec::validate::check(&spec).unwrap();
+
+        let r = Simulator::new(&spec).run().expect("completes");
+        assert_eq!(r.var_by_name("r1"), Some(5));
+        assert_eq!(r.var_by_name("r2"), Some(77));
+        assert_eq!(r.array_by_name("buf"), Some(&[9, 9, 6, 9][..]));
+        assert_eq!(r.var_by_name("x"), Some(5));
+    }
+}

@@ -1,0 +1,121 @@
+//! The four implementation models of the paper's Section 3.
+
+use std::fmt;
+
+/// An implementation model: the communication scheme the refined
+/// specification realizes. The three design parameters the paper varies —
+/// memory-port count, variable mapping and communication style — are
+/// bundled into the four named models of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImplModel {
+    /// **Single-port global memory only.** Every variable lives in one
+    /// global memory; every behavior reaches it over one shared bus.
+    /// Maximum buses: 1.
+    Model1,
+    /// **Local memory + single-port global memory.** Local variables move
+    /// to per-component local memories (local buses); global variables
+    /// share a single-port global memory on one shared bus.
+    /// Maximum buses: `p + 1`.
+    Model2,
+    /// **Local memory + multi-port global memory.** Like Model2, but each
+    /// component reaches each global memory over its own dedicated bus
+    /// (global memories gain one port per component).
+    /// Maximum buses: `p + p*p`.
+    Model3,
+    /// **Local memory + bus interface (message passing).** Every variable
+    /// is local; remote accesses travel through bus-interface behaviors
+    /// over an inter-component bus. Maximum buses: `2p + 1`.
+    Model4,
+}
+
+impl ImplModel {
+    /// All four models, in paper order.
+    pub const ALL: [ImplModel; 4] = [
+        ImplModel::Model1,
+        ImplModel::Model2,
+        ImplModel::Model3,
+        ImplModel::Model4,
+    ];
+
+    /// The paper's upper bound on bus count for `p` partitions.
+    pub fn max_buses(self, p: usize) -> usize {
+        match self {
+            ImplModel::Model1 => 1,
+            ImplModel::Model2 => p + 1,
+            ImplModel::Model3 => p + p * p,
+            ImplModel::Model4 => 2 * p + 1,
+        }
+    }
+
+    /// The maximum number of ports on a global memory under this model
+    /// for `p` partitions.
+    pub fn max_global_memory_ports(self, p: usize) -> usize {
+        match self {
+            ImplModel::Model1 | ImplModel::Model2 => 1,
+            ImplModel::Model3 => p,
+            ImplModel::Model4 => 0, // no global memory exists
+        }
+    }
+
+    /// Whether local variables get per-component local memories.
+    pub fn has_local_memories(self) -> bool {
+        !matches!(self, ImplModel::Model1)
+    }
+
+    /// Whether the model communicates by message passing through bus
+    /// interfaces rather than shared memory.
+    pub fn uses_bus_interface(self) -> bool {
+        matches!(self, ImplModel::Model4)
+    }
+
+    /// Short name as used in the paper's tables ("Model1"...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ImplModel::Model1 => "Model1",
+            ImplModel::Model2 => "Model2",
+            ImplModel::Model3 => "Model3",
+            ImplModel::Model4 => "Model4",
+        }
+    }
+}
+
+impl fmt::Display for ImplModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_formulas_match_paper_for_two_partitions() {
+        // Section 3 with p = 2: 1, 3, 6, 5.
+        assert_eq!(ImplModel::Model1.max_buses(2), 1);
+        assert_eq!(ImplModel::Model2.max_buses(2), 3);
+        assert_eq!(ImplModel::Model3.max_buses(2), 6);
+        assert_eq!(ImplModel::Model4.max_buses(2), 5);
+    }
+
+    #[test]
+    fn port_counts_match_paper() {
+        assert_eq!(ImplModel::Model1.max_global_memory_ports(2), 1);
+        assert_eq!(ImplModel::Model3.max_global_memory_ports(2), 2);
+        assert_eq!(ImplModel::Model4.max_global_memory_ports(2), 0);
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(!ImplModel::Model1.has_local_memories());
+        assert!(ImplModel::Model2.has_local_memories());
+        assert!(ImplModel::Model4.uses_bus_interface());
+        assert!(!ImplModel::Model3.uses_bus_interface());
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(ImplModel::Model3.to_string(), "Model3");
+        assert_eq!(ImplModel::ALL.len(), 4);
+    }
+}

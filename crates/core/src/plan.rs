@@ -1,0 +1,559 @@
+//! The refinement plan: the pure analysis shared by the spec transformer
+//! and the Figure 9 rate tables.
+//!
+//! Given a spec, access graph, allocation, partition and an
+//! [`ImplModel`], the plan decides:
+//!
+//! * which **memory modules** exist and which variables each holds
+//!   (grouped by the variable's *home component* and its local/global
+//!   class, matching the paper's Gmem/Lmem split — Model1 maps everything
+//!   to global memories, Model4 everything to local memories);
+//! * which **buses** exist, named `b1`, `b2`, ... in the paper's canonical
+//!   order for each model (Figure 3);
+//! * the **global address map** (each memory occupies a contiguous range
+//!   so slaves can range-decode shared buses);
+//! * which bus (or bus *chain*, for Model4 remote accesses) carries each
+//!   variable access.
+
+use std::collections::HashMap;
+
+use modref_graph::{AccessGraph, ChannelId};
+use modref_partition::{Allocation, ComponentId, Partition, VarClass};
+use modref_spec::{Spec, VarId};
+
+use crate::address::AddressMap;
+use crate::arch::BusKind;
+use crate::error::RefineError;
+use crate::model::ImplModel;
+
+/// A planned memory module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// Module name (`Gmem_p0`, `Lmem_p1`, ...).
+    pub name: String,
+    /// The component whose variables it holds (its *home*).
+    pub home: ComponentId,
+    /// Whether it holds global (cross-partition) variables.
+    pub global: bool,
+    /// The variables stored, in address order.
+    pub vars: Vec<VarId>,
+    /// The buses its ports serve (one entry per port).
+    pub port_buses: Vec<String>,
+}
+
+/// A planned bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusPlan {
+    /// Bus name in paper order (`b1`...).
+    pub name: String,
+    /// Bus role.
+    pub kind: BusKind,
+}
+
+/// The complete analysis result. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinePlan {
+    /// The implementation model planned for.
+    pub model: ImplModel,
+    /// Global address map over all memory-resident variables.
+    pub addr: AddressMap,
+    /// Planned memory modules.
+    pub memories: Vec<MemoryPlan>,
+    /// Planned buses, in naming order.
+    pub buses: Vec<BusPlan>,
+    /// Data-line width shared by all buses (widest single access).
+    pub data_bits: u32,
+    /// Address-line width shared by all buses.
+    pub addr_bits: u32,
+    var_memory: HashMap<VarId, usize>,
+    local_bus: HashMap<ComponentId, String>,
+    shared_global_bus: Option<String>,
+    gmem_bus: HashMap<(ComponentId, usize), String>,
+    ifc_bus: HashMap<ComponentId, String>,
+    inter_bus: Option<String>,
+}
+
+impl RefinePlan {
+    /// Builds the plan.
+    ///
+    /// # Errors
+    ///
+    /// * [`RefineError::EmptyAllocation`] for an empty allocation;
+    /// * [`RefineError::UnassignedVar`] / `UnassignedBehavior` when the
+    ///   partition leaves objects without a component.
+    pub fn build(
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        partition: &Partition,
+        model: ImplModel,
+    ) -> Result<Self, RefineError> {
+        if allocation.is_empty() {
+            return Err(RefineError::EmptyAllocation);
+        }
+        for leaf in spec.leaves() {
+            if partition.component_of_behavior(spec, leaf).is_none() {
+                return Err(RefineError::UnassignedBehavior(leaf));
+            }
+        }
+
+        // Group variables by (home component, memory class).
+        let mut groups: HashMap<(ComponentId, bool), Vec<VarId>> = HashMap::new();
+        for (v, _) in spec.variables() {
+            let home = partition
+                .component_of_var(spec, v)
+                .ok_or(RefineError::UnassignedVar(v))?;
+            let class = partition.classify_var(spec, graph, v);
+            let global_mem = match model {
+                ImplModel::Model1 => true,
+                ImplModel::Model2 | ImplModel::Model3 => class == VarClass::Global,
+                ImplModel::Model4 => false,
+            };
+            groups.entry((home, global_mem)).or_default().push(v);
+        }
+
+        // Memory modules in deterministic order: by component, locals
+        // before globals.
+        let mut memories = Vec::new();
+        let mut var_memory = HashMap::new();
+        for (cid, _) in allocation.iter() {
+            for &global in &[false, true] {
+                if let Some(vars) = groups.remove(&(cid, global)) {
+                    let name = if global {
+                        format!("Gmem_p{}", cid.index())
+                    } else {
+                        format!("Lmem_p{}", cid.index())
+                    };
+                    for &v in &vars {
+                        var_memory.insert(v, memories.len());
+                    }
+                    memories.push(MemoryPlan {
+                        name,
+                        home: cid,
+                        global,
+                        vars,
+                        port_buses: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        // Address map, contiguous per module.
+        let mut addr = AddressMap::new();
+        for m in &memories {
+            for &v in &m.vars {
+                addr.assign(spec, v);
+            }
+        }
+
+        // Buses in the paper's canonical per-model order.
+        let mut plan = Self {
+            model,
+            addr,
+            memories,
+            buses: Vec::new(),
+            data_bits: spec
+                .variables()
+                .map(|(_, v)| v.ty().access_width())
+                .max()
+                .unwrap_or(8)
+                .max(1),
+            addr_bits: 0,
+            var_memory,
+            local_bus: HashMap::new(),
+            shared_global_bus: None,
+            gmem_bus: HashMap::new(),
+            ifc_bus: HashMap::new(),
+            inter_bus: None,
+        };
+        plan.addr_bits = plan.addr.addr_bits();
+        plan.plan_buses(allocation);
+        plan.attach_memory_ports(allocation);
+        Ok(plan)
+    }
+
+    fn next_bus(&mut self, kind: BusKind) -> String {
+        let name = format!("b{}", self.buses.len() + 1);
+        self.buses.push(BusPlan {
+            name: name.clone(),
+            kind,
+        });
+        name
+    }
+
+    fn has_local_memory(&self, cid: ComponentId) -> bool {
+        self.memories.iter().any(|m| m.home == cid && !m.global)
+    }
+
+    fn plan_buses(&mut self, allocation: &Allocation) {
+        let components = allocation.ids();
+        match self.model {
+            ImplModel::Model1 => {
+                let b = self.next_bus(BusKind::Global);
+                self.shared_global_bus = Some(b);
+            }
+            ImplModel::Model2 => {
+                // Paper order (Figure 3(b), p = 2): b1 local0, b2 global,
+                // b3 local1 — first local bus, shared global bus, then the
+                // remaining local buses.
+                if let Some(&first) = components.first() {
+                    if self.has_local_memory(first) {
+                        let b = self.next_bus(BusKind::Local(first));
+                        self.local_bus.insert(first, b);
+                    }
+                }
+                if self.memories.iter().any(|m| m.global) {
+                    let b = self.next_bus(BusKind::Global);
+                    self.shared_global_bus = Some(b);
+                }
+                for &cid in components.iter().skip(1) {
+                    if self.has_local_memory(cid) {
+                        let b = self.next_bus(BusKind::Local(cid));
+                        self.local_bus.insert(cid, b);
+                    }
+                }
+            }
+            ImplModel::Model3 => {
+                // Paper order (Figure 3(c), p = 2): b1 local0, b2..b5 the
+                // dedicated component->global-memory buses, b6 local1.
+                if let Some(&first) = components.first() {
+                    if self.has_local_memory(first) {
+                        let b = self.next_bus(BusKind::Local(first));
+                        self.local_bus.insert(first, b);
+                    }
+                }
+                let gmem_indices: Vec<usize> = self
+                    .memories
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.global)
+                    .map(|(i, _)| i)
+                    .collect();
+                for mem_idx in gmem_indices {
+                    for &accessor in &components {
+                        let b = self.next_bus(BusKind::Global);
+                        self.gmem_bus.insert((accessor, mem_idx), b);
+                    }
+                }
+                for &cid in components.iter().skip(1) {
+                    if self.has_local_memory(cid) {
+                        let b = self.next_bus(BusKind::Local(cid));
+                        self.local_bus.insert(cid, b);
+                    }
+                }
+            }
+            ImplModel::Model4 => {
+                // Paper order (Figure 3(d), p = 2): b1 local0, b2 ifc0,
+                // b3 inter, b4 ifc1, b5 local1.
+                if let Some(&first) = components.first() {
+                    if self.has_local_memory(first) {
+                        let b = self.next_bus(BusKind::Local(first));
+                        self.local_bus.insert(first, b);
+                    }
+                    let b = self.next_bus(BusKind::InterfaceAccess(first));
+                    self.ifc_bus.insert(first, b);
+                }
+                let b = self.next_bus(BusKind::InterComponent);
+                self.inter_bus = Some(b);
+                for &cid in components.iter().skip(1) {
+                    let b = self.next_bus(BusKind::InterfaceAccess(cid));
+                    self.ifc_bus.insert(cid, b);
+                    if self.has_local_memory(cid) {
+                        let b = self.next_bus(BusKind::Local(cid));
+                        self.local_bus.insert(cid, b);
+                    }
+                }
+            }
+        }
+    }
+
+    fn attach_memory_ports(&mut self, allocation: &Allocation) {
+        let components = allocation.ids();
+        for idx in 0..self.memories.len() {
+            let (home, global) = (self.memories[idx].home, self.memories[idx].global);
+            let ports: Vec<String> = match self.model {
+                ImplModel::Model1 => vec![self
+                    .shared_global_bus
+                    .clone()
+                    .expect("Model1 plans a global bus")],
+                ImplModel::Model2 => {
+                    if global {
+                        vec![self
+                            .shared_global_bus
+                            .clone()
+                            .expect("Model2 with globals plans a global bus")]
+                    } else {
+                        vec![self.local_bus[&home].clone()]
+                    }
+                }
+                ImplModel::Model3 => {
+                    if global {
+                        components
+                            .iter()
+                            .map(|&c| self.gmem_bus[&(c, idx)].clone())
+                            .collect()
+                    } else {
+                        vec![self.local_bus[&home].clone()]
+                    }
+                }
+                ImplModel::Model4 => vec![self.local_bus[&home].clone()],
+            };
+            self.memories[idx].port_buses = ports;
+        }
+    }
+
+    /// The memory module holding `var`.
+    pub fn memory_of(&self, var: VarId) -> Option<&MemoryPlan> {
+        self.var_memory.get(&var).map(|&i| &self.memories[i])
+    }
+
+    /// The index into [`RefinePlan::memories`] of the module holding `var`.
+    pub fn memory_index_of(&self, var: VarId) -> Option<usize> {
+        self.var_memory.get(&var).copied()
+    }
+
+    /// The per-component local bus, if planned.
+    pub fn local_bus_of(&self, cid: ComponentId) -> Option<&str> {
+        self.local_bus.get(&cid).map(String::as_str)
+    }
+
+    /// Model4's inter-component bus, if planned.
+    pub fn inter_bus_name(&self) -> Option<&str> {
+        self.inter_bus.as_deref()
+    }
+
+    /// Model4's interface-access bus for a component.
+    pub fn ifc_bus_of(&self, cid: ComponentId) -> Option<&str> {
+        self.ifc_bus.get(&cid).map(String::as_str)
+    }
+
+    /// The bus chain an access travels when a behavior on `accessor`
+    /// touches `var`: one bus for shared-memory models, and
+    /// `[interface-access, inter-component, remote local]` for Model4
+    /// remote accesses. The first element is the bus the *master behavior*
+    /// itself drives.
+    pub fn access_buses(&self, accessor: ComponentId, var: VarId) -> Vec<String> {
+        let Some(&mem_idx) = self.var_memory.get(&var) else {
+            return Vec::new();
+        };
+        let mem = &self.memories[mem_idx];
+        match self.model {
+            ImplModel::Model1 => vec![self
+                .shared_global_bus
+                .clone()
+                .expect("Model1 plans a global bus")],
+            ImplModel::Model2 => {
+                if mem.global {
+                    vec![self
+                        .shared_global_bus
+                        .clone()
+                        .expect("Model2 with globals plans a global bus")]
+                } else {
+                    vec![self.local_bus[&mem.home].clone()]
+                }
+            }
+            ImplModel::Model3 => {
+                if mem.global {
+                    vec![self.gmem_bus[&(accessor, mem_idx)].clone()]
+                } else {
+                    vec![self.local_bus[&mem.home].clone()]
+                }
+            }
+            ImplModel::Model4 => {
+                if accessor == mem.home {
+                    vec![self.local_bus[&mem.home].clone()]
+                } else {
+                    vec![
+                        self.ifc_bus[&accessor].clone(),
+                        self.inter_bus.clone().expect("Model4 plans an inter bus"),
+                        self.local_bus[&mem.home].clone(),
+                    ]
+                }
+            }
+        }
+    }
+
+    /// Maps every data channel of the access graph to the buses carrying
+    /// it — the Figure 9 accounting. Channels to variables that end up as
+    /// registers (none today; kept for forward compatibility) map to no
+    /// bus.
+    pub fn channel_buses(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        partition: &Partition,
+    ) -> HashMap<ChannelId, Vec<String>> {
+        let mut out = HashMap::new();
+        for ch in graph.data_channels() {
+            let (Some(b), Some(v)) = (ch.behavior(), ch.var()) else {
+                continue;
+            };
+            let Some(accessor) = partition.component_of_behavior(spec, b) else {
+                continue;
+            };
+            out.insert(ch.id(), self.access_buses(accessor, v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    /// Two components; x local to PROC, g global (PROC-homed, read by
+    /// ASIC), y local to ASIC.
+    fn fixture() -> (Spec, AccessGraph, Allocation, Partition) {
+        let mut b = SpecBuilder::new("plan");
+        let x = b.var_int("x", 16, 0);
+        let g = b.var_int("g", 16, 0);
+        let y = b.var_int("y", 16, 0);
+        let b1 = b.leaf(
+            "B1",
+            vec![stmt::assign(x, expr::lit(1)), stmt::assign(g, expr::var(x))],
+        );
+        let b2 = b.leaf("B2", vec![stmt::assign(y, expr::var(g))]);
+        let top = b.concurrent("Top", vec![b1, b2]);
+        let spec = b.finish(top).unwrap();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = Allocation::proc_plus_asic();
+        let proc = alloc.by_name("PROC").unwrap();
+        let asic = alloc.by_name("ASIC").unwrap();
+        let mut part = Partition::new();
+        part.assign_behavior(top, proc);
+        part.assign_behavior(b1, proc);
+        part.assign_behavior(b2, asic);
+        part.assign_var(x, proc);
+        part.assign_var(g, proc);
+        part.assign_var(y, asic);
+        (spec, graph, alloc, part)
+    }
+
+    fn proc_asic(alloc: &Allocation) -> (ComponentId, ComponentId) {
+        (
+            alloc.by_name("PROC").unwrap(),
+            alloc.by_name("ASIC").unwrap(),
+        )
+    }
+
+    #[test]
+    fn model1_maps_everything_to_global_memories_on_one_bus() {
+        let (spec, graph, alloc, part) = fixture();
+        let plan = RefinePlan::build(&spec, &graph, &alloc, &part, ImplModel::Model1).unwrap();
+        assert_eq!(plan.buses.len(), 1);
+        assert!(plan.memories.iter().all(|m| m.global));
+        assert_eq!(plan.memories.len(), 2); // Gmem_p0 {x,g}, Gmem_p1 {y}
+        let (proc, _) = proc_asic(&alloc);
+        let x = spec.variable_by_name("x").unwrap();
+        assert_eq!(plan.access_buses(proc, x), vec!["b1".to_string()]);
+    }
+
+    #[test]
+    fn model2_splits_local_and_global() {
+        let (spec, graph, alloc, part) = fixture();
+        let plan = RefinePlan::build(&spec, &graph, &alloc, &part, ImplModel::Model2).unwrap();
+        // Memories: Lmem_p0 {x}, Gmem_p0 {g}, Lmem_p1 {y}.
+        assert_eq!(plan.memories.len(), 3);
+        // Buses: b1 local0, b2 global, b3 local1 — paper order.
+        assert_eq!(
+            plan.buses
+                .iter()
+                .map(|b| b.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["b1", "b2", "b3"]
+        );
+        assert!(matches!(plan.buses[0].kind, BusKind::Local(_)));
+        assert!(matches!(plan.buses[1].kind, BusKind::Global));
+        let (proc, asic) = proc_asic(&alloc);
+        let g = spec.variable_by_name("g").unwrap();
+        let y = spec.variable_by_name("y").unwrap();
+        assert_eq!(plan.access_buses(proc, g), vec!["b2".to_string()]);
+        assert_eq!(plan.access_buses(asic, g), vec!["b2".to_string()]);
+        assert_eq!(plan.access_buses(asic, y), vec!["b3".to_string()]);
+    }
+
+    #[test]
+    fn model3_gives_each_component_a_dedicated_global_bus() {
+        let (spec, graph, alloc, part) = fixture();
+        let plan = RefinePlan::build(&spec, &graph, &alloc, &part, ImplModel::Model3).unwrap();
+        // One Gmem (on PROC) with 2 ports -> 2 dedicated buses + 2 locals.
+        assert_eq!(plan.buses.len(), 4);
+        let (proc, asic) = proc_asic(&alloc);
+        let g = spec.variable_by_name("g").unwrap();
+        let from_proc = plan.access_buses(proc, g);
+        let from_asic = plan.access_buses(asic, g);
+        assert_ne!(from_proc, from_asic, "dedicated buses per component");
+        let gmem = plan.memory_of(g).unwrap();
+        assert_eq!(gmem.port_buses.len(), 2);
+    }
+
+    #[test]
+    fn model4_routes_remote_accesses_through_the_interface_chain() {
+        let (spec, graph, alloc, part) = fixture();
+        let plan = RefinePlan::build(&spec, &graph, &alloc, &part, ImplModel::Model4).unwrap();
+        // Buses: b1 local0, b2 ifc0, b3 inter, b4 ifc1, b5 local1.
+        assert_eq!(plan.buses.len(), 5);
+        let (proc, asic) = proc_asic(&alloc);
+        let g = spec.variable_by_name("g").unwrap();
+        // g homed on PROC: local access from PROC is one bus...
+        assert_eq!(plan.access_buses(proc, g).len(), 1);
+        // ...remote access from ASIC traverses ifc1 -> inter -> local0.
+        let chain = plan.access_buses(asic, g);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[1], plan.inter_bus_name().unwrap());
+        // All memories are local under Model4.
+        assert!(plan.memories.iter().all(|m| !m.global));
+    }
+
+    #[test]
+    fn addresses_are_contiguous_per_memory() {
+        let (spec, graph, alloc, part) = fixture();
+        let plan = RefinePlan::build(&spec, &graph, &alloc, &part, ImplModel::Model2).unwrap();
+        for m in &plan.memories {
+            let (lo, hi) = plan.addr.range_of(&spec, &m.vars).unwrap();
+            assert!(hi >= lo);
+            // Each var's base lies within the module range.
+            for &v in &m.vars {
+                let base = plan.addr.base(v).unwrap();
+                assert!(base >= lo && base <= hi);
+            }
+        }
+        assert_eq!(plan.addr.words(), 3);
+    }
+
+    #[test]
+    fn channel_buses_covers_every_data_channel() {
+        let (spec, graph, alloc, part) = fixture();
+        for model in ImplModel::ALL {
+            let plan = RefinePlan::build(&spec, &graph, &alloc, &part, model).unwrap();
+            let map = plan.channel_buses(&spec, &graph, &part);
+            assert_eq!(map.len(), graph.data_channel_count(), "{model}");
+            assert!(map.values().all(|buses| !buses.is_empty()), "{model}");
+        }
+    }
+
+    #[test]
+    fn bus_counts_respect_paper_maxima() {
+        let (spec, graph, alloc, part) = fixture();
+        for model in ImplModel::ALL {
+            let plan = RefinePlan::build(&spec, &graph, &alloc, &part, model).unwrap();
+            assert!(
+                plan.buses.len() <= model.max_buses(alloc.len()),
+                "{model}: {} buses",
+                plan.buses.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_allocation_is_rejected() {
+        let (spec, graph, _, part) = fixture();
+        let empty = Allocation::new();
+        assert!(matches!(
+            RefinePlan::build(&spec, &graph, &empty, &part, ImplModel::Model1),
+            Err(RefineError::EmptyAllocation)
+        ));
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-statement timing models.
+//!
+//! A [`TimingModel`] assigns a cost in nanoseconds to every primitive
+//! construct of the statement language. The presets are calibrated to the
+//! paper's era: [`TimingModel::processor`] approximates a mid-90s embedded
+//! processor running compiled code (the paper's Intel 8086-class PROC
+//! component), and [`TimingModel::asic`] approximates synthesized datapath
+//! logic clocked around 50 MHz. Absolute values matter less than the
+//! ratio between computation time and data volume — that ratio sets the
+//! Figure 9 transfer rates.
+
+/// Cost (ns) of each primitive construct, plus structural factors shared
+/// with access counting.
+///
+/// # Example
+///
+/// ```
+/// use modref_estimate::TimingModel;
+///
+/// let proc = TimingModel::processor();
+/// let asic = TimingModel::asic();
+/// // An 8086-class instruction costs over an order of magnitude more
+/// // than one synthesized datapath operation.
+/// assert!(proc.op_ns > 10.0 * asic.op_ns);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// Human-readable name ("8086", "asic", ...).
+    pub name: &'static str,
+    /// Cost of one ALU-class operation (add, compare, shift...).
+    pub op_ns: f64,
+    /// Extra cost of a multiply.
+    pub mul_extra_ns: f64,
+    /// Extra cost of a divide/remainder.
+    pub div_extra_ns: f64,
+    /// Cost of a variable assignment (register/memory store).
+    pub assign_ns: f64,
+    /// Cost of reading a variable (register/memory load).
+    pub load_ns: f64,
+    /// Cost of evaluating a branch and redirecting control.
+    pub branch_ns: f64,
+    /// Per-iteration loop overhead (increment + test + jump).
+    pub loop_overhead_ns: f64,
+    /// Cost of a signal assignment (I/O port or wire drive).
+    pub signal_ns: f64,
+    /// Cost of a subroutine call/return pair.
+    pub call_ns: f64,
+    /// Cost of one bus handshake phase (used when estimating protocol
+    /// subroutine bodies that consist mostly of waits and signal sets).
+    pub handshake_ns: f64,
+}
+
+impl TimingModel {
+    /// A mid-90s embedded processor (8086-class, ~8 MHz effective).
+    /// Costs are in the hundreds of nanoseconds per instruction.
+    pub fn processor() -> Self {
+        Self {
+            name: "proc8086",
+            op_ns: 375.0, // ~3 cycles @ 8 MHz
+            mul_extra_ns: 1500.0,
+            div_extra_ns: 2500.0,
+            assign_ns: 500.0,
+            load_ns: 375.0,
+            branch_ns: 625.0,
+            loop_overhead_ns: 750.0,
+            signal_ns: 500.0,
+            call_ns: 1250.0,
+            handshake_ns: 1000.0,
+        }
+    }
+
+    /// Synthesized ASIC datapath logic clocked around 50 MHz: one
+    /// operation per 20 ns cycle, chained ops sharing cycles.
+    pub fn asic() -> Self {
+        Self {
+            name: "asic",
+            op_ns: 20.0,
+            mul_extra_ns: 40.0,
+            div_extra_ns: 100.0,
+            assign_ns: 20.0,
+            load_ns: 20.0,
+            branch_ns: 20.0,
+            loop_overhead_ns: 20.0,
+            signal_ns: 20.0,
+            call_ns: 40.0,
+            handshake_ns: 40.0,
+        }
+    }
+
+    /// A uniform unit-cost model, handy in tests where proportionality is
+    /// what matters.
+    pub fn unit() -> Self {
+        Self {
+            name: "unit",
+            op_ns: 1.0,
+            mul_extra_ns: 0.0,
+            div_extra_ns: 0.0,
+            assign_ns: 1.0,
+            load_ns: 1.0,
+            branch_ns: 1.0,
+            loop_overhead_ns: 1.0,
+            signal_ns: 1.0,
+            call_ns: 1.0,
+            handshake_ns: 1.0,
+        }
+    }
+
+    /// Cost of evaluating an expression with `ops` operator nodes and
+    /// `loads` variable/signal reads.
+    pub fn expr_cost(&self, ops: u32, loads: u32) -> f64 {
+        f64::from(ops) * self.op_ns + f64::from(loads) * self.load_ns
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::processor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_is_much_slower_than_asic() {
+        let p = TimingModel::processor();
+        let a = TimingModel::asic();
+        assert!(p.op_ns > 10.0 * a.op_ns);
+        assert!(p.assign_ns > 10.0 * a.assign_ns);
+    }
+
+    #[test]
+    fn expr_cost_scales_linearly() {
+        let m = TimingModel::unit();
+        assert_eq!(m.expr_cost(2, 3), 5.0);
+        assert_eq!(m.expr_cost(0, 0), 0.0);
+    }
+
+    #[test]
+    fn default_is_processor() {
+        assert_eq!(TimingModel::default().name, "proc8086");
+    }
+}

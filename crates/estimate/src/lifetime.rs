@@ -1,0 +1,266 @@
+//! Behavior lifetime estimation.
+//!
+//! The paper's channel transfer rate is "the rate at which data is sent
+//! during the lifetime of the behaviors communicating over the channel".
+//! We estimate a behavior's lifetime as the execution time of one
+//! activation under a [`TimingModel`], walking the statement body with the
+//! same loop/branch weighting as access counting, and — for composites —
+//! summing the lifetimes of children along the sequential schedule.
+
+use modref_spec::stmt::CallArg;
+use modref_spec::{BehaviorId, BehaviorKind, Spec, Stmt, WaitCond};
+
+use crate::latency::TimingModel;
+
+/// Structural weighting knobs (mirrors `modref_graph::CountConfig` so the
+/// numerator and denominator of a channel rate use consistent estimates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeConfig {
+    /// Trip count assumed for `while` loops without an `@hint`.
+    pub default_while_trips: u32,
+    /// Weight applied to each arm of an `if`.
+    pub branch_factor: f64,
+    /// Time charged for a `wait until` (synchronization stall estimate).
+    pub wait_until_ns: f64,
+}
+
+impl Default for LifetimeConfig {
+    fn default() -> Self {
+        Self {
+            default_while_trips: 4,
+            branch_factor: 0.5,
+            wait_until_ns: 1000.0,
+        }
+    }
+}
+
+/// Estimated execution time in nanoseconds of one activation of
+/// `behavior` under `model`.
+///
+/// Composites: sequential composites sum their children in declaration
+/// order (one pass); concurrent composites take the maximum child
+/// lifetime. Both are per-activation estimates; the transfer-rate layer
+/// divides traffic by this number.
+pub fn behavior_lifetime(
+    spec: &Spec,
+    behavior: BehaviorId,
+    model: &TimingModel,
+    config: &LifetimeConfig,
+) -> f64 {
+    let b = spec.behavior(behavior);
+    match b.kind() {
+        BehaviorKind::Leaf { body } => stmts_cost(spec, body, model, config),
+        BehaviorKind::Seq { children, .. } => children
+            .iter()
+            .map(|&c| behavior_lifetime(spec, c, model, config))
+            .sum(),
+        BehaviorKind::Concurrent { children } => children
+            .iter()
+            .map(|&c| behavior_lifetime(spec, c, model, config))
+            .fold(0.0, f64::max),
+    }
+}
+
+fn stmts_cost(spec: &Spec, stmts: &[Stmt], model: &TimingModel, config: &LifetimeConfig) -> f64 {
+    stmts
+        .iter()
+        .map(|s| stmt_cost(spec, s, model, config))
+        .sum()
+}
+
+fn stmt_cost(spec: &Spec, s: &Stmt, model: &TimingModel, config: &LifetimeConfig) -> f64 {
+    match s {
+        Stmt::Assign { target, value } => {
+            let loads = (value.reads().len() + target.reads().len()) as u32;
+            model.assign_ns + model.expr_cost(value.op_count(), loads) + extra_op_cost(value, model)
+        }
+        Stmt::SignalSet { value, .. } => {
+            model.signal_ns + model.expr_cost(value.op_count(), value.reads().len() as u32)
+        }
+        Stmt::Wait(WaitCond::Until(_)) => config.wait_until_ns,
+        Stmt::Wait(WaitCond::For(n)) => *n as f64,
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            model.branch_ns
+                + model.expr_cost(cond.op_count(), cond.reads().len() as u32)
+                + config.branch_factor * stmts_cost(spec, then_body, model, config)
+                + config.branch_factor * stmts_cost(spec, else_body, model, config)
+        }
+        Stmt::While {
+            cond,
+            body,
+            trip_hint,
+        } => {
+            let trips = f64::from(trip_hint.unwrap_or(config.default_while_trips));
+            let cond_cost = model.expr_cost(cond.op_count(), cond.reads().len() as u32);
+            (trips + 1.0) * (cond_cost + model.branch_ns)
+                + trips * (stmts_cost(spec, body, model, config) + model.loop_overhead_ns)
+        }
+        Stmt::For { from, to, body, .. } => {
+            let trips = match (
+                modref_graph::access::const_value(from),
+                modref_graph::access::const_value(to),
+            ) {
+                (Some(f), Some(t)) if t > f => (t - f) as f64,
+                _ => f64::from(config.default_while_trips),
+            };
+            trips * (stmts_cost(spec, body, model, config) + model.loop_overhead_ns)
+        }
+        Stmt::Loop { body } => stmts_cost(spec, body, model, config),
+        Stmt::Call { sub, args } => {
+            let body = spec.subroutine(*sub).body().to_vec();
+            let arg_cost: f64 = args
+                .iter()
+                .map(|a| match a {
+                    CallArg::In(e) => model.expr_cost(e.op_count(), e.reads().len() as u32),
+                    CallArg::Out(_) => model.assign_ns,
+                })
+                .sum();
+            model.call_ns + arg_cost + stmts_cost(spec, &body, model, config)
+        }
+        Stmt::Delay(n) => *n as f64,
+        Stmt::Skip => 0.0,
+    }
+}
+
+fn extra_op_cost(e: &modref_spec::Expr, model: &TimingModel) -> f64 {
+    use modref_spec::{BinOp, Expr};
+    match e {
+        Expr::Binary(op, l, r) => {
+            let extra = match op {
+                BinOp::Mul => model.mul_extra_ns,
+                BinOp::Div | BinOp::Rem => model.div_extra_ns,
+                _ => 0.0,
+            };
+            extra + extra_op_cost(l, model) + extra_op_cost(r, model)
+        }
+        Expr::Unary(_, inner) => extra_op_cost(inner, model),
+        Expr::Index(_, idx) => extra_op_cost(idx, model),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    #[test]
+    fn leaf_lifetime_counts_statements() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![
+                stmt::assign(x, expr::lit(1)),
+                stmt::assign(x, expr::add(expr::var(x), expr::lit(1))),
+            ],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let m = TimingModel::unit();
+        let cfg = LifetimeConfig::default();
+        // stmt1: assign(1); stmt2: assign(1) + op(1) + load(1) = 3
+        assert_eq!(behavior_lifetime(&spec, a, &m, &cfg), 4.0);
+    }
+
+    #[test]
+    fn seq_sums_and_conc_maxes() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let a1 = b.leaf("A1", vec![stmt::assign(x, expr::lit(1))]);
+        let a2 = b.leaf(
+            "A2",
+            vec![stmt::assign(x, expr::lit(1)), stmt::assign(x, expr::lit(2))],
+        );
+        let s = b.seq_in_order("S", vec![a1, a2]);
+        let b1 = b.leaf("B1", vec![stmt::assign(x, expr::lit(1))]);
+        let b2 = b.leaf(
+            "B2",
+            vec![stmt::assign(x, expr::lit(1)), stmt::assign(x, expr::lit(2))],
+        );
+        let p = b.concurrent("P", vec![b1, b2]);
+        let top = b.seq_in_order("Top", vec![s, p]);
+        let spec = b.finish(top).expect("valid");
+        let m = TimingModel::unit();
+        let cfg = LifetimeConfig::default();
+        assert_eq!(behavior_lifetime(&spec, s, &m, &cfg), 3.0);
+        assert_eq!(behavior_lifetime(&spec, p, &m, &cfg), 2.0);
+        assert_eq!(behavior_lifetime(&spec, top, &m, &cfg), 5.0);
+    }
+
+    #[test]
+    fn while_scales_with_trip_hint() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let small = b.leaf(
+            "Small",
+            vec![stmt::while_loop_hinted(
+                expr::lt(expr::var(x), expr::lit(2)),
+                vec![stmt::assign(x, expr::lit(1))],
+                2,
+            )],
+        );
+        let big = b.leaf(
+            "Big",
+            vec![stmt::while_loop_hinted(
+                expr::lt(expr::var(x), expr::lit(100)),
+                vec![stmt::assign(x, expr::lit(1))],
+                100,
+            )],
+        );
+        let top = b.seq_in_order("Top", vec![small, big]);
+        let spec = b.finish(top).expect("valid");
+        let m = TimingModel::unit();
+        let cfg = LifetimeConfig::default();
+        let ls = behavior_lifetime(&spec, small, &m, &cfg);
+        let lb = behavior_lifetime(&spec, big, &m, &cfg);
+        assert!(lb > 20.0 * ls);
+    }
+
+    #[test]
+    fn multiplies_cost_more_than_adds() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let adds = b.leaf(
+            "Adds",
+            vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+        );
+        let muls = b.leaf(
+            "Muls",
+            vec![stmt::assign(x, expr::mul(expr::var(x), expr::lit(3)))],
+        );
+        let top = b.seq_in_order("Top", vec![adds, muls]);
+        let spec = b.finish(top).expect("valid");
+        let m = TimingModel::processor();
+        let cfg = LifetimeConfig::default();
+        assert!(
+            behavior_lifetime(&spec, muls, &m, &cfg) > behavior_lifetime(&spec, adds, &m, &cfg)
+        );
+    }
+
+    #[test]
+    fn asic_behaviors_run_faster_than_processor() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::for_loop(
+                x,
+                expr::lit(0),
+                expr::lit(10),
+                vec![stmt::skip()],
+            )],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let cfg = LifetimeConfig::default();
+        let on_proc = behavior_lifetime(&spec, a, &TimingModel::processor(), &cfg);
+        let on_asic = behavior_lifetime(&spec, a, &TimingModel::asic(), &cfg);
+        assert!(on_proc > 10.0 * on_asic);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the estimators: structural monotonicity and
+//! scaling laws that must hold regardless of the statement mix.
+
+use proptest::prelude::*;
+
+use modref_estimate::{behavior_lifetime, LifetimeConfig, TimingModel};
+use modref_spec::builder::SpecBuilder;
+use modref_spec::{expr, stmt, Spec, Stmt, VarId};
+
+/// A tiny statement generator over two variables (no waits/loops with
+/// unbounded trips, so costs are finite and deterministic).
+fn arb_stmt(x: VarId, y: VarId) -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0i64..100).prop_map(move |k| stmt::assign(x, expr::lit(k))),
+        (0i64..100).prop_map(move |k| stmt::assign(y, expr::add(expr::var(x), expr::lit(k)))),
+        (0i64..100).prop_map(move |k| stmt::assign(x, expr::mul(expr::var(y), expr::lit(k)))),
+        (1u64..50).prop_map(stmt::delay),
+        Just(stmt::skip()),
+        (0i64..10).prop_map(move |k| {
+            stmt::if_else(
+                expr::gt(expr::var(x), expr::lit(k)),
+                vec![stmt::assign(y, expr::lit(k))],
+                vec![stmt::assign(y, expr::lit(-k))],
+            )
+        }),
+        (1u32..6).prop_map(move |trips| {
+            stmt::while_loop_hinted(
+                expr::gt(expr::var(x), expr::lit(0)),
+                vec![stmt::assign(x, expr::sub(expr::var(x), expr::lit(1)))],
+                trips,
+            )
+        }),
+    ]
+}
+
+fn build(body: Vec<Stmt>) -> (Spec, modref_spec::BehaviorId) {
+    let mut b = SpecBuilder::new("est");
+    let _x = b.var_int("x", 16, 0);
+    let _y = b.var_int("y", 16, 0);
+    let leaf = b.leaf("L", body);
+    let top = b.seq_in_order("Top", vec![leaf]);
+    (b.finish(top).expect("valid"), leaf)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Appending a statement never decreases the lifetime.
+    #[test]
+    fn lifetime_is_monotone_in_statements(
+        body in proptest::collection::vec(arb_stmt(VarId::from_raw(0), VarId::from_raw(1)), 0..8),
+        extra in arb_stmt(VarId::from_raw(0), VarId::from_raw(1)),
+    ) {
+        let cfg = LifetimeConfig::default();
+        let model = TimingModel::processor();
+        let (spec_a, leaf_a) = build(body.clone());
+        let before = behavior_lifetime(&spec_a, leaf_a, &model, &cfg);
+        let mut longer = body;
+        longer.push(extra);
+        let (spec_b, leaf_b) = build(longer);
+        let after = behavior_lifetime(&spec_b, leaf_b, &model, &cfg);
+        prop_assert!(after >= before, "{after} < {before}");
+    }
+
+    /// The processor model is never faster than the ASIC model on the
+    /// same body (every primitive costs at least as much).
+    #[test]
+    fn processor_is_never_faster_than_asic(
+        body in proptest::collection::vec(arb_stmt(VarId::from_raw(0), VarId::from_raw(1)), 1..8),
+    ) {
+        let cfg = LifetimeConfig::default();
+        let (spec, leaf) = build(body);
+        let on_proc = behavior_lifetime(&spec, leaf, &TimingModel::processor(), &cfg);
+        let on_asic = behavior_lifetime(&spec, leaf, &TimingModel::asic(), &cfg);
+        prop_assert!(on_proc >= on_asic, "{on_proc} < {on_asic}");
+    }
+
+    /// Lifetime is finite and non-negative for any generated body.
+    #[test]
+    fn lifetime_is_finite(
+        body in proptest::collection::vec(arb_stmt(VarId::from_raw(0), VarId::from_raw(1)), 0..10),
+    ) {
+        let cfg = LifetimeConfig::default();
+        let (spec, leaf) = build(body);
+        for model in [TimingModel::processor(), TimingModel::asic(), TimingModel::unit()] {
+            let t = behavior_lifetime(&spec, leaf, &model, &cfg);
+            prop_assert!(t.is_finite());
+            prop_assert!(t >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn bus_rate_scales_linearly_with_variable_width() {
+    use modref_estimate::rates::channel_rate;
+    use modref_graph::AccessGraph;
+
+    let rate_for_width = |width: u16| -> f64 {
+        let mut b = SpecBuilder::new("w");
+        let x = b.var(format!("x{width}"), modref_spec::DataType::int(width), 0);
+        let leaf = b.leaf("L", vec![stmt::assign(x, expr::lit(1)), stmt::delay(1000)]);
+        let top = b.seq_in_order("Top", vec![leaf]);
+        let spec = b.finish(top).expect("valid");
+        let graph = AccessGraph::derive(&spec);
+        let ch = graph.data_channels().next().expect("one channel");
+        channel_rate(
+            &spec,
+            ch,
+            &|_| TimingModel::unit(),
+            &LifetimeConfig::default(),
+        )
+    };
+    let r8 = rate_for_width(8);
+    let r32 = rate_for_width(32);
+    assert!((r32 / r8 - 4.0).abs() < 1e-9, "r8={r8} r32={r32}");
+}

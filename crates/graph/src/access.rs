@@ -1,0 +1,397 @@
+//! Static access counting: how many times does a behavior read or write
+//! each variable per activation?
+//!
+//! Loop bodies multiply their contents by an estimated trip count:
+//! `for` loops with constant bounds are exact, `while` loops use their
+//! `@hint` annotation or a configurable default, and `if` branches are
+//! weighted by a configurable taken-probability. The counts feed the
+//! channel-transfer-rate estimator (`modref-estimate`), which implements
+//! the paper's Figure 9 metric.
+
+use std::collections::HashMap;
+
+use modref_spec::stmt::CallArg;
+use modref_spec::{BehaviorId, Expr, LValue, Spec, Stmt, VarId, WaitCond};
+
+/// Tuning knobs for static access counting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountConfig {
+    /// Trip count assumed for `while` loops without an `@hint`.
+    pub default_while_trips: u32,
+    /// Weight applied to each arm of an `if` (0.5 = branches equally
+    /// likely; 1.0 = pessimistic both-arms upper bound).
+    pub branch_factor: f64,
+}
+
+impl Default for CountConfig {
+    fn default() -> Self {
+        Self {
+            default_while_trips: 4,
+            branch_factor: 0.5,
+        }
+    }
+}
+
+/// Read/write access counts of one behavior, per variable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessCounts {
+    /// Estimated reads per activation, by variable.
+    pub reads: HashMap<VarId, f64>,
+    /// Estimated writes per activation, by variable.
+    pub writes: HashMap<VarId, f64>,
+    /// Variables accessed from transition guards (composite behaviors
+    /// only); a subset of `reads` keys.
+    pub guard_reads: HashMap<VarId, f64>,
+}
+
+impl AccessCounts {
+    /// Total estimated accesses (reads + writes) to `var`.
+    pub fn total(&self, var: VarId) -> f64 {
+        self.reads.get(&var).copied().unwrap_or(0.0) + self.writes.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// Every variable with a non-zero count.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .reads
+            .keys()
+            .chain(self.writes.keys())
+            .copied()
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    fn add_read(&mut self, var: VarId, weight: f64) {
+        *self.reads.entry(var).or_insert(0.0) += weight;
+    }
+
+    fn add_write(&mut self, var: VarId, weight: f64) {
+        *self.writes.entry(var).or_insert(0.0) += weight;
+    }
+
+    fn add_guard_read(&mut self, var: VarId, weight: f64) {
+        *self.guard_reads.entry(var).or_insert(0.0) += weight;
+        self.add_read(var, weight);
+    }
+}
+
+/// Counts the accesses a behavior makes per activation.
+///
+/// For leaf behaviors this walks the statement body. For composites it
+/// counts only the accesses in transition guards — each child behavior
+/// owns its own accesses (and gets its own channels).
+pub fn count_accesses(spec: &Spec, behavior: BehaviorId, config: &CountConfig) -> AccessCounts {
+    let mut counts = AccessCounts::default();
+    let b = spec.behavior(behavior);
+    if let Some(body) = b.body() {
+        count_stmts(spec, body, 1.0, config, &mut counts);
+    }
+    for t in b.transitions() {
+        if let Some(cond) = &t.cond {
+            for v in cond.reads() {
+                counts.add_guard_read(v, 1.0);
+            }
+        }
+    }
+    counts
+}
+
+fn count_stmts(
+    spec: &Spec,
+    stmts: &[Stmt],
+    weight: f64,
+    config: &CountConfig,
+    counts: &mut AccessCounts,
+) {
+    for s in stmts {
+        count_stmt(spec, s, weight, config, counts);
+    }
+}
+
+fn count_stmt(spec: &Spec, s: &Stmt, weight: f64, config: &CountConfig, counts: &mut AccessCounts) {
+    match s {
+        Stmt::Assign { target, value } => {
+            for v in value.reads() {
+                counts.add_read(v, weight);
+            }
+            for v in target.reads() {
+                counts.add_read(v, weight);
+            }
+            if let Some(v) = target.var_opt() {
+                counts.add_write(v, weight);
+            }
+        }
+        Stmt::SignalSet { value, .. } => {
+            for v in value.reads() {
+                counts.add_read(v, weight);
+            }
+        }
+        Stmt::Wait(WaitCond::Until(e)) => {
+            for v in e.reads() {
+                counts.add_read(v, weight);
+            }
+        }
+        Stmt::Wait(WaitCond::For(_)) | Stmt::Delay(_) | Stmt::Skip => {}
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            for v in cond.reads() {
+                counts.add_read(v, weight);
+            }
+            count_stmts(
+                spec,
+                then_body,
+                weight * config.branch_factor,
+                config,
+                counts,
+            );
+            count_stmts(
+                spec,
+                else_body,
+                weight * config.branch_factor,
+                config,
+                counts,
+            );
+        }
+        Stmt::While {
+            cond,
+            body,
+            trip_hint,
+        } => {
+            let trips = f64::from(trip_hint.unwrap_or(config.default_while_trips));
+            // The condition is evaluated trips+1 times.
+            for v in cond.reads() {
+                counts.add_read(v, weight * (trips + 1.0));
+            }
+            count_stmts(spec, body, weight * trips, config, counts);
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            for v in from.reads().into_iter().chain(to.reads()) {
+                counts.add_read(v, weight);
+            }
+            let trips = match (const_value(from), const_value(to)) {
+                (Some(f), Some(t)) if t > f => (t - f) as f64,
+                _ => f64::from(config.default_while_trips),
+            };
+            counts.add_write(*var, weight * trips);
+            count_stmts(spec, body, weight * trips, config, counts);
+        }
+        Stmt::Loop { body } => {
+            // An infinite server loop: count one pass; the estimator scales
+            // by activation frequency separately.
+            count_stmts(spec, body, weight, config, counts);
+        }
+        Stmt::Call { sub, args } => {
+            for a in args {
+                match a {
+                    CallArg::In(e) => {
+                        for v in e.reads() {
+                            counts.add_read(v, weight);
+                        }
+                    }
+                    CallArg::Out(lv) => {
+                        for v in lv.reads() {
+                            counts.add_read(v, weight);
+                        }
+                        if let Some(v) = lv.var_opt() {
+                            counts.add_write(v, weight);
+                        }
+                    }
+                }
+            }
+            // Subroutine bodies access shared variables too (protocol
+            // bodies touch signals only, but user subroutines may not).
+            let body = spec.subroutine(*sub).body().to_vec();
+            count_stmts(spec, &body, weight, config, counts);
+        }
+    }
+}
+
+/// Evaluates an expression to a constant if it contains no variable,
+/// signal or parameter references.
+pub fn const_value(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Lit(v) => Some(*v),
+        Expr::Unary(op, inner) => {
+            let v = const_value(inner)?;
+            Some(match op {
+                modref_spec::UnOp::Neg => -v,
+                modref_spec::UnOp::Not => i64::from(v == 0),
+            })
+        }
+        Expr::Binary(op, l, r) => {
+            let l = const_value(l)?;
+            let r = const_value(r)?;
+            use modref_spec::BinOp::*;
+            Some(match op {
+                Add => l.wrapping_add(r),
+                Sub => l.wrapping_sub(r),
+                Mul => l.wrapping_mul(r),
+                Div => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l / r
+                    }
+                }
+                Rem => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l % r
+                    }
+                }
+                Eq => i64::from(l == r),
+                Ne => i64::from(l != r),
+                Lt => i64::from(l < r),
+                Le => i64::from(l <= r),
+                Gt => i64::from(l > r),
+                Ge => i64::from(l >= r),
+                And => i64::from(l != 0 && r != 0),
+                Or => i64::from(l != 0 || r != 0),
+                BitAnd => l & r,
+                BitOr => l | r,
+                BitXor => l ^ r,
+                Shl => l.wrapping_shl(r as u32),
+                Shr => l.wrapping_shr(r as u32),
+            })
+        }
+        _ => None,
+    }
+}
+
+// Re-exported for convenience in doc position; `LValue` used via trait
+// methods above.
+#[allow(unused)]
+fn _assert_lvalue_used(lv: &LValue) -> Option<VarId> {
+    lv.var_opt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    #[test]
+    fn straight_line_counts_are_exact() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let y = b.var_int("y", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![
+                stmt::assign(x, expr::add(expr::var(x), expr::lit(5))),
+                stmt::assign(y, expr::var(x)),
+            ],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let c = count_accesses(&spec, a, &CountConfig::default());
+        assert_eq!(c.reads[&x], 2.0); // x read in both statements
+        assert_eq!(c.writes[&x], 1.0);
+        assert_eq!(c.writes[&y], 1.0);
+    }
+
+    #[test]
+    fn for_loop_with_constant_bounds_multiplies() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let i = b.var_int("i", 8, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::for_loop(
+                i,
+                expr::lit(0),
+                expr::lit(10),
+                vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+            )],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let c = count_accesses(&spec, a, &CountConfig::default());
+        assert_eq!(c.reads[&x], 10.0);
+        assert_eq!(c.writes[&x], 10.0);
+    }
+
+    #[test]
+    fn while_uses_hint_and_counts_condition() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::while_loop_hinted(
+                expr::lt(expr::var(x), expr::lit(8)),
+                vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+                8,
+            )],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let c = count_accesses(&spec, a, &CountConfig::default());
+        // condition: 9 reads; body: 8 reads + 8 writes
+        assert_eq!(c.reads[&x], 17.0);
+        assert_eq!(c.writes[&x], 8.0);
+    }
+
+    #[test]
+    fn branches_weighted_by_factor() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let y = b.var_int("y", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::if_else(
+                expr::gt(expr::var(x), expr::lit(0)),
+                vec![stmt::assign(y, expr::lit(1))],
+                vec![stmt::assign(y, expr::lit(2))],
+            )],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let c = count_accesses(&spec, a, &CountConfig::default());
+        assert_eq!(c.reads[&x], 1.0); // condition always evaluated
+        assert_eq!(c.writes[&y], 1.0); // 0.5 + 0.5
+    }
+
+    #[test]
+    fn guard_reads_attributed_to_composite() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf("A", vec![]);
+        let c_ = b.leaf("C", vec![]);
+        let arcs = vec![b.arc_when(a, expr::gt(expr::var(x), expr::lit(1)), c_)];
+        let top = b.seq("Top", vec![a, c_], arcs);
+        let spec = b.finish(top).expect("valid");
+        let counts = count_accesses(&spec, top, &CountConfig::default());
+        assert_eq!(counts.guard_reads[&x], 1.0);
+        assert_eq!(counts.reads[&x], 1.0);
+    }
+
+    #[test]
+    fn const_value_folds_arithmetic() {
+        let e = expr::mul(expr::add(expr::lit(2), expr::lit(3)), expr::lit(4));
+        assert_eq!(const_value(&e), Some(20));
+        assert_eq!(const_value(&expr::var(VarId::from_raw(0))), None);
+        assert_eq!(const_value(&expr::div(expr::lit(1), expr::lit(0))), Some(0));
+    }
+
+    #[test]
+    fn total_and_vars_helpers() {
+        let mut c = AccessCounts::default();
+        c.add_read(VarId::from_raw(1), 2.0);
+        c.add_write(VarId::from_raw(1), 1.0);
+        c.add_write(VarId::from_raw(0), 1.0);
+        assert_eq!(c.total(VarId::from_raw(1)), 3.0);
+        assert_eq!(c.vars(), vec![VarId::from_raw(0), VarId::from_raw(1)]);
+    }
+}

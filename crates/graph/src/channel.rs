@@ -1,0 +1,166 @@
+//! Channel types: the edges of the access graph.
+
+use std::fmt;
+
+use modref_spec::{BehaviorId, VarId};
+
+/// Identifies a [`Channel`] within an [`AccessGraph`](crate::AccessGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// Creates an id from a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Direction of a data channel, from the behavior's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The behavior reads the variable.
+    Read,
+    /// The behavior writes the variable.
+    Write,
+}
+
+/// What a channel connects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelKind {
+    /// A data-access channel between a behavior and a variable.
+    Data {
+        /// The accessing behavior (may be a composite when the access
+        /// occurs in a transition guard).
+        behavior: BehaviorId,
+        /// The accessed variable.
+        var: VarId,
+        /// Access direction.
+        direction: Direction,
+        /// Statically estimated number of accesses per activation of the
+        /// behavior (loop bodies weighted by trip counts, branches by a
+        /// configured probability).
+        accesses: f64,
+        /// Width in bits of one access.
+        bits_per_access: u32,
+        /// Whether any of the accesses occur in transition guards of a
+        /// composite rather than in a leaf body; such channels require the
+        /// paper's non-leaf data-refinement scheme (Figure 6).
+        in_guard: bool,
+    },
+    /// An execution-sequence channel between two sibling behaviors,
+    /// derived from a transition-on-completion arc.
+    Control {
+        /// Predecessor behavior.
+        from: BehaviorId,
+        /// Successor behavior.
+        to: BehaviorId,
+    },
+}
+
+/// An edge of the access graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    pub(crate) id: ChannelId,
+    pub(crate) kind: ChannelKind,
+}
+
+impl Channel {
+    /// The channel's id.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The channel's kind.
+    pub fn kind(&self) -> &ChannelKind {
+        &self.kind
+    }
+
+    /// Whether this is a data channel.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, ChannelKind::Data { .. })
+    }
+
+    /// For data channels: the accessing behavior.
+    pub fn behavior(&self) -> Option<BehaviorId> {
+        match self.kind {
+            ChannelKind::Data { behavior, .. } => Some(behavior),
+            ChannelKind::Control { .. } => None,
+        }
+    }
+
+    /// For data channels: the accessed variable.
+    pub fn var(&self) -> Option<VarId> {
+        match self.kind {
+            ChannelKind::Data { var, .. } => Some(var),
+            ChannelKind::Control { .. } => None,
+        }
+    }
+
+    /// For data channels: total bits moved per activation
+    /// (`accesses * bits_per_access`).
+    pub fn bits_per_activation(&self) -> f64 {
+        match self.kind {
+            ChannelKind::Data {
+                accesses,
+                bits_per_access,
+                ..
+            } => accesses * f64::from(bits_per_access),
+            ChannelKind::Control { .. } => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_channel_accessors() {
+        let ch = Channel {
+            id: ChannelId::from_raw(0),
+            kind: ChannelKind::Data {
+                behavior: BehaviorId::from_raw(1),
+                var: VarId::from_raw(2),
+                direction: Direction::Read,
+                accesses: 3.0,
+                bits_per_access: 16,
+                in_guard: false,
+            },
+        };
+        assert!(ch.is_data());
+        assert_eq!(ch.behavior(), Some(BehaviorId::from_raw(1)));
+        assert_eq!(ch.var(), Some(VarId::from_raw(2)));
+        assert_eq!(ch.bits_per_activation(), 48.0);
+    }
+
+    #[test]
+    fn control_channel_has_no_var() {
+        let ch = Channel {
+            id: ChannelId::from_raw(1),
+            kind: ChannelKind::Control {
+                from: BehaviorId::from_raw(0),
+                to: BehaviorId::from_raw(1),
+            },
+        };
+        assert!(!ch.is_data());
+        assert_eq!(ch.var(), None);
+        assert_eq!(ch.bits_per_activation(), 0.0);
+    }
+
+    #[test]
+    fn channel_id_display() {
+        assert_eq!(ChannelId::from_raw(7).to_string(), "ch7");
+        assert_eq!(ChannelId::from_raw(7).index(), 7);
+    }
+}

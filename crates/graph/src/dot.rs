@@ -1,0 +1,142 @@
+//! Graphviz (DOT) export of the access graph — the paper's Figure 1(a)
+//! and Figure 2 pictures: behaviors as boxes, variables as ellipses,
+//! data channels as directed edges (behavior→variable for writes,
+//! variable→behavior for reads), control channels as dashed edges.
+
+use std::fmt::Write as _;
+
+use modref_spec::Spec;
+
+use crate::channel::{ChannelKind, Direction};
+use crate::graph::AccessGraph;
+
+/// Renders the access graph in DOT format.
+pub fn to_dot(spec: &Spec, graph: &AccessGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", spec.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    // Behavior nodes (only those with channels, plus all leaves).
+    let mut behaviors: Vec<_> = spec.leaves();
+    for ch in graph.channels() {
+        match ch.kind() {
+            ChannelKind::Data { behavior, .. } => behaviors.push(*behavior),
+            ChannelKind::Control { from, to } => {
+                behaviors.push(*from);
+                behaviors.push(*to);
+            }
+        }
+    }
+    behaviors.sort();
+    behaviors.dedup();
+    for b in &behaviors {
+        let _ = writeln!(
+            out,
+            "  \"b_{}\" [label=\"{}\", shape=box];",
+            spec.behavior(*b).name(),
+            spec.behavior(*b).name()
+        );
+    }
+
+    // Variable nodes.
+    let mut vars: Vec<_> = graph.data_channels().filter_map(|c| c.var()).collect();
+    vars.sort();
+    vars.dedup();
+    for v in &vars {
+        let _ = writeln!(
+            out,
+            "  \"v_{}\" [label=\"{}\", shape=ellipse];",
+            spec.variable(*v).name(),
+            spec.variable(*v).name()
+        );
+    }
+
+    // Edges.
+    for ch in graph.channels() {
+        match ch.kind() {
+            ChannelKind::Data {
+                behavior,
+                var,
+                direction,
+                accesses,
+                bits_per_access,
+                in_guard,
+            } => {
+                let bname = spec.behavior(*behavior).name();
+                let vname = spec.variable(*var).name();
+                let label = format!(
+                    "{:.0}x{}{}",
+                    accesses,
+                    bits_per_access,
+                    if *in_guard { " (guard)" } else { "" }
+                );
+                match direction {
+                    Direction::Write => {
+                        let _ =
+                            writeln!(out, "  \"b_{bname}\" -> \"v_{vname}\" [label=\"{label}\"];");
+                    }
+                    Direction::Read => {
+                        let _ =
+                            writeln!(out, "  \"v_{vname}\" -> \"b_{bname}\" [label=\"{label}\"];");
+                    }
+                }
+            }
+            ChannelKind::Control { from, to } => {
+                let _ = writeln!(
+                    out,
+                    "  \"b_{}\" -> \"b_{}\" [style=dashed];",
+                    spec.behavior(*from).name(),
+                    spec.behavior(*to).name()
+                );
+            }
+        }
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = SpecBuilder::new("dot");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+        );
+        let c = b.leaf("C", vec![]);
+        let arcs = vec![b.arc(a, c)];
+        let top = b.seq("Top", vec![a, c], arcs);
+        let spec = b.finish(top).unwrap();
+        let graph = AccessGraph::derive(&spec);
+        let dot = to_dot(&spec, &graph);
+        assert!(dot.starts_with("digraph \"dot\" {"));
+        assert!(dot.contains("\"b_A\" [label=\"A\", shape=box];"));
+        assert!(dot.contains("\"v_x\" [label=\"x\", shape=ellipse];"));
+        assert!(dot.contains("\"b_A\" -> \"v_x\"")); // write
+        assert!(dot.contains("\"v_x\" -> \"b_A\"")); // read
+        assert!(dot.contains("\"b_A\" -> \"b_C\" [style=dashed];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn guard_edges_are_annotated() {
+        let mut b = SpecBuilder::new("g");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf("A", vec![]);
+        let c = b.leaf("C", vec![]);
+        let arcs = vec![b.arc_when(a, expr::gt(expr::var(x), expr::lit(0)), c)];
+        let top = b.seq("Top", vec![a, c], arcs);
+        let spec = b.finish(top).unwrap();
+        let graph = AccessGraph::derive(&spec);
+        let dot = to_dot(&spec, &graph);
+        assert!(dot.contains("(guard)"));
+    }
+}

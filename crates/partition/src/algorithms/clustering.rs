@@ -1,0 +1,235 @@
+//! Hierarchical clustering partitioner — the closeness-metric approach
+//! of the SpecSyn book (Gajski, Vahid, Narayan & Gong, *Specification
+//! and Design of Embedded Systems*, ch. 6).
+//!
+//! Leaf behaviors start as singleton clusters; the pair with the highest
+//! *closeness* (shared variable traffic normalized by total traffic)
+//! merges, repeatedly, until the requested number of clusters remains.
+//! Clusters are then assigned to components largest-first onto the least
+//! loaded component, and variables homed with their heaviest cluster.
+
+use std::collections::HashMap;
+
+use modref_estimate::behavior_lifetime;
+use modref_graph::AccessGraph;
+use modref_spec::{BehaviorId, Spec, VarId};
+
+use crate::assignment::Partition;
+use crate::component::Allocation;
+use crate::cost::CostConfig;
+
+use super::Partitioner;
+
+/// Hierarchical clustering down to one cluster per component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchicalClustering {
+    _private: (),
+}
+
+impl HierarchicalClustering {
+    /// Creates a clustering partitioner.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+
+    /// Computes the merge sequence down to `target` clusters and returns
+    /// the final clusters of behavior ids (exposed for inspection and
+    /// tests).
+    pub fn clusters(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        target: usize,
+    ) -> Vec<Vec<BehaviorId>> {
+        let mut clusters: Vec<Vec<BehaviorId>> =
+            spec.leaves().into_iter().map(|l| vec![l]).collect();
+        if clusters.is_empty() {
+            return clusters;
+        }
+
+        // Pairwise traffic between leaves: bits they exchange through
+        // shared variables (sum over variables of min of the two sides'
+        // traffic — the transferable portion).
+        let traffic = |a: &[BehaviorId], b: &[BehaviorId]| -> f64 {
+            let mut sum = 0.0;
+            for (v, _) in spec.variables() {
+                let side = |cluster: &[BehaviorId]| -> f64 {
+                    cluster.iter().map(|&l| graph.traffic(l, v)).sum()
+                };
+                let ta = side(a);
+                let tb = side(b);
+                sum += ta.min(tb);
+            }
+            sum
+        };
+
+        while clusters.len() > target.max(1) {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    let t = traffic(&clusters[i], &clusters[j]);
+                    if best.is_none_or(|(_, _, bt)| t > bt) {
+                        best = Some((i, j, t));
+                    }
+                }
+            }
+            let (i, j, _) = best.expect("at least two clusters");
+            let merged = clusters.remove(j);
+            clusters[i].extend(merged);
+        }
+        clusters
+    }
+}
+
+impl Default for HierarchicalClustering {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Partitioner for HierarchicalClustering {
+    fn partition(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        config: &CostConfig,
+    ) -> Partition {
+        let ids = allocation.ids();
+        assert!(
+            !ids.is_empty(),
+            "allocation must have at least one component"
+        );
+        let clusters = self.clusters(spec, graph, ids.len());
+
+        // Estimate each cluster's load and place largest-first onto the
+        // least-loaded component (weighted by the component's speed).
+        let mut cluster_loads: Vec<(usize, f64)> = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let load: f64 = c
+                    .iter()
+                    .map(|&l| {
+                        behavior_lifetime(
+                            spec,
+                            l,
+                            &modref_estimate::TimingModel::unit(),
+                            &config.lifetime,
+                        )
+                    })
+                    .sum();
+                (i, load)
+            })
+            .collect();
+        cluster_loads.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("loads are finite"));
+
+        let mut part = Partition::with_default(ids[0]);
+        if let Some(top) = spec.top_opt() {
+            part.assign_behavior(top, ids[0]);
+        }
+        let mut comp_load: Vec<f64> = vec![0.0; ids.len()];
+        for (ci, load) in cluster_loads {
+            let (slot, _) = comp_load
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("non-empty");
+            for &leaf in &clusters[ci] {
+                part.assign_behavior(leaf, ids[slot]);
+            }
+            comp_load[slot] += load;
+        }
+
+        // Home each variable on the component with the most traffic to it.
+        for (v, _) in spec.variables() {
+            let best = ids
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let t = |c| var_component_traffic(spec, graph, &part, v, c);
+                    t(a).partial_cmp(&t(b)).expect("finite")
+                })
+                .expect("non-empty allocation");
+            part.assign_var(v, best);
+        }
+        part
+    }
+
+    fn name(&self) -> &'static str {
+        "clustering"
+    }
+}
+
+fn var_component_traffic(
+    spec: &Spec,
+    graph: &AccessGraph,
+    part: &Partition,
+    v: VarId,
+    component: crate::component::ComponentId,
+) -> f64 {
+    let mut by_comp: HashMap<_, f64> = HashMap::new();
+    for b in graph.behaviors_accessing(v) {
+        if let Some(c) = part.component_of_behavior(spec, b) {
+            *by_comp.entry(c).or_insert(0.0) += graph.traffic(b, v);
+        }
+    }
+    by_comp.get(&component).copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::clustered_spec;
+    use super::*;
+    use crate::cost::partition_cost;
+
+    #[test]
+    fn clustering_finds_the_two_communication_clusters() {
+        let spec = clustered_spec();
+        let graph = AccessGraph::derive(&spec);
+        let hc = HierarchicalClustering::new();
+        let clusters = hc.clusters(&spec, &graph, 2);
+        assert_eq!(clusters.len(), 2);
+        // B1+B2 share x/y heavily; B3+B4 share u/w: each pair must end
+        // up together.
+        let names = |c: &Vec<BehaviorId>| -> Vec<String> {
+            let mut v: Vec<String> = c
+                .iter()
+                .map(|&b| spec.behavior(b).name().to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        let mut groups: Vec<Vec<String>> = clusters.iter().map(names).collect();
+        groups.sort();
+        assert_eq!(
+            groups,
+            vec![
+                vec!["B1".to_string(), "B2".to_string()],
+                vec!["B3".to_string(), "B4".to_string()]
+            ]
+        );
+    }
+
+    #[test]
+    fn produces_complete_low_cut_partitions() {
+        let spec = clustered_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = Allocation::proc_plus_asic();
+        let cfg = CostConfig::default();
+        let part = HierarchicalClustering::new().partition(&spec, &graph, &alloc, &cfg);
+        assert!(part.is_complete(&spec, &alloc));
+        let cost = partition_cost(&spec, &graph, &alloc, &part, &cfg);
+        // Only the single weak cross link (B4 reads x) can be cut.
+        assert!(cost.cut_bits <= 64.0, "cut = {}", cost.cut_bits);
+    }
+
+    #[test]
+    fn single_cluster_when_target_is_one() {
+        let spec = clustered_spec();
+        let graph = AccessGraph::derive(&spec);
+        let clusters = HierarchicalClustering::new().clusters(&spec, &graph, 1);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), spec.leaves().len());
+    }
+}

@@ -1,0 +1,208 @@
+//! System components and allocations.
+//!
+//! An [`Allocation`] is the set of system components (processors, ASICs)
+//! chosen for a design — the paper's Figure 1(b) allocates one Intel 8086
+//! processor and one 10,000-gate/75-pin ASIC.
+
+use std::fmt;
+
+use modref_estimate::TimingModel;
+
+/// Identifies a [`Component`] within an [`Allocation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// Creates an id from a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comp{}", self.0)
+    }
+}
+
+/// What kind of component this is, with its capacity constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComponentKind {
+    /// A programmable processor executing compiled software.
+    Processor {
+        /// Program memory capacity in bytes (0 = unconstrained).
+        code_bytes: u64,
+    },
+    /// An ASIC implementing behaviors as hardware.
+    Asic {
+        /// Gate capacity (0 = unconstrained).
+        gates: u64,
+        /// Pin budget (0 = unconstrained).
+        pins: u32,
+    },
+}
+
+/// A system component: a named processor or ASIC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    name: String,
+    kind: ComponentKind,
+}
+
+impl Component {
+    /// Creates a processor component.
+    pub fn processor(name: impl Into<String>, code_bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            kind: ComponentKind::Processor { code_bytes },
+        }
+    }
+
+    /// Creates an ASIC component.
+    pub fn asic(name: impl Into<String>, gates: u64, pins: u32) -> Self {
+        Self {
+            name: name.into(),
+            kind: ComponentKind::Asic { gates, pins },
+        }
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component's kind and constraints.
+    pub fn kind(&self) -> &ComponentKind {
+        &self.kind
+    }
+
+    /// Whether this is a processor.
+    pub fn is_processor(&self) -> bool {
+        matches!(self.kind, ComponentKind::Processor { .. })
+    }
+
+    /// The timing model behaviors mapped to this component execute under.
+    pub fn timing_model(&self) -> TimingModel {
+        match self.kind {
+            ComponentKind::Processor { .. } => TimingModel::processor(),
+            ComponentKind::Asic { .. } => TimingModel::asic(),
+        }
+    }
+}
+
+/// The set of components allocated to a design.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Allocation {
+    components: Vec<Component>,
+}
+
+impl Allocation {
+    /// Creates an empty allocation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's running allocation: one 8086-class processor (`PROC`)
+    /// and one 10k-gate, 75-pin ASIC (`ASIC`).
+    pub fn proc_plus_asic() -> Self {
+        let mut a = Self::new();
+        a.add(Component::processor("PROC", 64 * 1024));
+        a.add(Component::asic("ASIC", 10_000, 75));
+        a
+    }
+
+    /// Adds a component, returning its id.
+    pub fn add(&mut self, component: Component) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(component);
+        id
+    }
+
+    /// Looks up a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not minted by this allocation.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Number of components — the paper's `p` in the bus-count formulas.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Iterates `(id, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ComponentId(i as u32), c))
+    }
+
+    /// Finds a component by name.
+    pub fn by_name(&self, name: &str) -> Option<ComponentId> {
+        self.iter()
+            .find(|(_, c)| c.name() == name)
+            .map(|(id, _)| id)
+    }
+
+    /// All component ids.
+    pub fn ids(&self) -> Vec<ComponentId> {
+        (0..self.components.len() as u32).map(ComponentId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_plus_asic_matches_paper_figure1b() {
+        let a = Allocation::proc_plus_asic();
+        assert_eq!(a.len(), 2);
+        let proc = a.by_name("PROC").expect("PROC exists");
+        let asic = a.by_name("ASIC").expect("ASIC exists");
+        assert!(a.component(proc).is_processor());
+        match a.component(asic).kind() {
+            ComponentKind::Asic { gates, pins } => {
+                assert_eq!(*gates, 10_000);
+                assert_eq!(*pins, 75);
+            }
+            other => panic!("expected asic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timing_models_differ_by_kind() {
+        let a = Allocation::proc_plus_asic();
+        let proc = a.by_name("PROC").unwrap();
+        let asic = a.by_name("ASIC").unwrap();
+        assert!(a.component(proc).timing_model().op_ns > a.component(asic).timing_model().op_ns);
+    }
+
+    #[test]
+    fn ids_enumerate_components() {
+        let a = Allocation::proc_plus_asic();
+        assert_eq!(a.ids().len(), 2);
+        assert_eq!(a.ids()[0].index(), 0);
+        assert_eq!(ComponentId::from_raw(1).to_string(), "comp1");
+    }
+
+    #[test]
+    fn empty_allocation() {
+        let a = Allocation::new();
+        assert!(a.is_empty());
+        assert_eq!(a.by_name("X"), None);
+    }
+}

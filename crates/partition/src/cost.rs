@@ -1,0 +1,242 @@
+//! Partition quality metrics.
+//!
+//! The cost function the automatic partitioners minimize is a weighted sum
+//! of (1) *cut traffic* — the bits crossing partition boundaries per
+//! activation, the quantity refinement later turns into bus traffic,
+//! (2) *load imbalance* — the spread of estimated execution time across
+//! components, and (3) *capacity violations* — ASIC gate and processor
+//! code-size overruns, which enter as hard penalties.
+
+use modref_estimate::{behavior_lifetime, LifetimeConfig};
+use modref_graph::AccessGraph;
+use modref_spec::{Spec, VarId};
+
+use crate::assignment::Partition;
+use crate::component::{Allocation, ComponentId, ComponentKind};
+
+/// Weights for the partition cost function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConfig {
+    /// Weight of cut traffic (per bit crossing per activation).
+    pub traffic_weight: f64,
+    /// Weight of load imbalance (per ns of spread).
+    pub balance_weight: f64,
+    /// Penalty per unit of capacity overrun.
+    pub violation_weight: f64,
+    /// Lifetime estimation knobs.
+    pub lifetime: LifetimeConfig,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        Self {
+            traffic_weight: 1.0,
+            balance_weight: 0.001,
+            violation_weight: 1e6,
+            lifetime: LifetimeConfig::default(),
+        }
+    }
+}
+
+/// Breakdown of a partition's cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Bits crossing partition boundaries per activation.
+    pub cut_bits: f64,
+    /// Max minus min per-component load, in ns.
+    pub imbalance_ns: f64,
+    /// Capacity overrun (gate-equivalents + code bytes over budget).
+    pub violation: f64,
+    /// The weighted total.
+    pub total: f64,
+}
+
+/// Rough gate cost of implementing a behavior on an ASIC: proportional to
+/// its statement count (a SpecSyn-style area proxy).
+pub fn behavior_gates(spec: &Spec, behavior: modref_spec::BehaviorId) -> u64 {
+    (spec.behavior_size(behavior) as u64) * 30
+}
+
+/// Rough code size of a behavior compiled to a processor, in bytes.
+pub fn behavior_code_bytes(spec: &Spec, behavior: modref_spec::BehaviorId) -> u64 {
+    (spec.behavior_size(behavior) as u64) * 6
+}
+
+/// Evaluates the cost of a partition.
+pub fn partition_cost(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    partition: &Partition,
+    config: &CostConfig,
+) -> CostReport {
+    // Cut traffic: every data channel whose behavior and variable live on
+    // different components contributes its bits-per-activation.
+    let mut cut_bits = 0.0;
+    for ch in graph.data_channels() {
+        let (Some(b), Some(v)) = (ch.behavior(), ch.var()) else {
+            continue;
+        };
+        let cb = partition.component_of_behavior(spec, b);
+        let cv = partition.component_of_var(spec, v);
+        if cb != cv {
+            cut_bits += ch.bits_per_activation();
+        }
+    }
+
+    // Load per component.
+    let mut loads: Vec<f64> = vec![0.0; allocation.len()];
+    for leaf in spec.leaves() {
+        if let Some(c) = partition.component_of_behavior(spec, leaf) {
+            let model = allocation.component(c).timing_model();
+            loads[c.index()] += behavior_lifetime(spec, leaf, &model, &config.lifetime);
+        }
+    }
+    let imbalance_ns = if loads.is_empty() {
+        0.0
+    } else {
+        let max = loads.iter().copied().fold(f64::MIN, f64::max);
+        let min = loads.iter().copied().fold(f64::MAX, f64::min);
+        (max - min).max(0.0)
+    };
+
+    // Capacity violations.
+    let mut violation = 0.0;
+    for (cid, comp) in allocation.iter() {
+        match comp.kind() {
+            ComponentKind::Asic { gates, .. } if *gates > 0 => {
+                let used: u64 = partition
+                    .leaves_on(spec, cid)
+                    .iter()
+                    .map(|&b| behavior_gates(spec, b))
+                    .sum();
+                if used > *gates {
+                    violation += (used - gates) as f64;
+                }
+            }
+            ComponentKind::Processor { code_bytes } if *code_bytes > 0 => {
+                let used: u64 = partition
+                    .leaves_on(spec, cid)
+                    .iter()
+                    .map(|&b| behavior_code_bytes(spec, b))
+                    .sum();
+                if used > *code_bytes {
+                    violation += (used - code_bytes) as f64;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let total = config.traffic_weight * cut_bits
+        + config.balance_weight * imbalance_ns
+        + config.violation_weight * violation;
+    CostReport {
+        cut_bits,
+        imbalance_ns,
+        violation,
+        total,
+    }
+}
+
+/// Total bits-per-activation of traffic a single variable would pull
+/// across the boundary if homed on `component` — used by greedy variable
+/// placement.
+pub fn var_cross_traffic(
+    spec: &Spec,
+    graph: &AccessGraph,
+    partition: &Partition,
+    var: VarId,
+    component: ComponentId,
+) -> f64 {
+    graph
+        .channels_of_var(var)
+        .filter_map(|ch| {
+            let b = ch.behavior()?;
+            if partition.component_of_behavior(spec, b) != Some(component) {
+                Some(ch.bits_per_activation())
+            } else {
+                None
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Allocation;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    fn setup() -> (Spec, AccessGraph, Allocation) {
+        let mut b = SpecBuilder::new("c");
+        let x = b.var_int("x", 16, 0);
+        let y = b.var_int("y", 16, 0);
+        let b1 = b.leaf("B1", vec![stmt::assign(x, expr::lit(1))]);
+        let b2 = b.leaf("B2", vec![stmt::assign(y, expr::var(x))]);
+        let top = b.seq_in_order("Top", vec![b1, b2]);
+        let spec = b.finish(top).expect("valid");
+        let graph = AccessGraph::derive(&spec);
+        (spec, graph, Allocation::proc_plus_asic())
+    }
+
+    #[test]
+    fn same_component_partition_has_zero_cut() {
+        let (spec, graph, alloc) = setup();
+        let proc = alloc.by_name("PROC").unwrap();
+        let part = Partition::with_default(proc);
+        let cost = partition_cost(&spec, &graph, &alloc, &part, &CostConfig::default());
+        assert_eq!(cost.cut_bits, 0.0);
+        assert_eq!(cost.violation, 0.0);
+    }
+
+    #[test]
+    fn split_partition_pays_cut_traffic() {
+        let (spec, graph, alloc) = setup();
+        let proc = alloc.by_name("PROC").unwrap();
+        let asic = alloc.by_name("ASIC").unwrap();
+        let b2 = spec.behavior_by_name("B2").unwrap();
+        let mut part = Partition::with_default(proc);
+        part.assign_behavior(b2, asic);
+        // B2 reads x (on PROC) and writes y; y defaults to PROC via
+        // spec-scope default, so both accesses cross.
+        let cost = partition_cost(&spec, &graph, &alloc, &part, &CostConfig::default());
+        assert!(cost.cut_bits >= 32.0, "cut = {}", cost.cut_bits);
+        assert!(cost.total > 0.0);
+    }
+
+    #[test]
+    fn capacity_violation_penalized() {
+        let (spec, graph, _) = setup();
+        let mut alloc = Allocation::new();
+        let tiny = alloc.add(crate::component::Component::asic("TINY", 10, 8));
+        let part = Partition::with_default(tiny);
+        let cost = partition_cost(&spec, &graph, &alloc, &part, &CostConfig::default());
+        assert!(cost.violation > 0.0);
+        assert!(cost.total >= 1e6);
+    }
+
+    #[test]
+    fn var_cross_traffic_counts_remote_accessors() {
+        let (spec, graph, alloc) = setup();
+        let proc = alloc.by_name("PROC").unwrap();
+        let asic = alloc.by_name("ASIC").unwrap();
+        let part = Partition::with_default(proc);
+        let x = spec.variable_by_name("x").unwrap();
+        // Everyone is on PROC: homing x on ASIC makes all accesses remote.
+        let remote = var_cross_traffic(&spec, &graph, &part, x, asic);
+        let local = var_cross_traffic(&spec, &graph, &part, x, proc);
+        assert!(remote > 0.0);
+        assert_eq!(local, 0.0);
+    }
+
+    #[test]
+    fn gates_and_code_scale_with_size() {
+        let (spec, _, _) = setup();
+        let b1 = spec.behavior_by_name("B1").unwrap();
+        let top = spec.top();
+        assert!(behavior_gates(&spec, top) >= behavior_gates(&spec, b1));
+        assert!(behavior_code_bytes(&spec, b1) > 0);
+    }
+}

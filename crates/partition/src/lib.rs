@@ -1,0 +1,37 @@
+//! # modref-partition
+//!
+//! Allocation and functional partitioning for hardware-software codesign —
+//! the SpecSyn-style substrate that precedes the paper's model-refinement
+//! task.
+//!
+//! * [`component`] — the component library: processors and ASICs with
+//!   capacity constraints, grouped into an [`Allocation`].
+//! * [`assignment`] — a [`Partition`]: the mapping of behaviors and
+//!   variables to allocated components, with inheritance down the behavior
+//!   hierarchy and local/global variable classification (the axis of the
+//!   paper's Design1/Design2/Design3 experiments).
+//! * [`cost`] — partition quality metrics: cross-partition traffic (cut),
+//!   load balance, capacity violations.
+//! * [`algorithms`] — automatic partitioners: random seeding, greedy
+//!   constructive placement, Kernighan–Lin-style group migration, and
+//!   simulated annealing.
+//! * [`textfmt`] — a line-oriented text format for describing
+//!   allocations and partitions in files, used by the `modref` CLI.
+//!
+//! The paper itself takes the partition as given (its Figure 1(c));
+//! this crate exists so the experiments can *produce* Design1/2/3-style
+//! partitions and so downstream users get a complete flow.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+pub mod assignment;
+pub mod component;
+pub mod cost;
+pub mod textfmt;
+
+pub use assignment::{Partition, VarClass};
+pub use component::{Allocation, Component, ComponentId, ComponentKind};
+pub use cost::{partition_cost, CostConfig, CostReport};
+pub use textfmt::{parse_partition, render_partition, ParsePartitionError};

@@ -1,0 +1,249 @@
+//! A line-oriented text format for allocations and partitions, so
+//! command-line flows can describe a design mapping next to its
+//! specification file.
+//!
+//! ```text
+//! # components
+//! component PROC processor 65536
+//! component ASIC asic 10000 75
+//!
+//! default PROC
+//!
+//! behavior Acquire -> ASIC
+//! behavior Sample  -> ASIC
+//! var samples      -> ASIC
+//! ```
+//!
+//! Lines are `component NAME processor [code_bytes]`,
+//! `component NAME asic [gates [pins]]`, `default NAME`,
+//! `behavior NAME -> COMPONENT` and `var NAME -> COMPONENT`; `#` starts a
+//! comment. Parsing resolves behavior and variable names against a
+//! [`Spec`], so the result is immediately usable.
+
+use std::error::Error;
+use std::fmt;
+
+use modref_spec::Spec;
+
+use crate::assignment::Partition;
+use crate::component::{Allocation, Component};
+
+/// An error parsing a partition description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePartitionError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partition file line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParsePartitionError {}
+
+/// Parses a partition description against `spec`, returning the
+/// allocation and the partition it defines.
+///
+/// # Errors
+///
+/// Returns [`ParsePartitionError`] on malformed lines, unknown component
+/// kinds, or names that do not resolve against the spec/allocation.
+pub fn parse_partition(
+    spec: &Spec,
+    input: &str,
+) -> Result<(Allocation, Partition), ParsePartitionError> {
+    let mut alloc = Allocation::new();
+    let mut partition = Partition::new();
+    let mut default = None;
+    let mut assignments: Vec<(bool, String, String, u32)> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno as u32 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParsePartitionError {
+            line: lineno,
+            message,
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["component", name, kind, rest @ ..] => {
+                let parse_num = |s: &&str| -> Result<u64, ParsePartitionError> {
+                    s.parse().map_err(|_| err(format!("`{s}` is not a number")))
+                };
+                match *kind {
+                    "processor" => {
+                        let code = rest.first().map(parse_num).transpose()?.unwrap_or(0);
+                        alloc.add(Component::processor(*name, code));
+                    }
+                    "asic" => {
+                        let gates = rest.first().map(parse_num).transpose()?.unwrap_or(0);
+                        let pins = rest.get(1).map(parse_num).transpose()?.unwrap_or(0);
+                        alloc.add(Component::asic(*name, gates, pins as u32));
+                    }
+                    other => {
+                        return Err(err(format!(
+                            "unknown component kind `{other}` (expected `processor` or `asic`)"
+                        )))
+                    }
+                }
+            }
+            ["default", name] => default = Some((name.to_string(), lineno)),
+            ["behavior", name, "->", comp] => {
+                assignments.push((true, name.to_string(), comp.to_string(), lineno));
+            }
+            ["var", name, "->", comp] => {
+                assignments.push((false, name.to_string(), comp.to_string(), lineno));
+            }
+            _ => return Err(err(format!("unrecognized line `{line}`"))),
+        }
+    }
+
+    if let Some((name, lineno)) = default {
+        let cid = alloc.by_name(&name).ok_or(ParsePartitionError {
+            line: lineno,
+            message: format!("unknown default component `{name}`"),
+        })?;
+        partition = Partition::with_default(cid);
+    }
+
+    for (is_behavior, name, comp, lineno) in assignments {
+        let err = |message: String| ParsePartitionError {
+            line: lineno,
+            message,
+        };
+        let cid = alloc
+            .by_name(&comp)
+            .ok_or_else(|| err(format!("unknown component `{comp}`")))?;
+        if is_behavior {
+            let b = spec
+                .behavior_by_name(&name)
+                .ok_or_else(|| err(format!("unknown behavior `{name}`")))?;
+            partition.assign_behavior(b, cid);
+        } else {
+            let v = spec
+                .variable_by_name(&name)
+                .ok_or_else(|| err(format!("unknown variable `{name}`")))?;
+            partition.assign_var(v, cid);
+        }
+    }
+
+    Ok((alloc, partition))
+}
+
+/// Renders an allocation + partition back to the text format (explicit
+/// assignments only; resolved inheritance is not expanded).
+pub fn render_partition(spec: &Spec, alloc: &Allocation, partition: &Partition) -> String {
+    use crate::component::ComponentKind;
+    let mut out = String::new();
+    for (_, c) in alloc.iter() {
+        match c.kind() {
+            ComponentKind::Processor { code_bytes } => {
+                out.push_str(&format!("component {} processor {code_bytes}\n", c.name()));
+            }
+            ComponentKind::Asic { gates, pins } => {
+                out.push_str(&format!("component {} asic {gates} {pins}\n", c.name()));
+            }
+        }
+    }
+    let mut behaviors: Vec<_> = partition.behavior_assignments().collect();
+    behaviors.sort_by_key(|(b, _)| *b);
+    for (b, c) in behaviors {
+        out.push_str(&format!(
+            "behavior {} -> {}\n",
+            spec.behavior(b).name(),
+            alloc.component(c).name()
+        ));
+    }
+    let mut vars: Vec<_> = partition.var_assignments().collect();
+    vars.sort_by_key(|(v, _)| *v);
+    for (v, c) in vars {
+        out.push_str(&format!(
+            "var {} -> {}\n",
+            spec.variable(v).name(),
+            alloc.component(c).name()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    fn spec() -> Spec {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf("A", vec![stmt::assign(x, expr::lit(1))]);
+        let top = b.seq_in_order("Top", vec![a]);
+        b.finish(top).unwrap()
+    }
+
+    #[test]
+    fn parses_a_complete_description() {
+        let s = spec();
+        let text = "\
+# demo
+component PROC processor 65536
+component ASIC asic 10000 75
+
+default PROC
+behavior A -> ASIC
+var x -> ASIC  # with trailing comment
+";
+        let (alloc, part) = parse_partition(&s, text).expect("parses");
+        assert_eq!(alloc.len(), 2);
+        let asic = alloc.by_name("ASIC").unwrap();
+        let a = s.behavior_by_name("A").unwrap();
+        let x = s.variable_by_name("x").unwrap();
+        assert_eq!(part.component_of_behavior(&s, a), Some(asic));
+        assert_eq!(part.component_of_var(&s, x), Some(asic));
+        assert!(part.is_complete(&s, &alloc));
+    }
+
+    #[test]
+    fn reports_unknown_names_with_line_numbers() {
+        let s = spec();
+        let text = "component PROC processor\nbehavior Ghost -> PROC\n";
+        let err = parse_partition(&s, text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("Ghost"));
+    }
+
+    #[test]
+    fn reports_unknown_component_kind() {
+        let s = spec();
+        let err = parse_partition(&s, "component X fpga\n").unwrap_err();
+        assert!(err.message.contains("fpga"));
+    }
+
+    #[test]
+    fn default_must_reference_a_component() {
+        let s = spec();
+        let err = parse_partition(&s, "default NOPE\n").unwrap_err();
+        assert!(err.message.contains("NOPE"));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let s = spec();
+        let text = "component PROC processor 65536\ncomponent ASIC asic 10000 75\nbehavior A -> ASIC\nvar x -> ASIC\n";
+        let (alloc, part) = parse_partition(&s, text).expect("parses");
+        let rendered = render_partition(&s, &alloc, &part);
+        let (alloc2, part2) = parse_partition(&s, &rendered).expect("reparses");
+        assert_eq!(alloc, alloc2);
+        let a = s.behavior_by_name("A").unwrap();
+        assert_eq!(
+            part.component_of_behavior(&s, a),
+            part2.component_of_behavior(&s, a)
+        );
+    }
+}

@@ -1,0 +1,650 @@
+//! The per-process interpreter: frame stack, expression evaluation and
+//! statement micro-stepping.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use modref_spec::stmt::CallArg;
+use modref_spec::{
+    BehaviorId, BehaviorKind, BinOp, Expr, LValue, Spec, Stmt, TransitionTarget, UnOp, VarId,
+    WaitCond,
+};
+
+use crate::error::SimError;
+use crate::value::{truthy, wrap_scalar, Storage};
+
+/// Shared mutable simulation state: variable and signal values.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub vars: Vec<Storage>,
+    pub signals: Vec<i64>,
+    /// Total variable writes performed (a progress/stats counter).
+    pub var_writes: u64,
+    /// Total signal writes performed.
+    pub signal_writes: u64,
+    /// Number of times each behavior started executing, indexed by
+    /// behavior id — a dynamic activation profile.
+    pub activations: Vec<u64>,
+}
+
+impl SharedState {
+    pub(crate) fn init(spec: &Spec) -> Self {
+        let vars = spec
+            .variables()
+            .map(|(_, v)| Storage::init(v.ty(), v.init()))
+            .collect();
+        let signals = spec
+            .signals()
+            .map(|(_, s)| wrap_scalar(s.init(), s.ty().access_scalar()))
+            .collect();
+        Self {
+            vars,
+            signals,
+            var_writes: 0,
+            signal_writes: 0,
+            activations: vec![0; spec.behavior_count()],
+        }
+    }
+}
+
+/// Where a sequential-composite frame is in its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SeqPos {
+    NotStarted,
+    Running(usize),
+}
+
+/// One entry of a process's control stack.
+#[derive(Debug)]
+pub(crate) enum Frame {
+    /// A straight-line block with a program counter.
+    Block { stmts: Rc<Vec<Stmt>>, pc: usize },
+    /// A `while` continuation: re-evaluate `cond` when the body completes.
+    While { cond: Expr, body: Rc<Vec<Stmt>> },
+    /// A `for` continuation.
+    ForLoop {
+        var: VarId,
+        next: i64,
+        to: i64,
+        body: Rc<Vec<Stmt>>,
+    },
+    /// A `loop` continuation: restart the body forever.
+    Forever { body: Rc<Vec<Stmt>> },
+    /// A subroutine call frame with per-call parameter storage.
+    Call {
+        params: HashMap<String, i64>,
+        outs: Vec<(String, LValue)>,
+    },
+    /// A sequential composite executing its children under transition arcs.
+    Seq { behavior: BehaviorId, pos: SeqPos },
+    /// A concurrent composite; `spawned` records whether children have
+    /// been handed to the scheduler yet.
+    Conc { behavior: BehaviorId, spawned: bool },
+}
+
+/// Scheduling status of a process.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Status {
+    Ready,
+    /// Blocked on `wait until`; the scheduler re-evaluates the condition.
+    WaitUntil(Expr),
+    /// Sleeping until the given absolute time.
+    WaitTime(u64),
+    /// Waiting for spawned child processes (by process index) to finish.
+    WaitChildren(Vec<usize>),
+    Done,
+}
+
+/// What a micro-step did.
+#[derive(Debug)]
+pub(crate) enum StepEvent {
+    /// Executed one statement (or frame bookkeeping).
+    Progress,
+    /// The process blocked (its status has been updated).
+    Blocked,
+    /// The process needs child processes for these behaviors.
+    SpawnChildren(Vec<BehaviorId>),
+    /// The frame stack emptied: the process's behavior completed.
+    Completed,
+}
+
+/// A lightweight process interpreting one concurrent behavior.
+#[derive(Debug)]
+pub(crate) struct Process {
+    /// The behavior this process interprets (diagnostics only).
+    #[allow(dead_code)]
+    pub behavior: BehaviorId,
+    pub name: String,
+    pub frames: Vec<Frame>,
+    pub status: Status,
+    /// Whether the behavior is a server (infinite service loop) that must
+    /// not block its parent composite's completion.
+    pub is_server: bool,
+    /// Process indices of children this process spawned (for recursive
+    /// termination when a composite completes past its servers).
+    pub spawned: Vec<usize>,
+}
+
+impl Process {
+    pub(crate) fn new(spec: &Spec, behavior: BehaviorId) -> Self {
+        let mut p = Self {
+            behavior,
+            name: spec.behavior(behavior).name().to_string(),
+            frames: Vec::new(),
+            status: Status::Ready,
+            is_server: spec.behavior(behavior).is_server(),
+            spawned: Vec::new(),
+        };
+        p.push_behavior(spec, behavior);
+        p
+    }
+
+    /// Pushes the frame(s) that start executing `behavior`.
+    fn push_behavior(&mut self, spec: &Spec, behavior: BehaviorId) {
+        match spec.behavior(behavior).kind() {
+            BehaviorKind::Leaf { body } => self.frames.push(Frame::Block {
+                stmts: Rc::new(body.clone()),
+                pc: 0,
+            }),
+            BehaviorKind::Seq { .. } => self.frames.push(Frame::Seq {
+                behavior,
+                pos: SeqPos::NotStarted,
+            }),
+            BehaviorKind::Concurrent { .. } => self.frames.push(Frame::Conc {
+                behavior,
+                spawned: false,
+            }),
+        }
+    }
+
+    /// Executes one micro-step.
+    pub(crate) fn step(
+        &mut self,
+        spec: &Spec,
+        state: &mut SharedState,
+        now: u64,
+    ) -> Result<StepEvent, SimError> {
+        let Some(top) = self.frames.last_mut() else {
+            self.status = Status::Done;
+            return Ok(StepEvent::Completed);
+        };
+
+        match top {
+            Frame::Block { stmts, pc } => {
+                if *pc >= stmts.len() {
+                    self.frames.pop();
+                    return Ok(StepEvent::Progress);
+                }
+                let stmts = Rc::clone(stmts);
+                let idx = *pc;
+                self.exec_stmt(spec, state, now, stmts, idx)
+            }
+            Frame::While { cond, body } => {
+                let cond = cond.clone();
+                let body = Rc::clone(body);
+                if truthy(self.eval(spec, state, &cond)?) {
+                    self.frames.push(Frame::Block { stmts: body, pc: 0 });
+                } else {
+                    self.frames.pop();
+                }
+                Ok(StepEvent::Progress)
+            }
+            Frame::ForLoop {
+                var,
+                next,
+                to,
+                body,
+            } => {
+                if *next < *to {
+                    let var = *var;
+                    let value = *next;
+                    *next += 1;
+                    let body = Rc::clone(body);
+                    self.store_var(spec, state, var, value);
+                    self.frames.push(Frame::Block { stmts: body, pc: 0 });
+                } else {
+                    self.frames.pop();
+                }
+                Ok(StepEvent::Progress)
+            }
+            Frame::Forever { body } => {
+                let body = Rc::clone(body);
+                self.frames.push(Frame::Block { stmts: body, pc: 0 });
+                Ok(StepEvent::Progress)
+            }
+            Frame::Call { .. } => {
+                // Body completed: copy out-parameters to caller lvalues.
+                let Some(Frame::Call { params, outs }) = self.frames.pop() else {
+                    unreachable!("just matched a call frame");
+                };
+                for (pname, lv) in outs {
+                    let value = *params.get(&pname).unwrap_or(&0);
+                    self.store_lvalue(spec, state, &lv, value)?;
+                }
+                Ok(StepEvent::Progress)
+            }
+            Frame::Seq { behavior, pos } => {
+                let behavior = *behavior;
+                let pos = *pos;
+                self.step_seq(spec, state, behavior, pos)
+            }
+            Frame::Conc { behavior, spawned } => {
+                if *spawned {
+                    self.frames.pop();
+                    Ok(StepEvent::Progress)
+                } else {
+                    *spawned = true;
+                    let children = spec.behavior(*behavior).children().to_vec();
+                    Ok(StepEvent::SpawnChildren(children))
+                }
+            }
+        }
+    }
+
+    fn step_seq(
+        &mut self,
+        spec: &Spec,
+        state: &mut SharedState,
+        behavior: BehaviorId,
+        pos: SeqPos,
+    ) -> Result<StepEvent, SimError> {
+        let b = spec.behavior(behavior);
+        let children = b.children().to_vec();
+        match pos {
+            SeqPos::NotStarted => {
+                if children.is_empty() {
+                    self.frames.pop();
+                    return Ok(StepEvent::Progress);
+                }
+                self.set_seq_pos(SeqPos::Running(0));
+                state.activations[children[0].index()] += 1;
+                self.push_behavior(spec, children[0]);
+                Ok(StepEvent::Progress)
+            }
+            SeqPos::Running(idx) => {
+                // Child `idx` completed: fire the first matching arc.
+                let completed = children[idx];
+                let mut target: Option<TransitionTarget> = None;
+                let mut has_arcs = false;
+                for t in spec.behavior(behavior).transitions() {
+                    if t.from != completed {
+                        continue;
+                    }
+                    has_arcs = true;
+                    let fires = match &t.cond {
+                        Some(c) => truthy(self.eval(spec, state, c)?),
+                        None => true,
+                    };
+                    if fires {
+                        target = Some(t.to.clone());
+                        break;
+                    }
+                }
+                let next = match target {
+                    Some(TransitionTarget::Behavior(to)) => children.iter().position(|&c| c == to),
+                    Some(TransitionTarget::Complete) => None,
+                    None => {
+                        if has_arcs {
+                            // Arcs declared but none fired: composite
+                            // completes (no enabled successor).
+                            None
+                        } else if idx + 1 < children.len() {
+                            Some(idx + 1)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                match next {
+                    Some(i) => {
+                        self.set_seq_pos(SeqPos::Running(i));
+                        state.activations[children[i].index()] += 1;
+                        self.push_behavior(spec, children[i]);
+                    }
+                    None => {
+                        self.frames.pop();
+                    }
+                }
+                Ok(StepEvent::Progress)
+            }
+        }
+    }
+
+    fn set_seq_pos(&mut self, new_pos: SeqPos) {
+        if let Some(Frame::Seq { pos, .. }) = self.frames.last_mut() {
+            *pos = new_pos;
+        } else {
+            unreachable!("set_seq_pos called without a Seq frame on top");
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        spec: &Spec,
+        state: &mut SharedState,
+        now: u64,
+        stmts: Rc<Vec<Stmt>>,
+        idx: usize,
+    ) -> Result<StepEvent, SimError> {
+        let advance = |frames: &mut Vec<Frame>| {
+            if let Some(Frame::Block { pc, .. }) = frames.last_mut() {
+                *pc += 1;
+            }
+        };
+        match &stmts[idx] {
+            Stmt::Assign { target, value } => {
+                let v = self.eval(spec, state, value)?;
+                self.store_lvalue(spec, state, target, v)?;
+                advance(&mut self.frames);
+                Ok(StepEvent::Progress)
+            }
+            Stmt::SignalSet { signal, value } => {
+                let v = self.eval(spec, state, value)?;
+                let ty = spec.signal(*signal).ty().access_scalar();
+                state.signals[signal.index()] = wrap_scalar(v, ty);
+                state.signal_writes += 1;
+                advance(&mut self.frames);
+                Ok(StepEvent::Progress)
+            }
+            Stmt::Wait(WaitCond::Until(cond)) => {
+                if truthy(self.eval(spec, state, cond)?) {
+                    advance(&mut self.frames);
+                    Ok(StepEvent::Progress)
+                } else {
+                    self.status = Status::WaitUntil(cond.clone());
+                    Ok(StepEvent::Blocked)
+                }
+            }
+            Stmt::Wait(WaitCond::For(n)) | Stmt::Delay(n) => {
+                let wake = now + n;
+                advance(&mut self.frames);
+                self.status = Status::WaitTime(wake);
+                Ok(StepEvent::Blocked)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let taken = truthy(self.eval(spec, state, cond)?);
+                let body = if taken { then_body } else { else_body };
+                let body = Rc::new(body.clone());
+                advance(&mut self.frames);
+                self.frames.push(Frame::Block { stmts: body, pc: 0 });
+                Ok(StepEvent::Progress)
+            }
+            Stmt::While { cond, body, .. } => {
+                let cond = cond.clone();
+                let body = Rc::new(body.clone());
+                advance(&mut self.frames);
+                self.frames.push(Frame::While { cond, body });
+                Ok(StepEvent::Progress)
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let from = self.eval(spec, state, from)?;
+                let to = self.eval(spec, state, to)?;
+                let body = Rc::new(body.clone());
+                advance(&mut self.frames);
+                self.frames.push(Frame::ForLoop {
+                    var: *var,
+                    next: from,
+                    to,
+                    body,
+                });
+                Ok(StepEvent::Progress)
+            }
+            Stmt::Loop { body } => {
+                let body = Rc::new(body.clone());
+                advance(&mut self.frames);
+                self.frames.push(Frame::Forever { body });
+                Ok(StepEvent::Progress)
+            }
+            Stmt::Call { sub, args } => {
+                let def = spec.subroutine(*sub);
+                let mut params = HashMap::new();
+                let mut outs = Vec::new();
+                for (param, arg) in def.params().iter().zip(args) {
+                    match arg {
+                        CallArg::In(e) => {
+                            let v = self.eval(spec, state, e)?;
+                            params.insert(
+                                param.name.clone(),
+                                wrap_scalar(v, param.ty.access_scalar()),
+                            );
+                        }
+                        CallArg::Out(lv) => {
+                            params.insert(param.name.clone(), 0);
+                            outs.push((param.name.clone(), lv.clone()));
+                        }
+                    }
+                }
+                let body = Rc::new(def.body().to_vec());
+                advance(&mut self.frames);
+                self.frames.push(Frame::Call { params, outs });
+                self.frames.push(Frame::Block { stmts: body, pc: 0 });
+                Ok(StepEvent::Progress)
+            }
+            Stmt::Skip => {
+                advance(&mut self.frames);
+                Ok(StepEvent::Progress)
+            }
+        }
+    }
+
+    /// Evaluates an expression in this process's context (parameters
+    /// resolve against the innermost call frame).
+    pub(crate) fn eval(&self, spec: &Spec, state: &SharedState, e: &Expr) -> Result<i64, SimError> {
+        Ok(match e {
+            Expr::Lit(v) => *v,
+            Expr::Var(v) => match &state.vars[v.index()] {
+                Storage::Scalar(x) => *x,
+                Storage::Array(_) => 0, // validator rejects; defensive
+            },
+            Expr::Index(v, idx) => {
+                let i = self.eval(spec, state, idx)?;
+                match &state.vars[v.index()] {
+                    Storage::Array(items) => *items
+                        .get(usize::try_from(i).ok().filter(|&x| x < items.len()).ok_or(
+                            SimError::IndexOutOfBounds {
+                                var: spec.variable(*v).name().to_string(),
+                                index: i,
+                                len: items.len() as u32,
+                            },
+                        )?)
+                        .expect("bounds checked"),
+                    Storage::Scalar(x) => *x,
+                }
+            }
+            Expr::Signal(s) => state.signals[s.index()],
+            Expr::Param(name) => self.read_param(name)?,
+            Expr::Unary(op, inner) => {
+                let v = self.eval(spec, state, inner)?;
+                match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i64::from(v == 0),
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                let l = self.eval(spec, state, l)?;
+                let r = self.eval(spec, state, r)?;
+                eval_binop(*op, l, r)
+            }
+        })
+    }
+
+    fn read_param(&self, name: &str) -> Result<i64, SimError> {
+        for frame in self.frames.iter().rev() {
+            if let Frame::Call { params, .. } = frame {
+                return params
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| SimError::UnboundParam(name.to_string()));
+            }
+        }
+        Err(SimError::UnboundParam(name.to_string()))
+    }
+
+    fn write_param(&mut self, name: &str, value: i64) -> Result<(), SimError> {
+        for frame in self.frames.iter_mut().rev() {
+            if let Frame::Call { params, .. } = frame {
+                match params.get_mut(name) {
+                    Some(slot) => {
+                        *slot = value;
+                        return Ok(());
+                    }
+                    None => return Err(SimError::UnboundParam(name.to_string())),
+                }
+            }
+        }
+        Err(SimError::UnboundParam(name.to_string()))
+    }
+
+    fn store_var(&mut self, spec: &Spec, state: &mut SharedState, var: VarId, value: i64) {
+        let ty = spec.variable(var).ty().access_scalar();
+        state.vars[var.index()] = Storage::Scalar(wrap_scalar(value, ty));
+        state.var_writes += 1;
+    }
+
+    pub(crate) fn store_lvalue(
+        &mut self,
+        spec: &Spec,
+        state: &mut SharedState,
+        lv: &LValue,
+        value: i64,
+    ) -> Result<(), SimError> {
+        match lv {
+            LValue::Var(v) => {
+                self.store_var(spec, state, *v, value);
+                Ok(())
+            }
+            LValue::Index(v, idx) => {
+                let i = self.eval(spec, state, idx)?;
+                let elem_ty = spec.variable(*v).ty().access_scalar();
+                match &mut state.vars[v.index()] {
+                    Storage::Array(items) => {
+                        let len = items.len();
+                        let slot =
+                            usize::try_from(i)
+                                .ok()
+                                .filter(|&x| x < len)
+                                .ok_or_else(|| SimError::IndexOutOfBounds {
+                                    var: spec.variable(*v).name().to_string(),
+                                    index: i,
+                                    len: len as u32,
+                                })?;
+                        items[slot] = wrap_scalar(value, elem_ty);
+                        state.var_writes += 1;
+                        Ok(())
+                    }
+                    Storage::Scalar(x) => {
+                        *x = wrap_scalar(value, elem_ty);
+                        state.var_writes += 1;
+                        Ok(())
+                    }
+                }
+            }
+            LValue::Param(name) => self.write_param(name, value),
+        }
+    }
+}
+
+fn eval_binop(op: BinOp, l: i64, r: i64) -> i64 {
+    match op {
+        BinOp::Add => l.wrapping_add(r),
+        BinOp::Sub => l.wrapping_sub(r),
+        BinOp::Mul => l.wrapping_mul(r),
+        BinOp::Div => {
+            if r == 0 {
+                0
+            } else {
+                l.wrapping_div(r)
+            }
+        }
+        BinOp::Rem => {
+            if r == 0 {
+                0
+            } else {
+                l.wrapping_rem(r)
+            }
+        }
+        BinOp::Eq => i64::from(l == r),
+        BinOp::Ne => i64::from(l != r),
+        BinOp::Lt => i64::from(l < r),
+        BinOp::Le => i64::from(l <= r),
+        BinOp::Gt => i64::from(l > r),
+        BinOp::Ge => i64::from(l >= r),
+        BinOp::And => i64::from(l != 0 && r != 0),
+        BinOp::Or => i64::from(l != 0 || r != 0),
+        BinOp::BitAnd => l & r,
+        BinOp::BitOr => l | r,
+        BinOp::BitXor => l ^ r,
+        BinOp::Shl => l.wrapping_shl(r as u32 & 63),
+        BinOp::Shr => l.wrapping_shr(r as u32 & 63),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    #[test]
+    fn binop_division_by_zero_is_zero() {
+        assert_eq!(eval_binop(BinOp::Div, 5, 0), 0);
+        assert_eq!(eval_binop(BinOp::Rem, 5, 0), 0);
+    }
+
+    #[test]
+    fn eval_basic_expression() {
+        let mut b = SpecBuilder::new("e");
+        let x = b.var_int("x", 16, 3);
+        let a = b.leaf("A", vec![stmt::skip()]);
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let state = SharedState::init(&spec);
+        let p = Process::new(&spec, spec.top());
+        let e = expr::add(expr::var(x), expr::lit(4));
+        assert_eq!(p.eval(&spec, &state, &e).unwrap(), 7);
+    }
+
+    #[test]
+    fn unbound_param_errors() {
+        let mut b = SpecBuilder::new("e");
+        let a = b.leaf("A", vec![]);
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let state = SharedState::init(&spec);
+        let p = Process::new(&spec, spec.top());
+        let e = expr::param("ghost");
+        assert!(matches!(
+            p.eval(&spec, &state, &e),
+            Err(SimError::UnboundParam(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_index_reports_error() {
+        let mut b = SpecBuilder::new("e");
+        let arr = b.var(
+            "a",
+            modref_spec::DataType::array(modref_spec::types::ScalarType::Int(8), 2),
+            0,
+        );
+        let leaf = b.leaf("A", vec![]);
+        let top = b.seq_in_order("Top", vec![leaf]);
+        let spec = b.finish(top).expect("valid");
+        let state = SharedState::init(&spec);
+        let p = Process::new(&spec, spec.top());
+        let e = expr::index(arr, expr::lit(5));
+        assert!(matches!(
+            p.eval(&spec, &state, &e),
+            Err(SimError::IndexOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulation results: final state observation.
+
+use std::collections::BTreeMap;
+
+use modref_spec::Spec;
+
+use crate::process::SharedState;
+use crate::value::Storage;
+
+/// The observable outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Final simulated time.
+    pub time: u64,
+    /// Total micro-steps executed.
+    pub steps: u64,
+    /// Whether the top behavior completed (always true on `Ok` results;
+    /// kept for future partial-run APIs).
+    pub completed: bool,
+    /// Total variable writes performed.
+    pub var_writes: u64,
+    /// Total signal writes performed.
+    pub signal_writes: u64,
+    vars: BTreeMap<String, Storage>,
+    signals: BTreeMap<String, i64>,
+    activations: BTreeMap<String, u64>,
+}
+
+impl SimResult {
+    pub(crate) fn collect(
+        spec: &Spec,
+        state: &SharedState,
+        time: u64,
+        steps: u64,
+        completed: bool,
+    ) -> Self {
+        let vars = spec
+            .variables()
+            .map(|(id, v)| (v.name().to_string(), state.vars[id.index()].clone()))
+            .collect();
+        let signals = spec
+            .signals()
+            .map(|(id, s)| (s.name().to_string(), state.signals[id.index()]))
+            .collect();
+        let activations = spec
+            .behaviors()
+            .map(|(id, b)| (b.name().to_string(), state.activations[id.index()]))
+            .collect();
+        Self {
+            time,
+            steps,
+            completed,
+            var_writes: state.var_writes,
+            signal_writes: state.signal_writes,
+            vars,
+            signals,
+            activations,
+        }
+    }
+
+    /// How many times the named behavior started executing — the dynamic
+    /// activation profile (composites count once per activation of the
+    /// composite, children once per visit under the transition schedule).
+    pub fn activations_of(&self, name: &str) -> Option<u64> {
+        self.activations.get(name).copied()
+    }
+
+    /// Iterates `(behavior, activations)` in name order.
+    pub fn activations(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.activations.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Final value of a scalar variable, by name.
+    pub fn var_by_name(&self, name: &str) -> Option<i64> {
+        match self.vars.get(name)? {
+            Storage::Scalar(v) => Some(*v),
+            Storage::Array(_) => None,
+        }
+    }
+
+    /// Final contents of an array variable, by name.
+    pub fn array_by_name(&self, name: &str) -> Option<&[i64]> {
+        match self.vars.get(name)? {
+            Storage::Array(items) => Some(items),
+            Storage::Scalar(_) => None,
+        }
+    }
+
+    /// Final value of a signal, by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<i64> {
+        self.signals.get(name).copied()
+    }
+
+    /// Iterates `(name, scalar value)` for every scalar variable, in name
+    /// order — the state vector equivalence checks compare.
+    pub fn scalar_vars(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.vars.iter().filter_map(|(k, v)| match v {
+            Storage::Scalar(x) => Some((k.as_str(), *x)),
+            Storage::Array(_) => None,
+        })
+    }
+
+    /// Compares this result to another on the variables *common to both*
+    /// (by name), returning the names that disagree. Refinement adds
+    /// variables (tmp buffers, memory images); equivalence holds when the
+    /// original variables agree.
+    pub fn diff_common_vars(&self, other: &SimResult) -> Vec<String> {
+        let mut diffs = Vec::new();
+        for (name, value) in &self.vars {
+            if let Some(other_value) = other.vars.get(name) {
+                if value != other_value {
+                    diffs.push(name.clone());
+                }
+            }
+        }
+        diffs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    fn run_simple(init: i64) -> SimResult {
+        let mut b = SpecBuilder::new("r");
+        let x = b.var_int("x", 16, init);
+        let a = b.leaf(
+            "A",
+            vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        Simulator::new(&spec).run().expect("runs")
+    }
+
+    #[test]
+    fn reports_final_values() {
+        let r = run_simple(10);
+        assert_eq!(r.var_by_name("x"), Some(11));
+        assert_eq!(r.var_by_name("missing"), None);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn diff_common_vars_detects_mismatch() {
+        let a = run_simple(1);
+        let b = run_simple(2);
+        assert_eq!(a.diff_common_vars(&b), vec!["x".to_string()]);
+        assert!(a.diff_common_vars(&a).is_empty());
+    }
+
+    #[test]
+    fn scalar_vars_iterates_in_name_order() {
+        let r = run_simple(0);
+        let names: Vec<&str> = r.scalar_vars().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["x"]);
+    }
+}

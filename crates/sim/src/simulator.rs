@@ -1,0 +1,171 @@
+//! The scheduler: deterministic round-robin stepping of processes with
+//! `wait until` re-evaluation and time advancement.
+
+use modref_spec::Spec;
+
+use crate::error::SimError;
+use crate::process::{Process, SharedState, Status, StepEvent};
+use crate::result::SimResult;
+use crate::value::truthy;
+
+/// Simulation limits and options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Global micro-step budget; exceeding it aborts with
+    /// [`SimError::StepLimitExceeded`].
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            max_steps: 5_000_000,
+        }
+    }
+}
+
+/// Executes a specification.
+///
+/// See the [crate documentation](crate) for semantics and an example.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    spec: &'a Spec,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over `spec` with default limits.
+    pub fn new(spec: &'a Spec) -> Self {
+        Self {
+            spec,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Creates a simulator with explicit limits.
+    pub fn with_config(spec: &'a Spec, config: SimConfig) -> Self {
+        Self { spec, config }
+    }
+
+    /// Runs the simulation to completion of the top behavior.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::StepLimitExceeded`] on zero-time livelock,
+    /// * [`SimError::Deadlock`] when all live processes block forever,
+    /// * evaluation errors (out-of-bounds indices, unbound parameters).
+    pub fn run(&self) -> Result<SimResult, SimError> {
+        let spec = self.spec;
+        let mut state = SharedState::init(spec);
+        state.activations[spec.top().index()] += 1;
+        let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
+        let mut now: u64 = 0;
+        let mut steps: u64 = 0;
+
+        loop {
+            // Phase 1: step every Ready process until it blocks/completes.
+            let mut pid = 0;
+            while pid < processes.len() {
+                while matches!(processes[pid].status, Status::Ready) {
+                    steps += 1;
+                    if steps > self.config.max_steps {
+                        return Err(SimError::StepLimitExceeded {
+                            limit: self.config.max_steps,
+                        });
+                    }
+                    let event = processes[pid].step(spec, &mut state, now)?;
+                    match event {
+                        StepEvent::Progress => {}
+                        // `step` updated the status; fall out of the loop.
+                        StepEvent::Blocked | StepEvent::Completed => {}
+                        StepEvent::SpawnChildren(children) => {
+                            let mut ids = Vec::with_capacity(children.len());
+                            for c in children {
+                                ids.push(processes.len());
+                                state.activations[c.index()] += 1;
+                                processes.push(Process::new(spec, c));
+                            }
+                            processes[pid].spawned.extend(ids.iter().copied());
+                            processes[pid].status = Status::WaitChildren(ids);
+                        }
+                    }
+                }
+                pid += 1;
+            }
+
+            // Phase 2: wake processes whose conditions came true. A
+            // composite waiting on children completes when every
+            // *non-server* child is done; its server children (memory
+            // modules, arbiters, bus interfaces) are then terminated.
+            let mut any_ready = false;
+            let child_done: Vec<bool> = processes
+                .iter()
+                .map(|p| matches!(p.status, Status::Done))
+                .collect();
+            let child_server: Vec<bool> = processes.iter().map(|p| p.is_server).collect();
+            let mut kill_list: Vec<usize> = Vec::new();
+            for p in processes.iter_mut() {
+                let wake = match &p.status {
+                    Status::WaitUntil(cond) => truthy(p.eval(spec, &state, cond).unwrap_or(0)),
+                    Status::WaitChildren(ids) => {
+                        let done = ids.iter().all(|&i| child_done[i] || child_server[i]);
+                        if done {
+                            kill_list.extend(ids.iter().copied().filter(|&i| child_server[i]));
+                        }
+                        done
+                    }
+                    _ => false,
+                };
+                if wake {
+                    p.status = Status::Ready;
+                }
+                if matches!(p.status, Status::Ready) {
+                    any_ready = true;
+                }
+            }
+            // Terminate servers (and anything they spawned) recursively.
+            while let Some(i) = kill_list.pop() {
+                if !matches!(processes[i].status, Status::Done) {
+                    processes[i].status = Status::Done;
+                    kill_list.extend(processes[i].spawned.iter().copied());
+                }
+            }
+
+            // Termination: root process finished.
+            if matches!(processes[0].status, Status::Done) {
+                return Ok(SimResult::collect(spec, &state, now, steps, true));
+            }
+
+            if any_ready {
+                continue;
+            }
+
+            // Phase 3: advance time to the earliest sleeper.
+            let next_wake = processes
+                .iter()
+                .filter_map(|p| match p.status {
+                    Status::WaitTime(t) => Some(t),
+                    _ => None,
+                })
+                .min();
+            match next_wake {
+                Some(t) => {
+                    now = t.max(now);
+                    for p in processes.iter_mut() {
+                        if matches!(p.status, Status::WaitTime(w) if w <= now) {
+                            p.status = Status::Ready;
+                        }
+                    }
+                }
+                None => {
+                    let blocked: Vec<String> = processes
+                        .iter()
+                        .filter(|p| !matches!(p.status, Status::Done))
+                        .map(|p| p.name.clone())
+                        .collect();
+                    return Err(SimError::Deadlock { time: now, blocked });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Semantic tests for the simulator: sequencing, transitions, loops,
+//! concurrency, signal handshakes, subroutine calls, and error paths.
+
+use modref_sim::{SimConfig, SimError, Simulator};
+use modref_spec::builder::SpecBuilder;
+use modref_spec::stmt::CallArg;
+use modref_spec::subroutine::{param_in, param_out, Subroutine};
+use modref_spec::types::{DataType, ScalarType};
+use modref_spec::{expr, stmt, LValue};
+
+#[test]
+fn sequential_children_run_in_order() {
+    let mut b = SpecBuilder::new("seq");
+    let x = b.var_int("x", 16, 0);
+    let a = b.leaf("A", vec![stmt::assign(x, expr::lit(1))]);
+    let c = b.leaf(
+        "C",
+        vec![stmt::assign(x, expr::mul(expr::var(x), expr::lit(10)))],
+    );
+    let top = b.seq_in_order("Top", vec![a, c]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(10)); // 1 then *10
+}
+
+#[test]
+fn guarded_transitions_select_successor() {
+    // Figure 1(a): after A, x>1 goes to B; x<1 goes to C.
+    for (init, expect) in [(5, 100), (-5, 7)] {
+        let mut b = SpecBuilder::new("fig1");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf("A", vec![stmt::assign(x, expr::lit(init))]);
+        let bb = b.leaf("B", vec![stmt::assign(x, expr::lit(100))]);
+        let c = b.leaf("C", vec![stmt::assign(x, expr::lit(7))]);
+        let arcs = vec![
+            b.arc_when(a, expr::gt(expr::var(x), expr::lit(1)), bb),
+            b.arc_when(a, expr::lt(expr::var(x), expr::lit(1)), c),
+            b.arc_complete(bb),
+            b.arc_complete(c),
+        ];
+        let top = b.seq("Top", vec![a, bb, c], arcs);
+        let spec = b.finish(top).unwrap();
+        let r = Simulator::new(&spec).run().unwrap();
+        assert_eq!(r.var_by_name("x"), Some(expect), "init {init}");
+    }
+}
+
+#[test]
+fn transition_loops_execute_repeatedly() {
+    // A seq composite that loops B until x >= 3.
+    let mut b = SpecBuilder::new("loop");
+    let x = b.var_int("x", 16, 0);
+    let body = b.leaf(
+        "Body",
+        vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+    );
+    let arcs = vec![
+        b.arc_when(body, expr::lt(expr::var(x), expr::lit(3)), body),
+        b.arc_complete_when(body, expr::ge(expr::var(x), expr::lit(3))),
+    ];
+    let top = b.seq("Top", vec![body], arcs);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(3));
+}
+
+#[test]
+fn while_and_for_loops() {
+    let mut b = SpecBuilder::new("loops");
+    let x = b.var_int("x", 16, 0);
+    let i = b.var_int("i", 16, 0);
+    let sum = b.var_int("sum", 16, 0);
+    let a = b.leaf(
+        "A",
+        vec![
+            stmt::while_loop(
+                expr::lt(expr::var(x), expr::lit(5)),
+                vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+            ),
+            stmt::for_loop(
+                i,
+                expr::lit(0),
+                expr::lit(4),
+                vec![stmt::assign(sum, expr::add(expr::var(sum), expr::var(i)))],
+            ),
+        ],
+    );
+    let top = b.seq_in_order("Top", vec![a]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(5));
+    assert_eq!(r.var_by_name("sum"), Some(1 + 2 + 3));
+}
+
+#[test]
+fn concurrent_children_all_complete() {
+    let mut b = SpecBuilder::new("conc");
+    let x = b.var_int("x", 16, 0);
+    let y = b.var_int("y", 16, 0);
+    let p1 = b.leaf("P1", vec![stmt::assign(x, expr::lit(1))]);
+    let p2 = b.leaf("P2", vec![stmt::assign(y, expr::lit(2))]);
+    let top = b.concurrent("Top", vec![p1, p2]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(1));
+    assert_eq!(r.var_by_name("y"), Some(2));
+}
+
+#[test]
+fn signal_handshake_between_concurrent_behaviors() {
+    // The paper's Figure 4(b) shape: controller raises start, worker runs
+    // body and raises done, controller proceeds.
+    let mut b = SpecBuilder::new("handshake");
+    let start = b.signal_bit("B_start");
+    let done = b.signal_bit("B_done");
+    let x = b.var_int("x", 16, 0);
+    let order = b.var_int("order", 16, 0);
+    let ctrl = b.leaf(
+        "B_CTRL",
+        vec![
+            stmt::assign(order, expr::lit(1)),
+            stmt::set_signal(start, expr::lit(1)),
+            stmt::wait_until(expr::eq(expr::signal(done), expr::lit(1))),
+            // x must already be 42 here
+            stmt::assign(order, expr::add(expr::var(x), expr::lit(1))),
+        ],
+    );
+    let worker = b.leaf(
+        "B_NEW",
+        vec![
+            stmt::wait_until(expr::eq(expr::signal(start), expr::lit(1))),
+            stmt::assign(x, expr::lit(42)),
+            stmt::set_signal(done, expr::lit(1)),
+        ],
+    );
+    let top = b.concurrent("Top", vec![ctrl, worker]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(42));
+    assert_eq!(r.var_by_name("order"), Some(43));
+}
+
+#[test]
+fn wait_for_advances_time() {
+    let mut b = SpecBuilder::new("time");
+    let a = b.leaf("A", vec![stmt::wait_for(25), stmt::delay(17)]);
+    let top = b.seq_in_order("Top", vec![a]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.time, 42);
+}
+
+#[test]
+fn concurrent_delays_overlap() {
+    let mut b = SpecBuilder::new("overlap");
+    let p1 = b.leaf("P1", vec![stmt::delay(30)]);
+    let p2 = b.leaf("P2", vec![stmt::delay(40)]);
+    let top = b.concurrent("Top", vec![p1, p2]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.time, 40); // parallel, not 70
+}
+
+#[test]
+fn subroutine_call_binds_in_and_out_params() {
+    let mut b = SpecBuilder::new("call");
+    let x = b.var_int("x", 16, 0);
+    let leaf = b.leaf("A", vec![]);
+    let top = b.seq_in_order("Top", vec![leaf]);
+    let mut spec = b.finish_unchecked(top);
+    // subroutine add3(in a, out r) { $r := $a + 3; }
+    let sub = spec.add_subroutine(Subroutine::new(
+        "add3",
+        vec![
+            param_in("a", DataType::int(16)),
+            param_out("r", DataType::int(16)),
+        ],
+        vec![modref_spec::Stmt::Assign {
+            target: LValue::Param("r".into()),
+            value: expr::add(expr::param("a"), expr::lit(3)),
+        }],
+    ));
+    spec.behavior_mut(leaf).body_mut().unwrap().push(stmt::call(
+        sub,
+        vec![CallArg::In(expr::lit(4)), CallArg::Out(LValue::Var(x))],
+    ));
+    modref_spec::validate::check(&spec).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(7));
+}
+
+#[test]
+fn nested_calls_use_innermost_frame() {
+    let mut b = SpecBuilder::new("nested");
+    let x = b.var_int("x", 16, 0);
+    let leaf = b.leaf("A", vec![]);
+    let top = b.seq_in_order("Top", vec![leaf]);
+    let mut spec = b.finish_unchecked(top);
+    let inner = spec.add_subroutine(Subroutine::new(
+        "inner",
+        vec![
+            param_in("a", DataType::int(16)),
+            param_out("r", DataType::int(16)),
+        ],
+        vec![modref_spec::Stmt::Assign {
+            target: LValue::Param("r".into()),
+            value: expr::mul(expr::param("a"), expr::lit(2)),
+        }],
+    ));
+    // outer(a, r) { call inner(a+1, r_tmp -> $r) }
+    let outer = spec.add_subroutine(Subroutine::new(
+        "outer",
+        vec![
+            param_in("a", DataType::int(16)),
+            param_out("r", DataType::int(16)),
+        ],
+        vec![stmt::call(
+            inner,
+            vec![
+                CallArg::In(expr::add(expr::param("a"), expr::lit(1))),
+                CallArg::Out(LValue::Param("r".into())),
+            ],
+        )],
+    ));
+    spec.behavior_mut(leaf).body_mut().unwrap().push(stmt::call(
+        outer,
+        vec![CallArg::In(expr::lit(10)), CallArg::Out(LValue::Var(x))],
+    ));
+    modref_spec::validate::check(&spec).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(22)); // (10+1)*2
+}
+
+#[test]
+fn arrays_read_and_write_by_index() {
+    let mut b = SpecBuilder::new("arr");
+    let arr = b.var("buf", DataType::array(ScalarType::Int(16), 4), 0);
+    let i = b.var_int("i", 16, 0);
+    let sum = b.var_int("sum", 16, 0);
+    let a = b.leaf(
+        "A",
+        vec![
+            stmt::for_loop(
+                i,
+                expr::lit(0),
+                expr::lit(4),
+                vec![stmt::assign_index(
+                    arr,
+                    expr::var(i),
+                    expr::mul(expr::var(i), expr::lit(3)),
+                )],
+            ),
+            stmt::for_loop(
+                i,
+                expr::lit(0),
+                expr::lit(4),
+                vec![stmt::assign(
+                    sum,
+                    expr::add(expr::var(sum), expr::index(arr, expr::var(i))),
+                )],
+            ),
+        ],
+    );
+    let top = b.seq_in_order("Top", vec![a]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("sum"), Some(3 + 6 + 9));
+    assert_eq!(r.array_by_name("buf"), Some(&[0, 3, 6, 9][..]));
+}
+
+#[test]
+fn deadlock_is_reported() {
+    let mut b = SpecBuilder::new("dead");
+    let never = b.signal_bit("never");
+    let a = b.leaf(
+        "A",
+        vec![stmt::wait_until(expr::eq(
+            expr::signal(never),
+            expr::lit(1),
+        ))],
+    );
+    let top = b.seq_in_order("Top", vec![a]);
+    let spec = b.finish(top).unwrap();
+    match Simulator::new(&spec).run() {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert!(blocked.contains(&"Top".to_string()));
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_time_livelock_hits_step_limit() {
+    let mut b = SpecBuilder::new("spin");
+    let x = b.var_int("x", 16, 0);
+    let a = b.leaf(
+        "A",
+        vec![stmt::infinite_loop(vec![stmt::assign(x, expr::lit(1))])],
+    );
+    let top = b.seq_in_order("Top", vec![a]);
+    let spec = b.finish(top).unwrap();
+    let sim = Simulator::with_config(&spec, SimConfig { max_steps: 10_000 });
+    assert!(matches!(sim.run(), Err(SimError::StepLimitExceeded { .. })));
+}
+
+#[test]
+fn infinite_server_is_terminated_when_root_completes() {
+    // A memory-style server loop plus a client that makes one request.
+    let mut b = SpecBuilder::new("server");
+    let req = b.signal_bit("req");
+    let ack = b.signal_bit("ack");
+    let data = b.var_int("data", 16, 0);
+    let out = b.var_int("out", 16, 0);
+    let server = b.leaf_server(
+        "Memory",
+        vec![stmt::infinite_loop(vec![
+            stmt::wait_until(expr::eq(expr::signal(req), expr::lit(1))),
+            stmt::assign(data, expr::lit(99)),
+            stmt::set_signal(ack, expr::lit(1)),
+            stmt::wait_until(expr::eq(expr::signal(req), expr::lit(0))),
+            stmt::set_signal(ack, expr::lit(0)),
+        ])],
+    );
+    let client = b.leaf(
+        "Client",
+        vec![
+            stmt::set_signal(req, expr::lit(1)),
+            stmt::wait_until(expr::eq(expr::signal(ack), expr::lit(1))),
+            stmt::assign(out, expr::var(data)),
+            stmt::set_signal(req, expr::lit(0)),
+        ],
+    );
+    // The server is marked `server`: the concurrent composite completes
+    // when the client (its only non-server child) completes, and the
+    // eternal Memory loop is then terminated — exactly the shape the
+    // refinement engine produces for memory modules and arbiters.
+    let top = b.concurrent("Top", vec![client, server]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().expect("completes past server");
+    assert_eq!(r.var_by_name("out"), Some(99));
+}
+
+#[test]
+fn fixed_width_wrapping_matches_hardware() {
+    let mut b = SpecBuilder::new("wrap");
+    let x = b.var("x", DataType::uint(8), 0);
+    let a = b.leaf("A", vec![stmt::assign(x, expr::lit(260))]);
+    let top = b.seq_in_order("Top", vec![a]);
+    let spec = b.finish(top).unwrap();
+    let r = Simulator::new(&spec).run().unwrap();
+    assert_eq!(r.var_by_name("x"), Some(4));
+}

@@ -1,0 +1,254 @@
+//! Behaviors: the hierarchical units of functionality in a specification.
+//!
+//! A behavior is either a *leaf* (a list of sequential statements), a
+//! *sequential composite* (children executed one at a time, with
+//! transition-on-completion arcs selecting the successor — the `A:(x>1,B)`
+//! notation of the paper), or a *concurrent composite* (children executing
+//! in parallel; the composite completes when all children complete).
+
+use crate::expr::Expr;
+use crate::ids::{BehaviorId, VarId};
+use crate::stmt::Stmt;
+
+/// Where a completed child behavior hands control next.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TransitionTarget {
+    /// Control moves to a sibling behavior.
+    Behavior(BehaviorId),
+    /// The parent composite completes.
+    Complete,
+}
+
+/// A transition-on-completion arc inside a sequential composite.
+///
+/// When `from` completes, the arcs whose `from` matches are examined in
+/// declaration order; the first whose guard evaluates non-zero (or that has
+/// no guard) fires. If no arc matches, control falls through to the next
+/// child in declaration order, or the composite completes if `from` was the
+/// last child.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// The child whose completion triggers this arc.
+    pub from: BehaviorId,
+    /// Guard condition; `None` is an unconditional arc.
+    pub cond: Option<Expr>,
+    /// Where control goes when the arc fires.
+    pub to: TransitionTarget,
+}
+
+/// The structural kind of a behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BehaviorKind {
+    /// A leaf behavior: a straight-line body of sequential statements.
+    Leaf {
+        /// The statements of the body.
+        body: Vec<Stmt>,
+    },
+    /// A sequential composite: children execute one at a time following
+    /// transition arcs. Execution starts at the first child.
+    Seq {
+        /// Child behaviors, in declaration order.
+        children: Vec<BehaviorId>,
+        /// Transition arcs.
+        transitions: Vec<Transition>,
+    },
+    /// A concurrent composite: all children run in parallel; the composite
+    /// completes when every child has completed.
+    Concurrent {
+        /// Child behaviors.
+        children: Vec<BehaviorId>,
+    },
+}
+
+/// A behavior: a named piece of system functionality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Behavior {
+    pub(crate) name: String,
+    pub(crate) kind: BehaviorKind,
+    /// Variables declared in (scoped to) this behavior.
+    pub(crate) declared_vars: Vec<VarId>,
+    /// Whether this is a *server* behavior: an infinite service loop
+    /// (memory module, bus arbiter, bus interface) inserted by refinement.
+    /// A concurrent composite completes when all its non-server children
+    /// complete; server children are then terminated by the simulator.
+    pub(crate) server: bool,
+}
+
+impl Behavior {
+    /// Creates a behavior with the given name and kind.
+    pub fn new(name: impl Into<String>, kind: BehaviorKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            declared_vars: Vec::new(),
+            server: false,
+        }
+    }
+
+    /// Creates a server behavior (see [`Behavior::is_server`]).
+    pub fn new_server(name: impl Into<String>, kind: BehaviorKind) -> Self {
+        Self {
+            server: true,
+            ..Self::new(name, kind)
+        }
+    }
+
+    /// Whether this behavior is an infinite service loop that should not
+    /// block its parent's completion.
+    pub fn is_server(&self) -> bool {
+        self.server
+    }
+
+    /// Marks or unmarks this behavior as a server.
+    pub fn set_server(&mut self, server: bool) {
+        self.server = server;
+    }
+
+    /// The behavior's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The behavior's structural kind.
+    pub fn kind(&self) -> &BehaviorKind {
+        &self.kind
+    }
+
+    /// Mutable access to the kind; used by the refinement engine when it
+    /// rewrites bodies and re-targets transitions.
+    pub fn kind_mut(&mut self) -> &mut BehaviorKind {
+        &mut self.kind
+    }
+
+    /// Variables declared in this behavior's scope.
+    pub fn declared_vars(&self) -> &[VarId] {
+        &self.declared_vars
+    }
+
+    /// Records a variable as declared in this behavior's scope.
+    pub fn declare_var(&mut self, var: VarId) {
+        self.declared_vars.push(var);
+    }
+
+    /// Whether this is a leaf behavior. The paper's control-related
+    /// refinement picks its scheme (Figure 4(b) vs 4(c)) based on this.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, BehaviorKind::Leaf { .. })
+    }
+
+    /// Child behaviors (empty for leaves).
+    pub fn children(&self) -> &[BehaviorId] {
+        match &self.kind {
+            BehaviorKind::Leaf { .. } => &[],
+            BehaviorKind::Seq { children, .. } => children,
+            BehaviorKind::Concurrent { children } => children,
+        }
+    }
+
+    /// Leaf body, if this is a leaf.
+    pub fn body(&self) -> Option<&[Stmt]> {
+        match &self.kind {
+            BehaviorKind::Leaf { body } => Some(body),
+            _ => None,
+        }
+    }
+
+    /// Mutable leaf body, if this is a leaf.
+    pub fn body_mut(&mut self) -> Option<&mut Vec<Stmt>> {
+        match &mut self.kind {
+            BehaviorKind::Leaf { body } => Some(body),
+            _ => None,
+        }
+    }
+
+    /// Transition arcs, if this is a sequential composite.
+    pub fn transitions(&self) -> &[Transition] {
+        match &self.kind {
+            BehaviorKind::Seq { transitions, .. } => transitions,
+            _ => &[],
+        }
+    }
+
+    /// Total statement count in this behavior (leaf bodies only; composites
+    /// count 0 here — use `Spec::behavior_size` for recursive totals).
+    pub fn statement_count(&self) -> usize {
+        match &self.kind {
+            BehaviorKind::Leaf { body } => body.iter().map(Stmt::size).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Renames the behavior. Used by refinement when deriving `B_NEW` from
+    /// `B` while keeping ids stable.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+    use crate::stmt::skip;
+
+    fn bid(i: u32) -> BehaviorId {
+        BehaviorId::from_raw(i)
+    }
+
+    #[test]
+    fn leaf_reports_body_and_is_leaf() {
+        let b = Behavior::new("A", BehaviorKind::Leaf { body: vec![skip()] });
+        assert!(b.is_leaf());
+        assert_eq!(b.body().unwrap().len(), 1);
+        assert!(b.children().is_empty());
+        assert_eq!(b.statement_count(), 1);
+    }
+
+    #[test]
+    fn seq_reports_children_and_transitions() {
+        let t = Transition {
+            from: bid(1),
+            cond: Some(lit(1)),
+            to: TransitionTarget::Behavior(bid(2)),
+        };
+        let b = Behavior::new(
+            "Top",
+            BehaviorKind::Seq {
+                children: vec![bid(1), bid(2)],
+                transitions: vec![t.clone()],
+            },
+        );
+        assert!(!b.is_leaf());
+        assert_eq!(b.children(), &[bid(1), bid(2)]);
+        assert_eq!(b.transitions(), &[t]);
+        assert!(b.body().is_none());
+    }
+
+    #[test]
+    fn concurrent_has_children_but_no_transitions() {
+        let b = Behavior::new(
+            "Par",
+            BehaviorKind::Concurrent {
+                children: vec![bid(3)],
+            },
+        );
+        assert_eq!(b.children(), &[bid(3)]);
+        assert!(b.transitions().is_empty());
+    }
+
+    #[test]
+    fn declare_var_accumulates() {
+        let mut b = Behavior::new("A", BehaviorKind::Leaf { body: vec![] });
+        b.declare_var(VarId::from_raw(0));
+        b.declare_var(VarId::from_raw(1));
+        assert_eq!(b.declared_vars().len(), 2);
+    }
+
+    #[test]
+    fn rename_keeps_kind() {
+        let mut b = Behavior::new("B", BehaviorKind::Leaf { body: vec![] });
+        b.set_name("B_NEW");
+        assert_eq!(b.name(), "B_NEW");
+        assert!(b.is_leaf());
+    }
+}

@@ -1,0 +1,240 @@
+//! Fluent programmatic construction of [`Spec`]s.
+//!
+//! The builder lets tests, workload generators and examples assemble a
+//! specification bottom-up: declare variables and signals, create leaf
+//! behaviors from statement lists, then group them into sequential or
+//! concurrent composites. [`SpecBuilder::finish`] validates the result.
+
+use crate::behavior::{Behavior, BehaviorKind, Transition, TransitionTarget};
+use crate::error::SpecError;
+use crate::expr::Expr;
+use crate::ids::{BehaviorId, SignalId, VarId};
+use crate::spec::Spec;
+use crate::stmt::Stmt;
+use crate::types::DataType;
+use crate::validate;
+
+/// Builds a [`Spec`] incrementally.
+///
+/// # Example
+///
+/// ```
+/// use modref_spec::builder::SpecBuilder;
+/// use modref_spec::{expr, stmt};
+///
+/// let mut b = SpecBuilder::new("demo");
+/// let x = b.var_int("x", 16, 0);
+/// let a = b.leaf("A", vec![stmt::assign(x, expr::lit(1))]);
+/// let c = b.leaf("C", vec![stmt::assign(x, expr::lit(2))]);
+/// let top = b.seq("Top", vec![a, c], vec![]);
+/// let spec = b.finish(top).expect("valid");
+/// assert_eq!(spec.behavior_count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct SpecBuilder {
+    spec: Spec,
+}
+
+impl SpecBuilder {
+    /// Starts building a spec with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            spec: Spec::new(name),
+        }
+    }
+
+    /// Declares a spec-scope variable.
+    pub fn var(&mut self, name: impl Into<String>, ty: DataType, init: i64) -> VarId {
+        self.spec.add_variable(name, ty, init, None)
+    }
+
+    /// Declares a spec-scope signed integer variable of the given width.
+    pub fn var_int(&mut self, name: impl Into<String>, width: u16, init: i64) -> VarId {
+        self.var(name, DataType::int(width), init)
+    }
+
+    /// Declares a variable scoped to a behavior (the behavior must already
+    /// exist).
+    pub fn var_in(
+        &mut self,
+        scope: BehaviorId,
+        name: impl Into<String>,
+        ty: DataType,
+        init: i64,
+    ) -> VarId {
+        self.spec.add_variable(name, ty, init, Some(scope))
+    }
+
+    /// Declares a signal.
+    pub fn signal(&mut self, name: impl Into<String>, ty: DataType, init: i64) -> SignalId {
+        self.spec.add_signal(name, ty, init)
+    }
+
+    /// Declares a 1-bit signal initialized to 0 — the common handshake wire.
+    pub fn signal_bit(&mut self, name: impl Into<String>) -> SignalId {
+        self.signal(name, DataType::Bit, 0)
+    }
+
+    /// Creates a leaf behavior from a statement body.
+    pub fn leaf(&mut self, name: impl Into<String>, body: Vec<Stmt>) -> BehaviorId {
+        self.spec
+            .add_behavior(Behavior::new(name, BehaviorKind::Leaf { body }))
+    }
+
+    /// Creates a *server* leaf behavior — an infinite service loop that
+    /// does not block its parent's completion (memory modules, arbiters).
+    pub fn leaf_server(&mut self, name: impl Into<String>, body: Vec<Stmt>) -> BehaviorId {
+        self.spec
+            .add_behavior(Behavior::new_server(name, BehaviorKind::Leaf { body }))
+    }
+
+    /// Creates a sequential composite with explicit transition arcs.
+    pub fn seq(
+        &mut self,
+        name: impl Into<String>,
+        children: Vec<BehaviorId>,
+        transitions: Vec<Transition>,
+    ) -> BehaviorId {
+        self.spec.add_behavior(Behavior::new(
+            name,
+            BehaviorKind::Seq {
+                children,
+                transitions,
+            },
+        ))
+    }
+
+    /// Creates a sequential composite whose children run in declaration
+    /// order (no explicit arcs — fall-through semantics).
+    pub fn seq_in_order(
+        &mut self,
+        name: impl Into<String>,
+        children: Vec<BehaviorId>,
+    ) -> BehaviorId {
+        self.seq(name, children, Vec::new())
+    }
+
+    /// Creates a concurrent composite.
+    pub fn concurrent(&mut self, name: impl Into<String>, children: Vec<BehaviorId>) -> BehaviorId {
+        self.spec
+            .add_behavior(Behavior::new(name, BehaviorKind::Concurrent { children }))
+    }
+
+    /// Builds an unconditional transition arc.
+    pub fn arc(&self, from: BehaviorId, to: BehaviorId) -> Transition {
+        Transition {
+            from,
+            cond: None,
+            to: TransitionTarget::Behavior(to),
+        }
+    }
+
+    /// Builds a guarded transition arc — the paper's `A:(x>1,B)` notation.
+    pub fn arc_when(&self, from: BehaviorId, cond: Expr, to: BehaviorId) -> Transition {
+        Transition {
+            from,
+            cond: Some(cond),
+            to: TransitionTarget::Behavior(to),
+        }
+    }
+
+    /// Builds a guarded completion arc.
+    pub fn arc_complete_when(&self, from: BehaviorId, cond: Expr) -> Transition {
+        Transition {
+            from,
+            cond: Some(cond),
+            to: TransitionTarget::Complete,
+        }
+    }
+
+    /// Builds an unconditional completion arc.
+    pub fn arc_complete(&self, from: BehaviorId) -> Transition {
+        Transition {
+            from,
+            cond: None,
+            to: TransitionTarget::Complete,
+        }
+    }
+
+    /// Read-only access to the spec under construction (e.g. to look up
+    /// names while building).
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Sets the top behavior, validates, and returns the finished spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`SpecError`] found by [`validate::check`].
+    pub fn finish(mut self, top: BehaviorId) -> Result<Spec, SpecError> {
+        self.spec.set_top(top);
+        validate::check(&self.spec)?;
+        Ok(self.spec)
+    }
+
+    /// Like [`finish`](Self::finish) but skips validation; for tests that
+    /// deliberately construct invalid specs.
+    pub fn finish_unchecked(mut self, top: BehaviorId) -> Spec {
+        self.spec.set_top(top);
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{gt, lit, var};
+    use crate::stmt::assign;
+
+    #[test]
+    fn builds_the_paper_figure1_shape() {
+        // Figure 1(a): behaviors A, B, C; variable x; arcs A:(x>1,B), A:(x<1,C).
+        let mut b = SpecBuilder::new("fig1");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf("A", vec![assign(x, lit(5))]);
+        let bb = b.leaf("B", vec![assign(x, lit(1))]);
+        let c = b.leaf("C", vec![assign(x, lit(2))]);
+        let arcs = vec![
+            b.arc_when(a, gt(var(x), lit(1)), bb),
+            b.arc_when(a, crate::expr::lt(var(x), lit(1)), c),
+        ];
+        let top = b.seq("Top", vec![a, bb, c], arcs);
+        let spec = b.finish(top).expect("valid");
+        assert_eq!(spec.behavior(top).transitions().len(), 2);
+        assert_eq!(spec.leaves().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_composite_builds() {
+        let mut b = SpecBuilder::new("par");
+        let a = b.leaf("A", vec![]);
+        let c = b.leaf("B", vec![]);
+        let top = b.concurrent("Top", vec![a, c]);
+        let spec = b.finish(top).expect("valid");
+        assert_eq!(spec.behavior(top).children().len(), 2);
+    }
+
+    #[test]
+    fn finish_rejects_duplicate_names() {
+        let mut b = SpecBuilder::new("dup");
+        let a = b.leaf("A", vec![]);
+        let a2 = b.leaf("A", vec![]);
+        let top = b.seq_in_order("Top", vec![a, a2]);
+        assert!(matches!(
+            b.finish(top),
+            Err(SpecError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn scoped_variable_registers_with_behavior() {
+        let mut b = SpecBuilder::new("scoped");
+        let leaf = b.leaf("A", vec![]);
+        let v = b.var_in(leaf, "local", DataType::int(8), 3);
+        let top = b.seq_in_order("Top", vec![leaf]);
+        let spec = b.finish(top).expect("valid");
+        assert_eq!(spec.variable(v).scope(), Some(leaf));
+        assert!(spec.behavior(leaf).declared_vars().contains(&v));
+    }
+}

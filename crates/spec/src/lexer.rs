@@ -1,0 +1,332 @@
+//! Lexer for the textual specification language.
+
+use crate::error::ParseError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// The kinds of token the language uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `$name` — a subroutine parameter reference.
+    Param(String),
+    /// `:=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `@`
+    At,
+    /// `=`
+    Eq,
+    /// An operator token such as `+`, `==`, `&&`.
+    Op(String),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Int(v) => format!("`{v}`"),
+            TokenKind::Param(s) => format!("`${s}`"),
+            TokenKind::Assign => "`:=`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::At => "`@`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Op(s) => format!("`{s}`"),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes `input`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unrecognized characters or malformed
+/// literals.
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ';' => push!(TokenKind::Semi, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            '@' => push!(TokenKind::At, 1),
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Assign, 2);
+                } else {
+                    push!(TokenKind::Colon, 1);
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(TokenKind::Arrow, 2);
+                } else {
+                    push!(TokenKind::Op("-".into()), 1);
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Op("==".into()), 2);
+                } else {
+                    push!(TokenKind::Eq, 1);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Op("!=".into()), 2);
+                } else {
+                    push!(TokenKind::Op("!".into()), 1);
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => push!(TokenKind::Op("<=".into()), 2),
+                Some(&b'<') => push!(TokenKind::Op("<<".into()), 2),
+                _ => push!(TokenKind::Op("<".into()), 1),
+            },
+            '>' => match bytes.get(i + 1) {
+                Some(&b'=') => push!(TokenKind::Op(">=".into()), 2),
+                Some(&b'>') => push!(TokenKind::Op(">>".into()), 2),
+                _ => push!(TokenKind::Op(">".into()), 1),
+            },
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(TokenKind::Op("&&".into()), 2);
+                } else {
+                    push!(TokenKind::Op("&".into()), 1);
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(TokenKind::Op("||".into()), 2);
+                } else {
+                    push!(TokenKind::Op("|".into()), 1);
+                }
+            }
+            '+' | '*' | '/' | '%' | '^' => push!(TokenKind::Op(c.to_string()), 1),
+            '$' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(ParseError::new(line, col, "expected name after `$`"));
+                }
+                let name = input[start..end].to_string();
+                let len = end - i;
+                push!(TokenKind::Param(name), len);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let text = &input[start..end];
+                let value: i64 = text.parse().map_err(|_| {
+                    ParseError::new(line, col, format!("integer literal `{text}` out of range"))
+                })?;
+                let len = end - start;
+                push!(TokenKind::Int(value), len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let name = input[start..end].to_string();
+                let len = end - start;
+                push!(TokenKind::Ident(name), len);
+            }
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    col,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            kinds("x := x + 5;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("x".into()),
+                TokenKind::Op("+".into()),
+                TokenKind::Int(5),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_colon_assign_arrow_minus() {
+        assert_eq!(
+            kinds("a : b := c -> -1"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("b".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("c".into()),
+                TokenKind::Arrow,
+                TokenKind::Op("-".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> && ||"),
+            vec![
+                TokenKind::Op("==".into()),
+                TokenKind::Op("!=".into()),
+                TokenKind::Op("<=".into()),
+                TokenKind::Op(">=".into()),
+                TokenKind::Op("<<".into()),
+                TokenKind::Op(">>".into()),
+                TokenKind::Op("&&".into()),
+                TokenKind::Op("||".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// comment\nx").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].col, 1);
+    }
+
+    #[test]
+    fn lexes_params() {
+        assert_eq!(
+            kinds("$addr"),
+            vec![TokenKind::Param("addr".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        let err = lex("x ? y").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn rejects_dollar_without_name() {
+        assert!(lex("$ x").is_err());
+    }
+}

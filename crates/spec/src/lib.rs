@@ -1,0 +1,68 @@
+//! # modref-spec
+//!
+//! A SpecCharts-style specification language for hardware-software codesign,
+//! after Narayan, Vahid & Gajski's SpecCharts (ICCAD 1991) as used by the
+//! model-refinement work of Gong, Gajski & Bakshi (UCI TR 95-14 / DATE 1996).
+//!
+//! A [`Spec`] is a hierarchy of *behaviors*. Composite behaviors execute
+//! their children sequentially (with transition-on-completion arcs carrying
+//! guard conditions) or concurrently; leaf behaviors hold a list of
+//! sequential statements (assignments, branches, loops, waits and signal
+//! assignments). Behaviors declare *variables* (data state) and the spec
+//! declares *signals* (wires used for synchronization between concurrent
+//! behaviors). *Channels* — the data/control accesses between behaviors and
+//! variables — are deliberately implicit here; they are derived by the
+//! `modref-graph` crate.
+//!
+//! The crate provides:
+//!
+//! * the in-memory IR ([`Spec`], [`Behavior`], [`Stmt`], [`Expr`], ...),
+//! * a fluent [`builder::SpecBuilder`] for programmatic construction,
+//! * a textual concrete syntax with a [`parser`] and a [`printer`]
+//!   (pretty-printing matters: the paper's Figure 10 measures refined
+//!   specifications in *lines*),
+//! * structural [`validate`] checks, and
+//! * [`visit`] utilities used by the refinement engine to rewrite accesses.
+//!
+//! ## Example
+//!
+//! ```
+//! use modref_spec::builder::SpecBuilder;
+//! use modref_spec::{expr, stmt};
+//!
+//! let mut b = SpecBuilder::new("tiny");
+//! let x = b.var_int("x", 16, 0);
+//! let leaf = b.leaf("A", vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(5)))]);
+//! let top = b.seq_in_order("Top", vec![leaf]);
+//! let spec = b.finish(top).expect("valid spec");
+//! assert_eq!(spec.behavior(top).name(), "Top");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod behavior;
+pub mod builder;
+pub mod cgen;
+pub mod error;
+pub mod expr;
+pub mod ids;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod spec;
+pub mod stmt;
+pub mod subroutine;
+pub mod types;
+pub mod validate;
+pub mod vhdl;
+pub mod visit;
+
+pub use behavior::{Behavior, BehaviorKind, Transition, TransitionTarget};
+pub use error::{ParseError, SpecError};
+pub use expr::{BinOp, Expr, UnOp};
+pub use ids::{BehaviorId, SignalId, SubroutineId, VarId};
+pub use spec::{Signal, Spec, Variable};
+pub use stmt::{LValue, Stmt, WaitCond};
+pub use subroutine::{ParamDir, Parameter, Subroutine};
+pub use types::DataType;

@@ -1,0 +1,1105 @@
+//! Parser for the textual specification language.
+//!
+//! Parsing is two-phase: a recursive-descent pass builds a name-based
+//! concrete syntax tree, then a resolver constructs the [`Spec`] (behaviors
+//! may reference siblings declared later in the file, so ids cannot be
+//! assigned in one pass). The grammar is exactly what
+//! [`printer::print`](crate::printer::print) emits; `parse(print(s))`
+//! reproduces `s` up to id numbering and is property-tested.
+
+use crate::behavior::{Behavior, BehaviorKind, Transition, TransitionTarget};
+use crate::error::ParseError;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::spec::Spec;
+use crate::stmt::{CallArg, LValue, Stmt, WaitCond};
+use crate::subroutine::{ParamDir, Parameter, Subroutine};
+use crate::types::{DataType, ScalarType};
+use crate::validate;
+
+/// Parses a complete specification from text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors, unresolved names, or
+/// validation failures in the resolved spec.
+///
+/// # Example
+///
+/// ```
+/// let spec = modref_spec::parser::parse(
+///     "spec tiny;\nvar x : int<16> = 0;\nbehavior A leaf {\n  x := x + 5;\n}\nbehavior Top seq { children { A; } }\ntop Top;\n",
+/// )?;
+/// assert_eq!(spec.behavior_count(), 2);
+/// # Ok::<(), modref_spec::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Spec, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser::new(tokens);
+    let cst = p.parse_spec()?;
+    resolve(cst)
+}
+
+// ---------------------------------------------------------------------------
+// Concrete syntax tree (names, not ids)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CstSpec {
+    name: String,
+    signals: Vec<CstDecl>,
+    global_vars: Vec<CstDecl>,
+    subroutines: Vec<CstSub>,
+    behaviors: Vec<CstBehavior>,
+    top: Option<String>,
+}
+
+#[derive(Debug)]
+struct CstDecl {
+    name: String,
+    ty: DataType,
+    init: i64,
+}
+
+#[derive(Debug)]
+struct CstSub {
+    name: String,
+    params: Vec<(ParamDir, String, DataType)>,
+    locals: Vec<CstDecl>,
+    body: Vec<CstStmt>,
+}
+
+#[derive(Debug)]
+enum CstBehaviorKind {
+    Leaf(Vec<CstStmt>),
+    Seq {
+        children: Vec<String>,
+        transitions: Vec<CstTransition>,
+    },
+    Conc {
+        children: Vec<String>,
+    },
+}
+
+#[derive(Debug)]
+struct CstBehavior {
+    name: String,
+    vars: Vec<CstDecl>,
+    kind: CstBehaviorKind,
+    server: bool,
+}
+
+#[derive(Debug)]
+struct CstTransition {
+    from: String,
+    cond: Option<CstExpr>,
+    to: Option<String>, // None = complete
+}
+
+#[derive(Debug)]
+enum CstLValue {
+    Name(String),
+    Index(String, CstExpr),
+    Param(String),
+}
+
+#[derive(Debug)]
+enum CstStmt {
+    Assign(CstLValue, CstExpr),
+    SignalSet(String, CstExpr),
+    WaitUntil(CstExpr),
+    WaitFor(u64),
+    If(CstExpr, Vec<CstStmt>, Vec<CstStmt>),
+    While(CstExpr, Option<u32>, Vec<CstStmt>),
+    For(String, CstExpr, CstExpr, Vec<CstStmt>),
+    Loop(Vec<CstStmt>),
+    Call(String, Vec<(ParamDir, CstCallArg)>),
+    Delay(u64),
+    Skip,
+}
+
+#[derive(Debug)]
+enum CstCallArg {
+    Expr(CstExpr),
+    LValue(CstLValue),
+}
+
+#[derive(Debug)]
+enum CstExpr {
+    Lit(i64),
+    Name(String),
+    Index(String, Box<CstExpr>),
+    Param(String),
+    Unary(UnOp, Box<CstExpr>),
+    Binary(BinOp, Box<CstExpr>, Box<CstExpr>),
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(t.line, t.col, msg)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        // Allow a leading minus for initializers.
+        let negative = matches!(&self.peek().kind, TokenKind::Op(op) if op == "-");
+        if negative {
+            self.next();
+        }
+        match &self.peek().kind {
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.next();
+                Ok(if negative { -v } else { v })
+            }
+            other => Err(self.err(format!("expected integer, found {}", other.describe()))),
+        }
+    }
+
+    fn parse_spec(&mut self) -> Result<CstSpec, ParseError> {
+        self.expect_keyword("spec")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Semi)?;
+
+        let mut cst = CstSpec {
+            name,
+            signals: Vec::new(),
+            global_vars: Vec::new(),
+            subroutines: Vec::new(),
+            behaviors: Vec::new(),
+            top: None,
+        };
+
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "signal" => {
+                        let d = self.parse_decl("signal")?;
+                        cst.signals.push(d);
+                    }
+                    "var" => {
+                        let d = self.parse_decl("var")?;
+                        cst.global_vars.push(d);
+                    }
+                    "subroutine" => {
+                        let s = self.parse_subroutine()?;
+                        cst.subroutines.push(s);
+                    }
+                    "behavior" => {
+                        let b = self.parse_behavior()?;
+                        cst.behaviors.push(b);
+                    }
+                    "top" => {
+                        self.next();
+                        let t = self.expect_ident()?;
+                        self.expect(&TokenKind::Semi)?;
+                        cst.top = Some(t);
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected `signal`, `var`, `subroutine`, `behavior` or `top`, found `{other}`"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(self.err(format!(
+                        "expected a declaration, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        Ok(cst)
+    }
+
+    /// `signal NAME : TYPE = INIT;` / `var NAME : TYPE = INIT;`
+    fn parse_decl(&mut self, kw: &str) -> Result<CstDecl, ParseError> {
+        self.expect_keyword(kw)?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.parse_type()?;
+        self.expect(&TokenKind::Eq)?;
+        let init = self.expect_int()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(CstDecl { name, ty, init })
+    }
+
+    fn parse_type(&mut self) -> Result<DataType, ParseError> {
+        let scalar = self.parse_scalar_type()?;
+        if self.peek().kind == TokenKind::LBracket {
+            self.next();
+            let len = self.expect_int()?;
+            if len <= 0 {
+                return Err(self.err("array length must be positive"));
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Ok(DataType::array(scalar, len as u32))
+        } else {
+            Ok(match scalar {
+                ScalarType::Bit => DataType::Bit,
+                ScalarType::Bool => DataType::Bool,
+                ScalarType::Int(w) => DataType::int(w),
+                ScalarType::Uint(w) => DataType::uint(w),
+            })
+        }
+    }
+
+    fn parse_scalar_type(&mut self) -> Result<ScalarType, ParseError> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "bit" => Ok(ScalarType::Bit),
+            "bool" => Ok(ScalarType::Bool),
+            "int" | "uint" => {
+                // int<16>
+                match &self.peek().kind {
+                    TokenKind::Op(op) if op == "<" => {
+                        self.next();
+                    }
+                    other => {
+                        return Err(
+                            self.err(format!("expected `<width>`, found {}", other.describe()))
+                        )
+                    }
+                }
+                let w = self.expect_int()?;
+                if !(1..=64).contains(&w) {
+                    return Err(self.err("integer width must be 1..=64"));
+                }
+                match &self.peek().kind {
+                    TokenKind::Op(op) if op == ">" => {
+                        self.next();
+                    }
+                    other => {
+                        return Err(self.err(format!("expected `>`, found {}", other.describe())))
+                    }
+                }
+                Ok(if name == "int" {
+                    ScalarType::Int(w as u16)
+                } else {
+                    ScalarType::Uint(w as u16)
+                })
+            }
+            other => Err(self.err(format!("unknown type `{other}`"))),
+        }
+    }
+
+    fn parse_subroutine(&mut self) -> Result<CstSub, ParseError> {
+        self.expect_keyword("subroutine")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                let dir = if self.at_keyword("in") {
+                    self.next();
+                    ParamDir::In
+                } else if self.at_keyword("out") {
+                    self.next();
+                    ParamDir::Out
+                } else {
+                    return Err(self.err("expected `in` or `out` parameter direction"));
+                };
+                let pname = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.parse_type()?;
+                params.push((dir, pname, ty));
+                if self.peek().kind == TokenKind::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut locals = Vec::new();
+        while self.at_keyword("var") {
+            locals.push(self.parse_decl("var")?);
+        }
+        let body = self.parse_stmts_until_rbrace()?;
+        Ok(CstSub {
+            name,
+            params,
+            locals,
+            body,
+        })
+    }
+
+    fn parse_behavior(&mut self) -> Result<CstBehavior, ParseError> {
+        self.expect_keyword("behavior")?;
+        let name = self.expect_ident()?;
+        let kind_word = self.expect_ident()?;
+        let server = if self.at_keyword("server") {
+            self.next();
+            true
+        } else {
+            false
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let mut vars = Vec::new();
+        while self.at_keyword("var") {
+            vars.push(self.parse_decl("var")?);
+        }
+        let kind = match kind_word.as_str() {
+            "leaf" => CstBehaviorKind::Leaf(self.parse_stmts_until_rbrace()?),
+            "seq" => {
+                let children = self.parse_children()?;
+                let transitions = if self.at_keyword("transitions") {
+                    self.parse_transitions()?
+                } else {
+                    Vec::new()
+                };
+                self.expect(&TokenKind::RBrace)?;
+                CstBehaviorKind::Seq {
+                    children,
+                    transitions,
+                }
+            }
+            "conc" => {
+                let children = self.parse_children()?;
+                self.expect(&TokenKind::RBrace)?;
+                CstBehaviorKind::Conc { children }
+            }
+            other => {
+                return Err(self.err(format!("expected `leaf`, `seq` or `conc`, found `{other}`")))
+            }
+        };
+        Ok(CstBehavior {
+            name,
+            vars,
+            kind,
+            server,
+        })
+    }
+
+    fn parse_children(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_keyword("children")?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut names = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            names.push(self.expect_ident()?);
+            self.expect(&TokenKind::Semi)?;
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(names)
+    }
+
+    fn parse_transitions(&mut self) -> Result<Vec<CstTransition>, ParseError> {
+        self.expect_keyword("transitions")?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut arcs = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let from = self.expect_ident()?;
+            self.expect(&TokenKind::Arrow)?;
+            let to_name = self.expect_ident()?;
+            let to = if to_name == "complete" {
+                None
+            } else {
+                Some(to_name)
+            };
+            let cond = if self.at_keyword("when") {
+                self.next();
+                self.expect(&TokenKind::LParen)?;
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Some(e)
+            } else {
+                None
+            };
+            self.expect(&TokenKind::Semi)?;
+            arcs.push(CstTransition { from, cond, to });
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(arcs)
+    }
+
+    fn parse_stmts_until_rbrace(&mut self) -> Result<Vec<CstStmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.err("unexpected end of input inside a block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<CstStmt, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(kw) => match kw.as_str() {
+                "set" => {
+                    self.next();
+                    let name = self.expect_ident()?;
+                    self.expect(&TokenKind::Assign)?;
+                    let e = self.parse_expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(CstStmt::SignalSet(name, e))
+                }
+                "wait" => {
+                    self.next();
+                    if self.at_keyword("until") {
+                        self.next();
+                        self.expect(&TokenKind::LParen)?;
+                        let e = self.parse_expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(CstStmt::WaitUntil(e))
+                    } else if self.at_keyword("for") {
+                        self.next();
+                        let n = self.expect_int()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(CstStmt::WaitFor(n.max(0) as u64))
+                    } else {
+                        Err(self.err("expected `until` or `for` after `wait`"))
+                    }
+                }
+                "if" => {
+                    self.next();
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    self.expect(&TokenKind::LBrace)?;
+                    let then_body = self.parse_stmts_until_rbrace()?;
+                    let else_body = if self.at_keyword("else") {
+                        self.next();
+                        self.expect(&TokenKind::LBrace)?;
+                        self.parse_stmts_until_rbrace()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(CstStmt::If(cond, then_body, else_body))
+                }
+                "while" => {
+                    self.next();
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let hint = if self.peek().kind == TokenKind::At {
+                        self.next();
+                        Some(self.expect_int()?.max(0) as u32)
+                    } else {
+                        None
+                    };
+                    self.expect(&TokenKind::LBrace)?;
+                    let body = self.parse_stmts_until_rbrace()?;
+                    Ok(CstStmt::While(cond, hint, body))
+                }
+                "for" => {
+                    self.next();
+                    let var = self.expect_ident()?;
+                    self.expect(&TokenKind::Assign)?;
+                    let from = self.parse_expr()?;
+                    self.expect_keyword("to")?;
+                    let to = self.parse_expr()?;
+                    self.expect(&TokenKind::LBrace)?;
+                    let body = self.parse_stmts_until_rbrace()?;
+                    Ok(CstStmt::For(var, from, to, body))
+                }
+                "loop" => {
+                    self.next();
+                    self.expect(&TokenKind::LBrace)?;
+                    let body = self.parse_stmts_until_rbrace()?;
+                    Ok(CstStmt::Loop(body))
+                }
+                "call" => {
+                    self.next();
+                    let name = self.expect_ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let mut args = Vec::new();
+                    if self.peek().kind != TokenKind::RParen {
+                        loop {
+                            if self.at_keyword("in") {
+                                self.next();
+                                args.push((ParamDir::In, CstCallArg::Expr(self.parse_expr()?)));
+                            } else if self.at_keyword("out") {
+                                self.next();
+                                args.push((
+                                    ParamDir::Out,
+                                    CstCallArg::LValue(self.parse_lvalue()?),
+                                ));
+                            } else {
+                                return Err(self.err("expected `in` or `out` argument"));
+                            }
+                            if self.peek().kind == TokenKind::Comma {
+                                self.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(CstStmt::Call(name, args))
+                }
+                "delay" => {
+                    self.next();
+                    let n = self.expect_int()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(CstStmt::Delay(n.max(0) as u64))
+                }
+                "skip" => {
+                    self.next();
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(CstStmt::Skip)
+                }
+                _ => {
+                    // assignment: NAME [ '[' expr ']' ] := expr ;
+                    let lv = self.parse_lvalue()?;
+                    self.expect(&TokenKind::Assign)?;
+                    let e = self.parse_expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(CstStmt::Assign(lv, e))
+                }
+            },
+            TokenKind::Param(_) => {
+                let lv = self.parse_lvalue()?;
+                self.expect(&TokenKind::Assign)?;
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(CstStmt::Assign(lv, e))
+            }
+            other => Err(self.err(format!("expected a statement, found {}", other.describe()))),
+        }
+    }
+
+    fn parse_lvalue(&mut self) -> Result<CstLValue, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Param(name) => {
+                self.next();
+                Ok(CstLValue::Param(name))
+            }
+            TokenKind::Ident(name) => {
+                self.next();
+                if self.peek().kind == TokenKind::LBracket {
+                    self.next();
+                    let idx = self.parse_expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(CstLValue::Index(name, idx))
+                } else {
+                    Ok(CstLValue::Name(name))
+                }
+            }
+            other => Err(self.err(format!("expected an lvalue, found {}", other.describe()))),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<CstExpr, ParseError> {
+        self.parse_binary(0)
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<CstExpr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        #[allow(clippy::while_let_loop)] // two-level break reads clearer here
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Op(op) => match op_from_token(op) {
+                    Some(op) => op,
+                    None => break,
+                },
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.next();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = CstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<CstExpr, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Op(op) if op == "-" => {
+                self.next();
+                Ok(CstExpr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            TokenKind::Op(op) if op == "!" => {
+                self.next();
+                Ok(CstExpr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<CstExpr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.next();
+                Ok(CstExpr::Lit(v))
+            }
+            TokenKind::Param(name) => {
+                self.next();
+                Ok(CstExpr::Param(name))
+            }
+            TokenKind::Ident(name) => {
+                self.next();
+                if self.peek().kind == TokenKind::LBracket {
+                    self.next();
+                    let idx = self.parse_expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(CstExpr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(CstExpr::Name(name))
+                }
+            }
+            TokenKind::LParen => {
+                self.next();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+fn op_from_token(op: &str) -> Option<BinOp> {
+    Some(match op {
+        "+" => BinOp::Add,
+        "-" => BinOp::Sub,
+        "*" => BinOp::Mul,
+        "/" => BinOp::Div,
+        "%" => BinOp::Rem,
+        "==" => BinOp::Eq,
+        "!=" => BinOp::Ne,
+        "<" => BinOp::Lt,
+        "<=" => BinOp::Le,
+        ">" => BinOp::Gt,
+        ">=" => BinOp::Ge,
+        "&&" => BinOp::And,
+        "||" => BinOp::Or,
+        "&" => BinOp::BitAnd,
+        "|" => BinOp::BitOr,
+        "^" => BinOp::BitXor,
+        "<<" => BinOp::Shl,
+        ">>" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Resolution: CST -> Spec
+// ---------------------------------------------------------------------------
+
+fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
+    let mut spec = Spec::new(cst.name.clone());
+
+    for s in &cst.signals {
+        spec.add_signal(s.name.clone(), s.ty, s.init);
+    }
+    for v in &cst.global_vars {
+        spec.add_variable(v.name.clone(), v.ty, v.init, None);
+    }
+
+    // Create behaviors first (empty), so children and transitions resolve.
+    let mut behavior_ids = Vec::new();
+    for b in &cst.behaviors {
+        let id = spec.add_behavior(Behavior::new(
+            b.name.clone(),
+            BehaviorKind::Leaf { body: Vec::new() },
+        ));
+        if b.server {
+            spec.behavior_mut(id).set_server(true);
+        }
+        behavior_ids.push(id);
+        for v in &b.vars {
+            spec.add_variable(v.name.clone(), v.ty, v.init, Some(id));
+        }
+    }
+
+    // Create subroutines with signatures and locals (bodies later, so that
+    // protocol subroutines may call each other).
+    let mut sub_ids = Vec::new();
+    for s in &cst.subroutines {
+        let params = s
+            .params
+            .iter()
+            .map(|(dir, name, ty)| Parameter {
+                name: name.clone(),
+                dir: *dir,
+                ty: *ty,
+            })
+            .collect();
+        let id = spec.add_subroutine(Subroutine::new(s.name.clone(), params, Vec::new()));
+        for l in &s.locals {
+            let vid = spec.add_variable(l.name.clone(), l.ty, l.init, None);
+            spec.subroutine_mut(id).declare_local(vid);
+        }
+        sub_ids.push(id);
+    }
+
+    // Fill in behavior kinds.
+    for (b, &id) in cst.behaviors.iter().zip(&behavior_ids) {
+        let kind = match &b.kind {
+            CstBehaviorKind::Leaf(body) => BehaviorKind::Leaf {
+                body: resolve_stmts(&spec, body)?,
+            },
+            CstBehaviorKind::Seq {
+                children,
+                transitions,
+            } => {
+                let child_ids = children
+                    .iter()
+                    .map(|n| lookup_behavior(&spec, n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let arcs = transitions
+                    .iter()
+                    .map(|t| {
+                        Ok(Transition {
+                            from: lookup_behavior(&spec, &t.from)?,
+                            cond: t
+                                .cond
+                                .as_ref()
+                                .map(|c| resolve_expr(&spec, c))
+                                .transpose()?,
+                            to: match &t.to {
+                                Some(n) => TransitionTarget::Behavior(lookup_behavior(&spec, n)?),
+                                None => TransitionTarget::Complete,
+                            },
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ParseError>>()?;
+                BehaviorKind::Seq {
+                    children: child_ids,
+                    transitions: arcs,
+                }
+            }
+            CstBehaviorKind::Conc { children } => BehaviorKind::Concurrent {
+                children: children
+                    .iter()
+                    .map(|n| lookup_behavior(&spec, n))
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+        };
+        *spec.behavior_mut(id).kind_mut() = kind;
+    }
+
+    // Fill in subroutine bodies.
+    for (s, &id) in cst.subroutines.iter().zip(&sub_ids) {
+        let body = resolve_stmts(&spec, &s.body)?;
+        *spec.subroutine_mut(id).body_mut() = body;
+    }
+
+    match &cst.top {
+        Some(name) => {
+            let top = lookup_behavior(&spec, name)?;
+            spec.set_top(top);
+        }
+        None => return Err(ParseError::new(0, 0, "missing `top` declaration")),
+    }
+
+    validate::check(&spec).map_err(|e| ParseError::new(0, 0, e.to_string()))?;
+    Ok(spec)
+}
+
+fn lookup_behavior(spec: &Spec, name: &str) -> Result<crate::ids::BehaviorId, ParseError> {
+    spec.behavior_by_name(name)
+        .ok_or_else(|| ParseError::new(0, 0, format!("unresolved behavior `{name}`")))
+}
+
+fn resolve_stmts(spec: &Spec, stmts: &[CstStmt]) -> Result<Vec<Stmt>, ParseError> {
+    stmts.iter().map(|s| resolve_stmt(spec, s)).collect()
+}
+
+fn resolve_stmt(spec: &Spec, s: &CstStmt) -> Result<Stmt, ParseError> {
+    Ok(match s {
+        CstStmt::Assign(lv, e) => Stmt::Assign {
+            target: resolve_lvalue(spec, lv)?,
+            value: resolve_expr(spec, e)?,
+        },
+        CstStmt::SignalSet(name, e) => Stmt::SignalSet {
+            signal: spec
+                .signal_by_name(name)
+                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved signal `{name}`")))?,
+            value: resolve_expr(spec, e)?,
+        },
+        CstStmt::WaitUntil(e) => Stmt::Wait(WaitCond::Until(resolve_expr(spec, e)?)),
+        CstStmt::WaitFor(n) => Stmt::Wait(WaitCond::For(*n)),
+        CstStmt::If(c, t, e) => Stmt::If {
+            cond: resolve_expr(spec, c)?,
+            then_body: resolve_stmts(spec, t)?,
+            else_body: resolve_stmts(spec, e)?,
+        },
+        CstStmt::While(c, hint, body) => Stmt::While {
+            cond: resolve_expr(spec, c)?,
+            body: resolve_stmts(spec, body)?,
+            trip_hint: *hint,
+        },
+        CstStmt::For(var, from, to, body) => Stmt::For {
+            var: spec
+                .variable_by_name(var)
+                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{var}`")))?,
+            from: resolve_expr(spec, from)?,
+            to: resolve_expr(spec, to)?,
+            body: resolve_stmts(spec, body)?,
+        },
+        CstStmt::Loop(body) => Stmt::Loop {
+            body: resolve_stmts(spec, body)?,
+        },
+        CstStmt::Call(name, args) => {
+            let sub = spec
+                .subroutine_by_name(name)
+                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved subroutine `{name}`")))?;
+            let args = args
+                .iter()
+                .map(|(dir, a)| {
+                    Ok(match (dir, a) {
+                        (ParamDir::In, CstCallArg::Expr(e)) => CallArg::In(resolve_expr(spec, e)?),
+                        (ParamDir::Out, CstCallArg::LValue(lv)) => {
+                            CallArg::Out(resolve_lvalue(spec, lv)?)
+                        }
+                        _ => unreachable!("parser pairs directions with arg forms"),
+                    })
+                })
+                .collect::<Result<Vec<_>, ParseError>>()?;
+            Stmt::Call { sub, args }
+        }
+        CstStmt::Delay(n) => Stmt::Delay(*n),
+        CstStmt::Skip => Stmt::Skip,
+    })
+}
+
+fn resolve_lvalue(spec: &Spec, lv: &CstLValue) -> Result<LValue, ParseError> {
+    Ok(match lv {
+        CstLValue::Name(name) => LValue::Var(
+            spec.variable_by_name(name)
+                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{name}`")))?,
+        ),
+        CstLValue::Index(name, idx) => LValue::Index(
+            spec.variable_by_name(name)
+                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{name}`")))?,
+            resolve_expr(spec, idx)?,
+        ),
+        CstLValue::Param(name) => LValue::Param(name.clone()),
+    })
+}
+
+fn resolve_expr(spec: &Spec, e: &CstExpr) -> Result<Expr, ParseError> {
+    Ok(match e {
+        CstExpr::Lit(v) => Expr::Lit(*v),
+        CstExpr::Param(name) => Expr::Param(name.clone()),
+        CstExpr::Name(name) => {
+            if let Some(v) = spec.variable_by_name(name) {
+                Expr::Var(v)
+            } else if let Some(s) = spec.signal_by_name(name) {
+                Expr::Signal(s)
+            } else {
+                return Err(ParseError::new(0, 0, format!("unresolved name `{name}`")));
+            }
+        }
+        CstExpr::Index(name, idx) => Expr::Index(
+            spec.variable_by_name(name)
+                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{name}`")))?,
+            Box::new(resolve_expr(spec, idx)?),
+        ),
+        CstExpr::Unary(op, inner) => Expr::Unary(*op, Box::new(resolve_expr(spec, inner)?)),
+        CstExpr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(resolve_expr(spec, l)?),
+            Box::new(resolve_expr(spec, r)?),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer;
+
+    const FIG1: &str = r#"
+spec fig1;
+
+var x : int<16> = 0;
+
+behavior A leaf {
+  x := x + 5;
+}
+
+behavior B leaf {
+  x := 1;
+}
+
+behavior C leaf {
+  x := 2;
+}
+
+behavior Top seq {
+  children { A; B; C; }
+  transitions {
+    A -> B when (x > 1);
+    A -> C when (x < 1);
+    B -> complete;
+  }
+}
+
+top Top;
+"#;
+
+    #[test]
+    fn parses_figure1_example() {
+        let spec = parse(FIG1).expect("parses");
+        assert_eq!(spec.name(), "fig1");
+        assert_eq!(spec.behavior_count(), 4);
+        let top = spec.behavior_by_name("Top").unwrap();
+        assert_eq!(spec.behavior(top).transitions().len(), 3);
+        assert_eq!(spec.top(), top);
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let spec = parse(FIG1).expect("parses");
+        let text = printer::print(&spec);
+        let spec2 = parse(&text).expect("reparses");
+        assert_eq!(printer::print(&spec2), text);
+    }
+
+    #[test]
+    fn parses_all_statement_forms() {
+        let src = r#"
+spec all;
+signal go : bit = 0;
+var x : int<16> = 0;
+var a : int<8>[4] = 0;
+var i : int<8> = 0;
+
+subroutine xfer(in addr : uint<8>, out data : int<16>) {
+  $data := $addr + 1;
+}
+
+behavior L leaf {
+  x := 1;
+  a[0] := x;
+  set go := 1;
+  wait until (go == 1);
+  wait for 3;
+  if (x > 0) {
+    skip;
+  } else {
+    delay 2;
+  }
+  while (x < 5) @9 {
+    x := x + 1;
+  }
+  for i := 0 to 4 {
+    a[i] := i;
+  }
+  call xfer(in 3, out x);
+}
+
+behavior Top seq {
+  children { L; }
+}
+
+top Top;
+"#;
+        let spec = parse(src).expect("parses");
+        let text = printer::print(&spec);
+        let spec2 = parse(&text).expect("reparses");
+        assert_eq!(printer::print(&spec2), text);
+    }
+
+    #[test]
+    fn reports_unresolved_names() {
+        let src = "spec s;\nbehavior L leaf {\n  y := 1;\n}\nbehavior Top seq {\n  children { L; }\n}\ntop Top;\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unresolved"), "{err}");
+    }
+
+    #[test]
+    fn reports_syntax_errors_with_position() {
+        let err = parse("spec s\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_missing_top() {
+        let err = parse("spec s;\nbehavior L leaf { }\n").unwrap_err();
+        assert!(err.message.contains("top"));
+    }
+
+    #[test]
+    fn parses_concurrent_behavior() {
+        let src = "spec s;\nbehavior A leaf { }\nbehavior B leaf { }\nbehavior P conc {\n  children { A; B; }\n}\ntop P;\n";
+        let spec = parse(src).expect("parses");
+        let p = spec.behavior_by_name("P").unwrap();
+        assert_eq!(spec.behavior(p).children().len(), 2);
+    }
+
+    #[test]
+    fn negative_initializers() {
+        let src = "spec s;\nvar x : int<16> = -5;\nbehavior L leaf { }\nbehavior T seq { children { L; } }\ntop T;\n";
+        let spec = parse(src).expect("parses");
+        let x = spec.variable_by_name("x").unwrap();
+        assert_eq!(spec.variable(x).init(), -5);
+    }
+}

@@ -1,0 +1,164 @@
+//! Subroutines: named procedures with `in`/`out` parameters.
+//!
+//! The original specification language does not need subroutines; the
+//! refinement engine introduces them to encapsulate bus protocols —
+//! `MST_send`, `MST_receive`, `SLV_send`, `SLV_receive` in the paper's
+//! Figure 5(d). Keeping protocols as named subroutines (rather than
+//! inlining the handshake at every access site) matches the paper's output
+//! and keeps the refined specification readable.
+
+use crate::ids::VarId;
+use crate::stmt::Stmt;
+use crate::types::DataType;
+
+/// Direction of a subroutine parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamDir {
+    /// Read-only input, bound to an expression value at call time.
+    In,
+    /// Write-only output, copied back to the caller's lvalue on return.
+    Out,
+}
+
+/// A formal parameter of a subroutine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parameter {
+    /// Parameter name, referenced in the body via [`Expr::Param`] and
+    /// [`Stmt`] assignments to `LValue` targets resolved by name.
+    ///
+    /// [`Expr::Param`]: crate::expr::Expr::Param
+    pub name: String,
+    /// Direction.
+    pub dir: ParamDir,
+    /// Data type.
+    pub ty: DataType,
+}
+
+/// A named procedure.
+///
+/// Subroutine bodies use the same statement language as leaf behaviors,
+/// with two additions: [`Expr::Param`] reads a parameter by name, and an
+/// assignment whose target variable id equals a *param slot* (see
+/// [`Subroutine::param_slot`]) writes an `out` parameter.
+///
+/// [`Expr::Param`]: crate::expr::Expr::Param
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subroutine {
+    pub(crate) name: String,
+    pub(crate) params: Vec<Parameter>,
+    pub(crate) body: Vec<Stmt>,
+    /// Local variables of the subroutine (declared in the enclosing spec's
+    /// variable arena, scoped here).
+    pub(crate) locals: Vec<VarId>,
+}
+
+impl Subroutine {
+    /// Creates a subroutine.
+    pub fn new(name: impl Into<String>, params: Vec<Parameter>, body: Vec<Stmt>) -> Self {
+        Self {
+            name: name.into(),
+            params,
+            body,
+            locals: Vec::new(),
+        }
+    }
+
+    /// The subroutine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Formal parameters in declaration order.
+    pub fn params(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    /// The body statements.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Mutable body access.
+    pub fn body_mut(&mut self) -> &mut Vec<Stmt> {
+        &mut self.body
+    }
+
+    /// Local variables scoped to this subroutine.
+    pub fn locals(&self) -> &[VarId] {
+        &self.locals
+    }
+
+    /// Records a local variable.
+    pub fn declare_local(&mut self, var: VarId) {
+        self.locals.push(var);
+    }
+
+    /// Index of the parameter with the given name, if any.
+    pub fn param_slot(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Number of `out` parameters.
+    pub fn out_param_count(&self) -> usize {
+        self.params
+            .iter()
+            .filter(|p| p.dir == ParamDir::Out)
+            .count()
+    }
+}
+
+/// Builds an `in` parameter.
+pub fn param_in(name: impl Into<String>, ty: DataType) -> Parameter {
+    Parameter {
+        name: name.into(),
+        dir: ParamDir::In,
+        ty,
+    }
+}
+
+/// Builds an `out` parameter.
+pub fn param_out(name: impl Into<String>, ty: DataType) -> Parameter {
+    Parameter {
+        name: name.into(),
+        dir: ParamDir::Out,
+        ty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::skip;
+
+    #[test]
+    fn param_slots_resolve_by_name() {
+        let s = Subroutine::new(
+            "MST_receive",
+            vec![
+                param_in("addr", DataType::uint(8)),
+                param_out("data", DataType::int(16)),
+            ],
+            vec![skip()],
+        );
+        assert_eq!(s.param_slot("addr"), Some(0));
+        assert_eq!(s.param_slot("data"), Some(1));
+        assert_eq!(s.param_slot("missing"), None);
+        assert_eq!(s.out_param_count(), 1);
+    }
+
+    #[test]
+    fn locals_accumulate() {
+        let mut s = Subroutine::new("p", vec![], vec![]);
+        s.declare_local(VarId::from_raw(4));
+        assert_eq!(s.locals(), &[VarId::from_raw(4)]);
+    }
+
+    #[test]
+    fn name_and_body_accessors() {
+        let mut s = Subroutine::new("p", vec![], vec![skip()]);
+        assert_eq!(s.name(), "p");
+        assert_eq!(s.body().len(), 1);
+        s.body_mut().push(skip());
+        assert_eq!(s.body().len(), 2);
+    }
+}

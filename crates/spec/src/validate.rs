@@ -1,0 +1,373 @@
+//! Structural validation of a [`Spec`].
+//!
+//! `check` verifies the invariants the rest of the toolchain relies on:
+//! unique names per entity kind, a tree-shaped behavior hierarchy rooted at
+//! the top, transitions that stay within their composite's children,
+//! call-site arity matching subroutine signatures, and array/scalar access
+//! consistency.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::behavior::TransitionTarget;
+use crate::error::SpecError;
+use crate::expr::Expr;
+use crate::ids::{BehaviorId, VarId};
+use crate::spec::Spec;
+use crate::stmt::{LValue, Stmt};
+use crate::visit;
+
+/// Checks all structural invariants of a spec.
+///
+/// # Errors
+///
+/// Returns the first violation found as a [`SpecError`].
+pub fn check(spec: &Spec) -> Result<(), SpecError> {
+    check_unique_names(spec)?;
+    check_hierarchy(spec)?;
+    check_transitions(spec)?;
+    check_bodies(spec)?;
+    Ok(())
+}
+
+fn check_unique_names(spec: &Spec) -> Result<(), SpecError> {
+    let mut seen = HashSet::new();
+    for (_, b) in spec.behaviors() {
+        if !seen.insert(b.name().to_string()) {
+            return Err(SpecError::DuplicateName {
+                kind: "behavior",
+                name: b.name().to_string(),
+            });
+        }
+    }
+    // Variables may shadow across scopes in concrete syntax, but the flat
+    // arena keeps globally unique names for printability.
+    let mut seen = HashSet::new();
+    for (_, v) in spec.variables() {
+        if !seen.insert(v.name().to_string()) {
+            return Err(SpecError::DuplicateName {
+                kind: "variable",
+                name: v.name().to_string(),
+            });
+        }
+    }
+    let mut seen = HashSet::new();
+    for (_, s) in spec.signals() {
+        if !seen.insert(s.name().to_string()) {
+            return Err(SpecError::DuplicateName {
+                kind: "signal",
+                name: s.name().to_string(),
+            });
+        }
+    }
+    let mut seen = HashSet::new();
+    for (_, s) in spec.subroutines() {
+        if !seen.insert(s.name().to_string()) {
+            return Err(SpecError::DuplicateName {
+                kind: "subroutine",
+                name: s.name().to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_hierarchy(spec: &Spec) -> Result<(), SpecError> {
+    // Every behavior is a child of at most one composite.
+    let mut parent: HashMap<BehaviorId, BehaviorId> = HashMap::new();
+    for (id, b) in spec.behaviors() {
+        for &c in b.children() {
+            spec.try_behavior(c)?;
+            if parent.insert(c, id).is_some() {
+                return Err(SpecError::SharedChild(c));
+            }
+        }
+    }
+    if let Some(top) = spec.top_opt() {
+        spec.try_behavior(top)?;
+        if parent.contains_key(&top) {
+            return Err(SpecError::TopIsChild(top));
+        }
+        // Detect cycles: walk up from every behavior; the chain must
+        // terminate within behavior_count steps.
+        for (id, _) in spec.behaviors() {
+            let mut cur = id;
+            let mut steps = 0;
+            while let Some(&p) = parent.get(&cur) {
+                cur = p;
+                steps += 1;
+                if steps > spec.behavior_count() {
+                    return Err(SpecError::HierarchyCycle(id));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_transitions(spec: &Spec) -> Result<(), SpecError> {
+    for (id, b) in spec.behaviors() {
+        let children: HashSet<_> = b.children().iter().copied().collect();
+        for t in b.transitions() {
+            if !children.contains(&t.from) {
+                return Err(SpecError::TransitionNotSibling {
+                    parent: id,
+                    endpoint: t.from,
+                });
+            }
+            if let TransitionTarget::Behavior(to) = t.to {
+                if !children.contains(&to) {
+                    return Err(SpecError::TransitionNotSibling {
+                        parent: id,
+                        endpoint: to,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_bodies(spec: &Spec) -> Result<(), SpecError> {
+    let mut result = Ok(());
+    let mut check_stmts = |stmts: &[Stmt]| {
+        visit::for_each_stmt(stmts, &mut |s| {
+            if result.is_err() {
+                return;
+            }
+            result = check_stmt(spec, s);
+        });
+        if result.is_ok() {
+            visit::for_each_expr(stmts, &mut |e| {
+                if result.is_err() {
+                    return;
+                }
+                result = check_expr(spec, e);
+            });
+        }
+    };
+    for (_, b) in spec.behaviors() {
+        if let Some(body) = b.body() {
+            check_stmts(body);
+        }
+    }
+    for (_, sub) in spec.subroutines() {
+        check_stmts(sub.body());
+    }
+    // Transition guards.
+    if result.is_ok() {
+        for (_, b) in spec.behaviors() {
+            for t in b.transitions() {
+                if let Some(cond) = &t.cond {
+                    let mut walk_result = Ok(());
+                    walk_guard(spec, cond, &mut walk_result);
+                    walk_result?;
+                }
+            }
+        }
+    }
+    result
+}
+
+fn walk_guard(spec: &Spec, e: &Expr, out: &mut Result<(), SpecError>) {
+    if out.is_err() {
+        return;
+    }
+    *out = check_expr(spec, e);
+    match e {
+        Expr::Index(_, idx) => walk_guard(spec, idx, out),
+        Expr::Unary(_, inner) => walk_guard(spec, inner, out),
+        Expr::Binary(_, l, r) => {
+            walk_guard(spec, l, out);
+            walk_guard(spec, r, out);
+        }
+        _ => {}
+    }
+}
+
+fn check_stmt(spec: &Spec, s: &Stmt) -> Result<(), SpecError> {
+    match s {
+        Stmt::Assign { target, .. } => check_lvalue(spec, target),
+        Stmt::SignalSet { signal, .. } => spec.try_signal(*signal).map(|_| ()),
+        Stmt::For { var, .. } => {
+            let v = spec.try_variable(*var)?;
+            if v.ty().is_array() {
+                return Err(SpecError::IndexingMismatch(*var));
+            }
+            Ok(())
+        }
+        Stmt::Call { sub, args } => {
+            let subroutine = spec
+                .subroutines()
+                .find(|(id, _)| id == sub)
+                .map(|(_, s)| s)
+                .ok_or(SpecError::UnknownSubroutine(*sub))?;
+            if subroutine.params().len() != args.len() {
+                return Err(SpecError::CallArityMismatch {
+                    sub: *sub,
+                    expected: subroutine.params().len(),
+                    found: args.len(),
+                });
+            }
+            for a in args {
+                if let crate::stmt::CallArg::Out(lv) = a {
+                    check_lvalue(spec, lv)?;
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+fn check_lvalue(spec: &Spec, lv: &LValue) -> Result<(), SpecError> {
+    match lv {
+        LValue::Var(v) => {
+            let var = spec.try_variable(*v)?;
+            if var.ty().is_array() {
+                return Err(SpecError::IndexingMismatch(*v));
+            }
+            Ok(())
+        }
+        LValue::Index(v, _) => {
+            let var = spec.try_variable(*v)?;
+            if !var.ty().is_array() {
+                return Err(SpecError::IndexingMismatch(*v));
+            }
+            Ok(())
+        }
+        // Parameter targets are frame-local; resolvable only at call time.
+        LValue::Param(_) => Ok(()),
+    }
+}
+
+fn check_expr(spec: &Spec, e: &Expr) -> Result<(), SpecError> {
+    match e {
+        Expr::Var(v) => {
+            let var = spec.try_variable(*v)?;
+            if var.ty().is_array() {
+                return Err(SpecError::IndexingMismatch(*v));
+            }
+            Ok(())
+        }
+        Expr::Index(v, _) => {
+            let var = spec.try_variable(*v)?;
+            if !var.ty().is_array() {
+                return Err(SpecError::IndexingMismatch(*v));
+            }
+            Ok(())
+        }
+        Expr::Signal(s) => spec.try_signal(*s).map(|_| ()),
+        _ => Ok(()),
+    }
+}
+
+/// Returns the set of variables accessed (read or written) by a behavior's
+/// own leaf body — a convenience shared by validation-adjacent analyses.
+pub fn accessed_vars(spec: &Spec, behavior: BehaviorId) -> HashSet<VarId> {
+    let mut out = HashSet::new();
+    if let Some(body) = spec.behavior(behavior).body() {
+        visit::for_each_stmt(body, &mut |s| {
+            out.extend(s.direct_reads());
+            out.extend(s.direct_writes());
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Behavior, BehaviorKind, Transition};
+    use crate::builder::SpecBuilder;
+    use crate::expr::{lit, var};
+    use crate::stmt::{assign, assign_index};
+    use crate::types::{DataType, ScalarType};
+
+    #[test]
+    fn valid_spec_passes() {
+        let mut b = SpecBuilder::new("ok");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf("A", vec![assign(x, lit(1))]);
+        let top = b.seq_in_order("Top", vec![a]);
+        assert!(b.finish(top).is_ok());
+    }
+
+    #[test]
+    fn scalar_indexed_as_array_fails() {
+        let mut b = SpecBuilder::new("bad");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf("A", vec![assign_index(x, lit(0), lit(1))]);
+        let top = b.seq_in_order("Top", vec![a]);
+        assert!(matches!(b.finish(top), Err(SpecError::IndexingMismatch(_))));
+    }
+
+    #[test]
+    fn array_read_without_index_fails() {
+        let mut b = SpecBuilder::new("bad2");
+        let arr = b.var("a", DataType::array(ScalarType::Int(8), 4), 0);
+        let x = b.var_int("x", 16, 0);
+        let leaf = b.leaf("A", vec![assign(x, var(arr))]);
+        let top = b.seq_in_order("Top", vec![leaf]);
+        assert!(matches!(b.finish(top), Err(SpecError::IndexingMismatch(_))));
+    }
+
+    #[test]
+    fn transition_to_non_child_fails() {
+        let mut b = SpecBuilder::new("bad3");
+        let a = b.leaf("A", vec![]);
+        let orphan = b.leaf("Orphan", vec![]);
+        let arc = Transition {
+            from: a,
+            cond: None,
+            to: TransitionTarget::Behavior(orphan),
+        };
+        let top = b.seq("Top", vec![a], vec![arc]);
+        // Note: `orphan` is not a child of Top.
+        assert!(matches!(
+            b.finish(top),
+            Err(SpecError::TransitionNotSibling { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_child_fails() {
+        let mut spec = Spec::new("shared");
+        let a = spec.add_behavior(Behavior::new("A", BehaviorKind::Leaf { body: vec![] }));
+        let p1 = spec.add_behavior(Behavior::new(
+            "P1",
+            BehaviorKind::Seq {
+                children: vec![a],
+                transitions: vec![],
+            },
+        ));
+        let _p2 = spec.add_behavior(Behavior::new(
+            "P2",
+            BehaviorKind::Seq {
+                children: vec![a],
+                transitions: vec![],
+            },
+        ));
+        let top = spec.add_behavior(Behavior::new(
+            "Top",
+            BehaviorKind::Seq {
+                children: vec![p1],
+                transitions: vec![],
+            },
+        ));
+        spec.set_top(top);
+        assert!(matches!(check(&spec), Err(SpecError::SharedChild(_))));
+    }
+
+    #[test]
+    fn accessed_vars_reports_reads_and_writes() {
+        let mut b = SpecBuilder::new("acc");
+        let x = b.var_int("x", 16, 0);
+        let y = b.var_int("y", 16, 0);
+        let a = b.leaf("A", vec![assign(x, var(y))]);
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let acc = accessed_vars(&spec, a);
+        assert!(acc.contains(&x));
+        assert!(acc.contains(&y));
+    }
+}

@@ -1,0 +1,794 @@
+//! VHDL export — the synthesis hand-off the paper motivates.
+//!
+//! The refined specification "can serve as an input for functional
+//! verification, behavioral synthesis or software compilation tools"
+//! (Section 1). This module renders a specification as a self-contained
+//! VHDL architecture: each top-level concurrent behavior becomes a
+//! process, sequential composites flatten into inline code or a state
+//! machine, and subroutine calls are inlined with parameter substitution.
+//!
+//! The export demonstrates the paper's thesis mechanically: it **requires
+//! process-locality** — every variable may be accessed by only one
+//! process (VHDL has no shared variables in this subset). Functional
+//! models with cross-behavior shared variables are rejected; *refined*
+//! models pass, because data-related refinement moved every shared
+//! variable into a single memory-server behavior and replaced all other
+//! accesses with bus protocols over signals.
+//!
+//! Supported subset: `bit`/`bool` map to `boolean`-tested integers,
+//! integers map to VHDL `integer`, arrays to constrained array types;
+//! comparisons in arithmetic context go through a generated `b2i`
+//! helper. Bitwise and shift operators are not representable on VHDL
+//! integers and are reported as errors.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::behavior::{BehaviorKind, TransitionTarget};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::ids::{BehaviorId, VarId};
+use crate::spec::Spec;
+use crate::stmt::{CallArg, LValue, Stmt, WaitCond};
+use crate::subroutine::ParamDir;
+use crate::visit;
+
+/// An error preventing VHDL export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VhdlError {
+    /// A variable is accessed by more than one process. Refinement
+    /// eliminates this; functional models typically trip it.
+    SharedVariable {
+        /// The variable's name.
+        var: String,
+        /// Two of the accessing processes.
+        processes: (String, String),
+    },
+    /// A concurrent composite occurs below a process root; only
+    /// top-level concurrency maps to VHDL processes.
+    NestedConcurrency(String),
+    /// An operator with no VHDL integer equivalent.
+    UnsupportedOp(&'static str),
+}
+
+impl fmt::Display for VhdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VhdlError::SharedVariable { var, processes } => write!(
+                f,
+                "variable `{var}` is shared by processes `{}` and `{}` — refine the \
+                 specification first",
+                processes.0, processes.1
+            ),
+            VhdlError::NestedConcurrency(name) => write!(
+                f,
+                "concurrent composite `{name}` nested inside a process; only top-level \
+                 concurrency exports"
+            ),
+            VhdlError::UnsupportedOp(op) => {
+                write!(f, "operator `{op}` has no VHDL integer equivalent")
+            }
+        }
+    }
+}
+
+impl Error for VhdlError {}
+
+/// Exports a specification to VHDL.
+///
+/// # Errors
+///
+/// See [`VhdlError`]: shared variables across processes, nested
+/// concurrency, or unsupported operators.
+///
+/// # Example
+///
+/// ```
+/// use modref_spec::builder::SpecBuilder;
+/// use modref_spec::{expr, stmt, vhdl};
+///
+/// let mut b = SpecBuilder::new("ok");
+/// let x = b.var_int("x", 16, 0);
+/// let a = b.leaf("A", vec![stmt::assign(x, expr::lit(1))]);
+/// let top = b.seq_in_order("Top", vec![a]);
+/// let spec = b.finish(top)?;
+/// let text = vhdl::export(&spec)?;
+/// assert!(text.contains("entity ok is"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn export(spec: &Spec) -> Result<String, VhdlError> {
+    // 1. Determine the process roots: peel nested concurrency from the top.
+    let mut roots = Vec::new();
+    collect_process_roots(spec, spec.top(), &mut roots);
+
+    // 2. Map variables to processes; sharing is only legal between
+    // server processes (multi-port memories).
+    let mut owner: HashMap<VarId, BehaviorId> = HashMap::new();
+    let mut shared: std::collections::HashSet<VarId> = std::collections::HashSet::new();
+    for &root in &roots {
+        for b in subtree(spec, root) {
+            let behavior = spec.behavior(b);
+            // Nested concurrency cannot be expressed inside a process.
+            if b != root && matches!(behavior.kind(), BehaviorKind::Concurrent { .. }) {
+                return Err(VhdlError::NestedConcurrency(behavior.name().to_string()));
+            }
+            let mut vars = Vec::new();
+            if let Some(body) = behavior.body() {
+                visit::for_each_stmt(body, &mut |s| {
+                    vars.extend(s.direct_reads());
+                    vars.extend(s.direct_writes());
+                });
+                // Subroutine bodies execute within this process.
+                visit::for_each_stmt(body, &mut |s| {
+                    if let Stmt::Call { sub, .. } = s {
+                        visit::for_each_stmt(spec.subroutine(*sub).body(), &mut |inner| {
+                            vars.extend(inner.direct_reads());
+                            vars.extend(inner.direct_writes());
+                        });
+                    }
+                });
+            }
+            for t in behavior.transitions() {
+                if let Some(c) = &t.cond {
+                    vars.extend(c.reads());
+                }
+            }
+            for v in vars {
+                if let Some(&prev) = owner.get(&v) {
+                    if prev != root {
+                        // Storage shared exclusively between *server*
+                        // behaviors models a multi-port hardware resource
+                        // (Model3's dual-port global memories): emit it
+                        // as a VHDL'93 shared variable. Any sharing that
+                        // involves ordinary behaviors is a refinement
+                        // bug or an unrefined functional model.
+                        let both_servers =
+                            spec.behavior(prev).is_server() && spec.behavior(root).is_server();
+                        if both_servers {
+                            shared.insert(v);
+                        } else {
+                            return Err(VhdlError::SharedVariable {
+                                var: spec.variable(v).name().to_string(),
+                                processes: (
+                                    spec.behavior(prev).name().to_string(),
+                                    spec.behavior(root).name().to_string(),
+                                ),
+                            });
+                        }
+                    }
+                } else {
+                    owner.insert(v, root);
+                }
+            }
+        }
+    }
+
+    // 3. Emit.
+    let mut out = String::new();
+    let _ = writeln!(out, "-- generated by modref from spec `{}`", spec.name());
+    let _ = writeln!(out, "entity {} is", sanitize(spec.name()));
+    let _ = writeln!(out, "end {};", sanitize(spec.name()));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "architecture refined of {} is", sanitize(spec.name()));
+    for (_, s) in spec.signals() {
+        let _ = writeln!(
+            out,
+            "  signal {} : integer := {};",
+            sanitize(s.name()),
+            s.init()
+        );
+    }
+    let mut shared_sorted: Vec<VarId> = shared.iter().copied().collect();
+    shared_sorted.sort();
+    for v in &shared_sorted {
+        let var = spec.variable(*v);
+        match var.ty() {
+            crate::DataType::Array { len, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  type {}_t is array (0 to {}) of integer;",
+                    sanitize(var.name()),
+                    len - 1
+                );
+                let _ = writeln!(
+                    out,
+                    "  shared variable {} : {}_t := (others => {});",
+                    sanitize(var.name()),
+                    sanitize(var.name()),
+                    var.init()
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "  shared variable {} : integer := {};",
+                    sanitize(var.name()),
+                    var.init()
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "  function b2i(b : boolean) return integer is");
+    let _ = writeln!(out, "  begin");
+    let _ = writeln!(out, "    if b then return 1; else return 0; end if;");
+    let _ = writeln!(out, "  end b2i;");
+    let _ = writeln!(out, "begin");
+
+    for &root in &roots {
+        emit_process(spec, root, &owner, &shared, &mut out)?;
+    }
+
+    let _ = writeln!(out, "end refined;");
+    Ok(out)
+}
+
+fn collect_process_roots(spec: &Spec, b: BehaviorId, out: &mut Vec<BehaviorId>) {
+    match spec.behavior(b).kind() {
+        BehaviorKind::Concurrent { children } => {
+            for &c in children {
+                collect_process_roots(spec, c, out);
+            }
+        }
+        _ => out.push(b),
+    }
+}
+
+fn subtree(spec: &Spec, root: BehaviorId) -> Vec<BehaviorId> {
+    let mut out = vec![root];
+    let mut i = 0;
+    while i < out.len() {
+        out.extend(spec.behavior(out[i]).children().iter().copied());
+        i += 1;
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+struct Emitter<'a> {
+    spec: &'a Spec,
+    out: &'a mut String,
+    indent: usize,
+    /// Parameter substitution for inlined subroutine calls.
+    params: Vec<HashMap<String, ParamBinding>>,
+}
+
+#[derive(Clone)]
+enum ParamBinding {
+    In(Expr),
+    Out(LValue),
+}
+
+impl<'a> Emitter<'a> {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+}
+
+fn emit_process(
+    spec: &Spec,
+    root: BehaviorId,
+    owner: &HashMap<VarId, BehaviorId>,
+    shared: &std::collections::HashSet<VarId>,
+    out: &mut String,
+) -> Result<(), VhdlError> {
+    let name = sanitize(spec.behavior(root).name());
+    let _ = writeln!(out, "  {name}_proc : process");
+
+    // Variable declarations for everything this process owns.
+    let mut vars: Vec<VarId> = owner
+        .iter()
+        .filter(|(v, &p)| p == root && !shared.contains(v))
+        .map(|(&v, _)| v)
+        .collect();
+    vars.sort();
+    for v in &vars {
+        let var = spec.variable(*v);
+        match var.ty() {
+            crate::DataType::Array { len, .. } => {
+                let _ = writeln!(
+                    out,
+                    "    type {}_t is array (0 to {}) of integer;",
+                    sanitize(var.name()),
+                    len - 1
+                );
+                let _ = writeln!(
+                    out,
+                    "    variable {} : {}_t := (others => {});",
+                    sanitize(var.name()),
+                    sanitize(var.name()),
+                    var.init()
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "    variable {} : integer := {};",
+                    sanitize(var.name()),
+                    var.init()
+                );
+            }
+        }
+    }
+
+    // State registers for every guarded sequential composite inside.
+    for b in subtree(spec, root) {
+        let behavior = spec.behavior(b);
+        if matches!(behavior.kind(), BehaviorKind::Seq { .. }) && !behavior.transitions().is_empty()
+        {
+            let _ = writeln!(
+                out,
+                "    variable {}_state : integer := 0;",
+                sanitize(behavior.name())
+            );
+        }
+    }
+
+    let _ = writeln!(out, "  begin");
+    let mut em = Emitter {
+        spec,
+        out,
+        indent: 2,
+        params: Vec::new(),
+    };
+    emit_behavior(&mut em, root)?;
+    // A completed process suspends forever (servers never get here).
+    em.line("wait;");
+    let _ = writeln!(out, "  end process {name}_proc;");
+    let _ = writeln!(out);
+    Ok(())
+}
+
+fn emit_behavior(em: &mut Emitter<'_>, b: BehaviorId) -> Result<(), VhdlError> {
+    let behavior = em.spec.behavior(b).clone();
+    match behavior.kind() {
+        BehaviorKind::Leaf { body } => emit_stmts(em, body),
+        BehaviorKind::Concurrent { .. } => {
+            Err(VhdlError::NestedConcurrency(behavior.name().to_string()))
+        }
+        BehaviorKind::Seq {
+            children,
+            transitions,
+        } => {
+            if transitions.is_empty() {
+                // Pure fall-through: inline in order.
+                for &c in children {
+                    em.line(&format!("-- {}", em.spec.behavior(c).name()));
+                    emit_behavior(em, c)?;
+                }
+                Ok(())
+            } else {
+                emit_seq_state_machine(em, behavior.name(), children, transitions)
+            }
+        }
+    }
+}
+
+/// A sequential composite with arcs compiles to a state-machine loop:
+/// one state per child, `-1` for completion.
+fn emit_seq_state_machine(
+    em: &mut Emitter<'_>,
+    name: &str,
+    children: &[BehaviorId],
+    transitions: &[crate::behavior::Transition],
+) -> Result<(), VhdlError> {
+    // The `<name>_state` register is declared in the process header.
+    let state_var = format!("{}_state", sanitize(name));
+    em.line(&format!("-- state machine for composite {name}"));
+    em.line(&format!("{state_var} := 0;"));
+    em.line(&format!("{}_fsm : loop", sanitize(name)));
+    em.indent += 1;
+    for (i, &c) in children.iter().enumerate() {
+        let prefix = if i == 0 { "if" } else { "elsif" };
+        em.line(&format!("{prefix} {state_var} = {i} then"));
+        em.indent += 1;
+        emit_behavior(em, c)?;
+        // Transition selection after child i completes.
+        let outgoing: Vec<_> = transitions.iter().filter(|t| t.from == c).collect();
+        if outgoing.is_empty() {
+            if i + 1 < children.len() {
+                em.line(&format!("{state_var} := {};", i + 1));
+            } else {
+                em.line(&format!("exit {}_fsm;", sanitize(name)));
+            }
+        } else {
+            let mut first = true;
+            let mut has_unconditional = false;
+            for t in &outgoing {
+                let target = match t.to {
+                    TransitionTarget::Behavior(to) => {
+                        let idx = children
+                            .iter()
+                            .position(|&x| x == to)
+                            .expect("validated sibling");
+                        format!("{state_var} := {idx};")
+                    }
+                    TransitionTarget::Complete => format!("exit {}_fsm;", sanitize(name)),
+                };
+                match &t.cond {
+                    Some(cond) => {
+                        let c_text = emit_expr(em, cond, true)?;
+                        let kw = if first { "if" } else { "elsif" };
+                        em.line(&format!("{kw} {c_text} then"));
+                        em.indent += 1;
+                        em.line(&target);
+                        em.indent -= 1;
+                        first = false;
+                    }
+                    None => {
+                        if first {
+                            em.line(&target);
+                        } else {
+                            em.line("else");
+                            em.indent += 1;
+                            em.line(&target);
+                            em.indent -= 1;
+                        }
+                        has_unconditional = true;
+                        break;
+                    }
+                }
+            }
+            if !first {
+                if !has_unconditional {
+                    // No arc fired: composite completes.
+                    em.line("else");
+                    em.indent += 1;
+                    em.line(&format!("exit {}_fsm;", sanitize(name)));
+                    em.indent -= 1;
+                }
+                em.line("end if;");
+            }
+        }
+        em.indent -= 1;
+    }
+    em.line("end if;");
+    em.indent -= 1;
+    em.line(&format!("end loop {}_fsm;", sanitize(name)));
+    Ok(())
+}
+
+fn emit_stmts(em: &mut Emitter<'_>, stmts: &[Stmt]) -> Result<(), VhdlError> {
+    for s in stmts {
+        emit_stmt(em, s)?;
+    }
+    Ok(())
+}
+
+fn emit_stmt(em: &mut Emitter<'_>, s: &Stmt) -> Result<(), VhdlError> {
+    match s {
+        Stmt::Assign { target, value } => {
+            let rhs = emit_expr(em, value, false)?;
+            let lhs = emit_lvalue(em, target)?;
+            // Out-parameter targets resolve to either a variable (`:=`)
+            // or a signal (`<=`) destination; signals only appear via
+            // lvalue substitution of generated protocol code, which binds
+            // them as signals through Expr::Signal reads — variable
+            // assignment is the general case here.
+            em.line(&format!("{lhs} := {rhs};"));
+            Ok(())
+        }
+        Stmt::SignalSet { signal, value } => {
+            let rhs = emit_expr(em, value, false)?;
+            em.line(&format!(
+                "{} <= {rhs};",
+                sanitize(em.spec.signal(*signal).name())
+            ));
+            Ok(())
+        }
+        Stmt::Wait(WaitCond::Until(cond)) => {
+            let c = emit_expr(em, cond, true)?;
+            em.line(&format!("wait until {c};"));
+            Ok(())
+        }
+        Stmt::Wait(WaitCond::For(n)) => {
+            em.line(&format!("wait for {n} ns;"));
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let c = emit_expr(em, cond, true)?;
+            em.line(&format!("if {c} then"));
+            em.indent += 1;
+            emit_stmts(em, then_body)?;
+            em.indent -= 1;
+            if !else_body.is_empty() {
+                em.line("else");
+                em.indent += 1;
+                emit_stmts(em, else_body)?;
+                em.indent -= 1;
+            }
+            em.line("end if;");
+            Ok(())
+        }
+        Stmt::While { cond, body, .. } => {
+            let c = emit_expr(em, cond, true)?;
+            em.line(&format!("while {c} loop"));
+            em.indent += 1;
+            emit_stmts(em, body)?;
+            em.indent -= 1;
+            em.line("end loop;");
+            Ok(())
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            let f = emit_expr(em, from, false)?;
+            let t = emit_expr(em, to, false)?;
+            let v = sanitize(em.spec.variable(*var).name());
+            // The induction variable is a declared variable (not a VHDL
+            // loop constant), so emit a while loop to keep its writes
+            // observable.
+            em.line(&format!("{v} := {f};"));
+            em.line(&format!("while {v} < {t} loop"));
+            em.indent += 1;
+            emit_stmts(em, body)?;
+            em.line(&format!("{v} := {v} + 1;"));
+            em.indent -= 1;
+            em.line("end loop;");
+            Ok(())
+        }
+        Stmt::Loop { body } => {
+            em.line("loop");
+            em.indent += 1;
+            emit_stmts(em, body)?;
+            em.indent -= 1;
+            em.line("end loop;");
+            Ok(())
+        }
+        Stmt::Call { sub, args } => {
+            // Inline the subroutine body with parameter substitution.
+            let def = em.spec.subroutine(*sub).clone();
+            let mut frame = HashMap::new();
+            for (p, a) in def.params().iter().zip(args) {
+                let binding = match (p.dir, a) {
+                    (ParamDir::In, CallArg::In(e)) => ParamBinding::In(e.clone()),
+                    (ParamDir::Out, CallArg::Out(lv)) => ParamBinding::Out(lv.clone()),
+                    _ => ParamBinding::In(Expr::Lit(0)),
+                };
+                frame.insert(p.name.clone(), binding);
+            }
+            em.line(&format!("-- inlined call: {}", def.name()));
+            em.params.push(frame);
+            emit_stmts(em, def.body())?;
+            em.params.pop();
+            Ok(())
+        }
+        Stmt::Delay(n) => {
+            em.line(&format!("wait for {n} ns;"));
+            Ok(())
+        }
+        Stmt::Skip => {
+            em.line("null;");
+            Ok(())
+        }
+    }
+}
+
+fn emit_lvalue(em: &mut Emitter<'_>, lv: &LValue) -> Result<String, VhdlError> {
+    Ok(match lv {
+        LValue::Var(v) => sanitize(em.spec.variable(*v).name()),
+        LValue::Index(v, idx) => {
+            let i = emit_expr(em, idx, false)?;
+            format!("{}({i})", sanitize(em.spec.variable(*v).name()))
+        }
+        LValue::Param(name) => {
+            // Resolve through the innermost inlined frame.
+            let binding = em
+                .params
+                .iter()
+                .rev()
+                .find_map(|f| f.get(name))
+                .cloned()
+                .unwrap_or(ParamBinding::In(Expr::Lit(0)));
+            match binding {
+                ParamBinding::Out(lv) => emit_lvalue(em, &lv)?,
+                ParamBinding::In(_) => format!("-- write to in-param {name}"),
+            }
+        }
+    })
+}
+
+/// Emits an expression; `want_bool` selects boolean or integer context.
+fn emit_expr(em: &mut Emitter<'_>, e: &Expr, want_bool: bool) -> Result<String, VhdlError> {
+    let text = match e {
+        Expr::Lit(v) => {
+            if want_bool {
+                return Ok(if *v != 0 {
+                    "true".into()
+                } else {
+                    "false".into()
+                });
+            }
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(v) => sanitize(em.spec.variable(*v).name()),
+        Expr::Index(v, idx) => {
+            let i = emit_expr(em, idx, false)?;
+            format!("{}({i})", sanitize(em.spec.variable(*v).name()))
+        }
+        Expr::Signal(s) => sanitize(em.spec.signal(*s).name()),
+        Expr::Param(name) => {
+            let binding = em.params.iter().rev().find_map(|f| f.get(name)).cloned();
+            match binding {
+                Some(ParamBinding::In(expr)) => {
+                    return emit_expr(em, &expr.clone(), want_bool);
+                }
+                Some(ParamBinding::Out(lv)) => emit_lvalue(em, &lv)?,
+                None => format!("{name}_unbound"),
+            }
+        }
+        Expr::Unary(UnOp::Neg, inner) => format!("(-{})", emit_expr(em, inner, false)?),
+        Expr::Unary(UnOp::Not, inner) => {
+            let b = emit_expr(em, inner, true)?;
+            return Ok(wrap_bool(format!("(not {b})"), want_bool));
+        }
+        Expr::Binary(op, l, r) => {
+            let vhdl_op = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "mod",
+                BinOp::Eq => "=",
+                BinOp::Ne => "/=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "and",
+                BinOp::Or => "or",
+                BinOp::BitAnd => return Err(VhdlError::UnsupportedOp("&")),
+                BinOp::BitOr => return Err(VhdlError::UnsupportedOp("|")),
+                BinOp::BitXor => return Err(VhdlError::UnsupportedOp("^")),
+                BinOp::Shl => return Err(VhdlError::UnsupportedOp("<<")),
+                BinOp::Shr => return Err(VhdlError::UnsupportedOp(">>")),
+            };
+            if op.is_comparison() {
+                let lt = emit_expr(em, l, false)?;
+                let rt = emit_expr(em, r, false)?;
+                return Ok(wrap_bool(format!("({lt} {vhdl_op} {rt})"), want_bool));
+            }
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let lt = emit_expr(em, l, true)?;
+                let rt = emit_expr(em, r, true)?;
+                return Ok(wrap_bool(format!("({lt} {vhdl_op} {rt})"), want_bool));
+            }
+            let lt = emit_expr(em, l, false)?;
+            let rt = emit_expr(em, r, false)?;
+            format!("({lt} {vhdl_op} {rt})")
+        }
+    };
+    if want_bool {
+        Ok(format!("({text} /= 0)"))
+    } else {
+        Ok(text)
+    }
+}
+
+fn wrap_bool(text: String, want_bool: bool) -> String {
+    if want_bool {
+        text
+    } else {
+        format!("b2i{text}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpecBuilder;
+    use crate::{expr, stmt};
+
+    #[test]
+    fn rejects_shared_variables_in_functional_models() {
+        let mut b = SpecBuilder::new("shared");
+        let x = b.var_int("x", 16, 0);
+        let p1 = b.leaf("P1", vec![stmt::assign(x, expr::lit(1))]);
+        let p2 = b.leaf("P2", vec![stmt::assign(x, expr::lit(2))]);
+        let top = b.concurrent("Top", vec![p1, p2]);
+        let spec = b.finish(top).unwrap();
+        match export(&spec) {
+            Err(VhdlError::SharedVariable { var, .. }) => assert_eq!(var, "x"),
+            other => panic!("expected shared-variable error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exports_single_process_with_statements() {
+        let mut b = SpecBuilder::new("one");
+        let x = b.var_int("x", 16, 3);
+        let go = b.signal_bit("go");
+        let a = b.leaf(
+            "A",
+            vec![
+                stmt::assign(x, expr::add(expr::var(x), expr::lit(5))),
+                stmt::set_signal(go, expr::lit(1)),
+                stmt::if_then(expr::gt(expr::var(x), expr::lit(0)), vec![stmt::delay(10)]),
+            ],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).unwrap();
+        let vhdl = export(&spec).expect("exports");
+        assert!(vhdl.contains("entity one is"));
+        assert!(vhdl.contains("signal go : integer := 0;"));
+        assert!(vhdl.contains("variable x : integer := 3;"));
+        assert!(vhdl.contains("x := (x + 5);"));
+        assert!(vhdl.contains("go <= 1;"));
+        assert!(vhdl.contains("if (x > 0) then"));
+        assert!(vhdl.contains("wait for 10 ns;"));
+        assert!(vhdl.contains("end refined;"));
+    }
+
+    #[test]
+    fn comparisons_in_arithmetic_context_use_b2i() {
+        let mut b = SpecBuilder::new("b2i");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::assign(
+                x,
+                expr::mul(expr::lit(50), expr::eq(expr::var(x), expr::lit(3))),
+            )],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).unwrap();
+        let vhdl = export(&spec).expect("exports");
+        assert!(vhdl.contains("b2i(x = 3)"), "{vhdl}");
+    }
+
+    #[test]
+    fn bitwise_operators_are_rejected() {
+        let mut b = SpecBuilder::new("bitops");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::assign(
+                x,
+                expr::binary(BinOp::BitXor, expr::var(x), expr::lit(5)),
+            )],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).unwrap();
+        assert!(matches!(export(&spec), Err(VhdlError::UnsupportedOp("^"))));
+    }
+
+    #[test]
+    fn guarded_composites_become_state_machines() {
+        let mut b = SpecBuilder::new("fsm");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+        );
+        let arcs = vec![
+            b.arc_when(a, expr::lt(expr::var(x), expr::lit(3)), a),
+            b.arc_complete(a),
+        ];
+        let top = b.seq("Top", vec![a], arcs);
+        let spec = b.finish(top).unwrap();
+        let vhdl = export(&spec).expect("exports");
+        assert!(vhdl.contains("Top_fsm : loop"));
+        assert!(vhdl.contains("exit Top_fsm;"));
+        assert!(vhdl.contains("if (x < 3) then"));
+    }
+}

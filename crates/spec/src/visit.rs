@@ -1,0 +1,268 @@
+//! Traversal and rewriting utilities over statements and expressions.
+//!
+//! The refinement engine uses [`rewrite_stmts`] to substitute direct
+//! variable accesses with protocol calls, and [`for_each_stmt`] /
+//! [`for_each_expr`] to analyze access patterns.
+
+use crate::expr::Expr;
+use crate::stmt::{CallArg, LValue, Stmt, WaitCond};
+
+/// Calls `f` on every statement in `stmts`, depth-first, parents before
+/// children.
+pub fn for_each_stmt<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        for body in s.bodies() {
+            for_each_stmt(body, f);
+        }
+    }
+}
+
+/// Calls `f` on every expression appearing in `stmts` (conditions,
+/// right-hand sides, index expressions, call arguments, bounds).
+pub fn for_each_expr<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value } => {
+                if let LValue::Index(_, idx) = target {
+                    walk_expr(idx, f);
+                }
+                walk_expr(value, f);
+            }
+            Stmt::SignalSet { value, .. } => walk_expr(value, f),
+            Stmt::Wait(WaitCond::Until(e)) => walk_expr(e, f),
+            Stmt::Wait(WaitCond::For(_)) => {}
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                walk_expr(cond, f);
+                for_each_expr(then_body, f);
+                for_each_expr(else_body, f);
+            }
+            Stmt::While { cond, body, .. } => {
+                walk_expr(cond, f);
+                for_each_expr(body, f);
+            }
+            Stmt::For { from, to, body, .. } => {
+                walk_expr(from, f);
+                walk_expr(to, f);
+                for_each_expr(body, f);
+            }
+            Stmt::Loop { body } => for_each_expr(body, f),
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        CallArg::In(e) => walk_expr(e, f),
+                        CallArg::Out(LValue::Index(_, idx)) => walk_expr(idx, f),
+                        CallArg::Out(LValue::Var(_) | LValue::Param(_)) => {}
+                    }
+                }
+            }
+            Stmt::Delay(_) | Stmt::Skip => {}
+        }
+    }
+}
+
+fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Index(_, idx) => walk_expr(idx, f),
+        Expr::Unary(_, inner) => walk_expr(inner, f),
+        Expr::Binary(_, l, r) => {
+            walk_expr(l, f);
+            walk_expr(r, f);
+        }
+        Expr::Lit(_) | Expr::Var(_) | Expr::Signal(_) | Expr::Param(_) => {}
+    }
+}
+
+/// Rewrites a statement list bottom-up: `f` receives each statement (with
+/// its nested bodies already rewritten) and returns the statements that
+/// replace it — enabling one-to-many expansion, which is exactly what
+/// data-related refinement needs (one assignment becomes
+/// `MST_receive; compute; MST_send`).
+pub fn rewrite_stmts(stmts: Vec<Stmt>, f: &mut impl FnMut(Stmt) -> Vec<Stmt>) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        let rewritten = match s {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
+                cond,
+                then_body: rewrite_stmts(then_body, f),
+                else_body: rewrite_stmts(else_body, f),
+            },
+            Stmt::While {
+                cond,
+                body,
+                trip_hint,
+            } => Stmt::While {
+                cond,
+                body: rewrite_stmts(body, f),
+                trip_hint,
+            },
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => Stmt::For {
+                var,
+                from,
+                to,
+                body: rewrite_stmts(body, f),
+            },
+            Stmt::Loop { body } => Stmt::Loop {
+                body: rewrite_stmts(body, f),
+            },
+            other => other,
+        };
+        out.extend(f(rewritten));
+    }
+    out
+}
+
+/// Rewrites every expression in a statement list in place using `f`,
+/// which maps each expression node to a replacement (applied bottom-up).
+pub fn map_exprs(stmts: &mut [Stmt], f: &mut impl FnMut(Expr) -> Expr) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value } => {
+                if let LValue::Index(_, idx) = target {
+                    *idx = map_expr(std::mem::replace(idx, Expr::Lit(0)), f);
+                }
+                *value = map_expr(std::mem::replace(value, Expr::Lit(0)), f);
+            }
+            Stmt::SignalSet { value, .. } => {
+                *value = map_expr(std::mem::replace(value, Expr::Lit(0)), f);
+            }
+            Stmt::Wait(WaitCond::Until(e)) => {
+                *e = map_expr(std::mem::replace(e, Expr::Lit(0)), f);
+            }
+            Stmt::Wait(WaitCond::For(_)) => {}
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                *cond = map_expr(std::mem::replace(cond, Expr::Lit(0)), f);
+                map_exprs(then_body, f);
+                map_exprs(else_body, f);
+            }
+            Stmt::While { cond, body, .. } => {
+                *cond = map_expr(std::mem::replace(cond, Expr::Lit(0)), f);
+                map_exprs(body, f);
+            }
+            Stmt::For { from, to, body, .. } => {
+                *from = map_expr(std::mem::replace(from, Expr::Lit(0)), f);
+                *to = map_expr(std::mem::replace(to, Expr::Lit(0)), f);
+                map_exprs(body, f);
+            }
+            Stmt::Loop { body } => map_exprs(body, f),
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        CallArg::In(e) => *e = map_expr(std::mem::replace(e, Expr::Lit(0)), f),
+                        CallArg::Out(LValue::Index(_, idx)) => {
+                            *idx = map_expr(std::mem::replace(idx, Expr::Lit(0)), f);
+                        }
+                        CallArg::Out(LValue::Var(_) | LValue::Param(_)) => {}
+                    }
+                }
+            }
+            Stmt::Delay(_) | Stmt::Skip => {}
+        }
+    }
+}
+
+fn map_expr(e: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+    let rebuilt = match e {
+        Expr::Index(v, idx) => Expr::Index(v, Box::new(map_expr(*idx, f))),
+        Expr::Unary(op, inner) => Expr::Unary(op, Box::new(map_expr(*inner, f))),
+        Expr::Binary(op, l, r) => {
+            Expr::Binary(op, Box::new(map_expr(*l, f)), Box::new(map_expr(*r, f)))
+        }
+        leaf => leaf,
+    };
+    f(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{add, lit, var};
+    use crate::ids::VarId;
+    use crate::stmt::{assign, if_then, skip, while_loop};
+
+    fn v(i: u32) -> VarId {
+        VarId::from_raw(i)
+    }
+
+    #[test]
+    fn for_each_stmt_visits_nested() {
+        let stmts = vec![if_then(lit(1), vec![while_loop(lit(0), vec![skip()])])];
+        let mut count = 0;
+        for_each_stmt(&stmts, &mut |_| count += 1);
+        assert_eq!(count, 3); // if, while, skip
+    }
+
+    #[test]
+    fn for_each_expr_visits_conditions_and_rhs() {
+        let stmts = vec![if_then(
+            var(v(0)),
+            vec![assign(v(1), add(var(v(2)), lit(3)))],
+        )];
+        let mut vars = Vec::new();
+        for_each_expr(&stmts, &mut |e| {
+            if let Expr::Var(id) = e {
+                vars.push(*id);
+            }
+        });
+        assert_eq!(vars, vec![v(0), v(2)]);
+    }
+
+    #[test]
+    fn rewrite_expands_one_to_many() {
+        let stmts = vec![assign(v(0), lit(1)), skip()];
+        let out = rewrite_stmts(stmts, &mut |s| match s {
+            Stmt::Assign { .. } => vec![skip(), s.clone()],
+            other => vec![other],
+        });
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[0], Stmt::Skip));
+        assert!(matches!(out[1], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn rewrite_recurses_into_bodies() {
+        let stmts = vec![while_loop(lit(1), vec![assign(v(0), lit(1))])];
+        let out = rewrite_stmts(stmts, &mut |s| match s {
+            Stmt::Assign { .. } => vec![skip()],
+            other => vec![other],
+        });
+        match &out[0] {
+            Stmt::While { body, .. } => assert!(matches!(body[0], Stmt::Skip)),
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_exprs_substitutes_variables() {
+        let mut stmts = vec![assign(v(0), add(var(v(1)), lit(2)))];
+        map_exprs(&mut stmts, &mut |e| match e {
+            Expr::Var(id) if id == v(1) => Expr::Var(v(9)),
+            other => other,
+        });
+        match &stmts[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(value.mentions_var(v(9)));
+                assert!(!value.mentions_var(v(1)));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+}

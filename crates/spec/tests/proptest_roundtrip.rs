@@ -1,0 +1,153 @@
+//! Property-based round-trip testing of the expression and statement
+//! grammar: deeply nested random expressions must survive
+//! print → parse → print exactly.
+
+use proptest::prelude::*;
+
+use modref_spec::builder::SpecBuilder;
+use modref_spec::{expr, parser, printer, BinOp, Expr, VarId};
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::BitXor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+/// Random expressions over two scalar variables and one array.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(expr::lit),
+        Just(expr::var(VarId::from_raw(0))),
+        Just(expr::var(VarId::from_raw(1))),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| expr::binary(op, l, r)),
+            inner.clone().prop_map(expr::not),
+            inner.clone().prop_map(expr::neg),
+            inner
+                .clone()
+                .prop_map(|i| Expr::Index(VarId::from_raw(2), Box::new(i))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// print(parse(print(e))) == print(e) for arbitrary expressions.
+    #[test]
+    fn expressions_round_trip(e in arb_expr()) {
+        let mut b = SpecBuilder::new("rt");
+        let _x = b.var_int("x", 16, 0);
+        let _y = b.var_int("y", 16, 0);
+        let _arr = b.var(
+            "arr",
+            modref_spec::DataType::array(modref_spec::types::ScalarType::Int(16), 8),
+            0,
+        );
+        let out = b.var_int("out", 32, 0);
+        // Use the expression as a guard too, to exercise the transition
+        // grammar path (wrap index expressions safely).
+        let leaf = b.leaf("L", vec![modref_spec::stmt::assign(out, e.clone())]);
+        let l2 = b.leaf("M", vec![]);
+        let arcs = vec![b.arc_when(leaf, e, l2), b.arc_complete(l2)];
+        let top = b.seq("Top", vec![leaf, l2], arcs);
+        let spec = b.finish_unchecked(top);
+        // Skip structurally invalid combinations (the generator can't
+        // produce them, but validation keeps the test honest).
+        prop_assume!(modref_spec::validate::check(&spec).is_ok());
+
+        let text = printer::print(&spec);
+        let reparsed = parser::parse(&text)
+            .unwrap_or_else(|err| panic!("{err}\n--- text ---\n{text}"));
+        prop_assert_eq!(printer::print(&reparsed), text);
+    }
+
+    /// The printer never emits two identical adjacent operators that
+    /// would re-parse differently: idempotence implies associativity
+    /// handling is consistent.
+    #[test]
+    fn printing_is_idempotent_over_reparse(e in arb_expr()) {
+        let mut b = SpecBuilder::new("idem");
+        let _x = b.var_int("x", 16, 0);
+        let _y = b.var_int("y", 16, 0);
+        let _arr = b.var(
+            "arr",
+            modref_spec::DataType::array(modref_spec::types::ScalarType::Int(16), 8),
+            0,
+        );
+        let out = b.var_int("out", 32, 0);
+        let leaf = b.leaf("L", vec![modref_spec::stmt::assign(out, e)]);
+        let top = b.seq_in_order("Top", vec![leaf]);
+        let spec = b.finish_unchecked(top);
+        prop_assume!(modref_spec::validate::check(&spec).is_ok());
+        let once = printer::print(&spec);
+        let twice = printer::print(&parser::parse(&once).expect("parses"));
+        let thrice = printer::print(&parser::parse(&twice).expect("parses"));
+        prop_assert_eq!(twice, thrice);
+    }
+}
+
+/// A non-proptest regression: mixed same-precedence operators associate
+/// left and print without spurious parentheses growth.
+#[test]
+fn left_associativity_is_preserved() {
+    let mut b = SpecBuilder::new("assoc");
+    let x = b.var_int("x", 16, 0);
+    // ((x - 1) - 2) - 3 prints as x - 1 - 2 - 3.
+    let e = expr::sub(
+        expr::sub(expr::sub(expr::var(x), expr::lit(1)), expr::lit(2)),
+        expr::lit(3),
+    );
+    let leaf = b.leaf("L", vec![modref_spec::stmt::assign(x, e)]);
+    let top = b.seq_in_order("Top", vec![leaf]);
+    let spec = b.finish(top).unwrap();
+    let text = printer::print(&spec);
+    assert!(text.contains("x := x - 1 - 2 - 3;"), "{text}");
+    // And x - (1 - 2) keeps its parentheses.
+    let mut b = SpecBuilder::new("assoc2");
+    let x = b.var_int("x", 16, 0);
+    let e = expr::sub(expr::var(x), expr::sub(expr::lit(1), expr::lit(2)));
+    let leaf = b.leaf("L", vec![modref_spec::stmt::assign(x, e)]);
+    let top = b.seq_in_order("Top", vec![leaf]);
+    let spec = b.finish(top).unwrap();
+    let text = printer::print(&spec);
+    assert!(text.contains("x := x - (1 - 2);"), "{text}");
+}
+
+#[test]
+fn unary_not_of_unary_not() {
+    let mut b = SpecBuilder::new("nn");
+    let x = b.var_int("x", 16, 0);
+    let leaf = b.leaf(
+        "L",
+        vec![modref_spec::stmt::assign(
+            x,
+            expr::not(expr::not(expr::var(x))),
+        )],
+    );
+    let top = b.seq_in_order("Top", vec![leaf]);
+    let spec = b.finish(top).unwrap();
+    let text = printer::print(&spec);
+    let reparsed = parser::parse(&text).expect("parses");
+    assert_eq!(printer::print(&reparsed), text);
+}

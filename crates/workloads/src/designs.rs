@@ -1,0 +1,199 @@
+//! The three partitions of Section 5.
+//!
+//! The behavior partition is fixed — the acquisition/filter/detect
+//! subtree runs on the ASIC, everything else on the processor — and the
+//! designs differ only in where variables are *homed*. A variable
+//! accessed from one side only is local when homed there and global when
+//! homed on the other side, so moving homes tunes the local:global ratio
+//! exactly as the paper's designs do:
+//!
+//! * **Design1** — local ≈ global (7:7),
+//! * **Design2** — local > global (9:5),
+//! * **Design3** — local < global (4:10).
+//!
+//! Keeping the behavior partition fixed also reproduces the paper's
+//! Figure 9 detail that Model1's single-bus rate is identical across all
+//! three designs: the channels and their lifetimes do not change, only
+//! their memory placement does.
+
+use std::fmt;
+
+use modref_partition::{Allocation, Partition};
+use modref_spec::Spec;
+
+/// One of the paper's three partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Local ≈ global variables.
+    Design1,
+    /// Local > global variables.
+    Design2,
+    /// Local < global variables.
+    Design3,
+}
+
+impl Design {
+    /// All three designs, in paper order.
+    pub const ALL: [Design; 3] = [Design::Design1, Design::Design2, Design::Design3];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Design1 => "Design1 (local = global)",
+            Design::Design2 => "Design2 (local > global)",
+            Design::Design3 => "Design3 (local < global)",
+        }
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Design::Design1 => f.write_str("Design1"),
+            Design::Design2 => f.write_str("Design2"),
+            Design::Design3 => f.write_str("Design3"),
+        }
+    }
+}
+
+/// Builds the partition of the medical system for a design.
+///
+/// # Panics
+///
+/// Panics if `spec`/`allocation` are not the medical system's (behavior
+/// or component names missing) — this function is a fixture, not a
+/// general-purpose partitioner.
+pub fn medical_partition(spec: &Spec, allocation: &Allocation, design: Design) -> Partition {
+    let proc = allocation.by_name("PROC").expect("PROC allocated");
+    let asic = allocation.by_name("ASIC").expect("ASIC allocated");
+    let behavior = |name: &str| {
+        spec.behavior_by_name(name)
+            .unwrap_or_else(|| panic!("medical spec has behavior `{name}`"))
+    };
+    let var = |name: &str| {
+        spec.variable_by_name(name)
+            .unwrap_or_else(|| panic!("medical spec has variable `{name}`"))
+    };
+
+    let mut p = Partition::with_default(proc);
+    // Fixed behavior partition: acquisition + signal processing on the
+    // ASIC (their parent composites too, so no spurious control
+    // refinement inside the subtree), the rest on the processor.
+    for name in [
+        "Acquire", "Excite", "Sample", "Process", "Lowpass", "Detect",
+    ] {
+        p.assign_behavior(behavior(name), asic);
+    }
+    for name in [
+        "Medical", "Init", "Session", "Compute", "Distance", "Volume", "Output", "Display",
+        "Alarm", "Log",
+    ] {
+        p.assign_behavior(behavior(name), proc);
+    }
+
+    // Always-global variables (accessed from both sides) keep fixed
+    // homes: the side that owns their producer.
+    p.assign_var(var("gain"), proc);
+    p.assign_var(var("threshold"), proc);
+    p.assign_var(var("disp"), proc);
+    p.assign_var(var("cycle"), proc);
+    p.assign_var(var("echo"), asic);
+
+    // Single-side variables; their homes are what the designs vary.
+    let asic_side = ["samples", "filtered", "i"];
+    let proc_side = [
+        "depth",
+        "volume",
+        "calib",
+        "alarm_flag",
+        "history",
+        "hist_idx",
+    ];
+    match design {
+        Design::Design2 => {
+            // Everything homed with its accessors: 9 locals, 5 globals.
+            for v in asic_side {
+                p.assign_var(var(v), asic);
+            }
+            for v in proc_side {
+                p.assign_var(var(v), proc);
+            }
+        }
+        Design::Design1 => {
+            // Two variables exiled — the hot loop index to the processor
+            // side and the calibration constant to the ASIC: 7 locals,
+            // 7 globals, with the exiled loop index pushing traffic onto
+            // the shared paths (the paper's Design1 has its global bus
+            // roughly 2.5x hotter than either local bus).
+            p.assign_var(var("samples"), asic);
+            p.assign_var(var("filtered"), asic);
+            p.assign_var(var("i"), proc);
+            p.assign_var(var("calib"), asic);
+            for v in ["depth", "volume", "alarm_flag", "history", "hist_idx"] {
+                p.assign_var(var(v), proc);
+            }
+        }
+        Design::Design3 => {
+            // Only the coldest variables stay local (4 locals, 10
+            // globals); everything hot is exiled, so nearly all traffic
+            // lands on the shared paths — the paper's Design3, where the
+            // local buses carry 42 and 18 Mbit/s against 3576 on the
+            // global bus.
+            p.assign_var(var("samples"), proc);
+            p.assign_var(var("filtered"), asic); // the one cold ASIC local
+            p.assign_var(var("i"), proc);
+            p.assign_var(var("depth"), asic);
+            p.assign_var(var("volume"), asic);
+            p.assign_var(var("calib"), asic);
+            p.assign_var(var("alarm_flag"), proc);
+            p.assign_var(var("history"), proc);
+            p.assign_var(var("hist_idx"), proc);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medical::{medical_allocation, medical_spec};
+    use modref_graph::AccessGraph;
+
+    fn ratios(design: Design) -> (usize, usize) {
+        let spec = medical_spec();
+        let alloc = medical_allocation();
+        let graph = AccessGraph::derive(&spec);
+        let part = medical_partition(&spec, &alloc, design);
+        let (locals, globals) = part.classify_all(&spec, &graph);
+        (locals.len(), globals.len())
+    }
+
+    #[test]
+    fn design1_balances_local_and_global() {
+        assert_eq!(ratios(Design::Design1), (7, 7));
+    }
+
+    #[test]
+    fn design2_has_more_locals() {
+        let (l, g) = ratios(Design::Design2);
+        assert!(l > g, "{l} locals vs {g} globals");
+        assert_eq!((l, g), (9, 5));
+    }
+
+    #[test]
+    fn design3_has_more_globals() {
+        let (l, g) = ratios(Design::Design3);
+        assert!(l < g, "{l} locals vs {g} globals");
+        assert_eq!((l, g), (4, 10));
+    }
+
+    #[test]
+    fn partitions_are_complete() {
+        let spec = medical_spec();
+        let alloc = medical_allocation();
+        for d in Design::ALL {
+            let part = medical_partition(&spec, &alloc, d);
+            assert!(part.is_complete(&spec, &alloc), "{d}");
+        }
+    }
+}

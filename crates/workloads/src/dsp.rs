@@ -1,0 +1,256 @@
+//! A second domain workload: a DSP front-end — FIR filter, decimator and
+//! energy detector over a sample window — of the kind the codesign
+//! literature of the era partitioned between a DSP/ASIC datapath and a
+//! control processor. Complements the medical system with heavier array
+//! traffic and a deeper arithmetic pipeline, and exercises the automatic
+//! partitioners on something with real structure.
+
+use modref_partition::{Allocation, Partition};
+use modref_spec::builder::SpecBuilder;
+use modref_spec::types::ScalarType;
+use modref_spec::{expr, stmt, DataType, Spec};
+
+/// Input window length.
+pub const WINDOW: i64 = 16;
+/// FIR tap count.
+pub const TAPS: i64 = 4;
+/// Decimation factor.
+pub const DECIMATE: i64 = 2;
+
+/// Builds the DSP pipeline specification.
+pub fn dsp_spec() -> Spec {
+    let mut b = SpecBuilder::new("dsp");
+
+    let input = b.var(
+        "input",
+        DataType::array(ScalarType::Int(16), WINDOW as u32),
+        0,
+    );
+    let coeff = b.var(
+        "coeff",
+        DataType::array(ScalarType::Int(16), TAPS as u32),
+        0,
+    );
+    let fir_out = b.var(
+        "fir_out",
+        DataType::array(ScalarType::Int(16), WINDOW as u32),
+        0,
+    );
+    let decimated = b.var(
+        "decimated",
+        DataType::array(ScalarType::Int(16), (WINDOW / DECIMATE) as u32),
+        0,
+    );
+    let energy = b.var_int("energy", 32, 0);
+    let peak = b.var_int("peak", 16, 0);
+    let detect_flag = b.var_int("detect_flag", 16, 0);
+    let acc = b.var_int("acc", 32, 0);
+    let i = b.var_int("i", 8, 0);
+    let j = b.var_int("j", 8, 0);
+
+    // Control processor: load coefficients and a synthetic test signal.
+    let setup = b.leaf(
+        "Setup",
+        vec![
+            stmt::for_loop(
+                i,
+                expr::lit(0),
+                expr::lit(TAPS),
+                vec![stmt::assign_index(
+                    coeff,
+                    expr::var(i),
+                    expr::add(expr::lit(1), expr::var(i)),
+                )],
+            ),
+            stmt::for_loop(
+                i,
+                expr::lit(0),
+                expr::lit(WINDOW),
+                vec![stmt::assign_index(
+                    input,
+                    expr::var(i),
+                    // A ramp with a burst in the middle of the window.
+                    expr::add(
+                        expr::var(i),
+                        expr::mul(
+                            expr::lit(40),
+                            expr::and(
+                                expr::ge(expr::var(i), expr::lit(6)),
+                                expr::le(expr::var(i), expr::lit(9)),
+                            ),
+                        ),
+                    ),
+                )],
+            ),
+        ],
+    );
+
+    // Datapath: FIR convolution over the window.
+    let fir = b.leaf(
+        "Fir",
+        vec![stmt::for_loop(
+            i,
+            expr::lit(TAPS - 1),
+            expr::lit(WINDOW),
+            vec![
+                stmt::assign(acc, expr::lit(0)),
+                stmt::for_loop(
+                    j,
+                    expr::lit(0),
+                    expr::lit(TAPS),
+                    vec![stmt::assign(
+                        acc,
+                        expr::add(
+                            expr::var(acc),
+                            expr::mul(
+                                expr::index(input, expr::sub(expr::var(i), expr::var(j))),
+                                expr::index(coeff, expr::var(j)),
+                            ),
+                        ),
+                    )],
+                ),
+                stmt::assign_index(
+                    fir_out,
+                    expr::var(i),
+                    expr::div(expr::var(acc), expr::lit(TAPS)),
+                ),
+            ],
+        )],
+    );
+
+    // Datapath: decimate by DECIMATE.
+    let decimate = b.leaf(
+        "Decimate",
+        vec![stmt::for_loop(
+            i,
+            expr::lit(0),
+            expr::lit(WINDOW / DECIMATE),
+            vec![stmt::assign_index(
+                decimated,
+                expr::var(i),
+                expr::index(fir_out, expr::mul(expr::var(i), expr::lit(DECIMATE))),
+            )],
+        )],
+    );
+
+    // Datapath: energy + peak over the decimated stream.
+    let measure = b.leaf(
+        "Measure",
+        vec![
+            stmt::assign(energy, expr::lit(0)),
+            stmt::assign(peak, expr::lit(0)),
+            stmt::for_loop(
+                i,
+                expr::lit(0),
+                expr::lit(WINDOW / DECIMATE),
+                vec![
+                    stmt::assign(
+                        energy,
+                        expr::add(
+                            expr::var(energy),
+                            expr::mul(
+                                expr::index(decimated, expr::var(i)),
+                                expr::index(decimated, expr::var(i)),
+                            ),
+                        ),
+                    ),
+                    stmt::if_then(
+                        expr::gt(expr::index(decimated, expr::var(i)), expr::var(peak)),
+                        vec![stmt::assign(peak, expr::index(decimated, expr::var(i)))],
+                    ),
+                ],
+            ),
+        ],
+    );
+
+    // Control processor: threshold decision.
+    let decide = b.leaf(
+        "Decide",
+        vec![stmt::if_else(
+            expr::or(
+                expr::gt(expr::var(energy), expr::lit(4000)),
+                expr::gt(expr::var(peak), expr::lit(60)),
+            ),
+            vec![stmt::assign(detect_flag, expr::lit(1))],
+            vec![stmt::assign(detect_flag, expr::lit(0))],
+        )],
+    );
+
+    let datapath = b.seq_in_order("Datapath", vec![fir, decimate, measure]);
+    let top = b.seq_in_order("Dsp", vec![setup, datapath, decide]);
+    b.finish(top).expect("dsp spec is valid")
+}
+
+/// A natural manual partition: the datapath subtree on the ASIC with its
+/// arrays, control and decision on the processor.
+pub fn dsp_partition(spec: &Spec, allocation: &Allocation) -> Partition {
+    let proc = allocation.by_name("PROC").expect("PROC allocated");
+    let asic = allocation.by_name("ASIC").expect("ASIC allocated");
+    let mut p = Partition::with_default(proc);
+    for name in ["Datapath", "Fir", "Decimate", "Measure"] {
+        p.assign_behavior(spec.behavior_by_name(name).expect("behavior"), asic);
+    }
+    for name in ["input", "coeff", "fir_out", "decimated", "acc", "i", "j"] {
+        p.assign_var(spec.variable_by_name(name).expect("variable"), asic);
+    }
+    for name in ["energy", "peak", "detect_flag"] {
+        p.assign_var(spec.variable_by_name(name).expect("variable"), proc);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medical::medical_allocation;
+    use modref_graph::AccessGraph;
+    use modref_sim::Simulator;
+
+    #[test]
+    fn pipeline_detects_the_burst() {
+        let spec = dsp_spec();
+        let r = Simulator::new(&spec).run().expect("completes");
+        assert_eq!(r.var_by_name("detect_flag"), Some(1));
+        assert!(r.var_by_name("energy").unwrap() > 4000);
+        assert!(r.var_by_name("peak").unwrap() > 0);
+    }
+
+    #[test]
+    fn refines_equivalently_under_all_models() {
+        let spec = dsp_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = medical_allocation();
+        let part = dsp_partition(&spec, &alloc);
+        let original = Simulator::new(&spec).run().expect("original runs");
+        for model in modref_core::ImplModel::ALL {
+            let refined = modref_core::refine(&spec, &graph, &alloc, &part, model)
+                .unwrap_or_else(|e| panic!("{model}: {e}"));
+            let result = Simulator::new(&refined.spec)
+                .run()
+                .unwrap_or_else(|e| panic!("{model}: {e}"));
+            assert!(
+                original.diff_common_vars(&result).is_empty(),
+                "{model} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn datapath_arrays_are_local_under_the_manual_partition() {
+        let spec = dsp_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = medical_allocation();
+        let part = dsp_partition(&spec, &alloc);
+        let (locals, globals) = part.classify_all(&spec, &graph);
+        // input/coeff shared with Setup on PROC -> global; fir_out,
+        // decimated, acc, i, j datapath-only... i is shared with Setup
+        // too. Just assert the broad split.
+        assert!(!locals.is_empty());
+        assert!(!globals.is_empty());
+        let decimated = spec.variable_by_name("decimated").unwrap();
+        assert_eq!(
+            part.classify_var(&spec, &graph, decimated),
+            modref_partition::VarClass::Local
+        );
+    }
+}

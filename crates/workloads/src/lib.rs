@@ -1,0 +1,39 @@
+//! # modref-workloads
+//!
+//! Benchmark workloads for the model-refinement experiments.
+//!
+//! * [`medical`] — a reconstruction of the paper's evaluation workload: a
+//!   real-time embedded medical system measuring a patient's bladder
+//!   volume, described with 16 behaviors and 14 variables from which 52
+//!   data-access channels derive (Section 5). The original SpecCharts
+//!   source is not public; this module rebuilds the published shape —
+//!   ultrasound excite/sample/filter/detect on the ASIC side,
+//!   compute/display/alarm/logging on the processor side — with access
+//!   counts and bit-widths chosen to reproduce the local/global traffic
+//!   structure the paper's designs vary.
+//! * [`designs`] — the three partitions of Section 5: Design1
+//!   (local ≈ global variables), Design2 (local > global), Design3
+//!   (local < global). The behavior partition is fixed; the designs
+//!   differ in where variables are homed, which is what re-classifies
+//!   them local/global.
+//! * [`dsp`] — a FIR/decimate/detect DSP front-end with heavy array
+//!   traffic, for the automatic partitioners and as a second example.
+//! * [`fig2`] — the Section 3 illustration (Figure 2): B1–B4 and v1–v7
+//!   with the paper's local/global classification.
+//! * [`synth`] — seeded random specification generation for property
+//!   tests and scaling benchmarks.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod designs;
+pub mod dsp;
+pub mod fig2;
+pub mod medical;
+pub mod synth;
+
+pub use designs::{medical_partition, Design};
+pub use dsp::{dsp_partition, dsp_spec};
+pub use fig2::{fig2_partition, fig2_spec};
+pub use medical::{medical_allocation, medical_spec};
+pub use synth::{SynthConfig, SynthSpec};

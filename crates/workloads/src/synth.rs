@@ -1,0 +1,248 @@
+//! Seeded synthetic specification generation.
+//!
+//! Produces random—but always terminating and deterministic—hierarchical
+//! specifications for property-based equivalence testing (refine, then
+//! simulate both sides) and for scaling benchmarks. Generated leaves use
+//! straight-line code, bounded loops, branches and guarded transitions;
+//! signals and `wait until` are deliberately excluded so the original
+//! spec is single-threaded-deterministic and the refined spec's protocol
+//! traffic is the only concurrency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use modref_graph::AccessGraph;
+use modref_partition::{Allocation, Partition};
+use modref_spec::builder::SpecBuilder;
+use modref_spec::{expr, stmt, BehaviorId, Expr, Spec, Stmt, VarId};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Number of leaf behaviors.
+    pub leaves: usize,
+    /// Number of variables.
+    pub vars: usize,
+    /// Statements per leaf body.
+    pub stmts_per_leaf: usize,
+    /// Maximum composite fan-out (leaves are grouped into seq composites
+    /// of at most this size).
+    pub fanout: usize,
+    /// Probability (percent) that a composite gains a guarded loop-back
+    /// arc executing it a second time.
+    pub loop_percent: u32,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            leaves: 6,
+            vars: 5,
+            stmts_per_leaf: 4,
+            fanout: 3,
+            loop_percent: 30,
+        }
+    }
+}
+
+/// A generated specification plus the ingredients for partitioning it.
+#[derive(Debug)]
+pub struct SynthSpec {
+    /// The generated specification.
+    pub spec: Spec,
+    /// Its leaf behaviors, in creation order.
+    pub leaves: Vec<BehaviorId>,
+    /// Its variables.
+    pub vars: Vec<VarId>,
+}
+
+impl SynthSpec {
+    /// Generates a specification from a seed.
+    pub fn generate(seed: u64, config: &SynthConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = SpecBuilder::new(format!("synth_{seed}"));
+
+        let vars: Vec<VarId> = (0..config.vars.max(1))
+            .map(|i| b.var_int(format!("v{i}"), 16, (i as i64 * 3) % 7))
+            .collect();
+        // One dedicated counter per potential loop guard keeps loops
+        // terminating regardless of what leaf bodies do to other vars.
+        let guard_counter = b.var_int("guard_counter", 16, 0);
+
+        let leaves: Vec<BehaviorId> = (0..config.leaves.max(1))
+            .map(|i| {
+                let body = gen_body(&mut rng, &vars, config.stmts_per_leaf);
+                b.leaf(format!("L{i}"), body)
+            })
+            .collect();
+
+        // Group leaves into seq composites of bounded fan-out, then chain
+        // the composites under one root.
+        let mut groups = Vec::new();
+        for (gi, chunk) in leaves.chunks(config.fanout.max(1)).enumerate() {
+            let children = chunk.to_vec();
+            if chunk.len() >= 2 && rng.gen_range(0..100) < config.loop_percent {
+                // Guarded loop: run the group twice via the counter.
+                let first = children[0];
+                let last = *children.last().expect("non-empty chunk");
+                let bump = b.leaf(
+                    format!("G{gi}_bump"),
+                    vec![stmt::assign(
+                        guard_counter,
+                        expr::add(expr::var(guard_counter), expr::lit(1)),
+                    )],
+                );
+                let mut children = children;
+                children.push(bump);
+                let arcs = vec![
+                    b.arc(last, bump),
+                    b.arc_when(
+                        bump,
+                        expr::eq(
+                            expr::binary(
+                                modref_spec::BinOp::Rem,
+                                expr::var(guard_counter),
+                                expr::lit(2),
+                            ),
+                            expr::lit(1),
+                        ),
+                        first,
+                    ),
+                    b.arc_complete(bump),
+                ];
+                groups.push(b.seq(format!("G{gi}"), children, arcs));
+            } else {
+                groups.push(b.seq_in_order(format!("G{gi}"), children));
+            }
+        }
+        let top = b.seq_in_order("Root", groups);
+        let spec = b.finish(top).expect("generated spec is valid");
+        Self { spec, leaves, vars }
+    }
+
+    /// A deterministic two-way partition of the generated spec: leaf `k`
+    /// goes to component `k % 2`, variable `k` to component `k % 2`
+    /// rotated by `salt` — guaranteed complete over
+    /// [`Allocation::proc_plus_asic`].
+    pub fn partition(&self, allocation: &Allocation, salt: u64) -> Partition {
+        let ids = allocation.ids();
+        let mut p = Partition::with_default(ids[0]);
+        for (k, &leaf) in self.leaves.iter().enumerate() {
+            p.assign_behavior(leaf, ids[(k + salt as usize) % ids.len()]);
+        }
+        for (k, &v) in self.vars.iter().enumerate() {
+            p.assign_var(v, ids[(k * 2 + salt as usize) % ids.len()]);
+        }
+        if let Some(top) = self.spec.top_opt() {
+            p.assign_behavior(top, ids[0]);
+        }
+        p
+    }
+
+    /// Derives the access graph of the generated spec.
+    pub fn graph(&self) -> AccessGraph {
+        AccessGraph::derive(&self.spec)
+    }
+}
+
+fn gen_expr(rng: &mut StdRng, vars: &[VarId], depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        if rng.gen_bool(0.5) {
+            expr::lit(rng.gen_range(-8..=8))
+        } else {
+            expr::var(vars[rng.gen_range(0..vars.len())])
+        }
+    } else {
+        let l = gen_expr(rng, vars, depth - 1);
+        let r = gen_expr(rng, vars, depth - 1);
+        match rng.gen_range(0..5) {
+            0 => expr::add(l, r),
+            1 => expr::sub(l, r),
+            2 => expr::mul(l, r),
+            3 => expr::gt(l, r),
+            _ => expr::binary(modref_spec::BinOp::BitXor, l, r),
+        }
+    }
+}
+
+fn gen_body(rng: &mut StdRng, vars: &[VarId], n: usize) -> Vec<Stmt> {
+    (0..n.max(1))
+        .map(|_| {
+            let target = vars[rng.gen_range(0..vars.len())];
+            match rng.gen_range(0..10) {
+                0..=5 => stmt::assign(target, gen_expr(rng, vars, 2)),
+                6 | 7 => stmt::if_else(
+                    gen_expr(rng, vars, 1),
+                    vec![stmt::assign(target, gen_expr(rng, vars, 1))],
+                    vec![stmt::assign(target, gen_expr(rng, vars, 1))],
+                ),
+                8 => {
+                    // A bounded while over a fresh condition: counts down
+                    // from a small constant held in the target variable.
+                    stmt::while_loop_hinted(
+                        expr::gt(expr::var(target), expr::lit(0)),
+                        vec![stmt::assign(
+                            target,
+                            expr::sub(expr::var(target), expr::lit(1)),
+                        )],
+                        8,
+                    )
+                }
+                _ => stmt::delay(rng.gen_range(1..20)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_sim::Simulator;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = SynthConfig::default();
+        let a = SynthSpec::generate(7, &cfg);
+        let b = SynthSpec::generate(7, &cfg);
+        assert_eq!(
+            modref_spec::printer::print(&a.spec),
+            modref_spec::printer::print(&b.spec)
+        );
+    }
+
+    #[test]
+    fn generated_specs_simulate_to_completion() {
+        let cfg = SynthConfig::default();
+        for seed in 0..10 {
+            let s = SynthSpec::generate(seed, &cfg);
+            Simulator::new(&s.spec)
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn partitions_are_complete() {
+        let cfg = SynthConfig::default();
+        let alloc = Allocation::proc_plus_asic();
+        let s = SynthSpec::generate(3, &cfg);
+        for salt in 0..3 {
+            assert!(s.partition(&alloc, salt).is_complete(&s.spec, &alloc));
+        }
+    }
+
+    #[test]
+    fn scales_with_config() {
+        let small = SynthSpec::generate(1, &SynthConfig::default());
+        let big = SynthSpec::generate(
+            1,
+            &SynthConfig {
+                leaves: 24,
+                vars: 12,
+                stmts_per_leaf: 8,
+                ..SynthConfig::default()
+            },
+        );
+        assert!(big.spec.total_statements() > 2 * small.spec.total_statements());
+    }
+}

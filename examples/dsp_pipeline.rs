@@ -1,0 +1,69 @@
+//! The DSP front-end workload end-to-end: manual vs automatic
+//! partitioning, implementation-model comparison, and the two synthesis
+//! hand-offs (VHDL for the datapath side, C for the control side).
+//!
+//! Run with: `cargo run --example dsp_pipeline`
+
+use modref::core::{figure9_rates, refine, ImplModel};
+use modref::estimate::LifetimeConfig;
+use modref::graph::AccessGraph;
+use modref::partition::algorithms::{GroupMigration, Partitioner};
+use modref::partition::{partition_cost, CostConfig};
+use modref::sim::Simulator;
+use modref::spec::{cgen, printer, vhdl};
+use modref::workloads::{dsp_partition, dsp_spec, medical_allocation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = dsp_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let cfg = LifetimeConfig::default();
+
+    let original = Simulator::new(&spec).run()?;
+    println!(
+        "dsp pipeline: {} behaviors, {} variables, {} channels; detect_flag = {:?}, energy = {:?}",
+        spec.behavior_count(),
+        spec.variable_count(),
+        graph.data_channel_count(),
+        original.var_by_name("detect_flag"),
+        original.var_by_name("energy"),
+    );
+
+    // Manual partition (datapath on the ASIC) vs group migration.
+    let manual = dsp_partition(&spec, &alloc);
+    let auto = GroupMigration::new(8).partition(&spec, &graph, &alloc, &CostConfig::default());
+    for (name, part) in [("manual", &manual), ("auto (group migration)", &auto)] {
+        let cost = partition_cost(&spec, &graph, &alloc, part, &CostConfig::default());
+        let (locals, globals) = part.classify_all(&spec, &graph);
+        println!(
+            "\n== {name}: cut {:.0} bits, {} local / {} global ==",
+            cost.cut_bits,
+            locals.len(),
+            globals.len()
+        );
+        for model in ImplModel::ALL {
+            let rates = figure9_rates(&spec, &graph, &alloc, part, model, &cfg)?;
+            let refined = refine(&spec, &graph, &alloc, part, model)?;
+            let sim = Simulator::new(&refined.spec).run()?;
+            let ok = original.diff_common_vars(&sim).is_empty();
+            println!(
+                "  {model}: max bus {:>7.1} Mbit/s over {} buses, {} lines, {}",
+                rates.max_rate(),
+                rates.bus_count(),
+                printer::line_count(&refined.spec),
+                if ok { "equivalent" } else { "DIVERGES" }
+            );
+        }
+    }
+
+    // Synthesis hand-offs from the manually partitioned Model2 design.
+    let refined = refine(&spec, &graph, &alloc, &manual, ImplModel::Model2)?;
+    let vhdl_text = vhdl::export(&refined.spec)?;
+    let c_text = cgen::export_software(&refined.spec, "Dsp")?;
+    println!(
+        "\nhand-offs: {} lines of VHDL (hardware), {} lines of C (software)",
+        vhdl_text.lines().count(),
+        c_text.lines().count()
+    );
+    Ok(())
+}

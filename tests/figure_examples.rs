@@ -1,0 +1,285 @@
+//! The paper's illustrative figures, reproduced as executable tests.
+//!
+//! Each test rebuilds the situation one of the paper's figures depicts
+//! and checks both the structure of the refined specification and its
+//! simulated behavior.
+
+use modref::core::{refine, ImplModel};
+use modref::graph::{AccessGraph, ChannelKind};
+use modref::partition::{Allocation, Partition};
+use modref::sim::Simulator;
+use modref::spec::builder::SpecBuilder;
+use modref::spec::{expr, stmt, Spec, Stmt};
+
+/// Figure 1: behaviors A, B, C with guarded arcs `A:(x>1,B)`, `A:(x<1,C)`
+/// and a shared variable x; B and x move to the ASIC.
+fn figure1() -> (Spec, Allocation, Partition) {
+    let mut b = SpecBuilder::new("fig1");
+    let x = b.var_int("x", 16, 0);
+    let a = b.leaf("A", vec![stmt::assign(x, expr::lit(5))]);
+    let bb = b.leaf(
+        "B",
+        vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(100)))],
+    );
+    let c = b.leaf("C", vec![stmt::assign(x, expr::lit(-7))]);
+    let arcs = vec![
+        b.arc_when(a, expr::gt(expr::var(x), expr::lit(1)), bb),
+        b.arc_when(a, expr::lt(expr::var(x), expr::lit(1)), c),
+        b.arc_complete(bb),
+        b.arc_complete(c),
+    ];
+    let top = b.seq("Top", vec![a, bb, c], arcs);
+    let spec = b.finish(top).expect("valid");
+    let alloc = Allocation::proc_plus_asic();
+    let proc = alloc.by_name("PROC").unwrap();
+    let asic = alloc.by_name("ASIC").unwrap();
+    let mut part = Partition::with_default(proc);
+    part.assign_behavior(spec.behavior_by_name("B").unwrap(), asic);
+    part.assign_var(spec.variable_by_name("x").unwrap(), asic);
+    (spec, alloc, part)
+}
+
+#[test]
+fn figure1_access_graph_has_the_paper_channels() {
+    let (spec, _, _) = figure1();
+    let graph = AccessGraph::derive(&spec);
+    // Control arcs A->B and A->C.
+    assert_eq!(graph.control_channels().count(), 2);
+    // x is accessed by A (write), B (read+write), C (write) and the
+    // composite's guards (read).
+    let x = spec.variable_by_name("x").unwrap();
+    assert_eq!(graph.behaviors_accessing(x).len(), 4);
+}
+
+#[test]
+fn figure1d_refinement_inserts_bctrl_and_memory() {
+    let (spec, alloc, part) = figure1();
+    let graph = AccessGraph::derive(&spec);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model1).expect("refines");
+    // The refined spec matches Figure 1(d): B_CTRL on the processor side,
+    // B_NEW on the ASIC, x inside a memory module.
+    assert!(refined.spec.behavior_by_name("B_CTRL").is_some());
+    let bnew = refined.spec.behavior_by_name("B_NEW").expect("B_NEW");
+    assert!(refined.spec.behavior(bnew).is_server());
+    let x = refined.spec.variable_by_name("x").expect("x survives");
+    let scope = refined.spec.variable(x).scope().expect("x is in a memory");
+    assert!(refined.spec.behavior(scope).name().contains("mem"));
+    // Simulated result matches (x = 105 via the B branch).
+    let r = Simulator::new(&refined.spec).run().expect("runs");
+    assert_eq!(r.var_by_name("x"), Some(105));
+}
+
+/// Figure 4(b) vs 4(c): a moved leaf uses the one-level loop scheme; a
+/// moved composite gets the three-child sequential wrapper.
+#[test]
+fn figure4_schemes_choose_by_leafness() {
+    // Leaf case.
+    let (spec, alloc, part) = figure1();
+    let graph = AccessGraph::derive(&spec);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model1).expect("refines");
+    let bnew = refined.spec.behavior_by_name("B_NEW").unwrap();
+    assert!(
+        refined.spec.behavior(bnew).is_leaf(),
+        "moved leaf keeps one level of hierarchy (Figure 4(b))"
+    );
+    match refined.spec.behavior(bnew).body().unwrap() {
+        [Stmt::Loop { .. }] => {}
+        other => panic!("expected a single wrapping loop, got {} stmts", other.len()),
+    }
+
+    // Composite case.
+    let mut b = SpecBuilder::new("fig4c");
+    let x = b.var_int("x", 16, 0);
+    let s1 = b.leaf("S1", vec![stmt::assign(x, expr::lit(3))]);
+    let s2 = b.leaf(
+        "S2",
+        vec![stmt::assign(x, expr::mul(expr::var(x), expr::lit(5)))],
+    );
+    let moved = b.seq_in_order("Moved", vec![s1, s2]);
+    let after = b.leaf(
+        "After",
+        vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(1)))],
+    );
+    let top = b.seq_in_order("Top", vec![moved, after]);
+    let spec = b.finish(top).expect("valid");
+    let graph = AccessGraph::derive(&spec);
+    let alloc = Allocation::proc_plus_asic();
+    let proc = alloc.by_name("PROC").unwrap();
+    let asic = alloc.by_name("ASIC").unwrap();
+    let mut part = Partition::with_default(proc);
+    part.assign_behavior(spec.behavior_by_name("Moved").unwrap(), asic);
+    part.assign_behavior(spec.behavior_by_name("S1").unwrap(), asic);
+    part.assign_behavior(spec.behavior_by_name("S2").unwrap(), asic);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model1).expect("refines");
+    let bnew = refined.spec.behavior_by_name("Moved_NEW").expect("wrapper");
+    assert!(
+        !refined.spec.behavior(bnew).is_leaf(),
+        "moved composite needs the two-level scheme (Figure 4(c))"
+    );
+    assert_eq!(refined.spec.behavior(bnew).children().len(), 3);
+    let r = Simulator::new(&refined.spec).run().expect("runs");
+    assert_eq!(r.var_by_name("x"), Some(16)); // 3*5 + 1
+}
+
+/// Figure 5: `x := x + 5` with x in a memory becomes
+/// receive-compute-send, and a Memory behavior serves the bus.
+#[test]
+fn figure5_data_refinement_substitutes_protocols() {
+    let mut b = SpecBuilder::new("fig5");
+    let x = b.var_int("x", 16, 10);
+    let bb = b.leaf(
+        "B",
+        vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(5)))],
+    );
+    let top = b.seq_in_order("Top", vec![bb]);
+    let spec = b.finish(top).expect("valid");
+    let graph = AccessGraph::derive(&spec);
+    let alloc = Allocation::proc_plus_asic();
+    let proc = alloc.by_name("PROC").unwrap();
+    let asic = alloc.by_name("ASIC").unwrap();
+    let mut part = Partition::with_default(proc);
+    part.assign_var(spec.variable_by_name("x").unwrap(), asic);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model1).expect("refines");
+
+    // The protocol subroutines of Figure 5(d) exist.
+    assert!(refined
+        .spec
+        .subroutines()
+        .any(|(_, s)| s.name().starts_with("MST_receive")));
+    assert!(refined
+        .spec
+        .subroutines()
+        .any(|(_, s)| s.name().starts_with("MST_send")));
+    // B's body is now receive; compute-on-tmp; send.
+    let b_id = refined.spec.behavior_by_name("B").unwrap();
+    let body = refined.spec.behavior(b_id).body().unwrap();
+    assert_eq!(body.len(), 3);
+    assert!(matches!(body[0], Stmt::Call { .. }));
+    assert!(matches!(body[2], Stmt::Call { .. }));
+    // A temporary was introduced.
+    assert!(refined.spec.variable_by_name("B_tmp_x").is_some());
+    // And the behavior is preserved: x = 15.
+    let r = Simulator::new(&refined.spec).run().expect("runs");
+    assert_eq!(r.var_by_name("x"), Some(15));
+}
+
+/// Figure 6: guards between sub-behaviors fetch through protocols at the
+/// end of the predecessors.
+#[test]
+fn figure6_nonleaf_data_refinement() {
+    let mut b = SpecBuilder::new("fig6");
+    let x = b.var_int("x", 16, 0);
+    let y = b.var_int("y", 16, 0);
+    let b1 = b.leaf("B1", vec![stmt::assign(x, expr::lit(4))]);
+    let b2 = b.leaf(
+        "B2",
+        vec![stmt::assign(x, expr::add(expr::var(x), expr::lit(3)))],
+    );
+    let b3 = b.leaf("B3", vec![stmt::assign(y, expr::lit(99))]);
+    let arcs = vec![
+        b.arc_when(b1, expr::gt(expr::var(x), expr::lit(1)), b2),
+        b.arc_when(b2, expr::gt(expr::var(x), expr::lit(5)), b3),
+        b.arc_complete(b3),
+    ];
+    let top = b.seq("B", vec![b1, b2, b3], arcs);
+    let spec = b.finish(top).expect("valid");
+    let graph = AccessGraph::derive(&spec);
+    let alloc = Allocation::proc_plus_asic();
+    let proc = alloc.by_name("PROC").unwrap();
+    let asic = alloc.by_name("ASIC").unwrap();
+    let mut part = Partition::with_default(proc);
+    part.assign_var(spec.variable_by_name("x").unwrap(), asic);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model1).expect("refines");
+
+    // A guard temporary for x exists and the predecessors fetch into it.
+    assert!(refined.spec.variable_by_name("B_tmp_x").is_some());
+    for pred in ["B1", "B2"] {
+        let id = refined.spec.behavior_by_name(pred).unwrap();
+        let body = refined.spec.behavior(id).body().unwrap();
+        assert!(
+            matches!(body.last(), Some(Stmt::Call { .. })),
+            "{pred} must end with a guard fetch"
+        );
+    }
+    // Execution takes the 4 -> 7 -> y=99 path.
+    let r = Simulator::new(&refined.spec).run().expect("runs");
+    assert_eq!(r.var_by_name("x"), Some(7));
+    assert_eq!(r.var_by_name("y"), Some(99));
+}
+
+/// Figure 7: two behaviors share a bus; an arbiter with per-master
+/// request/acknowledge lines is inserted and the result is race-free.
+#[test]
+fn figure7_arbiter_insertion() {
+    let mut b = SpecBuilder::new("fig7");
+    let x = b.var_int("x", 16, 1);
+    let y = b.var_int("y", 16, 2);
+    let out1 = b.var_int("out1", 16, 0);
+    let out2 = b.var_int("out2", 16, 0);
+    let b1 = b.leaf("B1", vec![stmt::assign(out1, expr::var(x))]);
+    let b2 = b.leaf("B2", vec![stmt::assign(out2, expr::var(y))]);
+    let top = b.concurrent("Top", vec![b1, b2]);
+    let spec = b.finish(top).expect("valid");
+    let graph = AccessGraph::derive(&spec);
+    let alloc = Allocation::proc_plus_asic();
+    let proc = alloc.by_name("PROC").unwrap();
+    let part = Partition::with_default(proc);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model1).expect("refines");
+
+    // One bus, two leaf masters, arbiter present, request lines exist.
+    assert_eq!(refined.architecture.bus_count(), 1);
+    let bus = &refined.architecture.buses[0];
+    assert!(bus.masters.len() >= 2);
+    assert_eq!(refined.architecture.arbiters.len(), 1);
+    assert!(refined.spec.signal_by_name("b1_req_0").is_some());
+    assert!(refined.spec.signal_by_name("b1_ack_0").is_some());
+    let r = Simulator::new(&refined.spec).run().expect("runs");
+    assert_eq!(r.var_by_name("out1"), Some(1));
+    assert_eq!(r.var_by_name("out2"), Some(2));
+}
+
+/// Figure 8: B1 on component 1 reads y from component 2's local memory
+/// through the three-bus interface chain.
+#[test]
+fn figure8_bus_interface_chain() {
+    let mut b = SpecBuilder::new("fig8");
+    let y = b.var_int("y", 16, 44);
+    let got = b.var_int("got", 16, 0);
+    let b1 = b.leaf("B1", vec![stmt::assign(got, expr::var(y))]);
+    let b2 = b.leaf(
+        "B2",
+        vec![stmt::assign(y, expr::add(expr::var(y), expr::lit(0)))],
+    );
+    let top = b.seq_in_order("Top", vec![b1, b2]);
+    let spec = b.finish(top).expect("valid");
+    let graph = AccessGraph::derive(&spec);
+    let alloc = Allocation::proc_plus_asic();
+    let proc = alloc.by_name("PROC").unwrap();
+    let asic = alloc.by_name("ASIC").unwrap();
+    let mut part = Partition::with_default(proc);
+    part.assign_behavior(spec.behavior_by_name("B2").unwrap(), asic);
+    part.assign_var(spec.variable_by_name("y").unwrap(), asic);
+    part.assign_var(spec.variable_by_name("got").unwrap(), proc);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model4).expect("refines");
+
+    // Both interface directions exist (PROC reads remote, ASIC's B2 is
+    // local to y so only one chain is strictly needed; at least the
+    // outbound + inbound pair for the PROC -> ASIC path).
+    assert!(refined.architecture.interfaces.len() >= 2);
+    let r = Simulator::new(&refined.spec).run().expect("runs");
+    assert_eq!(r.var_by_name("got"), Some(44));
+    // The remote read's channel is carried by three buses.
+    let remote_chain = refined
+        .channel_buses
+        .values()
+        .find(|buses| buses.len() == 3)
+        .expect("a three-hop chain exists");
+    assert_eq!(remote_chain.len(), 3);
+    // Guard against misclassification: a local channel stays one-hop.
+    assert!(refined.channel_buses.values().any(|b| b.len() == 1));
+    let _ = graph
+        .data_channels()
+        .map(|c| c.kind())
+        .filter(|k| matches!(k, ChannelKind::Data { .. }))
+        .count();
+}

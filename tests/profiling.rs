@@ -1,0 +1,81 @@
+//! Dynamic-profile cross-checks: the simulator's activation counts
+//! validate the static structure the estimators assume, on both the
+//! original and the refined medical system.
+
+use modref::core::{refine, ImplModel};
+use modref::graph::AccessGraph;
+use modref::sim::Simulator;
+use modref::workloads::medical::CYCLES;
+use modref::workloads::{medical_allocation, medical_partition, medical_spec, Design};
+
+#[test]
+fn medical_session_children_activate_once_per_cycle() {
+    let spec = medical_spec();
+    let r = Simulator::new(&spec).run().expect("completes");
+    // The Session composite loops CYCLES times over its four children.
+    for phase in ["Acquire", "Process", "Compute", "Output"] {
+        assert_eq!(
+            r.activations_of(phase),
+            Some(CYCLES as u64),
+            "{phase} should run once per cycle"
+        );
+    }
+    // Their leaves activate once per parent activation.
+    for leaf in [
+        "Excite", "Sample", "Lowpass", "Detect", "Display", "Alarm", "Log",
+    ] {
+        assert_eq!(r.activations_of(leaf), Some(CYCLES as u64), "{leaf}");
+    }
+    // Init runs once.
+    assert_eq!(r.activations_of("Init"), Some(1));
+}
+
+#[test]
+fn refinement_preserves_the_activation_profile_of_copied_behaviors() {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+    let original = Simulator::new(&spec).run().expect("original");
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model2).expect("refines");
+    let result = Simulator::new(&refined.spec).run().expect("refined runs");
+    // Behaviors that survive under their original names (unmoved leaves
+    // and composites) keep their activation counts.
+    for name in [
+        "Init", "Compute", "Distance", "Volume", "Output", "Display", "Alarm", "Log",
+    ] {
+        assert_eq!(
+            result.activations_of(name),
+            original.activations_of(name),
+            "{name} activation count changed under refinement"
+        );
+    }
+    // Moved behaviors execute via their wrappers the same number of
+    // times: each B_CTRL activation drives one body execution.
+    assert_eq!(
+        result.activations_of("Acquire_CTRL"),
+        original.activations_of("Acquire"),
+        "the control stub activates once per original activation"
+    );
+}
+
+#[test]
+fn server_processes_activate_exactly_once() {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+    let refined = refine(&spec, &graph, &alloc, &part, ImplModel::Model1).expect("refines");
+    let result = Simulator::new(&refined.spec).run().expect("runs");
+    // Memories and arbiters are spawned once and loop forever.
+    for (_, b) in refined.spec.behaviors() {
+        if b.is_server() && !b.name().contains("_NEW") {
+            assert_eq!(
+                result.activations_of(b.name()),
+                Some(1),
+                "server {} should spawn exactly once",
+                b.name()
+            );
+        }
+    }
+}

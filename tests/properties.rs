@@ -1,0 +1,145 @@
+//! Property-based tests over randomly generated specifications.
+//!
+//! The generator (`modref_workloads::synth`) produces deterministic,
+//! terminating hierarchical specs; proptest drives seeds and structural
+//! parameters. The headline property is the refinement engine's
+//! soundness: *for every spec, partition and implementation model, the
+//! refined specification simulates to the same final state as the
+//! original.*
+
+use proptest::prelude::*;
+
+use modref::core::{refine, ImplModel, RefinePlan};
+use modref::partition::{Allocation, VarClass};
+use modref::sim::Simulator;
+use modref::spec::{parser, printer};
+use modref::workloads::{SynthConfig, SynthSpec};
+
+fn small_config() -> impl Strategy<Value = SynthConfig> {
+    (2usize..6, 2usize..6, 1usize..5, 2usize..4, 0u32..60).prop_map(
+        |(leaves, vars, stmts, fanout, loop_percent)| SynthConfig {
+            leaves,
+            vars,
+            stmts_per_leaf: stmts,
+            fanout,
+            loop_percent,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// The soundness property: refinement preserves observable behavior
+    /// under every implementation model.
+    #[test]
+    fn refinement_preserves_behavior(seed in 0u64..500, cfg in small_config(), salt in 0u64..2) {
+        let synth = SynthSpec::generate(seed, &cfg);
+        let graph = synth.graph();
+        let alloc = Allocation::proc_plus_asic();
+        let part = synth.partition(&alloc, salt);
+        let original = Simulator::new(&synth.spec).run().expect("original terminates");
+        for model in ImplModel::ALL {
+            let refined = refine(&synth.spec, &graph, &alloc, &part, model)
+                .unwrap_or_else(|e| panic!("seed {seed} {model}: {e}"));
+            let result = Simulator::new(&refined.spec)
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed} {model}: {e}"));
+            let diffs = original.diff_common_vars(&result);
+            prop_assert!(
+                diffs.is_empty(),
+                "seed {seed} {model}: diverges on {diffs:?}"
+            );
+        }
+    }
+
+    /// print → parse → print is a fixpoint for generated specs.
+    #[test]
+    fn printer_parser_round_trip(seed in 0u64..1000, cfg in small_config()) {
+        let synth = SynthSpec::generate(seed, &cfg);
+        let text = printer::print(&synth.spec);
+        let reparsed = parser::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        prop_assert_eq!(printer::print(&reparsed), text);
+    }
+
+    /// The plan maps every data channel to at least one bus, and the bus
+    /// count never exceeds the paper's per-model formula.
+    #[test]
+    fn plan_invariants(seed in 0u64..500, cfg in small_config(), salt in 0u64..2) {
+        let synth = SynthSpec::generate(seed, &cfg);
+        let graph = synth.graph();
+        let alloc = Allocation::proc_plus_asic();
+        let part = synth.partition(&alloc, salt);
+        for model in ImplModel::ALL {
+            let plan = RefinePlan::build(&synth.spec, &graph, &alloc, &part, model)
+                .unwrap_or_else(|e| panic!("seed {seed} {model}: {e}"));
+            prop_assert!(plan.buses.len() <= model.max_buses(alloc.len()));
+            let map = plan.channel_buses(&synth.spec, &graph, &part);
+            prop_assert_eq!(map.len(), graph.data_channels().count());
+            for buses in map.values() {
+                prop_assert!(!buses.is_empty());
+                for bus in buses {
+                    prop_assert!(plan.buses.iter().any(|b| &b.name == bus));
+                }
+            }
+            // Every variable belongs to exactly one memory module.
+            let mut seen = std::collections::HashSet::new();
+            for mem in &plan.memories {
+                for v in &mem.vars {
+                    prop_assert!(seen.insert(*v), "variable in two memories");
+                }
+            }
+            prop_assert_eq!(seen.len(), synth.spec.variable_count());
+        }
+    }
+
+    /// Local/global classification matches its definition: a variable is
+    /// global iff some accessor's component differs from its home.
+    #[test]
+    fn classification_matches_definition(seed in 0u64..500, cfg in small_config(), salt in 0u64..2) {
+        let synth = SynthSpec::generate(seed, &cfg);
+        let graph = synth.graph();
+        let alloc = Allocation::proc_plus_asic();
+        let part = synth.partition(&alloc, salt);
+        for (v, _) in synth.spec.variables() {
+            let home = part.component_of_var(&synth.spec, v);
+            let cross = graph
+                .behaviors_accessing(v)
+                .into_iter()
+                .any(|b| part.component_of_behavior(&synth.spec, b) != home);
+            let class = part.classify_var(&synth.spec, &graph, v);
+            prop_assert_eq!(class == VarClass::Global, cross);
+        }
+    }
+
+    /// Simulation is deterministic: two runs of the same spec agree.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..1000, cfg in small_config()) {
+        let synth = SynthSpec::generate(seed, &cfg);
+        let a = Simulator::new(&synth.spec).run().expect("runs");
+        let b = Simulator::new(&synth.spec).run().expect("runs");
+        prop_assert!(a.diff_common_vars(&b).is_empty());
+        prop_assert_eq!(a.time, b.time);
+        prop_assert_eq!(a.steps, b.steps);
+    }
+
+    /// The refined spec always prints strictly more lines than the
+    /// original (refinement adds, never removes).
+    #[test]
+    fn refinement_grows_the_spec(seed in 0u64..300, cfg in small_config()) {
+        let synth = SynthSpec::generate(seed, &cfg);
+        let graph = synth.graph();
+        let alloc = Allocation::proc_plus_asic();
+        let part = synth.partition(&alloc, 0);
+        let before = printer::line_count(&synth.spec);
+        for model in ImplModel::ALL {
+            let refined = refine(&synth.spec, &graph, &alloc, &part, model)
+                .unwrap_or_else(|e| panic!("seed {seed} {model}: {e}"));
+            prop_assert!(printer::line_count(&refined.spec) > before);
+        }
+    }
+}
