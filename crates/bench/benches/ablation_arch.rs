@@ -5,7 +5,8 @@
 //! communication-cost dimension the paper's Section 5 weighs against bus
 //! counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_bench::harness::{BenchmarkId, Criterion};
+use modref_bench::{criterion_group, criterion_main};
 
 use modref_core::{refine, ImplModel};
 use modref_graph::AccessGraph;

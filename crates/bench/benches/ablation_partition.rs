@@ -4,7 +4,8 @@
 //! increasing runtime. This bench measures both sides on a clustered
 //! synthetic design.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modref_bench::harness::Criterion;
+use modref_bench::{criterion_group, criterion_main};
 
 use modref_partition::algorithms::{
     GreedyPartitioner, GroupMigration, HierarchicalClustering, Partitioner, RandomPartitioner,

@@ -1,0 +1,243 @@
+//! Exploration throughput: full-recompute versus incremental move
+//! evaluation, and end-to-end multi-start exploration.
+//!
+//! The tentpole claim is that `CostCache` makes single-object move
+//! evaluation cheap enough for multi-start search: each trial move costs
+//! an O(degree) cut-flag update plus a re-sum of cached tables instead of
+//! a full statement-tree walk. This bench measures both paths on the same
+//! deterministic move schedule over the medical workload and a larger
+//! synthetic design, then times `explore()` itself at one and at many
+//! threads — and records everything in `BENCH_explore.json` at the repo
+//! root, including the full/incremental speedup the acceptance criteria
+//! gate on.
+
+use std::time::Instant;
+
+use modref_bench::harness::Criterion;
+use modref_bench::{criterion_group, criterion_main};
+
+use modref_graph::AccessGraph;
+use modref_partition::explore::{explore, ExploreConfig};
+use modref_partition::{partition_cost, Allocation, CostCache, CostConfig, Partition};
+use modref_spec::Spec;
+use modref_workloads::{
+    medical_allocation, medical_partition, medical_spec, Design, SynthConfig, SynthSpec,
+};
+
+/// One workload's measurements.
+struct Record {
+    name: &'static str,
+    behaviors: usize,
+    leaves: usize,
+    evals: u64,
+    full_ns_per_eval: f64,
+    incremental_ns_per_eval: f64,
+    speedup: f64,
+    explore_candidates: usize,
+    explore_secs_serial: f64,
+    explore_secs_parallel: f64,
+    explore_threads: usize,
+}
+
+/// Times `evals` move evaluations via full `partition_cost` recompute:
+/// assign the object, recompute, assign it back — the pre-cache idiom.
+fn time_full(
+    spec: &Spec,
+    graph: &AccessGraph,
+    alloc: &Allocation,
+    part: &Partition,
+    config: &CostConfig,
+    evals: u64,
+) -> f64 {
+    let leaves = spec.leaves();
+    let ids = alloc.ids();
+    let mut part = part.clone();
+    let mut acc = 0.0;
+    let start = Instant::now();
+    for i in 0..evals {
+        let leaf = leaves[(i as usize) % leaves.len()];
+        let to = ids[(i as usize) % ids.len()];
+        let back = part
+            .component_of_behavior(spec, leaf)
+            .expect("complete partition");
+        part.assign_behavior(leaf, to);
+        acc += partition_cost(spec, graph, alloc, &part, config).total;
+        part.assign_behavior(leaf, back);
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / evals as f64;
+    assert!(acc.is_finite());
+    ns
+}
+
+/// Times the same move schedule through the incremental cache.
+fn time_incremental(
+    spec: &Spec,
+    graph: &AccessGraph,
+    alloc: &Allocation,
+    part: &Partition,
+    config: &CostConfig,
+    evals: u64,
+) -> f64 {
+    let mut cache = CostCache::new(spec, graph, alloc, part, config);
+    let leaves = cache.leaves().to_vec();
+    let ids = alloc.ids();
+    let mut acc = 0.0;
+    let start = Instant::now();
+    for i in 0..evals {
+        let leaf = leaves[(i as usize) % leaves.len()];
+        let to = ids[(i as usize) % ids.len()];
+        let back = cache.component_of_leaf(leaf);
+        acc += cache.move_leaf(leaf, to);
+        cache.move_leaf(leaf, back);
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / evals as f64;
+    assert!(acc.is_finite());
+    ns
+}
+
+fn measure(
+    name: &'static str,
+    spec: &Spec,
+    graph: &AccessGraph,
+    alloc: &Allocation,
+    part: &Partition,
+    evals: u64,
+) -> Record {
+    let config = CostConfig::default();
+    // Warm both paths once so allocation noise stays out of the timing.
+    time_full(spec, graph, alloc, part, &config, evals / 10 + 1);
+    time_incremental(spec, graph, alloc, part, &config, evals / 10 + 1);
+    let full = time_full(spec, graph, alloc, part, &config, evals);
+    let incremental = time_incremental(spec, graph, alloc, part, &config, evals);
+
+    let expl = ExploreConfig {
+        seeds: 4,
+        anneal_iterations: 300,
+        migration_passes: 6,
+        threads: Some(1),
+    };
+    let start = Instant::now();
+    let serial = explore(spec, graph, alloc, &config, &expl);
+    let explore_secs_serial = start.elapsed().as_secs_f64();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let start = Instant::now();
+    let parallel = explore(
+        spec,
+        graph,
+        alloc,
+        &config,
+        &ExploreConfig {
+            threads: Some(threads),
+            ..expl
+        },
+    );
+    let explore_secs_parallel = start.elapsed().as_secs_f64();
+    assert_eq!(
+        serial, parallel,
+        "exploration must be thread-count invariant"
+    );
+
+    Record {
+        name,
+        behaviors: spec.behavior_count(),
+        leaves: spec.leaves().len(),
+        evals,
+        full_ns_per_eval: full,
+        incremental_ns_per_eval: incremental,
+        speedup: full / incremental,
+        explore_candidates: serial.len(),
+        explore_secs_serial,
+        explore_secs_parallel,
+        explore_threads: threads,
+    }
+}
+
+fn json(records: &[Record]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"explore\",\n  \"workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"behaviors\": {},\n      \"leaves\": {},\n      \"move_evals\": {},\n      \"full_ns_per_eval\": {:.1},\n      \"incremental_ns_per_eval\": {:.1},\n      \"speedup\": {:.2},\n      \"explore_candidates\": {},\n      \"explore_secs_serial\": {:.4},\n      \"explore_secs_parallel\": {:.4},\n      \"explore_threads\": {},\n      \"explore_candidates_per_sec\": {:.1}\n    }}{}\n",
+            r.name,
+            r.behaviors,
+            r.leaves,
+            r.evals,
+            r.full_ns_per_eval,
+            r.incremental_ns_per_eval,
+            r.speedup,
+            r.explore_candidates,
+            r.explore_secs_serial,
+            r.explore_secs_parallel,
+            r.explore_threads,
+            r.explore_candidates as f64 / r.explore_secs_parallel.max(1e-9),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let med_part = medical_partition(&spec, &alloc, Design::Design1);
+
+    let synth_cfg = SynthConfig {
+        leaves: 24,
+        vars: 16,
+        stmts_per_leaf: 6,
+        fanout: 4,
+        loop_percent: 30,
+    };
+    let synth = SynthSpec::generate(11, &synth_cfg);
+    let synth_graph = synth.graph();
+    let synth_part = Partition::with_default(alloc.ids()[0]);
+
+    // The harness-timed view (respects MODREF_BENCH_MS).
+    let config = CostConfig::default();
+    let mut group = c.benchmark_group("move_eval_medical");
+    group.bench_function("full_recompute", |b| {
+        b.iter(|| time_full(&spec, &graph, &alloc, &med_part, &config, 32))
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| time_incremental(&spec, &graph, &alloc, &med_part, &config, 32))
+    });
+    group.finish();
+
+    // The recorded comparison the acceptance criteria read.
+    let records = vec![
+        measure("medical", &spec, &graph, &alloc, &med_part, 4000),
+        measure(
+            "synth24",
+            &synth.spec,
+            &synth_graph,
+            &alloc,
+            &synth_part,
+            2000,
+        ),
+    ];
+    for r in &records {
+        eprintln!(
+            "{:<8} {:>2} behaviors: full {:>10.0} ns/eval, incremental {:>8.0} ns/eval — {:>5.1}x; \
+             explore {} candidates in {:.3}s serial / {:.3}s on {} threads",
+            r.name,
+            r.behaviors,
+            r.full_ns_per_eval,
+            r.incremental_ns_per_eval,
+            r.speedup,
+            r.explore_candidates,
+            r.explore_secs_serial,
+            r.explore_secs_parallel,
+            r.explore_threads,
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, json(&records)).expect("write BENCH_explore.json");
+    eprintln!("wrote {path}");
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

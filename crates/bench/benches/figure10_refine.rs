@@ -3,7 +3,8 @@
 //! (reported there in seconds on a SPARC5; absolute values are
 //! incomparable, the per-model ordering is the reproducible shape).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_bench::harness::{BenchmarkId, Criterion};
+use modref_bench::{criterion_group, criterion_main};
 
 use modref_core::{refine, ImplModel};
 use modref_graph::AccessGraph;

@@ -3,7 +3,8 @@
 //! estimation pipeline (access counting, lifetimes, rate summation) that
 //! produces the paper's Figure 9 numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_bench::harness::{BenchmarkId, Criterion};
+use modref_bench::{criterion_group, criterion_main};
 
 use modref_core::{figure9_rates, ImplModel};
 use modref_estimate::LifetimeConfig;

@@ -2,7 +2,8 @@
 //! print → simulate, on the medical system. This is the full designer
 //! loop the paper's productivity argument is about.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modref_bench::harness::Criterion;
+use modref_bench::{criterion_group, criterion_main};
 
 use modref_core::{refine, ImplModel};
 use modref_graph::AccessGraph;

@@ -5,7 +5,8 @@
 //! here we measure that the tool side stays in the milliseconds while the
 //! generated text grows by orders of magnitude.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use modref_bench::harness::{BenchmarkId, Criterion, Throughput};
+use modref_bench::{criterion_group, criterion_main};
 
 use modref_core::{refine, ImplModel};
 use modref_partition::Allocation;

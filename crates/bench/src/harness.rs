@@ -1,0 +1,267 @@
+//! A minimal, dependency-free benchmark harness with a Criterion-shaped
+//! API.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so `criterion` cannot be used; this module provides the
+//! subset of its surface the benches need ([`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], plus the
+//! [`criterion_group!`]/[`criterion_main!`] macros) backed by plain
+//! `std::time::Instant` measurement: a short warm-up sizes a batch, the
+//! batch is timed a few times, and the best mean ns/iteration is
+//! reported.
+//!
+//! Tuning: `MODREF_BENCH_MS` sets the per-benchmark time budget in
+//! milliseconds (default 60; set it low in CI smoke runs).
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Reads the per-benchmark time budget from `MODREF_BENCH_MS`.
+fn time_budget() -> Duration {
+    std::env::var("MODREF_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(60))
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: time_budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.budget,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.budget,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Records the group's throughput unit. Accepted for API
+    /// compatibility; the mini-harness reports only ns/iter.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, not currently reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Hands the closure under test to the measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Best observed mean, in ns/iter (filled by [`Bencher::iter`]).
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the best mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~1/8 of the budget elapses, counting calls,
+        // to size a measurement batch.
+        let warmup_target = self.budget / 8;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup_target || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Aim for ~5 samples within the remaining budget.
+        let remaining = self.budget.as_secs_f64() * (7.0 / 8.0);
+        let samples: u32 = 5;
+        let batch = ((remaining / samples as f64 / per_iter).floor() as u64).max(1);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let mean = start.elapsed().as_secs_f64() / batch as f64;
+            best = best.min(mean);
+        }
+        self.result_ns = best * 1e9;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, f: &mut F) {
+    let mut bencher = Bencher {
+        budget,
+        result_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    println!("{name:<48} time: [{}]", format_ns(bencher.result_ns));
+}
+
+/// Formats nanoseconds with an adaptive unit, Criterion-style.
+pub fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "no measurement".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function that runs a sequence of benchmark functions, each
+/// taking `&mut Criterion` — API-compatible with criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares a `main` that runs benchmark groups declared with
+/// [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(4),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

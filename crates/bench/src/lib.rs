@@ -1,5 +1,9 @@
 //! Shared helpers for the modref benchmark harness: paper-style table
-//! rendering and the fixed experiment grid (3 designs × 4 models).
+//! rendering, the fixed experiment grid (3 designs × 4 models), and a
+//! minimal Criterion-compatible measurement harness ([`harness`]) so the
+//! benches run without network access to crates.io.
+
+pub mod harness;
 
 use modref_core::ImplModel;
 use modref_workloads::Design;

@@ -206,6 +206,94 @@ pub fn rates(spec: &Spec, part_text: &str) -> CmdResult {
     Ok(())
 }
 
+/// `modref explore`: parallel multi-start design-space exploration.
+///
+/// Runs K seeds × {annealing, migration} plus the constructive methods,
+/// crosses every candidate with the four implementation models, and
+/// prints the ranked design points with the Pareto front flagged. With
+/// `-o`, writes the best candidate's partition file.
+#[allow(clippy::too_many_arguments)]
+pub fn explore(
+    spec: &Spec,
+    part_text: Option<&str>,
+    seeds: u64,
+    threads: Option<usize>,
+    top: usize,
+    out: Option<&str>,
+) -> CmdResult {
+    use modref_partition::explore::ExploreConfig;
+    use modref_partition::{Allocation, CostConfig};
+
+    let alloc = match part_text {
+        Some(text) => parse_partition(spec, text)?.0,
+        None => Allocation::proc_plus_asic(),
+    };
+    let graph = AccessGraph::derive(spec);
+    let cost_config = CostConfig::default();
+    let expl = ExploreConfig {
+        seeds,
+        threads,
+        ..ExploreConfig::default()
+    };
+    let workers = modref_partition::thread_count(threads);
+
+    let started = std::time::Instant::now();
+    let result = modref_core::explore_designs(spec, &graph, &alloc, &cost_config, &expl)?;
+    let elapsed = started.elapsed();
+
+    let n = result.points.len();
+    let per_sec = n as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "explored {n} design points ({seeds} seeds x algorithms x 4 models) \
+         on {workers} thread(s) in {:.2?} — {per_sec:.0} candidates/sec",
+        elapsed
+    );
+    println!();
+    println!(
+        "{:<4} {:<2} {:<17} {:>4}  {:<6} {:>12} {:>10} {:>10} {:>12} {:>5}",
+        "rank",
+        "",
+        "algorithm",
+        "seed",
+        "model",
+        "cost",
+        "cut bits",
+        "imbal ns",
+        "rate Mbit/s",
+        "buses"
+    );
+    for (i, p) in result.points.iter().take(top.max(1)).enumerate() {
+        println!(
+            "{:<4} {:<2} {:<17} {:>4}  {:<6} {:>12.1} {:>10.1} {:>10.0} {:>12.1} {:>5}",
+            i + 1,
+            if p.pareto { "*" } else { "" },
+            p.algorithm,
+            p.seed,
+            p.model,
+            p.cost.total,
+            p.cost.cut_bits,
+            p.cost.imbalance_ns,
+            p.max_bus_rate,
+            p.bus_count
+        );
+    }
+    if n > top {
+        println!("... {} more (use --top to show)", n - top);
+    }
+    println!("* = Pareto-optimal over (cost, max bus rate)");
+
+    if let Some(path) = out {
+        let best = &result.points[0];
+        let text = render_partition(spec, &alloc, &best.partition);
+        fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote best partition ({} seed {} under {}) to {path}",
+            best.algorithm, best.seed, best.model
+        );
+    }
+    Ok(())
+}
+
 /// `modref demo`: write the medical spec + Design1/2/3 partition files.
 pub fn demo(dir: &str) -> CmdResult {
     use modref_workloads::{medical_allocation, medical_partition, medical_spec, Design};

@@ -7,6 +7,7 @@
 //! modref simulate <spec>                 run and print final state
 //! modref refine   <spec> -p <part> -m N  refine to ModelN, print result
 //! modref rates    <spec> -p <part>       Figure 9 rate table, all models
+//! modref explore  <spec> [--seeds K]     parallel multi-start exploration
 //! modref demo     <dir>                  write the medical example files
 //! ```
 
@@ -76,6 +77,36 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let part_text = read_flag_file(args, "-p")?;
             commands::rates(&spec, &part_text)
         }
+        "explore" => {
+            let spec = read_spec(args, 1)?;
+            let part_text = match flag_value(args, "-p") {
+                Some(_) => Some(read_flag_file(args, "-p")?),
+                None => None,
+            };
+            let seeds = flag_value(args, "--seeds")
+                .map(|v| v.parse::<u64>())
+                .transpose()
+                .map_err(|e| format!("invalid --seeds: {e}"))?
+                .unwrap_or(4);
+            let threads = flag_value(args, "--threads")
+                .map(|v| v.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("invalid --threads: {e}"))?;
+            let top = flag_value(args, "--top")
+                .map(|v| v.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("invalid --top: {e}"))?
+                .unwrap_or(10);
+            let out = flag_value(args, "-o");
+            commands::explore(
+                &spec,
+                part_text.as_deref(),
+                seeds,
+                threads,
+                top,
+                out.as_deref(),
+            )
+        }
         "demo" => {
             let dir = args.get(1).ok_or("usage: modref demo <directory>")?.clone();
             commands::demo(&dir)
@@ -101,6 +132,9 @@ USAGE:
   modref refine   <spec> -p <part> -m <1..4>  refine, print spec
                   [-o FILE] [--dot FILE]      write spec / architecture DOT
   modref rates    <spec> -p <part>            Figure 9 rate tables, all models
+  modref explore  <spec> [-p <part>]          parallel multi-start exploration
+                  [--seeds K] [--threads N]   K seeds x algorithms x 4 models,
+                  [--top M] [-o FILE]         ranked with Pareto front flagged
   modref estimate <spec> -p <part>            lifetimes + channel rates report
   modref vhdl     <spec>                      export to VHDL (refined specs)
   modref cgen     <spec> --process <name>     export a process to C + bus HAL

@@ -1,0 +1,245 @@
+//! Design-space exploration across partitions *and* implementation
+//! models.
+//!
+//! The partition layer's multi-start explorer
+//! ([`modref_partition::explore`]) produces ranked candidate partitions;
+//! this module crosses each candidate with the four implementation
+//! models, evaluates the Figure 9 bus-rate tables for every pair, and
+//! ranks the resulting design points. A point's quality is the pair
+//! `(partition cost, max bus transfer rate)` — both minimized — and the
+//! Pareto-optimal points are flagged so a designer reads the frontier
+//! directly off the table.
+//!
+//! Rate evaluation fans out over the same deterministic
+//! [`par_map`](modref_partition::par_map) used for partitioning, so the
+//! full exploration is parallel end to end yet reproducible for a fixed
+//! seed count regardless of thread count.
+
+use modref_graph::AccessGraph;
+use modref_partition::explore::{explore as explore_partitions, Candidate, ExploreConfig};
+use modref_partition::{par_map, thread_count, Allocation, CostConfig, CostReport, Partition};
+use modref_spec::Spec;
+
+use crate::error::RefineError;
+use crate::model::ImplModel;
+use crate::rates::figure9_rates;
+
+/// One fully evaluated design point: a candidate partition under one
+/// implementation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The partitioning algorithm that produced the candidate.
+    pub algorithm: &'static str,
+    /// The seed that drove it (0 for deterministic algorithms).
+    pub seed: u64,
+    /// The implementation model evaluated.
+    pub model: ImplModel,
+    /// Partition cost breakdown (model-independent).
+    pub cost: CostReport,
+    /// Peak bus transfer rate in Mbit/s (the Figure 9 hot spot).
+    pub max_bus_rate: f64,
+    /// Number of buses the refinement plan allocates.
+    pub bus_count: usize,
+    /// Whether the point is Pareto-optimal over
+    /// `(cost.total, max_bus_rate)`, both minimized.
+    pub pareto: bool,
+    /// The candidate partition.
+    pub partition: Partition,
+}
+
+/// The outcome of a full exploration: design points ranked best-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    /// All evaluated points, sorted by `(cost, max bus rate, model,
+    /// algorithm, seed)`.
+    pub points: Vec<DesignPoint>,
+}
+
+impl Exploration {
+    /// The Pareto-optimal points, in ranked order.
+    pub fn pareto_front(&self) -> Vec<&DesignPoint> {
+        self.points.iter().filter(|p| p.pareto).collect()
+    }
+}
+
+/// Runs the multi-start partition exploration, evaluates every candidate
+/// under all four implementation models, and returns the ranked points.
+///
+/// Deterministic for a fixed `expl` config regardless of thread count.
+pub fn explore_designs(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    cost_config: &CostConfig,
+    expl: &ExploreConfig,
+) -> Result<Exploration, RefineError> {
+    let candidates = explore_partitions(spec, graph, allocation, cost_config, expl);
+    let lifetime = cost_config.lifetime;
+
+    // Cross candidates with models; rate evaluation is independent per
+    // pair, so fan it out too.
+    let jobs: Vec<(usize, ImplModel)> = candidates
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| ImplModel::ALL.iter().map(move |&m| (i, m)))
+        .collect();
+    let threads = thread_count(expl.threads);
+    let rated = par_map(jobs, threads, |_, (ci, model)| {
+        let cand: &Candidate = &candidates[ci];
+        figure9_rates(spec, graph, allocation, &cand.partition, model, &lifetime)
+            .map(|table| (ci, model, table.max_rate(), table.bus_count()))
+    });
+
+    let mut points = Vec::with_capacity(rated.len());
+    for r in rated {
+        let (ci, model, max_bus_rate, bus_count) = r?;
+        let cand = &candidates[ci];
+        points.push(DesignPoint {
+            algorithm: cand.algorithm,
+            seed: cand.seed,
+            model,
+            cost: cand.cost,
+            max_bus_rate,
+            bus_count,
+            pareto: false,
+            partition: cand.partition.clone(),
+        });
+    }
+
+    rank(&mut points);
+    mark_pareto(&mut points);
+    Ok(Exploration { points })
+}
+
+/// Total order: partition cost, then peak bus rate, then model number,
+/// then algorithm name, then seed.
+fn rank(points: &mut [DesignPoint]) {
+    points.sort_by(|a, b| {
+        a.cost
+            .total
+            .partial_cmp(&b.cost.total)
+            .expect("finite costs")
+            .then_with(|| {
+                a.max_bus_rate
+                    .partial_cmp(&b.max_bus_rate)
+                    .expect("finite rates")
+            })
+            .then_with(|| a.model.number().cmp(&b.model.number()))
+            .then_with(|| a.algorithm.cmp(b.algorithm))
+            .then_with(|| a.seed.cmp(&b.seed))
+    });
+}
+
+/// Flags points not dominated by any other over
+/// `(cost.total, max_bus_rate)`, both minimized. `a` dominates `b` when
+/// it is no worse on both axes and strictly better on at least one.
+fn mark_pareto(points: &mut [DesignPoint]) {
+    let metrics: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.cost.total, p.max_bus_rate))
+        .collect();
+    for i in 0..points.len() {
+        let (ci, ri) = metrics[i];
+        let dominated = metrics
+            .iter()
+            .enumerate()
+            .any(|(j, &(cj, rj))| j != i && cj <= ci && rj <= ri && (cj < ci || rj < ri));
+        points[i].pareto = !dominated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_workloads::{medical_allocation, medical_spec};
+
+    fn small_expl() -> ExploreConfig {
+        ExploreConfig {
+            seeds: 1,
+            anneal_iterations: 40,
+            migration_passes: 2,
+            threads: Some(2),
+        }
+    }
+
+    #[test]
+    fn explores_medical_design_space() {
+        let spec = medical_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = medical_allocation();
+        let out = explore_designs(&spec, &graph, &alloc, &CostConfig::default(), &small_expl())
+            .expect("exploration succeeds");
+        // (2 seeded jobs × 1 seed + 3 singleton jobs) × 4 models.
+        assert_eq!(out.points.len(), 5 * 4);
+        // Ranked by cost then rate.
+        for w in out.points.windows(2) {
+            assert!((w[0].cost.total, w[0].max_bus_rate) <= (w[1].cost.total, w[1].max_bus_rate));
+        }
+        // The frontier is non-empty and its members are flagged.
+        let front = out.pareto_front();
+        assert!(!front.is_empty());
+        // The overall best-cost point is always on the frontier... unless
+        // an equal-cost point with a lower rate exists; either way the
+        // first-ranked point's cost is not beaten by any frontier member.
+        assert!(front
+            .iter()
+            .all(|p| p.cost.total >= out.points[0].cost.total));
+    }
+
+    #[test]
+    fn exploration_is_deterministic_across_thread_counts() {
+        let spec = medical_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = medical_allocation();
+        let cfg = CostConfig::default();
+        let a = explore_designs(
+            &spec,
+            &graph,
+            &alloc,
+            &cfg,
+            &ExploreConfig {
+                threads: Some(1),
+                ..small_expl()
+            },
+        )
+        .expect("single-thread run");
+        let b = explore_designs(
+            &spec,
+            &graph,
+            &alloc,
+            &cfg,
+            &ExploreConfig {
+                threads: Some(8),
+                ..small_expl()
+            },
+        )
+        .expect("multi-thread run");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pareto_dominance_is_strict() {
+        // Hand-built points: (cost, rate) = (1, 5), (2, 3), (3, 4).
+        // (3, 4) is dominated by (2, 3); the others are optimal.
+        let mk = |cost: f64, rate: f64| DesignPoint {
+            algorithm: "x",
+            seed: 0,
+            model: ImplModel::Model1,
+            cost: CostReport {
+                cut_bits: 0.0,
+                imbalance_ns: 0.0,
+                violation: 0.0,
+                total: cost,
+            },
+            max_bus_rate: rate,
+            bus_count: 1,
+            pareto: false,
+            partition: Partition::new(),
+        };
+        let mut pts = vec![mk(1.0, 5.0), mk(2.0, 3.0), mk(3.0, 4.0)];
+        mark_pareto(&mut pts);
+        assert!(pts[0].pareto);
+        assert!(pts[1].pareto);
+        assert!(!pts[2].pareto);
+    }
+}

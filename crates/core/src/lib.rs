@@ -61,6 +61,7 @@ pub mod control;
 pub mod data;
 pub mod dot;
 pub mod error;
+pub mod explore;
 pub mod interface;
 pub mod memory;
 pub mod model;
@@ -73,6 +74,7 @@ pub mod report;
 pub use arbiter::ArbiterPolicy;
 pub use arch::{ArbiterDesc, Architecture, Bus, BusKind, InterfaceDesc, MemoryModule};
 pub use error::RefineError;
+pub use explore::{explore_designs, DesignPoint, Exploration};
 pub use model::ImplModel;
 pub use plan::RefinePlan;
 pub use rates::figure9_rates;

@@ -68,6 +68,16 @@ impl ImplModel {
         matches!(self, ImplModel::Model4)
     }
 
+    /// The model's number, 1 through 4.
+    pub fn number(self) -> u8 {
+        match self {
+            ImplModel::Model1 => 1,
+            ImplModel::Model2 => 2,
+            ImplModel::Model3 => 3,
+            ImplModel::Model4 => 4,
+        }
+    }
+
     /// Short name as used in the paper's tables ("Model1"...).
     pub fn name(self) -> &'static str {
         match self {

@@ -1,0 +1,70 @@
+//! Exploration determinism: the ranked design points are identical across
+//! repeated runs and across every way of choosing the thread count —
+//! explicit config, `RAYON_NUM_THREADS`/`MODREF_THREADS` environment
+//! overrides, and the machine default.
+//!
+//! This lives in its own integration-test binary (its own process) so the
+//! environment-variable manipulation cannot race other tests; the single
+//! `#[test]` keeps the env mutations sequential within the process too.
+
+use modref_core::explore_designs;
+use modref_graph::AccessGraph;
+use modref_partition::explore::ExploreConfig;
+use modref_partition::CostConfig;
+use modref_workloads::{medical_allocation, medical_spec};
+
+#[test]
+fn ranked_results_are_identical_across_runs_and_thread_counts() {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let cost = CostConfig::default();
+    let expl = |threads| ExploreConfig {
+        seeds: 2,
+        anneal_iterations: 120,
+        migration_passes: 3,
+        threads,
+    };
+
+    // Two identical runs agree point-for-point.
+    let first = explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("run 1");
+    let second = explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("run 2");
+    assert_eq!(first, second, "repeat runs must be identical");
+
+    // Explicit thread counts, serial through oversubscribed.
+    for threads in [1, 2, 5, 16] {
+        let run = explore_designs(&spec, &graph, &alloc, &cost, &expl(Some(threads)))
+            .unwrap_or_else(|e| panic!("{threads}-thread run: {e}"));
+        assert_eq!(first, run, "results differ at {threads} threads");
+    }
+
+    // RAYON_NUM_THREADS=1 versus the unconstrained default, the knob the
+    // acceptance criterion names. Restore the environment afterwards.
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    assert_eq!(modref_partition::thread_count(None), 1);
+    let pinned = explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("pinned run");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(first, pinned, "RAYON_NUM_THREADS=1 changed the results");
+
+    // MODREF_THREADS takes precedence over RAYON_NUM_THREADS.
+    std::env::set_var("RAYON_NUM_THREADS", "7");
+    std::env::set_var("MODREF_THREADS", "3");
+    assert_eq!(modref_partition::thread_count(None), 3);
+    let overridden =
+        explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("override run");
+    std::env::remove_var("MODREF_THREADS");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    if let Some(v) = saved {
+        std::env::set_var("RAYON_NUM_THREADS", v);
+    }
+    assert_eq!(first, overridden, "MODREF_THREADS=3 changed the results");
+
+    // Sanity: the ranking is a total order over the evaluated points.
+    for w in first.points.windows(2) {
+        assert!(
+            (w[0].cost.total, w[0].max_bus_rate) <= (w[1].cost.total, w[1].max_bus_rate),
+            "points out of order"
+        );
+    }
+}

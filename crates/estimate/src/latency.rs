@@ -110,6 +110,31 @@ impl TimingModel {
     pub fn expr_cost(&self, ops: u32, loads: u32) -> f64 {
         f64::from(ops) * self.op_ns + f64::from(loads) * self.load_ns
     }
+
+    /// A stable 64-bit fingerprint of the model's parameters, usable as a
+    /// memoization key (two models with identical parameters share it).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for field in [
+            self.op_ns,
+            self.mul_extra_ns,
+            self.div_extra_ns,
+            self.assign_ns,
+            self.load_ns,
+            self.branch_ns,
+            self.loop_overhead_ns,
+            self.signal_ns,
+            self.call_ns,
+            self.handshake_ns,
+        ] {
+            mix(field.to_bits());
+        }
+        h
+    }
 }
 
 impl Default for TimingModel {
@@ -140,5 +165,20 @@ mod tests {
     #[test]
     fn default_is_processor() {
         assert_eq!(TimingModel::default().name, "proc8086");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_models() {
+        assert_eq!(
+            TimingModel::processor().fingerprint(),
+            TimingModel::processor().fingerprint()
+        );
+        assert_ne!(
+            TimingModel::processor().fingerprint(),
+            TimingModel::asic().fingerprint()
+        );
+        let mut tweaked = TimingModel::asic();
+        tweaked.op_ns += 1.0;
+        assert_ne!(tweaked.fingerprint(), TimingModel::asic().fingerprint());
     }
 }

@@ -33,6 +33,6 @@ pub mod rates;
 pub mod report;
 
 pub use latency::TimingModel;
-pub use lifetime::{behavior_lifetime, LifetimeConfig};
+pub use lifetime::{behavior_lifetime, LifetimeConfig, LifetimeTable};
 pub use rates::{bus_rates, channel_rate, BusRateTable, MBITS_PER_BIT_PER_NS};
 pub use report::estimation_report;

@@ -7,6 +7,8 @@
 //! same loop/branch weighting as access counting, and — for composites —
 //! summing the lifetimes of children along the sequential schedule.
 
+use std::collections::HashMap;
+
 use modref_spec::stmt::CallArg;
 use modref_spec::{BehaviorId, BehaviorKind, Spec, Stmt, WaitCond};
 
@@ -58,6 +60,77 @@ pub fn behavior_lifetime(
             .iter()
             .map(|&c| behavior_lifetime(spec, c, model, config))
             .fold(0.0, f64::max),
+    }
+}
+
+/// A memoization table for [`behavior_lifetime`].
+///
+/// Partitioning algorithms evaluate the same `(behavior, timing model)`
+/// lifetimes thousands of times while exploring moves; this table computes
+/// each pair once and serves the cached value afterwards. Keys combine the
+/// behavior id with [`TimingModel::fingerprint`], so distinct models (and
+/// user-tweaked variants) are cached independently.
+///
+/// # Example
+///
+/// ```
+/// use modref_estimate::{LifetimeConfig, LifetimeTable, TimingModel};
+/// use modref_spec::builder::SpecBuilder;
+/// use modref_spec::{expr, stmt};
+///
+/// let mut b = SpecBuilder::new("t");
+/// let x = b.var_int("x", 16, 0);
+/// let leaf = b.leaf("L", vec![stmt::assign(x, expr::lit(1))]);
+/// let top = b.seq_in_order("Top", vec![leaf]);
+/// let spec = b.finish(top)?;
+/// let mut table = LifetimeTable::new(LifetimeConfig::default());
+/// let first = table.get(&spec, leaf, &TimingModel::processor());
+/// let again = table.get(&spec, leaf, &TimingModel::processor());
+/// assert_eq!(first, again);
+/// assert_eq!(table.len(), 1);
+/// # Ok::<(), modref_spec::SpecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LifetimeTable {
+    config: LifetimeConfig,
+    cache: HashMap<(BehaviorId, u64), f64>,
+}
+
+impl LifetimeTable {
+    /// Creates an empty table using `config` for every estimate.
+    pub fn new(config: LifetimeConfig) -> Self {
+        Self {
+            config,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The configuration estimates are computed under.
+    pub fn config(&self) -> &LifetimeConfig {
+        &self.config
+    }
+
+    /// The lifetime of `behavior` under `model`, computed on first use and
+    /// served from the cache afterwards. Identical to calling
+    /// [`behavior_lifetime`] with the table's config.
+    pub fn get(&mut self, spec: &Spec, behavior: BehaviorId, model: &TimingModel) -> f64 {
+        let key = (behavior, model.fingerprint());
+        if let Some(&v) = self.cache.get(&key) {
+            return v;
+        }
+        let v = behavior_lifetime(spec, behavior, model, &self.config);
+        self.cache.insert(key, v);
+        v
+    }
+
+    /// Number of memoized `(behavior, model)` pairs.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
     }
 }
 
@@ -241,6 +314,36 @@ mod tests {
         assert!(
             behavior_lifetime(&spec, muls, &m, &cfg) > behavior_lifetime(&spec, adds, &m, &cfg)
         );
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        let mut b = SpecBuilder::new("t");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![
+                stmt::assign(x, expr::mul(expr::var(x), expr::lit(3))),
+                stmt::delay(10),
+            ],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let spec = b.finish(top).expect("valid");
+        let cfg = LifetimeConfig::default();
+        let mut table = LifetimeTable::new(cfg);
+        for behavior in [a, top] {
+            for model in [
+                TimingModel::processor(),
+                TimingModel::asic(),
+                TimingModel::unit(),
+            ] {
+                let direct = behavior_lifetime(&spec, behavior, &model, &cfg);
+                assert_eq!(table.get(&spec, behavior, &model), direct);
+                // Second lookup hits the cache and returns the same value.
+                assert_eq!(table.get(&spec, behavior, &model), direct);
+            }
+        }
+        assert_eq!(table.len(), 6);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the estimators: structural monotonicity and
-//! scaling laws that must hold regardless of the statement mix.
+//! scaling laws that must hold regardless of the statement mix. Driven
+//! by a seeded PRNG (`modref_rng`) instead of proptest so the suite
+//! builds offline.
 
-use proptest::prelude::*;
+use modref_rng::Rng;
 
 use modref_estimate::{behavior_lifetime, LifetimeConfig, TimingModel};
 use modref_spec::builder::SpecBuilder;
@@ -9,28 +11,43 @@ use modref_spec::{expr, stmt, Spec, Stmt, VarId};
 
 /// A tiny statement generator over two variables (no waits/loops with
 /// unbounded trips, so costs are finite and deterministic).
-fn arb_stmt(x: VarId, y: VarId) -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (0i64..100).prop_map(move |k| stmt::assign(x, expr::lit(k))),
-        (0i64..100).prop_map(move |k| stmt::assign(y, expr::add(expr::var(x), expr::lit(k)))),
-        (0i64..100).prop_map(move |k| stmt::assign(x, expr::mul(expr::var(y), expr::lit(k)))),
-        (1u64..50).prop_map(stmt::delay),
-        Just(stmt::skip()),
-        (0i64..10).prop_map(move |k| {
+fn arb_stmt(rng: &mut Rng, x: VarId, y: VarId) -> Stmt {
+    match rng.gen_range(0..7u32) {
+        0 => stmt::assign(x, expr::lit(rng.gen_range(0..100i64))),
+        1 => stmt::assign(
+            y,
+            expr::add(expr::var(x), expr::lit(rng.gen_range(0..100i64))),
+        ),
+        2 => stmt::assign(
+            x,
+            expr::mul(expr::var(y), expr::lit(rng.gen_range(0..100i64))),
+        ),
+        3 => stmt::delay(rng.gen_range(1..50u64)),
+        4 => stmt::skip(),
+        5 => {
+            let k = rng.gen_range(0..10i64);
             stmt::if_else(
                 expr::gt(expr::var(x), expr::lit(k)),
                 vec![stmt::assign(y, expr::lit(k))],
                 vec![stmt::assign(y, expr::lit(-k))],
             )
-        }),
-        (1u32..6).prop_map(move |trips| {
+        }
+        _ => {
+            let trips = rng.gen_range(1..6u32);
             stmt::while_loop_hinted(
                 expr::gt(expr::var(x), expr::lit(0)),
                 vec![stmt::assign(x, expr::sub(expr::var(x), expr::lit(1)))],
                 trips,
             )
-        }),
-    ]
+        }
+    }
+}
+
+fn arb_body(rng: &mut Rng, min: usize, max: usize) -> Vec<Stmt> {
+    let n = rng.gen_range(min..max);
+    (0..n)
+        .map(|_| arb_stmt(rng, VarId::from_raw(0), VarId::from_raw(1)))
+        .collect()
 }
 
 fn build(body: Vec<Stmt>) -> (Spec, modref_spec::BehaviorId) {
@@ -42,15 +59,13 @@ fn build(body: Vec<Stmt>) -> (Spec, modref_spec::BehaviorId) {
     (b.finish(top).expect("valid"), leaf)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Appending a statement never decreases the lifetime.
-    #[test]
-    fn lifetime_is_monotone_in_statements(
-        body in proptest::collection::vec(arb_stmt(VarId::from_raw(0), VarId::from_raw(1)), 0..8),
-        extra in arb_stmt(VarId::from_raw(0), VarId::from_raw(1)),
-    ) {
+/// Appending a statement never decreases the lifetime.
+#[test]
+fn lifetime_is_monotone_in_statements() {
+    let mut rng = Rng::seed_from_u64(0xE571_0001);
+    for case in 0..64 {
+        let body = arb_body(&mut rng, 0, 8);
+        let extra = arb_stmt(&mut rng, VarId::from_raw(0), VarId::from_raw(1));
         let cfg = LifetimeConfig::default();
         let model = TimingModel::processor();
         let (spec_a, leaf_a) = build(body.clone());
@@ -59,33 +74,41 @@ proptest! {
         longer.push(extra);
         let (spec_b, leaf_b) = build(longer);
         let after = behavior_lifetime(&spec_b, leaf_b, &model, &cfg);
-        prop_assert!(after >= before, "{after} < {before}");
+        assert!(after >= before, "case {case}: {after} < {before}");
     }
+}
 
-    /// The processor model is never faster than the ASIC model on the
-    /// same body (every primitive costs at least as much).
-    #[test]
-    fn processor_is_never_faster_than_asic(
-        body in proptest::collection::vec(arb_stmt(VarId::from_raw(0), VarId::from_raw(1)), 1..8),
-    ) {
+/// The processor model is never faster than the ASIC model on the
+/// same body (every primitive costs at least as much).
+#[test]
+fn processor_is_never_faster_than_asic() {
+    let mut rng = Rng::seed_from_u64(0xE571_0002);
+    for case in 0..64 {
+        let body = arb_body(&mut rng, 1, 8);
         let cfg = LifetimeConfig::default();
         let (spec, leaf) = build(body);
         let on_proc = behavior_lifetime(&spec, leaf, &TimingModel::processor(), &cfg);
         let on_asic = behavior_lifetime(&spec, leaf, &TimingModel::asic(), &cfg);
-        prop_assert!(on_proc >= on_asic, "{on_proc} < {on_asic}");
+        assert!(on_proc >= on_asic, "case {case}: {on_proc} < {on_asic}");
     }
+}
 
-    /// Lifetime is finite and non-negative for any generated body.
-    #[test]
-    fn lifetime_is_finite(
-        body in proptest::collection::vec(arb_stmt(VarId::from_raw(0), VarId::from_raw(1)), 0..10),
-    ) {
+/// Lifetime is finite and non-negative for any generated body.
+#[test]
+fn lifetime_is_finite() {
+    let mut rng = Rng::seed_from_u64(0xE571_0003);
+    for case in 0..64 {
+        let body = arb_body(&mut rng, 0, 10);
         let cfg = LifetimeConfig::default();
         let (spec, leaf) = build(body);
-        for model in [TimingModel::processor(), TimingModel::asic(), TimingModel::unit()] {
+        for model in [
+            TimingModel::processor(),
+            TimingModel::asic(),
+            TimingModel::unit(),
+        ] {
             let t = behavior_lifetime(&spec, leaf, &model, &cfg);
-            prop_assert!(t.is_finite());
-            prop_assert!(t >= 0.0);
+            assert!(t.is_finite(), "case {case}");
+            assert!(t >= 0.0, "case {case}");
         }
     }
 }

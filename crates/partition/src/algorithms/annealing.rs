@@ -7,15 +7,15 @@
 //!
 //! [`GroupMigration`]: super::GroupMigration
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use modref_rng::Rng;
 
 use modref_graph::AccessGraph;
 use modref_spec::Spec;
 
 use crate::assignment::Partition;
+use crate::cache::CostCache;
 use crate::component::Allocation;
-use crate::cost::{partition_cost, CostConfig};
+use crate::cost::CostConfig;
 
 use super::{Partitioner, RandomPartitioner};
 
@@ -50,17 +50,20 @@ impl Partitioner for SimulatedAnnealing {
         allocation: &Allocation,
         config: &CostConfig,
     ) -> Partition {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let ids = allocation.ids();
-        let mut part = RandomPartitioner::new(self.seed).partition(spec, graph, allocation, config);
+        let part = RandomPartitioner::new(self.seed).partition(spec, graph, allocation, config);
         let leaves = spec.leaves();
         let vars: Vec<_> = spec.variables().map(|(v, _)| v).collect();
         if ids.len() < 2 || (leaves.is_empty() && vars.is_empty()) {
             return part;
         }
 
-        let mut current = partition_cost(spec, graph, allocation, &part, config).total;
-        let mut best = part.clone();
+        // All moves are evaluated on the incremental cache; the best
+        // visited state is materialized once at the end.
+        let mut cache = CostCache::new(spec, graph, allocation, &part, config);
+        let mut current = cache.total();
+        let mut best = cache.to_partition();
         let mut best_cost = current;
         let mut temp = self.initial_temp;
 
@@ -69,22 +72,14 @@ impl Partitioner for SimulatedAnnealing {
             let move_behavior = !leaves.is_empty() && (vars.is_empty() || rng.gen_bool(0.5));
             let (undo, cost) = if move_behavior {
                 let b = leaves[rng.gen_range(0..leaves.len())];
-                let old = part.component_of_behavior(spec, b).expect("complete");
+                let old = cache.component_of_leaf(b);
                 let new = ids[rng.gen_range(0..ids.len())];
-                part.assign_behavior(b, new);
-                (
-                    Undo::Behavior(b, old),
-                    partition_cost(spec, graph, allocation, &part, config).total,
-                )
+                (Undo::Behavior(b, old), cache.move_leaf(b, new))
             } else {
                 let v = vars[rng.gen_range(0..vars.len())];
-                let old = part.component_of_var(spec, v).expect("complete");
+                let old = cache.component_of_var(v);
                 let new = ids[rng.gen_range(0..ids.len())];
-                part.assign_var(v, new);
-                (
-                    Undo::Var(v, old),
-                    partition_cost(spec, graph, allocation, &part, config).total,
-                )
+                (Undo::Var(v, old), cache.move_var(v, new))
             };
 
             let delta = cost - current;
@@ -93,13 +88,13 @@ impl Partitioner for SimulatedAnnealing {
                 current = cost;
                 if cost < best_cost {
                     best_cost = cost;
-                    best = part.clone();
+                    best = cache.to_partition();
                 }
             } else {
                 match undo {
-                    Undo::Behavior(b, old) => part.assign_behavior(b, old),
-                    Undo::Var(v, old) => part.assign_var(v, old),
-                }
+                    Undo::Behavior(b, old) => cache.move_leaf(b, old),
+                    Undo::Var(v, old) => cache.move_var(v, old),
+                };
             }
             temp = (temp * self.cooling).max(1e-3);
         }
@@ -121,6 +116,7 @@ enum Undo {
 mod tests {
     use super::super::testutil::clustered_spec;
     use super::*;
+    use crate::cost::partition_cost;
 
     #[test]
     fn annealing_is_deterministic_per_seed() {

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use modref_estimate::behavior_lifetime;
+use modref_estimate::LifetimeTable;
 use modref_graph::AccessGraph;
 use modref_spec::{BehaviorId, Spec, VarId};
 
@@ -87,38 +87,38 @@ impl Default for HierarchicalClustering {
     }
 }
 
-impl Partitioner for HierarchicalClustering {
-    fn partition(
+impl HierarchicalClustering {
+    /// Like [`Partitioner::partition`], but reusing a caller-owned
+    /// memoized [`LifetimeTable`] for the cluster-load estimates — the
+    /// multi-start explorer shares one table across repeated runs.
+    pub fn partition_with_table(
         &self,
         spec: &Spec,
         graph: &AccessGraph,
         allocation: &Allocation,
         config: &CostConfig,
+        table: &mut LifetimeTable,
     ) -> Partition {
         let ids = allocation.ids();
         assert!(
             !ids.is_empty(),
             "allocation must have at least one component"
         );
+        assert_eq!(
+            table.config(),
+            &config.lifetime,
+            "LifetimeTable config must match CostConfig::lifetime"
+        );
         let clusters = self.clusters(spec, graph, ids.len());
 
         // Estimate each cluster's load and place largest-first onto the
         // least-loaded component (weighted by the component's speed).
+        let unit = modref_estimate::TimingModel::unit();
         let mut cluster_loads: Vec<(usize, f64)> = clusters
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let load: f64 = c
-                    .iter()
-                    .map(|&l| {
-                        behavior_lifetime(
-                            spec,
-                            l,
-                            &modref_estimate::TimingModel::unit(),
-                            &config.lifetime,
-                        )
-                    })
-                    .sum();
+                let load: f64 = c.iter().map(|&l| table.get(spec, l, &unit)).sum();
                 (i, load)
             })
             .collect();
@@ -154,6 +154,19 @@ impl Partitioner for HierarchicalClustering {
             part.assign_var(v, best);
         }
         part
+    }
+}
+
+impl Partitioner for HierarchicalClustering {
+    fn partition(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        config: &CostConfig,
+    ) -> Partition {
+        let mut table = LifetimeTable::new(config.lifetime);
+        self.partition_with_table(spec, graph, allocation, config, &mut table)
     }
 
     fn name(&self) -> &'static str {

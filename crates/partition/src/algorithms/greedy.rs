@@ -9,8 +9,9 @@ use modref_graph::AccessGraph;
 use modref_spec::Spec;
 
 use crate::assignment::Partition;
+use crate::cache::CostCache;
 use crate::component::Allocation;
-use crate::cost::{partition_cost, var_cross_traffic, CostConfig};
+use crate::cost::{var_cross_traffic, CostConfig};
 
 use super::Partitioner;
 
@@ -45,18 +46,21 @@ impl Partitioner for GreedyPartitioner {
             part.assign_behavior(top, ids[0]);
         }
 
-        // Behaviors, largest first.
+        // Behaviors, largest first; trial placements are evaluated on the
+        // incremental cache (unplaced leaves sit on the default component,
+        // exactly as the seed partition resolves them).
+        let mut cache = CostCache::new(spec, graph, allocation, &part, config);
         let mut leaves = spec.leaves();
         leaves.sort_by_key(|&b| std::cmp::Reverse(spec.behavior_size(b)));
         for leaf in leaves {
             let mut best = (ids[0], f64::INFINITY);
             for &c in &ids {
-                part.assign_behavior(leaf, c);
-                let cost = partition_cost(spec, graph, allocation, &part, config).total;
+                let cost = cache.move_leaf(leaf, c);
                 if cost < best.1 {
                     best = (c, cost);
                 }
             }
+            cache.move_leaf(leaf, best.0);
             part.assign_behavior(leaf, best.0);
         }
 
@@ -86,6 +90,7 @@ impl Partitioner for GreedyPartitioner {
 mod tests {
     use super::super::testutil::clustered_spec;
     use super::*;
+    use crate::cost::partition_cost;
 
     #[test]
     fn homes_variables_with_their_accessors() {

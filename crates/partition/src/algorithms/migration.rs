@@ -5,13 +5,20 @@
 //! apply the best cost-reducing one; stop after `max_passes` sweeps or
 //! when no move improves. This is the "group migration" family the
 //! SpecSyn literature uses for functional partitioning.
+//!
+//! Move evaluation runs on the incremental [`CostCache`], so a sweep over
+//! `n` objects × `p` components costs `O(n·p)` delta updates instead of
+//! `n·p` full [`partition_cost`] recomputes.
+//!
+//! [`partition_cost`]: crate::cost::partition_cost
 
 use modref_graph::AccessGraph;
 use modref_spec::Spec;
 
 use crate::assignment::Partition;
+use crate::cache::CostCache;
 use crate::component::Allocation;
-use crate::cost::{partition_cost, CostConfig};
+use crate::cost::CostConfig;
 
 use super::{GreedyPartitioner, Partitioner};
 
@@ -29,6 +36,9 @@ impl GroupMigration {
     }
 
     /// Improves an existing partition in place, returning the final cost.
+    ///
+    /// Accepted moves are recorded as explicit assignments on `part`; a
+    /// run that accepts no move leaves `part` untouched.
     pub fn improve(
         &self,
         spec: &Spec,
@@ -37,45 +47,70 @@ impl GroupMigration {
         part: &mut Partition,
         config: &CostConfig,
     ) -> f64 {
-        let ids = allocation.ids();
-        let mut current = partition_cost(spec, graph, allocation, part, config).total;
+        let mut cache = CostCache::new(spec, graph, allocation, part, config);
+        let current = self.improve_cached(&mut cache);
+        // Mirror only the objects the cache moved, preserving the
+        // partition's implicit (inherited/default) structure otherwise.
+        for &leaf in cache.leaves() {
+            let resolved = cache.component_of_leaf(leaf);
+            if part.component_of_behavior(spec, leaf) != Some(resolved) {
+                part.assign_behavior(leaf, resolved);
+            }
+        }
+        for &v in cache.vars() {
+            let resolved = cache.component_of_var(v);
+            if part.component_of_var(spec, v) != Some(resolved) {
+                part.assign_var(v, resolved);
+            }
+        }
+        current
+    }
+
+    /// The sweep loop over an existing [`CostCache`]: repeatedly applies
+    /// the best cost-reducing single-object move. Returns the final cost,
+    /// leaving the improved state in the cache.
+    pub fn improve_cached(&self, cache: &mut CostCache) -> f64 {
+        let leaves: Vec<_> = cache.leaves().to_vec();
+        let vars: Vec<_> = cache.vars().to_vec();
+        let comps = cache.component_ids();
+        let mut current = cache.total();
         for _ in 0..self.max_passes {
             let mut best: Option<(Move, f64)> = None;
-            for &leaf in &spec.leaves() {
-                let original = part
-                    .component_of_behavior(spec, leaf)
-                    .expect("complete partition");
-                for &c in &ids {
+            for &leaf in &leaves {
+                let original = cache.component_of_leaf(leaf);
+                for &c in &comps {
                     if c == original {
                         continue;
                     }
-                    part.assign_behavior(leaf, c);
-                    let cost = partition_cost(spec, graph, allocation, part, config).total;
+                    let cost = cache.move_leaf(leaf, c);
                     if cost < best.map_or(current, |(_, c)| c) {
                         best = Some((Move::Behavior(leaf, c), cost));
                     }
                 }
-                part.assign_behavior(leaf, original);
+                cache.move_leaf(leaf, original);
             }
-            for (v, _) in spec.variables() {
-                let original = part.component_of_var(spec, v).expect("complete partition");
-                for &c in &ids {
+            for &v in &vars {
+                let original = cache.component_of_var(v);
+                for &c in &comps {
                     if c == original {
                         continue;
                     }
-                    part.assign_var(v, c);
-                    let cost = partition_cost(spec, graph, allocation, part, config).total;
+                    let cost = cache.move_var(v, c);
                     if cost < best.map_or(current, |(_, c)| c) {
                         best = Some((Move::Var(v, c), cost));
                     }
                 }
-                part.assign_var(v, original);
+                cache.move_var(v, original);
             }
             match best {
                 Some((mv, cost)) if cost < current => {
                     match mv {
-                        Move::Behavior(b, c) => part.assign_behavior(b, c),
-                        Move::Var(v, c) => part.assign_var(v, c),
+                        Move::Behavior(b, c) => {
+                            cache.move_leaf(b, c);
+                        }
+                        Move::Var(v, c) => {
+                            cache.move_var(v, c);
+                        }
                     }
                     current = cost;
                 }
@@ -114,6 +149,7 @@ impl Partitioner for GroupMigration {
 mod tests {
     use super::super::testutil::clustered_spec;
     use super::*;
+    use crate::cost::partition_cost;
 
     #[test]
     fn improve_never_increases_cost() {

@@ -1,8 +1,7 @@
 //! Uniform random placement — the baseline partitioner and the seed for
 //! the iterative improvers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use modref_rng::Rng;
 
 use modref_graph::AccessGraph;
 use modref_spec::Spec;
@@ -35,7 +34,7 @@ impl Partitioner for RandomPartitioner {
         allocation: &Allocation,
         _config: &CostConfig,
     ) -> Partition {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let ids = allocation.ids();
         let mut part = Partition::new();
         assert!(

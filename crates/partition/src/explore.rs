@@ -1,0 +1,340 @@
+//! Parallel multi-start partition exploration.
+//!
+//! Iterative partitioners are cheap per run once move evaluation is
+//! incremental ([`CostCache`]), so the best design is found by running
+//! *many* of them — K random seeds × {annealing, migration-from-random}
+//! plus the deterministic constructive methods — and keeping the ranked
+//! results. [`explore`] fans the runs out over [`par_map`], a
+//! dependency-free scoped-thread work-stealing map.
+//!
+//! Determinism: every job derives its state solely from its own seed, and
+//! results are merged by job index then ranked with a total order
+//! `(cost, algorithm, seed)` — so the output is identical regardless of
+//! thread count or scheduling. Thread count resolves from (in order) the
+//! explicit config value, `MODREF_THREADS`, `RAYON_NUM_THREADS`, then
+//! [`std::thread::available_parallelism`].
+//!
+//! [`CostCache`]: crate::cache::CostCache
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use modref_graph::AccessGraph;
+use modref_spec::Spec;
+
+use crate::algorithms::{
+    GreedyPartitioner, GroupMigration, HierarchicalClustering, Partitioner, RandomPartitioner,
+    SimulatedAnnealing,
+};
+use crate::assignment::Partition;
+use crate::cache::CostCache;
+use crate::component::Allocation;
+use crate::cost::{partition_cost, CostConfig, CostReport};
+
+/// Tuning for a multi-start exploration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Number of random starting seeds (K). Each seed spawns one
+    /// annealing run and one migration-from-random run.
+    pub seeds: u64,
+    /// Iteration budget per annealing run.
+    pub anneal_iterations: u32,
+    /// Sweep budget per migration run.
+    pub migration_passes: u32,
+    /// Worker threads; `None` resolves via [`thread_count`].
+    pub threads: Option<usize>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            seeds: 4,
+            anneal_iterations: 400,
+            migration_passes: 8,
+            threads: None,
+        }
+    }
+}
+
+/// One explored design candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Which algorithm produced it.
+    pub algorithm: &'static str,
+    /// The seed that drove it (0 for deterministic algorithms).
+    pub seed: u64,
+    /// Full cost breakdown of the resulting partition.
+    pub cost: CostReport,
+    /// The partition itself.
+    pub partition: Partition,
+}
+
+/// Resolves the worker-thread count: `explicit`, else `MODREF_THREADS`,
+/// else `RAYON_NUM_THREADS`, else the machine's available parallelism,
+/// floored at 1.
+pub fn thread_count(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    for var in ["MODREF_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `threads` scoped threads and
+/// returns the results in input order. Work is distributed by an atomic
+/// claim counter, so the mapping order is nondeterministic but the output
+/// order (and, for pure `f`, content) is not.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot is claimed once");
+                let r = f(i, item);
+                *results[i].lock().expect("result lock") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("every job completed")
+        })
+        .collect()
+}
+
+/// One unit of exploration work.
+#[derive(Debug, Clone, Copy)]
+enum Job {
+    Anneal { seed: u64, iterations: u32 },
+    MigrateFromRandom { seed: u64, passes: u32 },
+    Greedy,
+    Clustering,
+    MigrateFromGreedy { passes: u32 },
+}
+
+/// Runs the multi-start exploration and returns candidates ranked by
+/// `(cost, algorithm, seed)` — deterministic for fixed seeds regardless
+/// of thread count.
+pub fn explore(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    config: &CostConfig,
+    expl: &ExploreConfig,
+) -> Vec<Candidate> {
+    let mut jobs = Vec::new();
+    for seed in 0..expl.seeds {
+        jobs.push(Job::Anneal {
+            seed,
+            iterations: expl.anneal_iterations,
+        });
+        jobs.push(Job::MigrateFromRandom {
+            seed,
+            passes: expl.migration_passes,
+        });
+    }
+    jobs.push(Job::Greedy);
+    jobs.push(Job::Clustering);
+    jobs.push(Job::MigrateFromGreedy {
+        passes: expl.migration_passes,
+    });
+
+    let threads = thread_count(expl.threads);
+    let mut candidates = par_map(jobs, threads, |_, job| {
+        run_job(spec, graph, allocation, config, job)
+    });
+    rank(&mut candidates);
+    candidates
+}
+
+fn run_job(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    config: &CostConfig,
+    job: Job,
+) -> Candidate {
+    let (algorithm, seed, partition) = match job {
+        Job::Anneal { seed, iterations } => {
+            let p = SimulatedAnnealing::new(seed, iterations)
+                .partition(spec, graph, allocation, config);
+            ("annealing", seed, p)
+        }
+        Job::MigrateFromRandom { seed, passes } => {
+            let mut p = RandomPartitioner::new(seed).partition(spec, graph, allocation, config);
+            GroupMigration::new(passes).improve(spec, graph, allocation, &mut p, config);
+            ("migration", seed, p)
+        }
+        Job::Greedy => {
+            let p = GreedyPartitioner::new().partition(spec, graph, allocation, config);
+            ("greedy", 0, p)
+        }
+        Job::Clustering => {
+            let p = HierarchicalClustering::new().partition(spec, graph, allocation, config);
+            ("clustering", 0, p)
+        }
+        Job::MigrateFromGreedy { passes } => {
+            let p = GroupMigration::new(passes).partition(spec, graph, allocation, config);
+            ("greedy+migration", 0, p)
+        }
+    };
+    // One cache build doubles as the final (exact) cost evaluation.
+    let cost = CostCache::new(spec, graph, allocation, &partition, config).report();
+    debug_assert_eq!(
+        cost,
+        partition_cost(spec, graph, allocation, &partition, config)
+    );
+    Candidate {
+        algorithm,
+        seed,
+        cost,
+        partition,
+    }
+}
+
+/// Sorts candidates by a total order: cost, then algorithm name, then
+/// seed. Total costs are finite by construction, so the comparison is a
+/// genuine total order.
+fn rank(candidates: &mut [Candidate]) {
+    candidates.sort_by(|a, b| {
+        a.cost
+            .total
+            .partial_cmp(&b.cost.total)
+            .expect("finite costs")
+            .then_with(|| a.algorithm.cmp(b.algorithm))
+            .then_with(|| a.seed.cmp(&b.seed))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::clustered_spec;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 7] {
+            let out = par_map((0..50u64).collect(), threads, |i, x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, (0..50u64).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(empty, 4, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(vec![9u32], 4, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn explore_is_deterministic_across_thread_counts() {
+        let spec = clustered_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = Allocation::proc_plus_asic();
+        let config = CostConfig::default();
+        let expl = ExploreConfig {
+            seeds: 3,
+            anneal_iterations: 80,
+            migration_passes: 4,
+            threads: Some(1),
+        };
+        let single = explore(&spec, &graph, &alloc, &config, &expl);
+        let multi = explore(
+            &spec,
+            &graph,
+            &alloc,
+            &config,
+            &ExploreConfig {
+                threads: Some(4),
+                ..expl
+            },
+        );
+        assert_eq!(single, multi);
+        // Ranked: totals ascend.
+        for w in single.windows(2) {
+            assert!(w[0].cost.total <= w[1].cost.total);
+        }
+    }
+
+    #[test]
+    fn explore_covers_all_algorithms() {
+        let spec = clustered_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = Allocation::proc_plus_asic();
+        let config = CostConfig::default();
+        let expl = ExploreConfig {
+            seeds: 2,
+            anneal_iterations: 50,
+            migration_passes: 2,
+            threads: Some(2),
+        };
+        let out = explore(&spec, &graph, &alloc, &config, &expl);
+        assert_eq!(out.len(), 2 * 2 + 3);
+        for name in [
+            "annealing",
+            "migration",
+            "greedy",
+            "clustering",
+            "greedy+migration",
+        ] {
+            assert!(
+                out.iter().any(|c| c.algorithm == name),
+                "missing {name} in results"
+            );
+        }
+        for c in &out {
+            assert!(c.partition.is_complete(&spec, &alloc), "{}", c.algorithm);
+        }
+    }
+
+    #[test]
+    fn thread_count_floors_at_one() {
+        assert_eq!(thread_count(Some(0)), 1);
+        assert_eq!(thread_count(Some(3)), 3);
+        assert!(thread_count(None) >= 1);
+    }
+}

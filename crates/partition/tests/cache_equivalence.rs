@@ -1,0 +1,210 @@
+//! Property test: the incremental [`CostCache`] agrees with a full
+//! [`partition_cost`] recompute after arbitrary move sequences.
+//!
+//! Random specs (varied hierarchy, statement shapes, guard channels),
+//! random allocations (2–4 components with tight or loose capacities),
+//! random complete partitions, and random leaf/variable move sequences
+//! are generated from seeded [`modref_rng::Rng`] streams; after every
+//! move the cache's report must match `partition_cost` on the
+//! materialized partition within 1e-9 (it matches exactly, since the
+//! cache re-sums in the same order — the tolerance is the contract).
+
+use modref_graph::AccessGraph;
+use modref_partition::{partition_cost, Allocation, Component, CostCache, CostConfig, Partition};
+use modref_rng::Rng;
+use modref_spec::builder::SpecBuilder;
+use modref_spec::{expr, stmt, BehaviorId, Spec, Stmt, VarId};
+
+/// Builds a random spec: `n_vars` shared variables, `n_leaves` leaves
+/// with random statement bodies, grouped under a random two-level
+/// hierarchy whose sequential levels get guarded transitions (exercising
+/// composite-behavior guard channels with fixed endpoints).
+fn random_spec(rng: &mut Rng) -> Spec {
+    let mut b = SpecBuilder::new("prop");
+    let n_vars = rng.gen_range(2usize..=6);
+    let n_leaves = rng.gen_range(3usize..=10);
+
+    let vars: Vec<VarId> = (0..n_vars)
+        .map(|i| b.var_int(format!("v{i}"), [8u16, 16, 32][rng.gen_range(0usize..3)], 0))
+        .collect();
+
+    let mut leaves: Vec<BehaviorId> = Vec::new();
+    for i in 0..n_leaves {
+        let n_stmts = rng.gen_range(1usize..=5);
+        let mut body: Vec<Stmt> = Vec::new();
+        for _ in 0..n_stmts {
+            let dst = vars[rng.gen_range(0usize..vars.len())];
+            let src = vars[rng.gen_range(0usize..vars.len())];
+            let e = expr::add(expr::var(src), expr::lit(rng.gen_range(0i64..100)));
+            body.push(match rng.gen_range(0u32..4) {
+                0 => stmt::assign(dst, e),
+                1 => stmt::if_then(
+                    expr::gt(expr::var(src), expr::lit(3)),
+                    vec![stmt::assign(dst, e)],
+                ),
+                2 => stmt::while_loop_hinted(
+                    expr::lt(expr::var(src), expr::lit(10)),
+                    vec![stmt::assign(dst, e)],
+                    rng.gen_range(1u32..8),
+                ),
+                _ => stmt::delay(rng.gen_range(1u64..20)),
+            });
+        }
+        leaves.push(b.leaf(format!("L{i}"), body));
+    }
+
+    // Group the leaves into 1–3 composites; each non-trivial group is a
+    // guarded sequence (guard reads create composite-endpoint channels)
+    // or a concurrent composition.
+    let mut groups: Vec<BehaviorId> = Vec::new();
+    let mut remaining = leaves;
+    while !remaining.is_empty() {
+        let take = rng.gen_range(1usize..=remaining.len());
+        let chunk: Vec<BehaviorId> = remaining.drain(..take).collect();
+        let gi = groups.len();
+        if chunk.len() == 1 {
+            groups.push(chunk[0]);
+        } else if rng.gen_bool(0.5) {
+            let guard_var = vars[rng.gen_range(0usize..vars.len())];
+            let arcs = chunk
+                .windows(2)
+                .map(|w| b.arc_when(w[0], expr::gt(expr::var(guard_var), expr::lit(1)), w[1]))
+                .collect();
+            groups.push(b.seq(format!("G{gi}"), chunk, arcs));
+        } else {
+            groups.push(b.concurrent(format!("G{gi}"), chunk));
+        }
+    }
+    let top = if groups.len() == 1 {
+        groups[0]
+    } else {
+        b.seq_in_order("Top", groups)
+    };
+    b.finish(top).expect("generated spec is valid")
+}
+
+/// A random allocation of 2–4 components; capacities are sometimes tight
+/// so the violation term participates.
+fn random_allocation(rng: &mut Rng) -> Allocation {
+    let n = rng.gen_range(2usize..=4);
+    let mut alloc = Allocation::new();
+    for i in 0..n {
+        if rng.gen_bool(0.5) {
+            let code = [0u64, 64, 65536][rng.gen_range(0usize..3)];
+            alloc.add(Component::processor(format!("P{i}"), code));
+        } else {
+            let gates = [0u64, 100, 100_000][rng.gen_range(0usize..3)];
+            alloc.add(Component::asic(format!("A{i}"), gates, 64));
+        }
+    }
+    alloc
+}
+
+/// A random complete partition: every leaf and variable explicitly
+/// assigned somewhere.
+fn random_partition(rng: &mut Rng, spec: &Spec, alloc: &Allocation) -> Partition {
+    let ids = alloc.ids();
+    let mut part = Partition::with_default(ids[rng.gen_range(0usize..ids.len())]);
+    for leaf in spec.leaves() {
+        part.assign_behavior(leaf, ids[rng.gen_range(0usize..ids.len())]);
+    }
+    for (v, _) in spec.variables() {
+        part.assign_var(v, ids[rng.gen_range(0usize..ids.len())]);
+    }
+    part
+}
+
+#[test]
+fn incremental_matches_full_recompute_over_random_move_sequences() {
+    const CASES: u64 = 60;
+    const MOVES: usize = 40;
+    const TOL: f64 = 1e-9;
+
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DE_5EED ^ case);
+        let spec = random_spec(&mut rng);
+        let graph = AccessGraph::derive(&spec);
+        let alloc = random_allocation(&mut rng);
+        let part = random_partition(&mut rng, &spec, &alloc);
+        let config = CostConfig::default();
+
+        let mut cache = CostCache::new(&spec, &graph, &alloc, &part, &config);
+        let at_build = partition_cost(&spec, &graph, &alloc, &part, &config);
+        assert!(
+            (cache.total() - at_build.total).abs() <= TOL,
+            "case {case}: build mismatch {} vs {}",
+            cache.total(),
+            at_build.total
+        );
+
+        let ids = alloc.ids();
+        let leaves = cache.leaves().to_vec();
+        let vars = cache.vars().to_vec();
+        for mv in 0..MOVES {
+            let to = ids[rng.gen_range(0usize..ids.len())];
+            let delta_total = if rng.gen_bool(0.5) || vars.is_empty() {
+                let leaf = leaves[rng.gen_range(0usize..leaves.len())];
+                cache.move_leaf(leaf, to)
+            } else {
+                let v = vars[rng.gen_range(0usize..vars.len())];
+                cache.move_var(v, to)
+            };
+            let full = partition_cost(&spec, &graph, &alloc, &cache.to_partition(), &config);
+            assert!(
+                (delta_total - full.total).abs() <= TOL,
+                "case {case} move {mv}: incremental {delta_total} vs full {}",
+                full.total
+            );
+            assert!(
+                (cache.report().cut_bits - full.cut_bits).abs() <= TOL
+                    && (cache.report().imbalance_ns - full.imbalance_ns).abs() <= TOL
+                    && (cache.report().violation - full.violation).abs() <= TOL,
+                "case {case} move {mv}: breakdown mismatch {:?} vs {full:?}",
+                cache.report()
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_state_survives_round_trips() {
+    // Moving every object away and back restores the exact build-time
+    // report, for several random universes.
+    for case in 0..10u64 {
+        let mut rng = Rng::seed_from_u64(0xBEEF ^ case);
+        let spec = random_spec(&mut rng);
+        let graph = AccessGraph::derive(&spec);
+        let alloc = random_allocation(&mut rng);
+        let part = random_partition(&mut rng, &spec, &alloc);
+        let config = CostConfig::default();
+        let mut cache = CostCache::new(&spec, &graph, &alloc, &part, &config);
+        let initial = cache.report();
+
+        let ids = alloc.ids();
+        let homes: Vec<_> = cache
+            .leaves()
+            .iter()
+            .map(|&l| (l, cache.component_of_leaf(l)))
+            .collect();
+        let var_homes: Vec<_> = cache
+            .vars()
+            .iter()
+            .map(|&v| (v, cache.component_of_var(v)))
+            .collect();
+        for &(l, _) in &homes {
+            let to = ids[rng.gen_range(0usize..ids.len())];
+            cache.move_leaf(l, to);
+        }
+        for &(v, _) in &var_homes {
+            let to = ids[rng.gen_range(0usize..ids.len())];
+            cache.move_var(v, to);
+        }
+        for &(l, home) in &homes {
+            cache.move_leaf(l, home);
+        }
+        for &(v, home) in &var_homes {
+            cache.move_var(v, home);
+        }
+        assert_eq!(cache.report(), initial, "case {case}");
+    }
+}

@@ -1,0 +1,247 @@
+//! # modref-rng
+//!
+//! A small, dependency-free, deterministic pseudo-random number
+//! generator for seeded spec generation, the random partitioner and the
+//! annealer. The generator is xoshiro256++ (Blackman & Vigna), seeded
+//! through SplitMix64 so that every `u64` seed yields a well-mixed state.
+//!
+//! Determinism is a hard requirement across the workspace: the same seed
+//! must produce the same specification, partition and annealing run on
+//! every platform and thread count. All methods are pure functions of the
+//! generator state; nothing reads clocks or OS entropy.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xoshiro256++ generator.
+///
+/// # Example
+///
+/// ```
+/// use modref_rng::Rng;
+///
+/// let mut a = Rng::seed_from_u64(7);
+/// let mut b = Rng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(0..10usize);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform value in the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// An unbiased uniform integer in `[0, bound)` via Lemire-style
+    /// rejection on the top bits.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample from an empty range");
+        // Rejection sampling over the smallest power-of-two mask >= bound
+        // keeps the loop short (expected < 2 iterations) and unbiased.
+        let mask = u64::MAX >> (bound.wrapping_sub(1) | 1).leading_zeros();
+        loop {
+            let v = self.next_u64() & mask;
+            if v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Range types [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end - start) as u64 + 1;
+                start + rng.bounded_u64(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u32, u64, usize);
+
+impl SampleRange for Range<i32> {
+    type Output = i32;
+    fn sample(self, rng: &mut Rng) -> i32 {
+        rng.gen_range(self.start as i64..self.end as i64) as i32
+    }
+}
+
+impl SampleRange for RangeInclusive<i32> {
+    type Output = i32;
+    fn sample(self, rng: &mut Rng) -> i32 {
+        rng.gen_range(*self.start() as i64..=*self.end() as i64) as i32
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.bounded_u64(span) as i64)
+    }
+}
+
+impl SampleRange for RangeInclusive<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from an empty range");
+        let span = (end.wrapping_sub(start) as u64).wrapping_add(1);
+        if span == 0 {
+            // Full i64 domain.
+            return rng.next_u64() as i64;
+        }
+        start.wrapping_add(rng.bounded_u64(span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u = rng.gen_range(0..7usize);
+            assert!(u < 7);
+            let i = rng.gen_range(-8i64..=8);
+            assert!((-8..=8).contains(&i));
+            let w = rng.gen_range(1u64..20);
+            assert!((1..20).contains(&w));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn every_value_in_small_range_is_hit() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng::seed_from_u64(11);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        // p = 0.5 should land in a plausible band.
+        let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((350..=650).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..16).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u32>>());
+    }
+}

@@ -1,61 +1,65 @@
 //! Property-based round-trip testing of the expression and statement
 //! grammar: deeply nested random expressions must survive
-//! print → parse → print exactly.
+//! print → parse → print exactly. Driven by a seeded PRNG
+//! (`modref_rng`) instead of proptest so the suite builds offline.
 
-use proptest::prelude::*;
+use modref_rng::Rng;
 
 use modref_spec::builder::SpecBuilder;
 use modref_spec::{expr, parser, printer, BinOp, Expr, VarId};
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::BitAnd),
-        Just(BinOp::BitOr),
-        Just(BinOp::BitXor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-    ]
+const BINOPS: [BinOp; 18] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+
+/// Random expressions over two scalar variables and one array, depth
+/// bounded like the old `prop_recursive(5, ...)` strategy.
+fn arb_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        match rng.gen_range(0..3u32) {
+            0 => expr::lit(rng.gen_range(-1000..1000i64)),
+            1 => expr::var(VarId::from_raw(0)),
+            _ => expr::var(VarId::from_raw(1)),
+        }
+    } else {
+        match rng.gen_range(0..4u32) {
+            0 => {
+                let op = BINOPS[rng.gen_range(0..BINOPS.len())];
+                let l = arb_expr(rng, depth - 1);
+                let r = arb_expr(rng, depth - 1);
+                expr::binary(op, l, r)
+            }
+            1 => expr::not(arb_expr(rng, depth - 1)),
+            2 => expr::neg(arb_expr(rng, depth - 1)),
+            _ => Expr::Index(VarId::from_raw(2), Box::new(arb_expr(rng, depth - 1))),
+        }
+    }
 }
 
-/// Random expressions over two scalar variables and one array.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(expr::lit),
-        Just(expr::var(VarId::from_raw(0))),
-        Just(expr::var(VarId::from_raw(1))),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| expr::binary(op, l, r)),
-            inner.clone().prop_map(expr::not),
-            inner.clone().prop_map(expr::neg),
-            inner
-                .clone()
-                .prop_map(|i| Expr::Index(VarId::from_raw(2), Box::new(i))),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
-
-    /// print(parse(print(e))) == print(e) for arbitrary expressions.
-    #[test]
-    fn expressions_round_trip(e in arb_expr()) {
+/// print(parse(print(e))) == print(e) for arbitrary expressions.
+#[test]
+fn expressions_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x5BEC_0001);
+    let mut checked = 0;
+    for case in 0..200 {
+        let e = arb_expr(&mut rng, 5);
         let mut b = SpecBuilder::new("rt");
         let _x = b.var_int("x", 16, 0);
         let _y = b.var_int("y", 16, 0);
@@ -74,19 +78,27 @@ proptest! {
         let spec = b.finish_unchecked(top);
         // Skip structurally invalid combinations (the generator can't
         // produce them, but validation keeps the test honest).
-        prop_assume!(modref_spec::validate::check(&spec).is_ok());
+        if modref_spec::validate::check(&spec).is_err() {
+            continue;
+        }
+        checked += 1;
 
         let text = printer::print(&spec);
         let reparsed = parser::parse(&text)
-            .unwrap_or_else(|err| panic!("{err}\n--- text ---\n{text}"));
-        prop_assert_eq!(printer::print(&reparsed), text);
+            .unwrap_or_else(|err| panic!("case {case}: {err}\n--- text ---\n{text}"));
+        assert_eq!(printer::print(&reparsed), text, "case {case}");
     }
+    assert!(checked > 100, "only {checked} generated specs were valid");
+}
 
-    /// The printer never emits two identical adjacent operators that
-    /// would re-parse differently: idempotence implies associativity
-    /// handling is consistent.
-    #[test]
-    fn printing_is_idempotent_over_reparse(e in arb_expr()) {
+/// The printer never emits two identical adjacent operators that
+/// would re-parse differently: idempotence implies associativity
+/// handling is consistent.
+#[test]
+fn printing_is_idempotent_over_reparse() {
+    let mut rng = Rng::seed_from_u64(0x5BEC_0002);
+    for case in 0..200 {
+        let e = arb_expr(&mut rng, 5);
         let mut b = SpecBuilder::new("idem");
         let _x = b.var_int("x", 16, 0);
         let _y = b.var_int("y", 16, 0);
@@ -99,11 +111,13 @@ proptest! {
         let leaf = b.leaf("L", vec![modref_spec::stmt::assign(out, e)]);
         let top = b.seq_in_order("Top", vec![leaf]);
         let spec = b.finish_unchecked(top);
-        prop_assume!(modref_spec::validate::check(&spec).is_ok());
+        if modref_spec::validate::check(&spec).is_err() {
+            continue;
+        }
         let once = printer::print(&spec);
         let twice = printer::print(&parser::parse(&once).expect("parses"));
         let thrice = printer::print(&parser::parse(&twice).expect("parses"));
-        prop_assert_eq!(twice, thrice);
+        assert_eq!(twice, thrice, "case {case}");
     }
 }
 

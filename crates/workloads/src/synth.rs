@@ -8,8 +8,7 @@
 //! spec is single-threaded-deterministic and the refined spec's protocol
 //! traffic is the only concurrency.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use modref_rng::Rng;
 
 use modref_graph::AccessGraph;
 use modref_partition::{Allocation, Partition};
@@ -59,7 +58,7 @@ pub struct SynthSpec {
 impl SynthSpec {
     /// Generates a specification from a seed.
     pub fn generate(seed: u64, config: &SynthConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut b = SpecBuilder::new(format!("synth_{seed}"));
 
         let vars: Vec<VarId> = (0..config.vars.max(1))
@@ -81,7 +80,7 @@ impl SynthSpec {
         let mut groups = Vec::new();
         for (gi, chunk) in leaves.chunks(config.fanout.max(1)).enumerate() {
             let children = chunk.to_vec();
-            if chunk.len() >= 2 && rng.gen_range(0..100) < config.loop_percent {
+            if chunk.len() >= 2 && rng.gen_range(0..100u32) < config.loop_percent {
                 // Guarded loop: run the group twice via the counter.
                 let first = children[0];
                 let last = *children.last().expect("non-empty chunk");
@@ -145,10 +144,10 @@ impl SynthSpec {
     }
 }
 
-fn gen_expr(rng: &mut StdRng, vars: &[VarId], depth: u32) -> Expr {
+fn gen_expr(rng: &mut Rng, vars: &[VarId], depth: u32) -> Expr {
     if depth == 0 || rng.gen_bool(0.4) {
         if rng.gen_bool(0.5) {
-            expr::lit(rng.gen_range(-8..=8))
+            expr::lit(rng.gen_range(-8i64..=8))
         } else {
             expr::var(vars[rng.gen_range(0..vars.len())])
         }
@@ -165,7 +164,7 @@ fn gen_expr(rng: &mut StdRng, vars: &[VarId], depth: u32) -> Expr {
     }
 }
 
-fn gen_body(rng: &mut StdRng, vars: &[VarId], n: usize) -> Vec<Stmt> {
+fn gen_body(rng: &mut Rng, vars: &[VarId], n: usize) -> Vec<Stmt> {
     (0..n.max(1))
         .map(|_| {
             let target = vars[rng.gen_range(0..vars.len())];
@@ -188,7 +187,7 @@ fn gen_body(rng: &mut StdRng, vars: &[VarId], n: usize) -> Vec<Stmt> {
                         8,
                     )
                 }
-                _ => stmt::delay(rng.gen_range(1..20)),
+                _ => stmt::delay(rng.gen_range(1..20u64)),
             }
         })
         .collect()

@@ -49,10 +49,18 @@ fn architecture_dot_is_well_formed_for_every_model() {
         assert!(dot.starts_with("graph architecture {"), "{model}");
         assert!(balanced(&dot, '{', '}'), "{model}");
         for bus in &refined.architecture.buses {
-            assert!(dot.contains(&format!("\"{}\"", bus.name)), "{model}: {}", bus.name);
+            assert!(
+                dot.contains(&format!("\"{}\"", bus.name)),
+                "{model}: {}",
+                bus.name
+            );
         }
         for mem in &refined.architecture.memories {
-            assert!(dot.contains(&format!("\"{}\"", mem.name)), "{model}: {}", mem.name);
+            assert!(
+                dot.contains(&format!("\"{}\"", mem.name)),
+                "{model}: {}",
+                mem.name
+            );
         }
     }
 }
