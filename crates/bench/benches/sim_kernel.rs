@@ -1,0 +1,173 @@
+//! Simulation-kernel throughput: event-driven scheduler versus the
+//! polling round-robin reference, on the same specs in the same run.
+//!
+//! The tentpole claim is that static sensitivity sets, dirty-set-driven
+//! condition re-evaluation and a timer heap turn the scheduler's
+//! per-round cost from O(processes) into O(events). This bench times
+//! both kernels on the token-ring workload (16 and 32 concurrent
+//! stations blocked on distinct signals — the polling worst case), and
+//! on the medical workload refined to Model4 (the realistic
+//! signal-handshake-heavy case), then records ns/step for each kernel,
+//! the speedup, and the condition re-evaluations the event kernel
+//! avoided, in `BENCH_sim.json` at the repo root. Both kernels' results
+//! are asserted equal, so the numbers always describe equivalent runs.
+
+use std::time::Instant;
+
+use modref_bench::harness::Criterion;
+use modref_bench::{criterion_group, criterion_main};
+
+use modref_core::{refine, ImplModel};
+use modref_graph::AccessGraph;
+use modref_sim::{SimConfig, SimKernel, SimResult, Simulator};
+use modref_spec::Spec;
+use modref_workloads::{medical_allocation, medical_partition, medical_spec, ring_spec, Design};
+
+/// One workload's paired measurement.
+struct Record {
+    name: String,
+    concurrent_leaves: usize,
+    steps: u64,
+    roundrobin_ns_per_step: f64,
+    event_ns_per_step: f64,
+    speedup: f64,
+    roundrobin_cond_evals: u64,
+    event_cond_evals: u64,
+    cond_evals_avoided: u64,
+    wakeups: u64,
+    rounds: u64,
+}
+
+fn run(spec: &Spec, kernel: SimKernel) -> SimResult {
+    Simulator::with_config(
+        spec,
+        SimConfig {
+            kernel,
+            ..SimConfig::default()
+        },
+    )
+    .run()
+    .expect("bench workloads complete")
+}
+
+/// Times `reps` full simulations under one kernel, returning the result
+/// of the last run and the best-of-reps ns/step (best-of filters out
+/// scheduling noise the same way criterion's minimum does).
+fn time_kernel(spec: &Spec, kernel: SimKernel, reps: u32) -> (SimResult, f64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = run(spec, kernel);
+        let ns = start.elapsed().as_secs_f64() * 1e9 / result.steps.max(1) as f64;
+        best = best.min(ns);
+        last = Some(result);
+    }
+    (last.expect("reps >= 1"), best)
+}
+
+fn measure(name: impl Into<String>, spec: &Spec, reps: u32) -> Record {
+    // Warm both kernels once so first-touch allocation stays out of the
+    // timing, then measure both in the same run on the same spec.
+    run(spec, SimKernel::RoundRobin);
+    run(spec, SimKernel::EventDriven);
+    let (rr, rr_ns) = time_kernel(spec, SimKernel::RoundRobin, reps);
+    let (ev, ev_ns) = time_kernel(spec, SimKernel::EventDriven, reps);
+    assert_eq!(ev, rr, "kernels must agree before their times are compared");
+    Record {
+        name: name.into(),
+        concurrent_leaves: spec.leaves().len(),
+        steps: ev.steps,
+        roundrobin_ns_per_step: rr_ns,
+        event_ns_per_step: ev_ns,
+        speedup: rr_ns / ev_ns,
+        roundrobin_cond_evals: rr.sched.cond_evals,
+        event_cond_evals: ev.sched.cond_evals,
+        cond_evals_avoided: rr.sched.cond_evals - ev.sched.cond_evals,
+        wakeups: ev.sched.wakeups,
+        rounds: ev.sched.rounds,
+    }
+}
+
+fn json(records: &[Record]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"sim\",\n  \"workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"concurrent_leaves\": {},\n      \"steps\": {},\n      \"roundrobin_ns_per_step\": {:.1},\n      \"event_ns_per_step\": {:.1},\n      \"speedup\": {:.2},\n      \"roundrobin_cond_evals\": {},\n      \"event_cond_evals\": {},\n      \"cond_evals_avoided\": {},\n      \"wakeups\": {},\n      \"rounds\": {}\n    }}{}\n",
+            r.name,
+            r.concurrent_leaves,
+            r.steps,
+            r.roundrobin_ns_per_step,
+            r.event_ns_per_step,
+            r.speedup,
+            r.roundrobin_cond_evals,
+            r.event_cond_evals,
+            r.cond_evals_avoided,
+            r.wakeups,
+            r.rounds,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The medical workload refined to Model4 — arbiters, bus interfaces
+/// and protocol servers make it the realistic concurrent case.
+fn medical_model4() -> Spec {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+    refine(&spec, &graph, &alloc, &part, ImplModel::Model4)
+        .expect("medical refines")
+        .spec
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let ring16 = ring_spec(16, 192);
+    let ring32 = ring_spec(32, 128);
+    let ring64 = ring_spec(64, 96);
+    let ring128 = ring_spec(128, 64);
+    let medical4 = medical_model4();
+
+    // The harness-timed view (respects MODREF_BENCH_MS) — the CI smoke
+    // step runs exactly this with a tiny budget.
+    let mut group = c.benchmark_group("sim_kernel_ring32");
+    group.bench_function("roundrobin", |b| {
+        b.iter(|| run(&ring32, SimKernel::RoundRobin))
+    });
+    group.bench_function("event", |b| b.iter(|| run(&ring32, SimKernel::EventDriven)));
+    group.finish();
+
+    // The recorded comparison the acceptance criteria read.
+    let records = vec![
+        measure("ring16", &ring16, 7),
+        measure("ring32", &ring32, 7),
+        measure("ring64", &ring64, 7),
+        measure("ring128", &ring128, 7),
+        measure("medical_model4", &medical4, 7),
+    ];
+    for r in &records {
+        eprintln!(
+            "{:<16} {:>2} leaves, {:>7} steps: roundrobin {:>8.1} ns/step, event {:>7.1} ns/step — {:>5.1}x; \
+             cond re-evals {} -> {} ({} avoided)",
+            r.name,
+            r.concurrent_leaves,
+            r.steps,
+            r.roundrobin_ns_per_step,
+            r.event_ns_per_step,
+            r.speedup,
+            r.roundrobin_cond_evals,
+            r.event_cond_evals,
+            r.cond_evals_avoided,
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, json(&records)).expect("write BENCH_sim.json");
+    eprintln!("wrote {path}");
+}
+
+criterion_group!(benches, bench_sim_kernel);
+criterion_main!(benches);

@@ -85,9 +85,16 @@ pub fn graph(spec: &Spec, dot: bool) -> CmdResult {
 }
 
 /// `modref simulate`: run to completion, print final state.
-pub fn simulate(spec: &Spec, profile: bool, max_steps: Option<u64>) -> CmdResult {
+pub fn simulate(
+    spec: &Spec,
+    profile: bool,
+    stats: bool,
+    max_steps: Option<u64>,
+    kernel: modref_sim::SimKernel,
+) -> CmdResult {
     let config = modref_sim::SimConfig {
         max_steps: max_steps.unwrap_or(modref_sim::SimConfig::default().max_steps),
+        kernel,
     };
     let result = Simulator::with_config(spec, config).run()?;
     println!(
@@ -96,6 +103,18 @@ pub fn simulate(spec: &Spec, profile: bool, max_steps: Option<u64>) -> CmdResult
     );
     for (name, value) in result.scalar_vars() {
         println!("  {name} = {value}");
+    }
+    if stats {
+        let s = result.sched;
+        let kernel_name = match kernel {
+            modref_sim::SimKernel::EventDriven => "event-driven",
+            modref_sim::SimKernel::RoundRobin => "round-robin",
+        };
+        println!("scheduler stats ({kernel_name} kernel):");
+        println!("  rounds:      {}", s.rounds);
+        println!("  cond evals:  {}", s.cond_evals);
+        println!("  wakeups:     {}", s.wakeups);
+        println!("  timer pops:  {}", s.timer_pops);
     }
     if profile {
         println!("activation profile:");
@@ -219,6 +238,7 @@ pub fn explore(
     seeds: u64,
     threads: Option<usize>,
     top: usize,
+    verify: bool,
     out: Option<&str>,
 ) -> CmdResult {
     use modref_partition::explore::ExploreConfig;
@@ -281,6 +301,42 @@ pub fn explore(
         println!("... {} more (use --top to show)", n - top);
     }
     println!("* = Pareto-optimal over (cost, max bus rate)");
+
+    if verify {
+        let started = std::time::Instant::now();
+        let v = modref_core::verify_pareto(spec, &graph, &alloc, &result, threads);
+        let elapsed = started.elapsed();
+        println!();
+        println!(
+            "verified {} front candidate x model pairs by simulation in {:.2?} \
+             (original: t={}, {} steps)",
+            v.records.len(),
+            elapsed,
+            v.original_time,
+            v.original_steps
+        );
+        println!(
+            "{:<17} {:>4}  {:<6} {:<6} {:>12} {:>12} {:>12}  detail",
+            "algorithm", "seed", "model", "equiv", "sim time", "sim steps", "bus writes"
+        );
+        for r in &v.records {
+            println!(
+                "{:<17} {:>4}  {:<6} {:<6} {:>12} {:>12} {:>12}  {}",
+                r.algorithm,
+                r.seed,
+                r.model.to_string(),
+                if r.equivalent { "pass" } else { "FAIL" },
+                r.refined_time,
+                r.refined_steps,
+                r.bus_traffic,
+                r.detail
+            );
+        }
+        match v.failures() {
+            0 => println!("all Pareto-front refinements simulate equivalent to the original"),
+            n => println!("{n} candidate x model pairs FAILED equivalence"),
+        }
+    }
 
     if let Some(path) = out {
         let best = &result.points[0];

@@ -43,11 +43,21 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "simulate" => {
             let spec = read_spec(args, 1)?;
             let profile = args.iter().any(|a| a == "--profile");
+            let stats = args.iter().any(|a| a == "--stats");
             let max_steps = flag_value(args, "--max-steps")
                 .map(|v| v.parse::<u64>())
                 .transpose()
                 .map_err(|e| format!("invalid --max-steps: {e}"))?;
-            commands::simulate(&spec, profile, max_steps)
+            let kernel = match flag_value(args, "--kernel").as_deref() {
+                None | Some("event") => modref_sim::SimKernel::EventDriven,
+                Some("roundrobin") => modref_sim::SimKernel::RoundRobin,
+                Some(other) => {
+                    return Err(
+                        format!("invalid --kernel `{other}` (expected event|roundrobin)").into(),
+                    )
+                }
+            };
+            commands::simulate(&spec, profile, stats, max_steps, kernel)
         }
         "refine" => {
             let spec = read_spec(args, 1)?;
@@ -97,6 +107,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .transpose()
                 .map_err(|e| format!("invalid --top: {e}"))?
                 .unwrap_or(10);
+            let verify = args.iter().any(|a| a == "--verify");
             let out = flag_value(args, "-o");
             commands::explore(
                 &spec,
@@ -104,6 +115,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 seeds,
                 threads,
                 top,
+                verify,
                 out.as_deref(),
             )
         }
@@ -128,13 +140,16 @@ USAGE:
   modref print    <spec>                      re-print the canonical form
   modref graph    <spec> [--dot]              list channels (or emit DOT)
   modref simulate <spec> [--profile]          run and print final state
-                  [--max-steps N]             (+ activation counts / budget)
+                  [--max-steps N] [--stats]   (+ activations / scheduler stats)
+                  [--kernel event|roundrobin] pick the scheduler kernel
   modref refine   <spec> -p <part> -m <1..4>  refine, print spec
                   [-o FILE] [--dot FILE]      write spec / architecture DOT
   modref rates    <spec> -p <part>            Figure 9 rate tables, all models
   modref explore  <spec> [-p <part>]          parallel multi-start exploration
                   [--seeds K] [--threads N]   K seeds x algorithms x 4 models,
                   [--top M] [-o FILE]         ranked with Pareto front flagged
+                  [--verify]                  simulate original vs refined for
+                                              every Pareto-front candidate
   modref estimate <spec> -p <part>            lifetimes + channel rates report
   modref vhdl     <spec>                      export to VHDL (refined specs)
   modref cgen     <spec> --process <name>     export a process to C + bus HAL

@@ -14,15 +14,25 @@
 //! [`par_map`](modref_partition::par_map) used for partitioning, so the
 //! full exploration is parallel end to end yet reproducible for a fixed
 //! seed count regardless of thread count.
+//!
+//! [`verify_pareto`] closes the loop from estimation to *verification*:
+//! every distinct Pareto-front candidate is refined under all four
+//! implementation models and the refined specification is simulated
+//! against the original (the paper's functional-equivalence check),
+//! again fanned out over `par_map` — so the explorer reports not just
+//! estimated cost/rate rankings but simulation-backed pass/fail verdicts
+//! and observed bus traffic for the frontier.
 
 use modref_graph::AccessGraph;
 use modref_partition::explore::{explore as explore_partitions, Candidate, ExploreConfig};
 use modref_partition::{par_map, thread_count, Allocation, CostConfig, CostReport, Partition};
+use modref_sim::{SimConfig, Simulator};
 use modref_spec::Spec;
 
 use crate::error::RefineError;
 use crate::model::ImplModel;
 use crate::rates::figure9_rates;
+use crate::refine::refine;
 
 /// One fully evaluated design point: a candidate partition under one
 /// implementation model.
@@ -109,6 +119,150 @@ pub fn explore_designs(
     rank(&mut points);
     mark_pareto(&mut points);
     Ok(Exploration { points })
+}
+
+/// The simulation-equivalence verdict for one Pareto-front candidate
+/// under one implementation model.
+///
+/// All fields are exact (no floats), so verification outcomes compare
+/// byte-identical across runs and thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyRecord {
+    /// The partitioning algorithm that produced the candidate.
+    pub algorithm: &'static str,
+    /// The seed that drove it (0 for deterministic algorithms).
+    pub seed: u64,
+    /// The implementation model the candidate was refined under.
+    pub model: ImplModel,
+    /// Whether the refined specification simulated to the same observable
+    /// variable state as the original.
+    pub equivalent: bool,
+    /// Empty when equivalent; otherwise a description of the divergence
+    /// (differing variables, or the refine/simulation error).
+    pub detail: String,
+    /// Final simulated time of the refined specification.
+    pub refined_time: u64,
+    /// Micro-steps the refined simulation executed.
+    pub refined_steps: u64,
+    /// Signal writes the refined simulation performed beyond the
+    /// original's — the bus-protocol traffic the refinement introduced
+    /// (handshakes, address/data transfers, arbitration).
+    pub bus_traffic: u64,
+}
+
+/// The outcome of verifying an exploration's Pareto front by simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verification {
+    /// One record per distinct front candidate × implementation model,
+    /// in front rank order then model order.
+    pub records: Vec<VerifyRecord>,
+    /// Final simulated time of the original (unrefined) specification.
+    pub original_time: u64,
+    /// Micro-steps the original simulation executed.
+    pub original_steps: u64,
+}
+
+impl Verification {
+    /// Whether every candidate×model pair verified equivalent.
+    pub fn all_equivalent(&self) -> bool {
+        self.records.iter().all(|r| r.equivalent)
+    }
+
+    /// Count of failing records.
+    pub fn failures(&self) -> usize {
+        self.records.iter().filter(|r| !r.equivalent).count()
+    }
+}
+
+/// Simulates original vs. refined specifications for every distinct
+/// Pareto-front candidate × Model1–4, in parallel over the deterministic
+/// [`par_map`](modref_partition::par_map).
+///
+/// Refinement or simulation failures are *reported* (as non-equivalent
+/// records with the error in `detail`), not propagated — a design-space
+/// sweep should show which corners break, not abort on the first one.
+/// Output is identical regardless of thread count.
+pub fn verify_pareto(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    exploration: &Exploration,
+    threads: Option<usize>,
+) -> Verification {
+    let sim_config = SimConfig::default();
+    let original = Simulator::with_config(spec, sim_config).run();
+    let (original_time, original_steps) = match &original {
+        Ok(r) => (r.time, r.steps),
+        Err(_) => (0, 0),
+    };
+
+    // Distinct front candidates, in rank order. A candidate can appear on
+    // the front under several models; verification refines it under all
+    // four regardless, so deduplicate by identity.
+    let mut cands: Vec<(&'static str, u64, &Partition)> = Vec::new();
+    for p in exploration.pareto_front() {
+        if !cands
+            .iter()
+            .any(|&(a, s, _)| a == p.algorithm && s == p.seed)
+        {
+            cands.push((p.algorithm, p.seed, &p.partition));
+        }
+    }
+
+    let jobs: Vec<(usize, ImplModel)> = (0..cands.len())
+        .flat_map(|ci| ImplModel::ALL.iter().map(move |&m| (ci, m)))
+        .collect();
+    let workers = thread_count(threads);
+    let records = par_map(jobs, workers, |_, (ci, model)| {
+        let (algorithm, seed, partition) = cands[ci];
+        let mut record = VerifyRecord {
+            algorithm,
+            seed,
+            model,
+            equivalent: false,
+            detail: String::new(),
+            refined_time: 0,
+            refined_steps: 0,
+            bus_traffic: 0,
+        };
+        let orig = match &original {
+            Ok(r) => r,
+            Err(e) => {
+                record.detail = format!("original simulation failed: {e}");
+                return record;
+            }
+        };
+        let refined = match refine(spec, graph, allocation, partition, model) {
+            Ok(r) => r,
+            Err(e) => {
+                record.detail = format!("refinement failed: {e}");
+                return record;
+            }
+        };
+        let result = match Simulator::with_config(&refined.spec, sim_config).run() {
+            Ok(r) => r,
+            Err(e) => {
+                record.detail = format!("refined simulation failed: {e}");
+                return record;
+            }
+        };
+        record.refined_time = result.time;
+        record.refined_steps = result.steps;
+        record.bus_traffic = result.signal_writes.saturating_sub(orig.signal_writes);
+        let diffs = orig.diff_common_vars(&result);
+        if diffs.is_empty() {
+            record.equivalent = true;
+        } else {
+            record.detail = format!("vars diverged: {}", diffs.join(", "));
+        }
+        record
+    });
+
+    Verification {
+        records,
+        original_time,
+        original_steps,
+    }
 }
 
 /// Total order: partition cost, then peak bus rate, then model number,
@@ -215,6 +369,35 @@ mod tests {
         )
         .expect("multi-thread run");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verify_pareto_confirms_front_equivalence() {
+        let spec = medical_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = medical_allocation();
+        let out = explore_designs(&spec, &graph, &alloc, &CostConfig::default(), &small_expl())
+            .expect("exploration succeeds");
+        let v = verify_pareto(&spec, &graph, &alloc, &out, Some(2));
+        // One record per distinct front candidate × 4 models.
+        let distinct: std::collections::BTreeSet<(&str, u64)> = out
+            .pareto_front()
+            .iter()
+            .map(|p| (p.algorithm, p.seed))
+            .collect();
+        assert_eq!(v.records.len(), distinct.len() * 4);
+        assert!(
+            v.all_equivalent(),
+            "front refinements must simulate equivalent: {:?}",
+            v.records
+                .iter()
+                .filter(|r| !r.equivalent)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(v.failures(), 0);
+        // Refinement introduces bus-protocol signal traffic.
+        assert!(v.records.iter().all(|r| r.bus_traffic > 0));
+        assert!(v.original_steps > 0);
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub mod report;
 pub use arbiter::ArbiterPolicy;
 pub use arch::{ArbiterDesc, Architecture, Bus, BusKind, InterfaceDesc, MemoryModule};
 pub use error::RefineError;
-pub use explore::{explore_designs, DesignPoint, Exploration};
+pub use explore::{
+    explore_designs, verify_pareto, DesignPoint, Exploration, Verification, VerifyRecord,
+};
 pub use model::ImplModel;
 pub use plan::RefinePlan;
 pub use rates::figure9_rates;

@@ -7,7 +7,7 @@
 //! environment-variable manipulation cannot race other tests; the single
 //! `#[test]` keeps the env mutations sequential within the process too.
 
-use modref_core::explore_designs;
+use modref_core::{explore_designs, verify_pareto};
 use modref_graph::AccessGraph;
 use modref_partition::explore::ExploreConfig;
 use modref_partition::CostConfig;
@@ -67,4 +67,34 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
             "points out of order"
         );
     }
+
+    // The `--verify` stage is deterministic too: the simulation-backed
+    // verdict set for the Pareto front is identical for 1 thread and any
+    // oversubscribed count, and under the env-var knobs. `Verification`
+    // derives `Eq` over exact fields only (no floats), so equality here
+    // really is byte-for-byte.
+    let verified_single = verify_pareto(&spec, &graph, &alloc, &first, Some(1));
+    assert!(
+        !verified_single.records.is_empty(),
+        "front must produce verification records"
+    );
+    assert!(
+        verified_single.all_equivalent(),
+        "medical front refinements must verify: {:?}",
+        verified_single.records
+    );
+    for threads in [2, 5, 16] {
+        let run = verify_pareto(&spec, &graph, &alloc, &first, Some(threads));
+        assert_eq!(
+            verified_single, run,
+            "verification differs at {threads} threads"
+        );
+    }
+    std::env::set_var("MODREF_THREADS", "4");
+    let enved = verify_pareto(&spec, &graph, &alloc, &first, None);
+    std::env::remove_var("MODREF_THREADS");
+    assert_eq!(
+        verified_single, enved,
+        "MODREF_THREADS=4 changed the verification"
+    );
 }

@@ -18,7 +18,13 @@
 //!   `wait for n` advance a process's local clock.
 //! * `set sig := e` is immediately visible; processes blocked on
 //!   `wait until` re-evaluate when the scheduler next runs them.
-//! * Processes are stepped in a deterministic round-robin order.
+//! * Processes are stepped in a deterministic order (ascending process
+//!   id within each scheduling round). Two kernels implement the same
+//!   semantics: the default event-driven kernel wakes blocked processes
+//!   from [sensitivity](sensitivity)-indexed waiter lists and a timer
+//!   heap, while [`SimKernel::RoundRobin`] is the original polling
+//!   scheduler, retained as an executable reference; both produce
+//!   identical observable results.
 //! * The simulation ends when the *root* process (the top behavior)
 //!   completes; infinite server loops (memory behaviors, arbiters, bus
 //!   interfaces inserted by refinement) are then terminated.
@@ -46,9 +52,10 @@
 pub mod error;
 pub mod process;
 pub mod result;
+pub mod sensitivity;
 pub mod simulator;
 pub mod value;
 
 pub use error::SimError;
-pub use result::SimResult;
-pub use simulator::{SimConfig, Simulator};
+pub use result::{SchedStats, SimResult};
+pub use simulator::{SimConfig, SimKernel, Simulator};

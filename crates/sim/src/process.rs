@@ -25,25 +25,83 @@ pub(crate) struct SharedState {
     /// Number of times each behavior started executing, indexed by
     /// behavior id — a dynamic activation profile.
     pub activations: Vec<u64>,
+    /// Variables written since the event-driven kernel last drained the
+    /// queue (deduplicated via `var_dirty`). The round-robin kernel never
+    /// drains it, which is fine: the dedup flags bound it at one entry
+    /// per variable.
+    dirty_vars: Vec<usize>,
+    /// Signals written since the last drain (deduplicated).
+    dirty_signals: Vec<usize>,
+    var_dirty: Vec<bool>,
+    sig_dirty: Vec<bool>,
 }
 
 impl SharedState {
     pub(crate) fn init(spec: &Spec) -> Self {
-        let vars = spec
+        let vars: Vec<Storage> = spec
             .variables()
             .map(|(_, v)| Storage::init(v.ty(), v.init()))
             .collect();
-        let signals = spec
+        let signals: Vec<i64> = spec
             .signals()
             .map(|(_, s)| wrap_scalar(s.init(), s.ty().access_scalar()))
             .collect();
+        let var_dirty = vec![false; vars.len()];
+        let sig_dirty = vec![false; signals.len()];
         Self {
             vars,
             signals,
             var_writes: 0,
             signal_writes: 0,
             activations: vec![0; spec.behavior_count()],
+            dirty_vars: Vec::new(),
+            dirty_signals: Vec::new(),
+            var_dirty,
+            sig_dirty,
         }
+    }
+
+    /// Records a variable write for both the stats counter and the
+    /// event-driven kernel's change queue.
+    #[inline]
+    pub(crate) fn note_var_write(&mut self, idx: usize) {
+        self.var_writes += 1;
+        if !self.var_dirty[idx] {
+            self.var_dirty[idx] = true;
+            self.dirty_vars.push(idx);
+        }
+    }
+
+    /// Records a signal write.
+    #[inline]
+    pub(crate) fn note_signal_write(&mut self, idx: usize) {
+        self.signal_writes += 1;
+        if !self.sig_dirty[idx] {
+            self.sig_dirty[idx] = true;
+            self.dirty_signals.push(idx);
+        }
+    }
+
+    /// Takes the set of variables written since the last drain, clearing
+    /// the dedup flags. The returned buffer should be handed back via the
+    /// next call's `reuse` to avoid reallocation.
+    pub(crate) fn take_dirty_vars(&mut self, mut reuse: Vec<usize>) -> Vec<usize> {
+        reuse.clear();
+        std::mem::swap(&mut self.dirty_vars, &mut reuse);
+        for &i in &reuse {
+            self.var_dirty[i] = false;
+        }
+        reuse
+    }
+
+    /// Takes the set of signals written since the last drain.
+    pub(crate) fn take_dirty_signals(&mut self, mut reuse: Vec<usize>) -> Vec<usize> {
+        reuse.clear();
+        std::mem::swap(&mut self.dirty_signals, &mut reuse);
+        for &i in &reuse {
+            self.sig_dirty[i] = false;
+        }
+        reuse
     }
 }
 
@@ -342,7 +400,7 @@ impl Process {
                 let v = self.eval(spec, state, value)?;
                 let ty = spec.signal(*signal).ty().access_scalar();
                 state.signals[signal.index()] = wrap_scalar(v, ty);
-                state.signal_writes += 1;
+                state.note_signal_write(signal.index());
                 advance(&mut self.frames);
                 Ok(StepEvent::Progress)
             }
@@ -507,7 +565,7 @@ impl Process {
     fn store_var(&mut self, spec: &Spec, state: &mut SharedState, var: VarId, value: i64) {
         let ty = spec.variable(var).ty().access_scalar();
         state.vars[var.index()] = Storage::Scalar(wrap_scalar(value, ty));
-        state.var_writes += 1;
+        state.note_var_write(var.index());
     }
 
     pub(crate) fn store_lvalue(
@@ -538,12 +596,12 @@ impl Process {
                                     len: len as u32,
                                 })?;
                         items[slot] = wrap_scalar(value, elem_ty);
-                        state.var_writes += 1;
+                        state.note_var_write(v.index());
                         Ok(())
                     }
                     Storage::Scalar(x) => {
                         *x = wrap_scalar(value, elem_ty);
-                        state.var_writes += 1;
+                        state.note_var_write(v.index());
                         Ok(())
                     }
                 }

@@ -7,8 +7,34 @@ use modref_spec::Spec;
 use crate::process::SharedState;
 use crate::value::Storage;
 
+/// Scheduler-internal work counters, reported per run so kernel
+/// regressions are observable (`modref simulate --stats`).
+///
+/// These describe *how* the scheduler reached the result, not the result
+/// itself: the two kernels produce identical observable outcomes with very
+/// different counter profiles (the event-driven kernel's `cond_evals` is a
+/// small fraction of the round-robin kernel's — the wakeups avoided).
+/// They are therefore excluded from [`SimResult`]'s equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Scheduling rounds (delta cycles) executed.
+    pub rounds: u64,
+    /// `wait until` condition re-evaluations performed by the scheduler.
+    pub cond_evals: u64,
+    /// Processes woken from `wait until` blocks.
+    pub wakeups: u64,
+    /// Timer-queue pops (event-driven kernel) or sleeper-scan passes
+    /// (round-robin kernel) performed to advance time.
+    pub timer_pops: u64,
+}
+
 /// The observable outcome of a simulation run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only the *observable* fields — final time, steps,
+/// write counts, variable/signal values and activation profile — so
+/// results from different scheduler kernels compare equal when the
+/// simulated behavior matched, even though their [`SchedStats`] differ.
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Final simulated time.
     pub time: u64,
@@ -21,9 +47,24 @@ pub struct SimResult {
     pub var_writes: u64,
     /// Total signal writes performed.
     pub signal_writes: u64,
+    /// Scheduler work counters (excluded from equality).
+    pub sched: SchedStats,
     vars: BTreeMap<String, Storage>,
     signals: BTreeMap<String, i64>,
     activations: BTreeMap<String, u64>,
+}
+
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+            && self.steps == other.steps
+            && self.completed == other.completed
+            && self.var_writes == other.var_writes
+            && self.signal_writes == other.signal_writes
+            && self.vars == other.vars
+            && self.signals == other.signals
+            && self.activations == other.activations
+    }
 }
 
 impl SimResult {
@@ -33,6 +74,7 @@ impl SimResult {
         time: u64,
         steps: u64,
         completed: bool,
+        sched: SchedStats,
     ) -> Self {
         let vars = spec
             .variables()
@@ -52,6 +94,7 @@ impl SimResult {
             completed,
             var_writes: state.var_writes,
             signal_writes: state.signal_writes,
+            sched,
             vars,
             signals,
             activations,

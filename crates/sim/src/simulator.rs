@@ -1,12 +1,54 @@
-//! The scheduler: deterministic round-robin stepping of processes with
-//! `wait until` re-evaluation and time advancement.
+//! The scheduler: an event-driven kernel (default) and the original
+//! polling round-robin scheduler, retained as a behavioral reference.
+//!
+//! Both kernels implement the same delta-cycle semantics — step every
+//! ready process to a block point, then wake processes whose wait
+//! conditions came true, then (only when nothing woke) advance time to
+//! the earliest sleeper — and produce identical observable results. They
+//! differ only in how the wake phase finds candidates:
+//!
+//! * **Round-robin** re-evaluates *every* blocked `wait until`
+//!   condition and rescans *every* process's child/server status each
+//!   round, so a round costs O(total processes).
+//! * **Event-driven** registers each blocked condition against its
+//!   [sensitivity set](crate::sensitivity) in per-variable/per-signal
+//!   waiter lists, and only re-evaluates conditions whose sensitivities
+//!   were actually written (a dirty set maintained by the interpreter's
+//!   write path). Sleepers sit in a binary-heap timer queue instead of
+//!   being found by linear scan, and composites track a pending
+//!   non-server child count instead of rescanning all processes. Scratch
+//!   buffers (ready lists, recheck queues, dirty sets) are reused across
+//!   rounds.
+//!
+//! Waiter-list entries are stamped with a per-process *block epoch*;
+//! waking or re-blocking bumps the epoch, so stale entries are recognized
+//! lazily and purged during scans (and by amortized compaction on
+//! insert), with no eager deregistration needed. The timer heap uses the
+//! same trick implicitly: an entry is live only while its process still
+//! sleeps until exactly that time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use modref_spec::Spec;
 
 use crate::error::SimError;
 use crate::process::{Process, SharedState, Status, StepEvent};
-use crate::result::SimResult;
+use crate::result::{SchedStats, SimResult};
+use crate::sensitivity::SensitivityMap;
 use crate::value::truthy;
+
+/// Which scheduling kernel executes the specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimKernel {
+    /// Sensitivity-driven wakeups, timer heap, pending-child counts.
+    #[default]
+    EventDriven,
+    /// The original polling scheduler: every round re-evaluates every
+    /// blocked condition. Kept as an executable reference for
+    /// equivalence testing and as the bench baseline.
+    RoundRobin,
+}
 
 /// Simulation limits and options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,12 +56,15 @@ pub struct SimConfig {
     /// Global micro-step budget; exceeding it aborts with
     /// [`SimError::StepLimitExceeded`].
     pub max_steps: u64,
+    /// Which scheduler kernel to run.
+    pub kernel: SimKernel,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         Self {
             max_steps: 5_000_000,
+            kernel: SimKernel::EventDriven,
         }
     }
 }
@@ -31,6 +76,60 @@ impl Default for SimConfig {
 pub struct Simulator<'a> {
     spec: &'a Spec,
     config: SimConfig,
+}
+
+/// Per-variable (or per-signal) lists of blocked processes, entries
+/// stamped `(pid, block epoch)`. Entries go stale when the process wakes
+/// (epoch bump) and are purged lazily: during wake scans, and by
+/// amortized compaction when a list doubles past its last known live
+/// size — so lists for never-written variables cannot grow unboundedly.
+struct WaiterTable {
+    lists: Vec<Vec<(usize, u64)>>,
+    compact_at: Vec<usize>,
+}
+
+impl WaiterTable {
+    const MIN_COMPACT: usize = 16;
+
+    fn new(n: usize) -> Self {
+        Self {
+            lists: vec![Vec::new(); n],
+            compact_at: vec![Self::MIN_COMPACT; n],
+        }
+    }
+
+    fn add(&mut self, idx: usize, pid: usize, epoch: u64, live: impl Fn(usize, u64) -> bool) {
+        let list = &mut self.lists[idx];
+        list.push((pid, epoch));
+        if list.len() >= self.compact_at[idx] {
+            list.retain(|&(p, e)| live(p, e));
+            self.compact_at[idx] = (list.len() * 2).max(Self::MIN_COMPACT);
+        }
+    }
+
+    /// Collects the live waiters of `idx` into `out` (deduplicated via
+    /// `seen`), dropping stale entries as it goes.
+    fn scan(
+        &mut self,
+        idx: usize,
+        out: &mut Vec<usize>,
+        seen: &mut [bool],
+        live: impl Fn(usize, u64) -> bool,
+    ) {
+        let list = &mut self.lists[idx];
+        list.retain(|&(p, e)| {
+            if live(p, e) {
+                if !seen[p] {
+                    seen[p] = true;
+                    out.push(p);
+                }
+                true
+            } else {
+                false
+            }
+        });
+        self.compact_at[idx] = (list.len() * 2).max(Self::MIN_COMPACT);
+    }
 }
 
 impl<'a> Simulator<'a> {
@@ -55,14 +154,246 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::Deadlock`] when all live processes block forever,
     /// * evaluation errors (out-of-bounds indices, unbound parameters).
     pub fn run(&self) -> Result<SimResult, SimError> {
+        match self.config.kernel {
+            SimKernel::EventDriven => self.run_event_driven(),
+            SimKernel::RoundRobin => self.run_round_robin(),
+        }
+    }
+
+    /// The event-driven kernel.
+    fn run_event_driven(&self) -> Result<SimResult, SimError> {
+        let spec = self.spec;
+        let mut sens = SensitivityMap::build(spec);
+        let mut state = SharedState::init(spec);
+        state.activations[spec.top().index()] += 1;
+        let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
+        let mut now: u64 = 0;
+        let mut steps: u64 = 0;
+        let mut stats = SchedStats::default();
+
+        // Scheduler bookkeeping, indexed by process id.
+        let mut parent: Vec<Option<usize>> = vec![None];
+        let mut pending_children: Vec<usize> = vec![0];
+        let mut epoch: Vec<u64> = vec![0];
+        let mut seen: Vec<bool> = vec![false];
+        let mut var_waiters = WaiterTable::new(spec.variable_count());
+        let mut sig_waiters = WaiterTable::new(spec.signal_count());
+        let mut timers: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+
+        // Round-scratch buffers, reused across rounds.
+        let mut ready: Vec<usize> = vec![0];
+        let mut woken: Vec<usize> = Vec::new();
+        let mut recheck: Vec<usize> = Vec::new();
+        let mut finished_parents: Vec<usize> = Vec::new();
+        let mut kill_list: Vec<usize> = Vec::new();
+        let mut dirty_v: Vec<usize> = Vec::new();
+        let mut dirty_s: Vec<usize> = Vec::new();
+
+        loop {
+            stats.rounds += 1;
+
+            // Phase 1: step each ready process until it blocks/completes,
+            // in ascending pid order (children spawn with larger pids, so
+            // appending preserves the order the round-robin kernel uses).
+            let mut i = 0;
+            while i < ready.len() {
+                let pid = ready[i];
+                i += 1;
+                while matches!(processes[pid].status, Status::Ready) {
+                    steps += 1;
+                    if steps > self.config.max_steps {
+                        return Err(SimError::StepLimitExceeded {
+                            limit: self.config.max_steps,
+                        });
+                    }
+                    let event = processes[pid].step(spec, &mut state, now)?;
+                    match event {
+                        StepEvent::Progress => {}
+                        StepEvent::Blocked => match &processes[pid].status {
+                            Status::WaitUntil(cond) => {
+                                // Register against the condition's
+                                // sensitivity set. An empty set means the
+                                // condition is constant while blocked —
+                                // it was false, stays false, and only the
+                                // deadlock check will ever see it.
+                                let ep = epoch[pid];
+                                let s = sens.of(cond);
+                                for v in &s.vars {
+                                    var_waiters.add(v.index(), pid, ep, |p, e| {
+                                        epoch[p] == e
+                                            && matches!(processes[p].status, Status::WaitUntil(_))
+                                    });
+                                }
+                                for sg in &s.signals {
+                                    sig_waiters.add(sg.index(), pid, ep, |p, e| {
+                                        epoch[p] == e
+                                            && matches!(processes[p].status, Status::WaitUntil(_))
+                                    });
+                                }
+                            }
+                            Status::WaitTime(t) => timers.push(Reverse((*t, pid))),
+                            _ => {}
+                        },
+                        StepEvent::Completed => {
+                            if let Some(par) = parent[pid] {
+                                if !processes[pid].is_server {
+                                    pending_children[par] -= 1;
+                                    if pending_children[par] == 0 {
+                                        finished_parents.push(par);
+                                    }
+                                }
+                            }
+                        }
+                        StepEvent::SpawnChildren(children) => {
+                            let mut ids = Vec::with_capacity(children.len());
+                            let mut live = 0;
+                            for c in children {
+                                let cid = processes.len();
+                                ids.push(cid);
+                                state.activations[c.index()] += 1;
+                                let child = Process::new(spec, c);
+                                if !child.is_server {
+                                    live += 1;
+                                }
+                                processes.push(child);
+                                parent.push(Some(pid));
+                                pending_children.push(0);
+                                epoch.push(0);
+                                seen.push(false);
+                                ready.push(cid);
+                            }
+                            processes[pid].spawned.extend(ids.iter().copied());
+                            pending_children[pid] = live;
+                            processes[pid].status = Status::WaitChildren(ids);
+                            if live == 0 {
+                                finished_parents.push(pid);
+                            }
+                        }
+                    }
+                }
+            }
+            ready.clear();
+
+            // Phase 2a: re-evaluate only the conditions whose
+            // sensitivities were actually written this round.
+            dirty_v = state.take_dirty_vars(dirty_v);
+            for &vi in &dirty_v {
+                var_waiters.scan(vi, &mut recheck, &mut seen, |p, e| {
+                    epoch[p] == e && matches!(processes[p].status, Status::WaitUntil(_))
+                });
+            }
+            dirty_s = state.take_dirty_signals(dirty_s);
+            for &si in &dirty_s {
+                sig_waiters.scan(si, &mut recheck, &mut seen, |p, e| {
+                    epoch[p] == e && matches!(processes[p].status, Status::WaitUntil(_))
+                });
+            }
+            for pid in recheck.drain(..) {
+                seen[pid] = false;
+                let p = &processes[pid];
+                let wake = match &p.status {
+                    Status::WaitUntil(cond) => {
+                        stats.cond_evals += 1;
+                        truthy(p.eval(spec, &state, cond)?)
+                    }
+                    _ => false,
+                };
+                if wake {
+                    stats.wakeups += 1;
+                    // Bump the epoch so remaining waiter entries go stale.
+                    epoch[pid] += 1;
+                    processes[pid].status = Status::Ready;
+                    woken.push(pid);
+                }
+            }
+
+            // Phase 2b: wake composites whose last counted (non-server)
+            // child completed this round, then terminate their servers
+            // (and anything those spawned) recursively. Kills run after
+            // all wakes, matching the reference kernel's
+            // snapshot-then-kill order.
+            for par in finished_parents.drain(..) {
+                if let Status::WaitChildren(ids) = &processes[par].status {
+                    kill_list.extend(ids.iter().copied().filter(|&c| processes[c].is_server));
+                    epoch[par] += 1;
+                    processes[par].status = Status::Ready;
+                    woken.push(par);
+                }
+            }
+            while let Some(k) = kill_list.pop() {
+                if !matches!(processes[k].status, Status::Done) {
+                    processes[k].status = Status::Done;
+                    kill_list.extend(processes[k].spawned.iter().copied());
+                }
+            }
+
+            // Termination: root process finished.
+            if matches!(processes[0].status, Status::Done) {
+                return Ok(SimResult::collect(spec, &state, now, steps, true, stats));
+            }
+
+            if !woken.is_empty() {
+                // Wakes arrive in notification order; restore pid order
+                // for the next round's sweep.
+                woken.sort_unstable();
+                std::mem::swap(&mut ready, &mut woken);
+                continue;
+            }
+
+            // Phase 3: advance time via the timer heap, discarding stale
+            // entries (processes killed or re-scheduled since pushing).
+            let next_wake = loop {
+                match timers.peek() {
+                    Some(&Reverse((t, pid))) => {
+                        if matches!(processes[pid].status, Status::WaitTime(w) if w == t) {
+                            break Some(t);
+                        }
+                        timers.pop();
+                        stats.timer_pops += 1;
+                    }
+                    None => break None,
+                }
+            };
+            match next_wake {
+                Some(t) => {
+                    now = t.max(now);
+                    while let Some(&Reverse((t2, pid))) = timers.peek() {
+                        if t2 > now {
+                            break;
+                        }
+                        timers.pop();
+                        stats.timer_pops += 1;
+                        if matches!(processes[pid].status, Status::WaitTime(w) if w == t2) {
+                            processes[pid].status = Status::Ready;
+                            ready.push(pid);
+                        }
+                    }
+                    ready.sort_unstable();
+                }
+                None => {
+                    let blocked: Vec<String> = processes
+                        .iter()
+                        .filter(|p| !matches!(p.status, Status::Done))
+                        .map(|p| p.name.clone())
+                        .collect();
+                    return Err(SimError::Deadlock { time: now, blocked });
+                }
+            }
+        }
+    }
+
+    /// The reference round-robin kernel (the original polling scheduler).
+    fn run_round_robin(&self) -> Result<SimResult, SimError> {
         let spec = self.spec;
         let mut state = SharedState::init(spec);
         state.activations[spec.top().index()] += 1;
         let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
         let mut now: u64 = 0;
         let mut steps: u64 = 0;
+        let mut stats = SchedStats::default();
 
         loop {
+            stats.rounds += 1;
             // Phase 1: step every Ready process until it blocks/completes.
             let mut pid = 0;
             while pid < processes.len() {
@@ -106,7 +437,14 @@ impl<'a> Simulator<'a> {
             let mut kill_list: Vec<usize> = Vec::new();
             for p in processes.iter_mut() {
                 let wake = match &p.status {
-                    Status::WaitUntil(cond) => truthy(p.eval(spec, &state, cond).unwrap_or(0)),
+                    Status::WaitUntil(cond) => {
+                        stats.cond_evals += 1;
+                        let woke = truthy(p.eval(spec, &state, cond)?);
+                        if woke {
+                            stats.wakeups += 1;
+                        }
+                        woke
+                    }
                     Status::WaitChildren(ids) => {
                         let done = ids.iter().all(|&i| child_done[i] || child_server[i]);
                         if done {
@@ -133,7 +471,7 @@ impl<'a> Simulator<'a> {
 
             // Termination: root process finished.
             if matches!(processes[0].status, Status::Done) {
-                return Ok(SimResult::collect(spec, &state, now, steps, true));
+                return Ok(SimResult::collect(spec, &state, now, steps, true, stats));
             }
 
             if any_ready {
@@ -141,6 +479,7 @@ impl<'a> Simulator<'a> {
             }
 
             // Phase 3: advance time to the earliest sleeper.
+            stats.timer_pops += 1;
             let next_wake = processes
                 .iter()
                 .filter_map(|p| match p.status {

@@ -299,7 +299,13 @@ fn zero_time_livelock_hits_step_limit() {
     );
     let top = b.seq_in_order("Top", vec![a]);
     let spec = b.finish(top).unwrap();
-    let sim = Simulator::with_config(&spec, SimConfig { max_steps: 10_000 });
+    let sim = Simulator::with_config(
+        &spec,
+        SimConfig {
+            max_steps: 10_000,
+            ..SimConfig::default()
+        },
+    );
     assert!(matches!(sim.run(), Err(SimError::StepLimitExceeded { .. })));
 }
 

@@ -20,6 +20,9 @@
 //!   traffic, for the automatic partitioners and as a second example.
 //! * [`fig2`] — the Section 3 illustration (Figure 2): B1–B4 and v1–v7
 //!   with the paper's local/global classification.
+//! * [`ring`] — a token ring of N concurrent stations chained by
+//!   distinct bit signals; the scheduler-stress workload behind the
+//!   event-driven versus polling simulation-kernel benchmark.
 //! * [`synth`] — seeded random specification generation for property
 //!   tests and scaling benchmarks.
 
@@ -30,10 +33,12 @@ pub mod designs;
 pub mod dsp;
 pub mod fig2;
 pub mod medical;
+pub mod ring;
 pub mod synth;
 
 pub use designs::{medical_partition, Design};
 pub use dsp::{dsp_partition, dsp_spec};
 pub use fig2::{fig2_partition, fig2_spec};
 pub use medical::{medical_allocation, medical_spec};
+pub use ring::ring_spec;
 pub use synth::{SynthConfig, SynthSpec};

@@ -1,0 +1,93 @@
+//! Token-ring workload: the scheduler-stress benchmark for the
+//! event-driven simulation kernel.
+//!
+//! `ring_spec(n, laps)` builds one concurrent composite with `n` leaf
+//! *stations* chained into a ring by `n` distinct bit signals. Station
+//! `i` repeatedly waits for its own token signal `tok_i`, clears it,
+//! does a unit of local work (a counter increment and a one-tick
+//! delay), then passes the token on by setting `tok_{(i+1) mod n}`.
+//! `tok_0` is initialised high, so exactly one token circulates the
+//! ring `laps` full trips before every station completes.
+//!
+//! The shape is chosen to maximise the gap between the two scheduler
+//! kernels: at any instant `n - 1` stations are blocked on `wait until`
+//! conditions over `n` *distinct* signals, and each round writes at
+//! most one of them. A polling scheduler therefore re-evaluates `n - 1`
+//! conditions per round for one useful wakeup, while a sensitivity-set
+//! scheduler re-evaluates exactly the one waiter whose signal changed.
+//! The per-tick delay keeps the timer queue busy too, so the heap path
+//! is exercised alongside the waiter lists.
+
+use modref_spec::builder::SpecBuilder;
+use modref_spec::{expr, stmt, DataType, Spec};
+
+/// Builds a token-ring specification with `stations` concurrent leaf
+/// behaviors passing a single token around for `laps` full trips.
+///
+/// Panics if `stations < 2` or `laps < 1` — a ring needs at least two
+/// stations and one trip to be a ring at all.
+pub fn ring_spec(stations: usize, laps: i64) -> Spec {
+    assert!(stations >= 2, "a ring needs at least two stations");
+    assert!(laps >= 1, "the token must make at least one trip");
+    let mut b = SpecBuilder::new("token_ring");
+
+    // One token signal per station; only station 0 starts with it.
+    let toks: Vec<_> = (0..stations)
+        .map(|i| b.signal(format!("tok{i}"), DataType::Bit, i64::from(i == 0)))
+        .collect();
+
+    let children: Vec<_> = (0..stations)
+        .map(|i| {
+            let lap = b.var_int(format!("lap{i}"), 32, 0);
+            let count = b.var_int(format!("count{i}"), 32, 0);
+            let next = toks[(i + 1) % stations];
+            b.leaf(
+                format!("Station{i}"),
+                vec![stmt::for_loop(
+                    lap,
+                    expr::lit(0),
+                    expr::lit(laps),
+                    vec![
+                        stmt::wait_until(expr::eq(expr::signal(toks[i]), expr::lit(1))),
+                        stmt::set_signal(toks[i], expr::lit(0)),
+                        stmt::assign(count, expr::add(expr::var(count), expr::lit(1))),
+                        stmt::delay(1),
+                        stmt::set_signal(next, expr::lit(1)),
+                    ],
+                )],
+            )
+        })
+        .collect();
+
+    let top = b.concurrent("Ring", children);
+    b.finish(top).expect("ring spec is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_sim::Simulator;
+
+    #[test]
+    fn token_makes_every_lap_at_every_station() {
+        let stations = 5;
+        let laps = 7;
+        let spec = ring_spec(stations, laps);
+        let result = Simulator::new(&spec).run().expect("ring completes");
+        // One tick per hop, `stations * laps` hops in total.
+        assert_eq!(result.time, stations as u64 * laps as u64);
+        for i in 0..stations {
+            let v = result
+                .var_by_name(&format!("count{i}"))
+                .expect("station counter");
+            assert_eq!(v, laps, "station {i} lap count");
+        }
+    }
+
+    #[test]
+    fn ring_is_all_concurrent_leaves() {
+        let spec = ring_spec(16, 1);
+        assert_eq!(spec.leaves().len(), 16);
+        assert_eq!(spec.signals().count(), 16);
+    }
+}

@@ -1,0 +1,183 @@
+//! Kernel-equivalence property tests: the event-driven scheduler must be
+//! observationally indistinguishable from the reference round-robin
+//! scheduler.
+//!
+//! The event-driven kernel only re-evaluates `wait until` conditions
+//! whose sensitivity sets were written, wakes sleepers from a timer heap,
+//! and counts pending children instead of rescanning — all pure
+//! scheduling-work optimizations. These properties pin down that they
+//! are *only* that: for random synthetic specs and their Model1–4
+//! refinements (which add the signal handshakes, protocol subroutines,
+//! arbiters and server loops the optimizations target), both kernels
+//! must produce identical observable variable values, final time, step
+//! counts and — on failing runs — identical deadlock/step-limit
+//! verdicts.
+
+use modref_rng::Rng;
+
+use modref::core::{refine, ImplModel};
+use modref::partition::Allocation;
+use modref::sim::{SimConfig, SimError, SimKernel, SimResult, Simulator};
+use modref::spec::builder::SpecBuilder;
+use modref::spec::{expr, stmt, Spec};
+use modref::workloads::{SynthConfig, SynthSpec};
+
+fn run_kernel(spec: &Spec, kernel: SimKernel, max_steps: u64) -> Result<SimResult, SimError> {
+    Simulator::with_config(spec, SimConfig { max_steps, kernel }).run()
+}
+
+/// Both kernels on the same spec; results (or errors) must agree.
+fn assert_kernels_agree(spec: &Spec, max_steps: u64, context: &str) {
+    let event = run_kernel(spec, SimKernel::EventDriven, max_steps);
+    let reference = run_kernel(spec, SimKernel::RoundRobin, max_steps);
+    match (event, reference) {
+        (Ok(e), Ok(r)) => {
+            // `SimResult` equality covers time, steps, write counts,
+            // variables, signals and activations — not scheduler stats.
+            assert_eq!(e, r, "{context}: observable results diverge");
+            assert!(
+                e.sched.cond_evals <= r.sched.cond_evals,
+                "{context}: event kernel re-evaluated more conditions \
+                 ({} > {}) than the polling reference",
+                e.sched.cond_evals,
+                r.sched.cond_evals
+            );
+            assert_eq!(e.sched.wakeups, r.sched.wakeups, "{context}: wakeups");
+            assert_eq!(e.sched.rounds, r.sched.rounds, "{context}: rounds");
+        }
+        (Err(e), Err(r)) => assert_eq!(e, r, "{context}: verdicts diverge"),
+        (event, reference) => panic!(
+            "{context}: kernels disagree on success — event: {event:?}, reference: {reference:?}"
+        ),
+    }
+}
+
+fn small_config(rng: &mut Rng) -> SynthConfig {
+    SynthConfig {
+        leaves: rng.gen_range(2..6usize),
+        vars: rng.gen_range(2..6usize),
+        stmts_per_leaf: rng.gen_range(1..5usize),
+        fanout: rng.gen_range(2..4usize),
+        loop_percent: rng.gen_range(0..60u32),
+    }
+}
+
+/// The headline property: across random specs and all four
+/// implementation-model refinements, the kernels are interchangeable.
+#[test]
+fn kernels_agree_on_random_specs_and_refinements() {
+    let mut rng = Rng::seed_from_u64(0xE0E0_0001);
+    for case in 0..16 {
+        let seed = rng.gen_range(0..500u64);
+        let cfg = small_config(&mut rng);
+        let salt = rng.gen_range(0..2u64);
+        let synth = SynthSpec::generate(seed, &cfg);
+        assert_kernels_agree(&synth.spec, 5_000_000, &format!("case {case} original"));
+
+        let graph = synth.graph();
+        let alloc = Allocation::proc_plus_asic();
+        let part = synth.partition(&alloc, salt);
+        for model in ImplModel::ALL {
+            let refined = refine(&synth.spec, &graph, &alloc, &part, model)
+                .unwrap_or_else(|e| panic!("case {case} seed {seed} {model}: {e}"));
+            assert_kernels_agree(
+                &refined.spec,
+                5_000_000,
+                &format!("case {case} seed {seed} {model}"),
+            );
+        }
+    }
+}
+
+/// Step-limit verdicts agree: a zero-time livelock trips the same error
+/// in both kernels.
+#[test]
+fn kernels_agree_on_step_limit_verdict() {
+    let mut b = SpecBuilder::new("spin");
+    let x = b.var_int("x", 16, 0);
+    let a = b.leaf(
+        "A",
+        vec![stmt::infinite_loop(vec![stmt::assign(x, expr::lit(1))])],
+    );
+    let top = b.seq_in_order("Top", vec![a]);
+    let spec = b.finish(top).expect("valid");
+    let event = run_kernel(&spec, SimKernel::EventDriven, 1_000);
+    let reference = run_kernel(&spec, SimKernel::RoundRobin, 1_000);
+    assert_eq!(event, reference);
+    assert!(matches!(
+        event,
+        Err(SimError::StepLimitExceeded { limit: 1_000 })
+    ));
+}
+
+/// Deadlock verdicts agree, including the reported time and the list of
+/// blocked behaviors: a waiter whose signal is never set deadlocks
+/// identically under both kernels.
+#[test]
+fn kernels_agree_on_deadlock_verdict() {
+    let mut b = SpecBuilder::new("stuck");
+    let go = b.signal_bit("go");
+    let x = b.var_int("x", 16, 0);
+    let waiter = b.leaf(
+        "Waiter",
+        vec![
+            stmt::wait_until(expr::eq(expr::signal(go), expr::lit(1))),
+            stmt::assign(x, expr::lit(7)),
+        ],
+    );
+    let worker = b.leaf(
+        "Worker",
+        vec![stmt::delay(5), stmt::assign(x, expr::lit(1))],
+    );
+    let top = b.concurrent("Top", vec![waiter, worker]);
+    let spec = b.finish(top).expect("valid");
+    let event = run_kernel(&spec, SimKernel::EventDriven, 100_000);
+    let reference = run_kernel(&spec, SimKernel::RoundRobin, 100_000);
+    assert_eq!(event, reference);
+    match event {
+        Err(SimError::Deadlock { time, blocked }) => {
+            assert_eq!(time, 5, "worker's delay elapses before the deadlock");
+            assert_eq!(blocked, vec!["Top".to_string(), "Waiter".to_string()]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+/// A never-woken waiter must not leak unbounded scheduler work: the
+/// event kernel performs zero condition re-evaluations when nothing in
+/// the sensitivity set is written, while the polling reference performs
+/// one per round.
+#[test]
+fn event_kernel_skips_unwritten_sensitivities() {
+    let mut b = SpecBuilder::new("quiet");
+    let go = b.signal_bit("go");
+    let x = b.var_int("x", 16, 0);
+    let waiter = b.leaf(
+        "Waiter",
+        vec![stmt::wait_until(expr::eq(expr::signal(go), expr::lit(1)))],
+    );
+    // A ticker that advances time for a while without touching `go`,
+    // then finally releases the waiter.
+    let ticker = b.leaf(
+        "Ticker",
+        vec![
+            stmt::for_loop(x, expr::lit(0), expr::lit(50), vec![stmt::delay(1)]),
+            stmt::set_signal(go, expr::lit(1)),
+        ],
+    );
+    let top = b.concurrent("Top", vec![waiter, ticker]);
+    let spec = b.finish(top).expect("valid");
+    let event = run_kernel(&spec, SimKernel::EventDriven, 100_000).expect("completes");
+    let reference = run_kernel(&spec, SimKernel::RoundRobin, 100_000).expect("completes");
+    assert_eq!(event, reference);
+    // Exactly one write to `go`, so exactly one re-evaluation (which
+    // succeeds and wakes the waiter).
+    assert_eq!(event.sched.cond_evals, 1);
+    assert_eq!(event.sched.wakeups, 1);
+    // The polling reference re-checked the waiter every round.
+    assert!(
+        reference.sched.cond_evals > 50,
+        "reference should poll each round, got {}",
+        reference.sched.cond_evals
+    );
+}
