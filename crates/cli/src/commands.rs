@@ -1,6 +1,7 @@
 //! The CLI subcommand implementations.
 
 use std::fs;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use modref_core::{figure9_rates, ImplModel};
 use modref_estimate::LifetimeConfig;
@@ -10,6 +11,23 @@ use modref_sim::Simulator;
 use modref_spec::{printer, Spec};
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Output verbosity: 0 = quiet, 1 = normal, 2 = verbose. Set once from
+/// the global `-q`/`-v` flags before dispatch.
+static VERBOSITY: AtomicU8 = AtomicU8::new(1);
+
+/// Installs the verbosity level parsed from the global flags.
+pub fn set_verbosity(level: u8) {
+    VERBOSITY.store(level, Ordering::Relaxed);
+}
+
+fn verbose() -> bool {
+    VERBOSITY.load(Ordering::Relaxed) >= 2
+}
+
+fn quiet() -> bool {
+    VERBOSITY.load(Ordering::Relaxed) == 0
+}
 
 /// `modref check`: the spec already parsed and validated; print stats.
 pub fn check(spec: &Spec) -> CmdResult {
@@ -96,6 +114,16 @@ pub fn simulate(
         max_steps: max_steps.unwrap_or(modref_sim::SimConfig::default().max_steps),
         kernel,
     };
+    if verbose() {
+        let kernel_name = match kernel {
+            modref_sim::SimKernel::EventDriven => "event-driven",
+            modref_sim::SimKernel::RoundRobin => "round-robin",
+        };
+        eprintln!(
+            "simulating with the {kernel_name} kernel (max {} steps)",
+            config.max_steps
+        );
+    }
     let result = Simulator::with_config(spec, config).run()?;
     println!(
         "completed at t={} after {} micro-steps ({} var writes, {} signal writes)",
@@ -139,15 +167,17 @@ pub fn refine(
     let graph = AccessGraph::derive(spec);
     let refined = modref_core::refine(spec, &graph, &alloc, &partition, model)?;
 
-    eprintln!(
-        "refined `{}` under {model}: {} behaviors, {} lines",
-        spec.name(),
-        refined.spec.behavior_count(),
-        printer::line_count(&refined.spec)
-    );
-    eprintln!("architecture:");
-    for line in modref_core::report::describe(&refined.architecture).lines() {
-        eprintln!("  {line}");
+    if !quiet() {
+        eprintln!(
+            "refined `{}` under {model}: {} behaviors, {} lines",
+            spec.name(),
+            refined.spec.behavior_count(),
+            printer::line_count(&refined.spec)
+        );
+        eprintln!("architecture:");
+        for line in modref_core::report::describe(&refined.architecture).lines() {
+            eprintln!("  {line}");
+        }
     }
 
     if let Some(path) = dot {
@@ -257,18 +287,27 @@ pub fn explore(
     };
     let workers = modref_partition::thread_count(threads);
 
+    if verbose() {
+        eprintln!(
+            "explore config: seeds={seeds} threads={workers} top={top} verify={verify} \
+             tracing={}",
+            if modref_obs::enabled() { "on" } else { "off" }
+        );
+    }
     let started = std::time::Instant::now();
     let result = modref_core::explore_designs(spec, &graph, &alloc, &cost_config, &expl)?;
     let elapsed = started.elapsed();
 
     let n = result.points.len();
     let per_sec = n as f64 / elapsed.as_secs_f64().max(1e-9);
-    println!(
-        "explored {n} design points ({seeds} seeds x algorithms x 4 models) \
-         on {workers} thread(s) in {:.2?} — {per_sec:.0} candidates/sec",
-        elapsed
-    );
-    println!();
+    if !quiet() {
+        println!(
+            "explored {n} design points ({seeds} seeds x algorithms x 4 models) \
+             on {workers} thread(s) in {:.2?} — {per_sec:.0} candidates/sec",
+            elapsed
+        );
+        println!();
+    }
     println!(
         "{:<4} {:<2} {:<17} {:>4}  {:<6} {:>12} {:>10} {:>10} {:>12} {:>5}",
         "rank",
@@ -297,10 +336,12 @@ pub fn explore(
             p.bus_count
         );
     }
-    if n > top {
-        println!("... {} more (use --top to show)", n - top);
+    if !quiet() {
+        if n > top {
+            println!("... {} more (use --top to show)", n - top);
+        }
+        println!("* = Pareto-optimal over (cost, max bus rate)");
     }
-    println!("* = Pareto-optimal over (cost, max bus rate)");
 
     if verify {
         let started = std::time::Instant::now();
@@ -350,9 +391,24 @@ pub fn explore(
     Ok(())
 }
 
-/// `modref demo`: write the medical spec + Design1/2/3 partition files.
+/// `modref report`: render a JSONL trace recorded with `--trace` as a
+/// profile tree plus metric summary.
+pub fn report(path: &str) -> CmdResult {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = modref_obs::jsonl::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if verbose() {
+        eprintln!("parsed {} events from {path}", trace.events.len());
+    }
+    print!("{}", modref_obs::report::render(&trace));
+    Ok(())
+}
+
+/// `modref demo`: write the medical spec + Design1/2/3 partition files,
+/// plus the Figure 2 spec and its published partition.
 pub fn demo(dir: &str) -> CmdResult {
-    use modref_workloads::{medical_allocation, medical_partition, medical_spec, Design};
+    use modref_workloads::{
+        fig2_partition, fig2_spec, medical_allocation, medical_partition, medical_spec, Design,
+    };
     fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
     let spec = medical_spec();
     let alloc = medical_allocation();
@@ -374,12 +430,32 @@ pub fn demo(dir: &str) -> CmdResult {
         fs::write(&path, text)?;
         println!("wrote {path}");
     }
-    println!("\ntry:");
-    println!("  modref check {dir}/medical.spec");
-    println!("  modref rates {dir}/medical.spec -p {dir}/medical_design1.part");
-    println!(
-        "  modref refine {dir}/medical.spec -p {dir}/medical_design1.part -m 2 -o refined.spec"
-    );
-    println!("  modref simulate refined.spec");
+
+    let fig2 = fig2_spec();
+    let fig2_spec_path = format!("{dir}/fig2.spec");
+    fs::write(&fig2_spec_path, printer::print(&fig2))?;
+    println!("wrote {fig2_spec_path}");
+    let fig2_part = fig2_partition(&fig2, &alloc);
+    let rendered = render_partition(&fig2, &alloc, &fig2_part);
+    let split = rendered.find("behavior ").unwrap_or(rendered.len());
+    let (components, assignments) = rendered.split_at(split);
+    let fig2_part_path = format!("{dir}/fig2.part");
+    fs::write(
+        &fig2_part_path,
+        format!("# Figure 2 partition\n{components}default PROC\n{assignments}"),
+    )?;
+    println!("wrote {fig2_part_path}");
+
+    if !quiet() {
+        println!("\ntry:");
+        println!("  modref check {dir}/medical.spec");
+        println!("  modref rates {dir}/medical.spec -p {dir}/medical_design1.part");
+        println!(
+            "  modref refine {dir}/medical.spec -p {dir}/medical_design1.part -m 2 -o refined.spec"
+        );
+        println!("  modref simulate refined.spec");
+        println!("  modref explore {dir}/fig2.spec --trace fig2.jsonl");
+        println!("  modref report fig2.jsonl");
+    }
     Ok(())
 }

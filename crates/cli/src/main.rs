@@ -8,8 +8,14 @@
 //! modref refine   <spec> -p <part> -m N  refine to ModelN, print result
 //! modref rates    <spec> -p <part>       Figure 9 rate table, all models
 //! modref explore  <spec> [--seeds K]     parallel multi-start exploration
-//! modref demo     <dir>                  write the medical example files
+//! modref report   <trace.jsonl>          render a recorded trace
+//! modref demo     <dir>                  write the example files
 //! ```
+//!
+//! Global flags (any command): `--trace <file.jsonl>` records spans and
+//! metrics for the run, `-v`/`--verbose` adds diagnostics, `-q`/`--quiet`
+//! drops informational output. Unknown flags are rejected with a
+//! closest-match suggestion.
 
 use std::env;
 use std::fs;
@@ -28,12 +34,42 @@ fn main() -> ExitCode {
     }
 }
 
+/// Options shared by every subcommand, stripped before dispatch.
+struct Global {
+    /// Record a trace of the run and write it here as JSONL.
+    trace: Option<String>,
+    /// 0 = quiet, 1 = normal, 2 = verbose.
+    verbosity: u8,
+}
+
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (args, global) = split_global(args)?;
+    commands::set_verbosity(global.verbosity);
     let Some(cmd) = args.first() else {
         print_usage();
         return Ok(());
     };
-    match cmd.as_str() {
+    validate_flags(cmd, &args)?;
+
+    let Some(path) = &global.trace else {
+        return dispatch(cmd, &args);
+    };
+    modref_obs::init(modref_obs::ClockMode::Wall);
+    let result = dispatch(cmd, &args);
+    let trace = modref_obs::shutdown();
+    fs::write(path, modref_obs::jsonl::write(&trace))
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    if global.verbosity > 0 {
+        eprintln!(
+            "wrote trace to {path} ({} events); render with `modref report {path}`",
+            trace.events.len()
+        );
+    }
+    result
+}
+
+fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
         "check" => commands::check(&read_spec(args, 1)?),
         "print" => commands::print_spec(&read_spec(args, 1)?),
         "graph" => {
@@ -119,6 +155,10 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 out.as_deref(),
             )
         }
+        "report" => {
+            let path = args.get(1).ok_or("usage: modref report <trace.jsonl>")?;
+            commands::report(path)
+        }
         "demo" => {
             let dir = args.get(1).ok_or("usage: modref demo <directory>")?.clone();
             commands::demo(&dir)
@@ -127,8 +167,138 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `modref help`)").into()),
+        other => {
+            let mut msg = format!("unknown command `{other}`");
+            if let Some(s) = closest(other, COMMANDS.iter().copied()) {
+                msg.push_str(&format!(" (did you mean `{s}`?)"));
+            }
+            msg.push_str(" — try `modref help`");
+            Err(msg.into())
+        }
     }
+}
+
+/// Every subcommand name, for `unknown command` suggestions.
+const COMMANDS: &[&str] = &[
+    "check", "print", "graph", "simulate", "refine", "vhdl", "cgen", "estimate", "rates",
+    "explore", "report", "demo", "help",
+];
+
+/// Flags accepted by every command. `true` = the flag consumes a value.
+const GLOBAL_FLAGS: &[(&str, bool)] = &[
+    ("--trace", true),
+    ("-v", false),
+    ("--verbose", false),
+    ("-q", false),
+    ("--quiet", false),
+    ("--help", false),
+    ("-h", false),
+];
+
+/// The per-command flag tables `validate_flags` checks against.
+fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
+    Some(match cmd {
+        "check" | "print" | "vhdl" | "report" | "demo" | "help" => &[],
+        "graph" => &[("--dot", false)],
+        "simulate" => &[
+            ("--profile", false),
+            ("--stats", false),
+            ("--max-steps", true),
+            ("--kernel", true),
+        ],
+        "refine" => &[("-p", true), ("-m", true), ("-o", true), ("--dot", true)],
+        "cgen" => &[("--process", true)],
+        "estimate" | "rates" => &[("-p", true)],
+        "explore" => &[
+            ("-p", true),
+            ("--seeds", true),
+            ("--threads", true),
+            ("--top", true),
+            ("--verify", false),
+            ("-o", true),
+        ],
+        _ => return None,
+    })
+}
+
+/// Strips the global flags out of the argument list.
+fn split_global(args: &[String]) -> Result<(Vec<String>, Global), String> {
+    let mut rest = Vec::new();
+    let mut global = Global {
+        trace: None,
+        verbosity: 1,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                let path = args.get(i).ok_or("missing `--trace <file.jsonl>` value")?;
+                global.trace = Some(path.clone());
+            }
+            "-v" | "--verbose" => global.verbosity = 2,
+            "-q" | "--quiet" => global.verbosity = 0,
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((rest, global))
+}
+
+/// Rejects flags the command does not know, suggesting the closest match.
+/// Unknown *commands* are reported by `dispatch` instead.
+fn validate_flags(cmd: &str, args: &[String]) -> Result<(), String> {
+    let Some(cmd_flags) = command_flags(cmd) else {
+        return Ok(());
+    };
+    let known: Vec<(&str, bool)> = cmd_flags.iter().chain(GLOBAL_FLAGS).copied().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with('-') && arg.len() > 1 {
+            match known.iter().find(|(f, _)| f == arg) {
+                Some((_, true)) => i += 1,
+                Some((_, false)) => {}
+                None => {
+                    let mut msg = format!("unknown flag `{arg}` for `modref {cmd}`");
+                    if let Some(s) = closest(arg, known.iter().map(|(f, _)| *f)) {
+                        msg.push_str(&format!(" (did you mean `{s}`?)"));
+                    }
+                    msg.push_str(" — try `modref help`");
+                    return Err(msg);
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// The candidate closest to `input` by edit distance, when close enough
+/// to plausibly be a typo (distance ≤ 2, or ≤ 3 for long names).
+fn closest<'a>(input: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    let limit = if input.len() > 6 { 3 } else { 2 };
+    candidates
+        .map(|c| (levenshtein(input, c), c))
+        .filter(|(d, _)| *d <= limit)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
+/// Classic two-row edit distance.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let b_chars: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b_chars.len()).collect();
+    let mut curr = vec![0; b_chars.len() + 1];
+    for (i, ca) in a.chars().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b_chars.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != *cb);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b_chars.len()]
 }
 
 fn print_usage() {
@@ -153,7 +323,17 @@ USAGE:
   modref estimate <spec> -p <part>            lifetimes + channel rates report
   modref vhdl     <spec>                      export to VHDL (refined specs)
   modref cgen     <spec> --process <name>     export a process to C + bus HAL
-  modref demo     <dir>                       write the medical example files
+  modref report   <trace.jsonl>               render a trace recorded with
+                                              --trace: profile tree + metrics
+  modref demo     <dir>                       write the medical + fig2 examples
+
+GLOBAL FLAGS (any command):
+  --trace <file.jsonl>   record spans and metrics for the run as JSONL
+  -v, --verbose          extra diagnostic output
+  -q, --quiet            suppress informational output
+
+Unknown flags are errors (with a closest-match suggestion), so typos
+never silently change a run.
 
 The <part> file format is documented in modref-partition's textfmt module:
   component PROC processor 65536
@@ -192,4 +372,53 @@ fn parse_model(args: &[String]) -> Result<modref_core::ImplModel, Box<dyn std::e
         "4" => modref_core::ImplModel::Model4,
         other => return Err(format!("invalid model `{other}` (expected 1..4)").into()),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("--seed", "--seeds"), 1);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn unknown_flag_suggests_closest() {
+        let err = validate_flags("explore", &s(&["explore", "x.spec", "--seed", "4"]))
+            .expect_err("typo must be rejected");
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("did you mean `--seeds`"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_pass_and_values_are_skipped() {
+        // `--top 10` — the value `10` must not be flag-checked; and a
+        // value that looks like a flag is skipped for value-taking flags.
+        validate_flags("explore", &s(&["explore", "x.spec", "--top", "10"])).unwrap();
+        validate_flags("simulate", &s(&["simulate", "x.spec", "--kernel", "event"])).unwrap();
+    }
+
+    #[test]
+    fn global_flags_are_stripped() {
+        let (rest, g) =
+            split_global(&s(&["-q", "explore", "x.spec", "--trace", "t.jsonl"])).unwrap();
+        assert_eq!(rest, s(&["explore", "x.spec"]));
+        assert_eq!(g.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(g.verbosity, 0);
+        assert!(split_global(&s(&["explore", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_suggests_closest() {
+        let err = dispatch("exlpore", &s(&["exlpore"])).expect_err("unknown command");
+        assert!(err.to_string().contains("did you mean `explore`"), "{err}");
+    }
 }

@@ -99,5 +99,105 @@ fn help_prints_usage() {
     let bin = modref_bin();
     let out = Command::new(&bin).args(["help"]).output().expect("runs");
     assert!(out.status.success());
-    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    // Every flag a command accepts is documented.
+    for flag in [
+        "--trace",
+        "--quiet",
+        "--verbose",
+        "--seeds",
+        "--threads",
+        "--top",
+        "--verify",
+        "--kernel",
+        "--max-steps",
+        "--stats",
+        "--profile",
+        "--dot",
+        "--process",
+    ] {
+        assert!(text.contains(flag), "help must document `{flag}`");
+    }
+}
+
+#[test]
+fn unknown_flags_error_with_suggestion() {
+    let bin = modref_bin();
+    let run = |args: &[&str]| {
+        let out = Command::new(&bin).args(args).output().expect("binary runs");
+        (
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.success(),
+        )
+    };
+
+    let (stderr, ok) = run(&["explore", "x.spec", "--seed", "4"]);
+    assert!(!ok, "typo'd flag must fail");
+    assert!(stderr.contains("unknown flag `--seed`"), "{stderr}");
+    assert!(stderr.contains("did you mean `--seeds`"), "{stderr}");
+
+    let (stderr, ok) = run(&["simulate", "x.spec", "--kernal", "event"]);
+    assert!(!ok);
+    assert!(stderr.contains("did you mean `--kernel`"), "{stderr}");
+
+    // A mistyped global flag is caught too.
+    let (stderr, ok) = run(&["check", "x.spec", "--trase", "t.jsonl"]);
+    assert!(!ok);
+    assert!(stderr.contains("did you mean `--trace`"), "{stderr}");
+}
+
+#[test]
+fn trace_report_round_trip() {
+    let bin = modref_bin();
+    let dir = tmpdir("trace");
+    let dir_s = dir.to_str().expect("utf8 tmpdir");
+
+    let run = |args: &[&str]| -> (String, String, bool) {
+        let out = Command::new(&bin).args(args).output().expect("binary runs");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.success(),
+        )
+    };
+
+    let (_, stderr, ok) = run(&["demo", dir_s]);
+    assert!(ok, "demo failed: {stderr}");
+    let spec = format!("{dir_s}/fig2.spec");
+    let trace = format!("{dir_s}/fig2.jsonl");
+
+    // Traced exploration writes a JSONL file and says so.
+    let (_, stderr, ok) = run(&["explore", &spec, "--seeds", "2", "--trace", &trace]);
+    assert!(ok, "traced explore failed: {stderr}");
+    assert!(stderr.contains("wrote trace"), "{stderr}");
+    let text = fs::read_to_string(&trace).expect("trace file written");
+    assert!(text.lines().count() > 10, "trace should have many events");
+    assert!(text.lines().all(|l| l.starts_with('{')), "JSONL lines");
+
+    // The report renders a profile tree plus the metric summary.
+    let (stdout, stderr, ok) = run(&["report", &trace]);
+    assert!(ok, "report failed: {stderr}");
+    assert!(stdout.contains("profile ("), "{stdout}");
+    assert!(stdout.contains("explore"), "{stdout}");
+    assert!(stdout.contains("counters"), "{stdout}");
+    assert!(stdout.contains("lifetime.hit"), "{stdout}");
+
+    // --quiet drops the informational lines but keeps the ranking table.
+    let (stdout, stderr, ok) = run(&["explore", &spec, "--seeds", "1", "-q"]);
+    assert!(ok, "quiet explore failed: {stderr}");
+    assert!(
+        !stdout.contains("explored"),
+        "quiet must drop the header: {stdout}"
+    );
+    assert!(stdout.contains("rank"), "table stays: {stdout}");
+
+    // report on garbage fails with a line-numbered parse error.
+    let bad = format!("{dir_s}/bad.jsonl");
+    fs::write(&bad, "{\"k\":\"span\"\nnot json\n").expect("write bad");
+    let (_, stderr, ok) = run(&["report", &bad]);
+    assert!(!ok, "malformed trace must fail");
+    assert!(stderr.contains("line 1"), "{stderr}");
+
+    let _ = fs::remove_dir_all(&dir);
 }

@@ -83,6 +83,8 @@ pub fn explore_designs(
     cost_config: &CostConfig,
     expl: &ExploreConfig,
 ) -> Result<Exploration, RefineError> {
+    let span = modref_obs::span("explore_designs");
+    let span_id = span.id();
     let candidates = explore_partitions(spec, graph, allocation, cost_config, expl);
     let lifetime = cost_config.lifetime;
 
@@ -95,6 +97,7 @@ pub fn explore_designs(
         .collect();
     let threads = thread_count(expl.threads);
     let rated = par_map(jobs, threads, |_, (ci, model)| {
+        let _job = modref_obs::span_under(span_id, "rate_eval").attr("model", model.name());
         let cand: &Candidate = &candidates[ci];
         figure9_rates(spec, graph, allocation, &cand.partition, model, &lifetime)
             .map(|table| (ci, model, table.max_rate(), table.bus_count()))
@@ -189,6 +192,10 @@ pub fn verify_pareto(
     exploration: &Exploration,
     threads: Option<usize>,
 ) -> Verification {
+    let span = modref_obs::span("verify_pareto");
+    let span_id = span.id();
+    let pass_counter = modref_obs::counter("verify.pass");
+    let fail_counter = modref_obs::counter("verify.fail");
     let sim_config = SimConfig::default();
     let original = Simulator::with_config(spec, sim_config).run();
     let (original_time, original_steps) = match &original {
@@ -215,45 +222,57 @@ pub fn verify_pareto(
     let workers = thread_count(threads);
     let records = par_map(jobs, workers, |_, (ci, model)| {
         let (algorithm, seed, partition) = cands[ci];
-        let mut record = VerifyRecord {
-            algorithm,
-            seed,
-            model,
-            equivalent: false,
-            detail: String::new(),
-            refined_time: 0,
-            refined_steps: 0,
-            bus_traffic: 0,
-        };
-        let orig = match &original {
-            Ok(r) => r,
-            Err(e) => {
-                record.detail = format!("original simulation failed: {e}");
-                return record;
+        let _job = modref_obs::span_under(span_id, "verify.job")
+            .attr("algorithm", algorithm)
+            .attr("seed", seed)
+            .attr("model", model.name());
+        let record = (|| {
+            let mut record = VerifyRecord {
+                algorithm,
+                seed,
+                model,
+                equivalent: false,
+                detail: String::new(),
+                refined_time: 0,
+                refined_steps: 0,
+                bus_traffic: 0,
+            };
+            let orig = match &original {
+                Ok(r) => r,
+                Err(e) => {
+                    record.detail = format!("original simulation failed: {e}");
+                    return record;
+                }
+            };
+            let refined = match refine(spec, graph, allocation, partition, model) {
+                Ok(r) => r,
+                Err(e) => {
+                    record.detail = format!("refinement failed: {e}");
+                    return record;
+                }
+            };
+            let result = match Simulator::with_config(&refined.spec, sim_config).run() {
+                Ok(r) => r,
+                Err(e) => {
+                    record.detail = format!("refined simulation failed: {e}");
+                    return record;
+                }
+            };
+            record.refined_time = result.time;
+            record.refined_steps = result.steps;
+            record.bus_traffic = result.signal_writes.saturating_sub(orig.signal_writes);
+            let diffs = orig.diff_common_vars(&result);
+            if diffs.is_empty() {
+                record.equivalent = true;
+            } else {
+                record.detail = format!("vars diverged: {}", diffs.join(", "));
             }
-        };
-        let refined = match refine(spec, graph, allocation, partition, model) {
-            Ok(r) => r,
-            Err(e) => {
-                record.detail = format!("refinement failed: {e}");
-                return record;
-            }
-        };
-        let result = match Simulator::with_config(&refined.spec, sim_config).run() {
-            Ok(r) => r,
-            Err(e) => {
-                record.detail = format!("refined simulation failed: {e}");
-                return record;
-            }
-        };
-        record.refined_time = result.time;
-        record.refined_steps = result.steps;
-        record.bus_traffic = result.signal_writes.saturating_sub(orig.signal_writes);
-        let diffs = orig.diff_common_vars(&result);
-        if diffs.is_empty() {
-            record.equivalent = true;
+            record
+        })();
+        if record.equivalent {
+            pass_counter.inc();
         } else {
-            record.detail = format!("vars diverged: {}", diffs.join(", "));
+            fail_counter.inc();
         }
         record
     });

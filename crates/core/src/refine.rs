@@ -107,7 +107,11 @@ pub fn refine_with_options(
     model: ImplModel,
     options: &RefineOptions,
 ) -> Result<Refined, RefineError> {
-    let plan = RefinePlan::build(spec, graph, allocation, partition, model)?;
+    let _span = modref_obs::span("refine").attr("model", model.name());
+    let plan = {
+        let _s = modref_obs::span("refine.plan");
+        RefinePlan::build(spec, graph, allocation, partition, model)?
+    };
     let builder = Builder::new(spec, graph, allocation, partition, plan, *options);
     builder.build()
 }
@@ -189,17 +193,29 @@ impl<'a> Builder<'a> {
     }
 
     fn build(mut self) -> Result<Refined, RefineError> {
-        self.copy_signals();
-        self.create_memory_placeholders();
-        self.copy_variables();
-        self.copy_subroutines();
-        self.create_bus_wires();
-        self.enumerate_contexts()?;
-        self.create_protocols_and_arbiters();
+        // Each refinement pass runs under its own span, so `modref
+        // report` breaks refine time down per procedure per model.
+        fn pass<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+            let _s = modref_obs::span(name);
+            f()
+        }
+        pass("refine.copy_signals", || self.copy_signals());
+        pass("refine.create_memory_placeholders", || {
+            self.create_memory_placeholders()
+        });
+        pass("refine.copy_variables", || self.copy_variables());
+        pass("refine.copy_subroutines", || self.copy_subroutines());
+        pass("refine.create_bus_wires", || self.create_bus_wires());
+        pass("refine.enumerate_contexts", || self.enumerate_contexts())?;
+        pass("refine.create_protocols_and_arbiters", || {
+            self.create_protocols_and_arbiters()
+        });
 
-        let root = self.copy_behavior(self.orig.top())?;
-        self.fill_memories();
-        self.create_interfaces()?;
+        let root = pass("refine.copy_behaviors", || {
+            self.copy_behavior(self.orig.top())
+        })?;
+        pass("refine.fill_memories", || self.fill_memories());
+        pass("refine.create_interfaces", || self.create_interfaces())?;
 
         let mut children = vec![root];
         children.extend(self.servers.iter().copied());
@@ -210,8 +226,10 @@ impl<'a> Builder<'a> {
         ));
         self.out.set_top(system);
 
-        validate::check(&self.out)?;
-        self.populate_architecture();
+        pass("refine.validate", || validate::check(&self.out))?;
+        pass("refine.populate_architecture", || {
+            self.populate_architecture()
+        });
 
         let channel_buses = self.plan.channel_buses(self.orig, self.graph, self.part);
         Ok(Refined {

@@ -114,10 +114,13 @@ impl LifetimeTable {
     /// served from the cache afterwards. Identical to calling
     /// [`behavior_lifetime`] with the table's config.
     pub fn get(&mut self, spec: &Spec, behavior: BehaviorId, model: &TimingModel) -> f64 {
+        let (hit, miss) = hit_miss_counters();
         let key = (behavior, model.fingerprint());
         if let Some(&v) = self.cache.get(&key) {
+            hit.inc();
             return v;
         }
+        miss.inc();
         let v = behavior_lifetime(spec, behavior, model, &self.config);
         self.cache.insert(key, v);
         v
@@ -132,6 +135,18 @@ impl LifetimeTable {
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
     }
+}
+
+/// The `lifetime.hit` / `lifetime.miss` counter handles, interned once.
+fn hit_miss_counters() -> (modref_obs::Counter, modref_obs::Counter) {
+    static CELLS: std::sync::OnceLock<(modref_obs::Counter, modref_obs::Counter)> =
+        std::sync::OnceLock::new();
+    *CELLS.get_or_init(|| {
+        (
+            modref_obs::counter("lifetime.hit"),
+            modref_obs::counter("lifetime.miss"),
+        )
+    })
 }
 
 fn stmts_cost(spec: &Spec, stmts: &[Stmt], model: &TimingModel, config: &LifetimeConfig) -> f64 {

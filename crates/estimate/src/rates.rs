@@ -136,13 +136,20 @@ pub fn bus_rates(
     model_of: &impl Fn(BehaviorId) -> TimingModel,
     config: &LifetimeConfig,
 ) -> BusRateTable {
+    let span = modref_obs::span("estimate.bus_rates");
     let mut table = BusRateTable::new();
+    let mut channels = 0u64;
     for ch in graph.data_channels() {
         if let Some(bus) = bus_of(ch.id()) {
             let rate = channel_rate(spec, ch, model_of, config);
             table.add(bus, rate);
+            channels += 1;
         }
     }
+    drop(
+        span.attr("buses", table.bus_count())
+            .attr("channels", channels),
+    );
     table
 }
 

@@ -1,0 +1,117 @@
+//! Trace events: what the recorder emits and the JSONL sink serializes.
+
+use crate::ClockMode;
+
+/// JSONL format version written to the `meta` event.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One recorded event.
+///
+/// Spans are emitted when their guard drops; metric events are emitted
+/// once per registered metric when the trace is flushed. Every kind
+/// round-trips through [`crate::jsonl`] exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Stream header: format version and clock mode of the run.
+    Meta {
+        /// [`FORMAT_VERSION`] at write time.
+        version: u32,
+        /// How the run's timestamps were produced.
+        clock: ClockMode,
+    },
+    /// A finished span.
+    Span {
+        /// Per-run sequence id (see [`crate::init`]); unique in a trace.
+        id: u64,
+        /// Id of the enclosing span, 0 for roots.
+        parent: u64,
+        /// Span name, e.g. `explore.job`.
+        name: String,
+        /// Start time in ns since init (0 in logical-clock mode).
+        start_ns: u64,
+        /// Duration in ns (0 in logical-clock mode).
+        dur_ns: u64,
+        /// `key=value` attributes in insertion order.
+        attrs: Vec<(String, String)>,
+    },
+    /// Final value of a counter.
+    Counter {
+        /// Metric name, e.g. `lifetime.hit`.
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// Final value of a gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Last value set.
+        value: f64,
+    },
+    /// Final state of a fixed-bucket histogram.
+    Hist {
+        /// Metric name.
+        name: String,
+        /// Number of recorded samples.
+        count: u64,
+        /// Sum of all samples (saturating).
+        sum: u64,
+        /// Smallest sample (0 when empty).
+        min: u64,
+        /// Largest sample (0 when empty).
+        max: u64,
+        /// Sparse `(bucket index, count)` pairs, ascending by index.
+        /// Bucket `i` holds values `v` with `floor_log2(v) + 1 == i`
+        /// (bucket 0 holds only `v == 0`).
+        buckets: Vec<(u8, u64)>,
+    },
+}
+
+impl Event {
+    /// The event kind tag used in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Meta { .. } => "meta",
+            Event::Span { .. } => "span",
+            Event::Counter { .. } => "ctr",
+            Event::Gauge { .. } => "gauge",
+            Event::Hist { .. } => "hist",
+        }
+    }
+}
+
+/// A flushed recording: the ordered event stream of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Meta first, then spans by id, then metric snapshots by name.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// The final value of a counter in this trace, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.events.iter().find_map(|e| match e {
+            Event::Counter { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// All counters as `(name, value)` in stream order.
+    pub fn counters(&self) -> Vec<(&str, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name, value } => Some((name.as_str(), *value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Spans with the given name.
+    pub fn spans_named(&self, name: &str) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Span { name: n, .. } if n == name))
+            .collect()
+    }
+}

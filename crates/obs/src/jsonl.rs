@@ -1,0 +1,343 @@
+//! The JSONL trace sink: one event per line, `{"k": "<kind>", ...}`.
+//!
+//! Serialization and parsing are exact inverses for every event kind —
+//! [`parse`]`(`[`write`]`(trace))` reproduces the trace bit for bit —
+//! and parsing is strict: any malformed line (bad JSON, unknown kind,
+//! missing or mistyped field) is an error naming the line, which is what
+//! lets CI pipe a trace through `modref report` as a well-formedness
+//! check.
+
+use crate::event::{Event, Trace, FORMAT_VERSION};
+use crate::json::{self, Value};
+use crate::ClockMode;
+
+/// Serializes a trace to JSONL (one event per line, trailing newline).
+pub fn write(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        write_event(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_event(out: &mut String, e: &Event) {
+    out.push_str("{\"k\":");
+    json::write_str(out, e.kind());
+    match e {
+        Event::Meta { version, clock } => {
+            out.push_str(",\"version\":");
+            json::write_u64(out, *version as u64);
+            out.push_str(",\"clock\":");
+            json::write_str(
+                out,
+                match clock {
+                    ClockMode::Wall => "wall",
+                    ClockMode::Logical => "logical",
+                },
+            );
+        }
+        Event::Span {
+            id,
+            parent,
+            name,
+            start_ns,
+            dur_ns,
+            attrs,
+        } => {
+            out.push_str(",\"id\":");
+            json::write_u64(out, *id);
+            out.push_str(",\"parent\":");
+            json::write_u64(out, *parent);
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"start\":");
+            json::write_u64(out, *start_ns);
+            out.push_str(",\"dur\":");
+            json::write_u64(out, *dur_ns);
+            out.push_str(",\"attrs\":[");
+            for (i, (k, v)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json::write_str(out, k);
+                out.push(',');
+                json::write_str(out, v);
+                out.push(']');
+            }
+            out.push(']');
+        }
+        Event::Counter { name, value } => {
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"v\":");
+            json::write_u64(out, *value);
+        }
+        Event::Gauge { name, value } => {
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"v\":");
+            json::write_f64(out, *value);
+        }
+        Event::Hist {
+            name,
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        } => {
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"count\":");
+            json::write_u64(out, *count);
+            out.push_str(",\"sum\":");
+            json::write_u64(out, *sum);
+            out.push_str(",\"min\":");
+            json::write_u64(out, *min);
+            out.push_str(",\"max\":");
+            json::write_u64(out, *max);
+            out.push_str(",\"buckets\":[");
+            for (i, (b, c)) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json::write_u64(out, *b as u64);
+                out.push(',');
+                json::write_u64(out, *c);
+                out.push(']');
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+}
+
+/// A JSONL parse failure: the 1-based line and what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the malformed event.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses a JSONL trace, strictly. Blank lines are allowed (and
+/// skipped); anything else must be a well-formed event.
+pub fn parse(text: &str) -> Result<Trace, TraceParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |msg: String| TraceParseError { line: i + 1, msg };
+        let v = json::parse(line).map_err(|e| fail(e.to_string()))?;
+        events.push(event_from_value(&v).map_err(fail)?);
+    }
+    Ok(Trace { events })
+}
+
+fn field<'a>(
+    obj: &'a std::collections::BTreeMap<String, Value>,
+    k: &str,
+) -> Result<&'a Value, String> {
+    obj.get(k).ok_or_else(|| format!("missing field `{k}`"))
+}
+
+fn u64_field(obj: &std::collections::BTreeMap<String, Value>, k: &str) -> Result<u64, String> {
+    field(obj, k)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{k}` must be a non-negative integer"))
+}
+
+fn str_field(obj: &std::collections::BTreeMap<String, Value>, k: &str) -> Result<String, String> {
+    Ok(field(obj, k)?
+        .as_str()
+        .ok_or_else(|| format!("field `{k}` must be a string"))?
+        .to_string())
+}
+
+fn event_from_value(v: &Value) -> Result<Event, String> {
+    let obj = v.as_obj().ok_or("event must be a JSON object")?;
+    let kind = str_field(obj, "k")?;
+    match kind.as_str() {
+        "meta" => {
+            let version = u64_field(obj, "version")? as u32;
+            if version > FORMAT_VERSION {
+                return Err(format!(
+                    "trace format version {version} is newer than supported {FORMAT_VERSION}"
+                ));
+            }
+            let clock = match str_field(obj, "clock")?.as_str() {
+                "wall" => ClockMode::Wall,
+                "logical" => ClockMode::Logical,
+                other => return Err(format!("unknown clock mode `{other}`")),
+            };
+            Ok(Event::Meta { version, clock })
+        }
+        "span" => {
+            let attrs_v = field(obj, "attrs")?
+                .as_arr()
+                .ok_or("field `attrs` must be an array")?;
+            let mut attrs = Vec::with_capacity(attrs_v.len());
+            for pair in attrs_v {
+                let p = pair.as_arr().ok_or("attr must be a [key, value] pair")?;
+                if p.len() != 2 {
+                    return Err("attr must be a [key, value] pair".into());
+                }
+                attrs.push((
+                    p[0].as_str()
+                        .ok_or("attr key must be a string")?
+                        .to_string(),
+                    p[1].as_str()
+                        .ok_or("attr value must be a string")?
+                        .to_string(),
+                ));
+            }
+            Ok(Event::Span {
+                id: u64_field(obj, "id")?,
+                parent: u64_field(obj, "parent")?,
+                name: str_field(obj, "name")?,
+                start_ns: u64_field(obj, "start")?,
+                dur_ns: u64_field(obj, "dur")?,
+                attrs,
+            })
+        }
+        "ctr" => Ok(Event::Counter {
+            name: str_field(obj, "name")?,
+            value: u64_field(obj, "v")?,
+        }),
+        "gauge" => Ok(Event::Gauge {
+            name: str_field(obj, "name")?,
+            value: match field(obj, "v")? {
+                Value::Null => 0.0,
+                v => v.as_f64().ok_or("field `v` must be a number")?,
+            },
+        }),
+        "hist" => {
+            let buckets_v = field(obj, "buckets")?
+                .as_arr()
+                .ok_or("field `buckets` must be an array")?;
+            let mut buckets = Vec::with_capacity(buckets_v.len());
+            for pair in buckets_v {
+                let p = pair
+                    .as_arr()
+                    .ok_or("bucket must be an [index, count] pair")?;
+                if p.len() != 2 {
+                    return Err("bucket must be an [index, count] pair".into());
+                }
+                let idx = p[0].as_u64().ok_or("bucket index must be an integer")?;
+                if idx >= crate::metrics::HIST_BUCKETS as u64 {
+                    return Err(format!("bucket index {idx} out of range"));
+                }
+                buckets.push((
+                    idx as u8,
+                    p[1].as_u64().ok_or("bucket count must be an integer")?,
+                ));
+            }
+            Ok(Event::Hist {
+                name: str_field(obj, "name")?,
+                count: u64_field(obj, "count")?,
+                sum: u64_field(obj, "sum")?,
+                min: u64_field(obj, "min")?,
+                max: u64_field(obj, "max")?,
+                buckets,
+            })
+        }
+        other => Err(format!("unknown event kind `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                Event::Meta {
+                    version: FORMAT_VERSION,
+                    clock: ClockMode::Logical,
+                },
+                Event::Span {
+                    id: 1,
+                    parent: 0,
+                    name: "explore".into(),
+                    start_ns: 0,
+                    dur_ns: 1234,
+                    attrs: vec![("seeds".into(), "4".into())],
+                },
+                Event::Span {
+                    id: 2,
+                    parent: 1,
+                    name: "explore.job".into(),
+                    start_ns: 10,
+                    dur_ns: 20,
+                    attrs: vec![
+                        ("algorithm".into(), "anneal\"quote".into()),
+                        ("seed".into(), "3".into()),
+                    ],
+                },
+                Event::Counter {
+                    name: "lifetime.hit".into(),
+                    value: u64::MAX,
+                },
+                Event::Gauge {
+                    name: "explore.threads".into(),
+                    value: 4.25,
+                },
+                Event::Hist {
+                    name: "explore.job_ns".into(),
+                    count: 3,
+                    sum: 300,
+                    min: 50,
+                    max: 150,
+                    buckets: vec![(6, 1), (7, 1), (8, 1)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let trace = sample_trace();
+        let text = write(&trace);
+        assert_eq!(text.lines().count(), trace.events.len());
+        let back = parse(&text).expect("parses");
+        assert_eq!(trace, back);
+        // And again: stability.
+        assert_eq!(write(&back), text);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let good = write(&sample_trace());
+        for (bad, what) in [
+            ("{\"k\":\"span\"}", "missing fields"),
+            ("{\"k\":\"nope\"}", "unknown kind"),
+            ("not json", "bad json"),
+            ("{\"k\":\"ctr\",\"name\":\"x\",\"v\":-1}", "negative counter"),
+            ("{\"k\":\"hist\",\"name\":\"x\",\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[[99,1]]}", "bucket out of range"),
+        ] {
+            let text = format!("{good}{bad}\n");
+            let err = parse(&text).expect_err(what);
+            assert_eq!(err.line, good.lines().count() + 1, "{what}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let text = format!("\n{}\n\n", write(&sample_trace()));
+        assert_eq!(parse(&text).unwrap(), sample_trace());
+    }
+}

@@ -1,0 +1,295 @@
+//! Human-readable rendering of a trace: a profile tree (time per phase,
+//! % of parent, call counts) and metric summaries.
+//!
+//! Spans are aggregated by *key* — the span name plus its attributes —
+//! under their parent's key path, so four `refine` spans with
+//! `model=Model1..4` stay distinct while eleven identical `cache.build`
+//! calls fold into one line with `x11`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, Trace};
+use crate::metrics::HistogramSnapshot;
+
+/// One aggregated node of the profile tree.
+#[derive(Debug, Default)]
+struct Node {
+    total_ns: u64,
+    calls: u64,
+    children: BTreeMap<String, Node>,
+    /// First-seen order, so the tree prints in execution order rather
+    /// than alphabetically.
+    order: Vec<String>,
+}
+
+impl Node {
+    fn child(&mut self, key: &str) -> &mut Node {
+        if !self.children.contains_key(key) {
+            self.order.push(key.to_string());
+        }
+        self.children.entry(key.to_string()).or_default()
+    }
+}
+
+/// The display key of a span: `name[attr=value attr=value]`.
+fn span_key(name: &str, attrs: &[(String, String)]) -> String {
+    if attrs.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::from(name);
+    key.push('[');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            key.push(' ');
+        }
+        let _ = write!(key, "{k}={v}");
+    }
+    key.push(']');
+    key
+}
+
+/// Renders the full report: profile tree, counters, gauges, histogram
+/// summaries.
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    render_profile(trace, &mut out);
+    render_metrics(trace, &mut out);
+    out
+}
+
+fn render_profile(trace: &Trace, out: &mut String) {
+    // id -> key path of the span, built in id order (parents have
+    // smaller ids than their children by construction).
+    let mut paths: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut root = Node::default();
+    let mut span_count = 0u64;
+    for e in &trace.events {
+        let Event::Span {
+            id,
+            parent,
+            name,
+            dur_ns,
+            attrs,
+            ..
+        } = e
+        else {
+            continue;
+        };
+        span_count += 1;
+        let mut path = paths.get(parent).cloned().unwrap_or_default();
+        path.push(span_key(name, attrs));
+        let mut node = &mut root;
+        for key in &path {
+            node = node.child(key);
+        }
+        node.total_ns += dur_ns;
+        node.calls += 1;
+        paths.insert(*id, path);
+    }
+
+    if span_count == 0 {
+        out.push_str("profile: no spans recorded\n");
+        return;
+    }
+    let root_total: u64 = root.children.values().map(|n| n.total_ns).sum();
+    let _ = writeln!(
+        out,
+        "profile ({} spans, roots total {})",
+        span_count,
+        fmt_ns(root_total)
+    );
+    let order = root.order.clone();
+    for key in &order {
+        render_node(out, key, &root.children[key], root_total, 1);
+    }
+}
+
+fn render_node(out: &mut String, key: &str, node: &Node, parent_ns: u64, depth: usize) {
+    let pct = if parent_ns == 0 {
+        100.0
+    } else {
+        node.total_ns as f64 / parent_ns as f64 * 100.0
+    };
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{key}");
+    let _ = writeln!(
+        out,
+        "{label:<52} {:>10}  {:>5.1}%  x{}",
+        fmt_ns(node.total_ns),
+        pct,
+        node.calls
+    );
+    for child in &node.order {
+        render_node(out, child, &node.children[child], node.total_ns, depth + 1);
+    }
+}
+
+fn render_metrics(trace: &Trace, out: &mut String) {
+    let counters: Vec<(&String, u64)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter { name, value } => Some((name, *value)),
+            _ => None,
+        })
+        .collect();
+    if !counters.is_empty() {
+        out.push_str("\ncounters\n");
+        for (name, value) in counters {
+            let _ = writeln!(out, "  {name:<40} {value:>14}");
+        }
+        // Derived rates worth surfacing directly.
+        let get = |n: &str| trace.counter(n).unwrap_or(0);
+        let (hit, miss) = (get("lifetime.hit"), get("lifetime.miss"));
+        if hit + miss > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>13.1}%",
+                "lifetime cache hit rate",
+                hit as f64 / (hit + miss) as f64 * 100.0
+            );
+        }
+    }
+
+    let gauges: Vec<(&String, f64)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Gauge { name, value } => Some((name, *value)),
+            _ => None,
+        })
+        .collect();
+    if !gauges.is_empty() {
+        out.push_str("\ngauges\n");
+        for (name, value) in gauges {
+            let _ = writeln!(out, "  {name:<40} {value:>14}");
+        }
+    }
+
+    let hists: Vec<(&String, HistogramSnapshot)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Hist {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => Some((
+                name,
+                HistogramSnapshot::from_sparse(*count, *sum, *min, *max, buckets),
+            )),
+            _ => None,
+        })
+        .collect();
+    if !hists.is_empty() {
+        out.push_str("\nhistograms\n");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in hists {
+            if h.count == 0 {
+                let _ = writeln!(out, "  {name:<28} {:>8} (empty)", 0);
+                continue;
+            }
+            let p = |q: f64| fmt_ns(h.percentile(q).unwrap_or(0));
+            let _ = writeln!(
+                out,
+                "  {name:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                h.count,
+                fmt_ns(h.mean().unwrap_or(0.0) as u64),
+                p(0.5),
+                p(0.9),
+                p(0.99),
+                fmt_ns(h.max)
+            );
+        }
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns_f / 1e6)
+    } else {
+        format!("{:.2}s", ns_f / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClockMode;
+
+    fn span(id: u64, parent: u64, name: &str, dur: u64, attrs: &[(&str, &str)]) -> Event {
+        Event::Span {
+            id,
+            parent,
+            name: name.into(),
+            start_ns: 0,
+            dur_ns: dur,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tree_aggregates_and_percentages() {
+        let trace = Trace {
+            events: vec![
+                Event::Meta {
+                    version: 1,
+                    clock: ClockMode::Wall,
+                },
+                span(1, 0, "explore", 1000, &[]),
+                span(2, 1, "explore.job", 300, &[("algorithm", "greedy")]),
+                span(3, 1, "explore.job", 500, &[("algorithm", "annealing")]),
+                span(4, 1, "explore.job", 100, &[("algorithm", "annealing")]),
+                Event::Counter {
+                    name: "lifetime.hit".into(),
+                    value: 75,
+                },
+                Event::Counter {
+                    name: "lifetime.miss".into(),
+                    value: 25,
+                },
+            ],
+        };
+        let text = render(&trace);
+        assert!(text.contains("explore"), "{text}");
+        // Two annealing jobs fold into one x2 line; greedy stays x1.
+        assert!(text.contains("explore.job[algorithm=annealing]"), "{text}");
+        assert!(text.contains("x2"), "{text}");
+        assert!(text.contains("explore.job[algorithm=greedy]"), "{text}");
+        // 600/1000 of the parent.
+        assert!(text.contains("60.0%"), "{text}");
+        // Hit-rate derived line.
+        assert!(text.contains("75.0%"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let text = render(&Trace { events: vec![] });
+        assert!(text.contains("no spans"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_000_000), "2.0ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

@@ -7,6 +7,7 @@
 //!
 //! [`GroupMigration`]: super::GroupMigration
 
+use modref_estimate::LifetimeTable;
 use modref_rng::Rng;
 
 use modref_graph::AccessGraph;
@@ -50,6 +51,21 @@ impl Partitioner for SimulatedAnnealing {
         allocation: &Allocation,
         config: &CostConfig,
     ) -> Partition {
+        let mut table = LifetimeTable::new(config.lifetime);
+        self.partition_with_table(spec, graph, allocation, config, &mut table)
+    }
+
+    fn partition_with_table(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        config: &CostConfig,
+        table: &mut LifetimeTable,
+    ) -> Partition {
+        let moves = modref_obs::counter("anneal.moves");
+        let accepts = modref_obs::counter("anneal.accepts");
+        let rejects = modref_obs::counter("anneal.rejects");
         let mut rng = Rng::seed_from_u64(self.seed);
         let ids = allocation.ids();
         let part = RandomPartitioner::new(self.seed).partition(spec, graph, allocation, config);
@@ -61,7 +77,7 @@ impl Partitioner for SimulatedAnnealing {
 
         // All moves are evaluated on the incremental cache; the best
         // visited state is materialized once at the end.
-        let mut cache = CostCache::new(spec, graph, allocation, &part, config);
+        let mut cache = CostCache::with_table(spec, graph, allocation, &part, config, table);
         let mut current = cache.total();
         let mut best = cache.to_partition();
         let mut best_cost = current;
@@ -82,15 +98,18 @@ impl Partitioner for SimulatedAnnealing {
                 (Undo::Var(v, old), cache.move_var(v, new))
             };
 
+            moves.inc();
             let delta = cost - current;
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0));
             if accept {
+                accepts.inc();
                 current = cost;
                 if cost < best_cost {
                     best_cost = cost;
                     best = cache.to_partition();
                 }
             } else {
+                rejects.inc();
                 match undo {
                     Undo::Behavior(b, old) => cache.move_leaf(b, old),
                     Undo::Var(v, old) => cache.move_var(v, old),

@@ -63,6 +63,7 @@ impl HierarchicalClustering {
             sum
         };
 
+        let merges = modref_obs::counter("clustering.merges");
         while clusters.len() > target.max(1) {
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..clusters.len() {
@@ -76,6 +77,7 @@ impl HierarchicalClustering {
             let (i, j, _) = best.expect("at least two clusters");
             let merged = clusters.remove(j);
             clusters[i].extend(merged);
+            merges.inc();
         }
         clusters
     }
@@ -87,11 +89,19 @@ impl Default for HierarchicalClustering {
     }
 }
 
-impl HierarchicalClustering {
-    /// Like [`Partitioner::partition`], but reusing a caller-owned
-    /// memoized [`LifetimeTable`] for the cluster-load estimates — the
-    /// multi-start explorer shares one table across repeated runs.
-    pub fn partition_with_table(
+impl Partitioner for HierarchicalClustering {
+    fn partition(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        config: &CostConfig,
+    ) -> Partition {
+        let mut table = LifetimeTable::new(config.lifetime);
+        self.partition_with_table(spec, graph, allocation, config, &mut table)
+    }
+
+    fn partition_with_table(
         &self,
         spec: &Spec,
         graph: &AccessGraph,
@@ -154,19 +164,6 @@ impl HierarchicalClustering {
             part.assign_var(v, best);
         }
         part
-    }
-}
-
-impl Partitioner for HierarchicalClustering {
-    fn partition(
-        &self,
-        spec: &Spec,
-        graph: &AccessGraph,
-        allocation: &Allocation,
-        config: &CostConfig,
-    ) -> Partition {
-        let mut table = LifetimeTable::new(config.lifetime);
-        self.partition_with_table(spec, graph, allocation, config, &mut table)
     }
 
     fn name(&self) -> &'static str {

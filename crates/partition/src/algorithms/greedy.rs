@@ -5,6 +5,7 @@
 //! whose behaviors move the most bits to/from them (minimizing the
 //! traffic that refinement will later have to carry over buses).
 
+use modref_estimate::LifetimeTable;
 use modref_graph::AccessGraph;
 use modref_spec::Spec;
 
@@ -36,6 +37,19 @@ impl Partitioner for GreedyPartitioner {
         allocation: &Allocation,
         config: &CostConfig,
     ) -> Partition {
+        let mut table = LifetimeTable::new(config.lifetime);
+        self.partition_with_table(spec, graph, allocation, config, &mut table)
+    }
+
+    fn partition_with_table(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        config: &CostConfig,
+        table: &mut LifetimeTable,
+    ) -> Partition {
+        let placements = modref_obs::counter("greedy.placements");
         let ids = allocation.ids();
         assert!(
             !ids.is_empty(),
@@ -49,7 +63,7 @@ impl Partitioner for GreedyPartitioner {
         // Behaviors, largest first; trial placements are evaluated on the
         // incremental cache (unplaced leaves sit on the default component,
         // exactly as the seed partition resolves them).
-        let mut cache = CostCache::new(spec, graph, allocation, &part, config);
+        let mut cache = CostCache::with_table(spec, graph, allocation, &part, config, table);
         let mut leaves = spec.leaves();
         leaves.sort_by_key(|&b| std::cmp::Reverse(spec.behavior_size(b)));
         for leaf in leaves {
@@ -62,6 +76,7 @@ impl Partitioner for GreedyPartitioner {
             }
             cache.move_leaf(leaf, best.0);
             part.assign_behavior(leaf, best.0);
+            placements.inc();
         }
 
         // Variables: home each where its cross traffic is least.

@@ -12,6 +12,7 @@
 //!
 //! [`partition_cost`]: crate::cost::partition_cost
 
+use modref_estimate::LifetimeTable;
 use modref_graph::AccessGraph;
 use modref_spec::Spec;
 
@@ -47,7 +48,22 @@ impl GroupMigration {
         part: &mut Partition,
         config: &CostConfig,
     ) -> f64 {
-        let mut cache = CostCache::new(spec, graph, allocation, part, config);
+        let mut table = LifetimeTable::new(config.lifetime);
+        self.improve_with_table(spec, graph, allocation, part, config, &mut table)
+    }
+
+    /// Like [`GroupMigration::improve`], but reusing a caller-owned
+    /// memoized [`LifetimeTable`] for the cost cache it builds.
+    pub fn improve_with_table(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        part: &mut Partition,
+        config: &CostConfig,
+        table: &mut LifetimeTable,
+    ) -> f64 {
+        let mut cache = CostCache::with_table(spec, graph, allocation, part, config, table);
         let current = self.improve_cached(&mut cache);
         // Mirror only the objects the cache moved, preserving the
         // partition's implicit (inherited/default) structure otherwise.
@@ -70,11 +86,16 @@ impl GroupMigration {
     /// the best cost-reducing single-object move. Returns the final cost,
     /// leaving the improved state in the cache.
     pub fn improve_cached(&self, cache: &mut CostCache) -> f64 {
+        let sweeps = modref_obs::counter("migration.sweeps");
+        let evals = modref_obs::counter("migration.evals");
+        let applied = modref_obs::counter("migration.applied");
         let leaves: Vec<_> = cache.leaves().to_vec();
         let vars: Vec<_> = cache.vars().to_vec();
         let comps = cache.component_ids();
         let mut current = cache.total();
         for _ in 0..self.max_passes {
+            sweeps.inc();
+            let mut sweep_evals = 0u64;
             let mut best: Option<(Move, f64)> = None;
             for &leaf in &leaves {
                 let original = cache.component_of_leaf(leaf);
@@ -83,6 +104,7 @@ impl GroupMigration {
                         continue;
                     }
                     let cost = cache.move_leaf(leaf, c);
+                    sweep_evals += 1;
                     if cost < best.map_or(current, |(_, c)| c) {
                         best = Some((Move::Behavior(leaf, c), cost));
                     }
@@ -96,12 +118,14 @@ impl GroupMigration {
                         continue;
                     }
                     let cost = cache.move_var(v, c);
+                    sweep_evals += 1;
                     if cost < best.map_or(current, |(_, c)| c) {
                         best = Some((Move::Var(v, c), cost));
                     }
                 }
                 cache.move_var(v, original);
             }
+            evals.add(sweep_evals);
             match best {
                 Some((mv, cost)) if cost < current => {
                     match mv {
@@ -112,6 +136,7 @@ impl GroupMigration {
                             cache.move_var(v, c);
                         }
                     }
+                    applied.inc();
                     current = cost;
                 }
                 _ => break,
@@ -135,8 +160,21 @@ impl Partitioner for GroupMigration {
         allocation: &Allocation,
         config: &CostConfig,
     ) -> Partition {
-        let mut part = GreedyPartitioner::new().partition(spec, graph, allocation, config);
-        self.improve(spec, graph, allocation, &mut part, config);
+        let mut table = LifetimeTable::new(config.lifetime);
+        self.partition_with_table(spec, graph, allocation, config, &mut table)
+    }
+
+    fn partition_with_table(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        config: &CostConfig,
+        table: &mut LifetimeTable,
+    ) -> Partition {
+        let mut part =
+            GreedyPartitioner::new().partition_with_table(spec, graph, allocation, config, table);
+        self.improve_with_table(spec, graph, allocation, &mut part, config, table);
         part
     }
 

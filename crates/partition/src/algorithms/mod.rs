@@ -24,6 +24,7 @@ pub mod greedy;
 pub mod migration;
 pub mod random;
 
+use modref_estimate::LifetimeTable;
 use modref_graph::AccessGraph;
 use modref_spec::Spec;
 
@@ -42,6 +43,23 @@ pub trait Partitioner {
         allocation: &Allocation,
         config: &CostConfig,
     ) -> Partition;
+
+    /// Like [`Partitioner::partition`], but reusing a caller-owned
+    /// memoized [`LifetimeTable`] for every lifetime estimate, so
+    /// repeated runs (the multi-start explorer) never re-walk a
+    /// statement tree whose lifetime is already known. The default
+    /// ignores the table; every iterative partitioner overrides it.
+    fn partition_with_table(
+        &self,
+        spec: &Spec,
+        graph: &AccessGraph,
+        allocation: &Allocation,
+        config: &CostConfig,
+        table: &mut LifetimeTable,
+    ) -> Partition {
+        let _ = table;
+        self.partition(spec, graph, allocation, config)
+    }
 
     /// A short name for reports.
     fn name(&self) -> &'static str;

@@ -42,6 +42,20 @@ use crate::assignment::Partition;
 use crate::component::{Allocation, ComponentId, ComponentKind};
 use crate::cost::{behavior_code_bytes, behavior_gates, CostConfig, CostReport};
 
+/// The `cache.builds` / `cache.move_evals` counter handles, interned
+/// once — `move_leaf`/`move_var` are the explorer's innermost loop, so
+/// the handle lookup must not take the registry lock per call.
+fn cache_counters() -> (modref_obs::Counter, modref_obs::Counter) {
+    static CELLS: std::sync::OnceLock<(modref_obs::Counter, modref_obs::Counter)> =
+        std::sync::OnceLock::new();
+    *CELLS.get_or_init(|| {
+        (
+            modref_obs::counter("cache.builds"),
+            modref_obs::counter("cache.move_evals"),
+        )
+    })
+}
+
 /// One data channel as the cache sees it: a resolved behavior endpoint, a
 /// variable index, and the bits it moves per activation.
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +169,7 @@ impl CostCache {
         config: &CostConfig,
         table: &mut LifetimeTable,
     ) -> Self {
+        cache_counters().0.inc();
         assert!(
             partition.is_complete(spec, allocation),
             "CostCache requires a complete partition"
@@ -349,6 +364,7 @@ impl CostCache {
     ///
     /// Panics if `behavior` is not a leaf of the spec.
     pub fn move_leaf(&mut self, behavior: BehaviorId, to: ComponentId) -> f64 {
+        cache_counters().1.inc();
         let li = self.leaf_index[&behavior];
         let from = self.leaf_comp[li];
         if from == to {
@@ -375,6 +391,7 @@ impl CostCache {
     ///
     /// Panics if `var` is not a variable of the spec.
     pub fn move_var(&mut self, var: VarId, to: ComponentId) -> f64 {
+        cache_counters().1.inc();
         let vi = self.var_index[&var];
         if self.var_comp[vi] == to {
             return self.report.total;

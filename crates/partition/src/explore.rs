@@ -19,6 +19,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use modref_estimate::{LifetimeTable, TimingModel};
 use modref_graph::AccessGraph;
 use modref_spec::Spec;
 
@@ -153,6 +154,36 @@ enum Job {
     MigrateFromGreedy { passes: u32 },
 }
 
+/// The `(algorithm, seed)` a job reports under.
+fn job_meta(job: &Job) -> (&'static str, u64) {
+    match job {
+        Job::Anneal { seed, .. } => ("annealing", *seed),
+        Job::MigrateFromRandom { seed, .. } => ("migration", *seed),
+        Job::Greedy => ("greedy", 0),
+        Job::Clustering => ("clustering", 0),
+        Job::MigrateFromGreedy { .. } => ("greedy+migration", 0),
+    }
+}
+
+/// Builds a [`LifetimeTable`] pre-warmed with every leaf lifetime the
+/// jobs will ask for (all component timing models plus the unit model
+/// clustering balances with). Each job clones this table, so within a
+/// job every lifetime lookup is a cache hit, and the per-job state is
+/// identical regardless of thread count or scheduling.
+fn warm_lifetimes(spec: &Spec, allocation: &Allocation, config: &CostConfig) -> LifetimeTable {
+    let _span = modref_obs::span("explore.warm_lifetimes");
+    let mut table = LifetimeTable::new(config.lifetime);
+    let models: Vec<TimingModel> = allocation.iter().map(|(_, c)| c.timing_model()).collect();
+    let unit = TimingModel::unit();
+    for leaf in spec.leaves() {
+        for m in &models {
+            table.get(spec, leaf, m);
+        }
+        table.get(spec, leaf, &unit);
+    }
+    table
+}
+
 /// Runs the multi-start exploration and returns candidates ranked by
 /// `(cost, algorithm, seed)` — deterministic for fixed seeds regardless
 /// of thread count.
@@ -181,10 +212,27 @@ pub fn explore(
     });
 
     let threads = thread_count(expl.threads);
+    let span = modref_obs::span("explore")
+        .attr("seeds", expl.seeds)
+        .attr("jobs", jobs.len())
+        .attr("threads", threads);
+    let span_id = span.id();
+    modref_obs::gauge("explore.threads").set(threads as f64);
+    let job_ns = modref_obs::histogram("explore.job_ns");
+
+    let warm = warm_lifetimes(spec, allocation, config);
     let mut candidates = par_map(jobs, threads, |_, job| {
-        run_job(spec, graph, allocation, config, job)
+        let (algorithm, seed) = job_meta(&job);
+        let job_span = modref_obs::span_under(span_id, "explore.job")
+            .attr("algorithm", algorithm)
+            .attr("seed", seed);
+        let mut table = warm.clone();
+        let candidate = run_job(spec, graph, allocation, config, job, &mut table);
+        job_ns.record(job_span.elapsed_ns());
+        candidate
     });
     rank(&mut candidates);
+    modref_obs::gauge("explore.candidates").set(candidates.len() as f64);
     candidates
 }
 
@@ -194,33 +242,28 @@ fn run_job(
     allocation: &Allocation,
     config: &CostConfig,
     job: Job,
+    table: &mut LifetimeTable,
 ) -> Candidate {
-    let (algorithm, seed, partition) = match job {
-        Job::Anneal { seed, iterations } => {
-            let p = SimulatedAnnealing::new(seed, iterations)
-                .partition(spec, graph, allocation, config);
-            ("annealing", seed, p)
-        }
-        Job::MigrateFromRandom { seed, passes } => {
-            let mut p = RandomPartitioner::new(seed).partition(spec, graph, allocation, config);
-            GroupMigration::new(passes).improve(spec, graph, allocation, &mut p, config);
-            ("migration", seed, p)
-        }
-        Job::Greedy => {
-            let p = GreedyPartitioner::new().partition(spec, graph, allocation, config);
-            ("greedy", 0, p)
-        }
-        Job::Clustering => {
-            let p = HierarchicalClustering::new().partition(spec, graph, allocation, config);
-            ("clustering", 0, p)
-        }
-        Job::MigrateFromGreedy { passes } => {
-            let p = GroupMigration::new(passes).partition(spec, graph, allocation, config);
-            ("greedy+migration", 0, p)
-        }
-    };
+    let (algorithm, seed) = job_meta(&job);
+    let partition =
+        match job {
+            Job::Anneal { seed, iterations } => SimulatedAnnealing::new(seed, iterations)
+                .partition_with_table(spec, graph, allocation, config, table),
+            Job::MigrateFromRandom { seed, passes } => {
+                let mut p = RandomPartitioner::new(seed).partition(spec, graph, allocation, config);
+                GroupMigration::new(passes)
+                    .improve_with_table(spec, graph, allocation, &mut p, config, table);
+                p
+            }
+            Job::Greedy => GreedyPartitioner::new()
+                .partition_with_table(spec, graph, allocation, config, table),
+            Job::Clustering => HierarchicalClustering::new()
+                .partition_with_table(spec, graph, allocation, config, table),
+            Job::MigrateFromGreedy { passes } => GroupMigration::new(passes)
+                .partition_with_table(spec, graph, allocation, config, table),
+        };
     // One cache build doubles as the final (exact) cost evaluation.
-    let cost = CostCache::new(spec, graph, allocation, &partition, config).report();
+    let cost = CostCache::with_table(spec, graph, allocation, &partition, config, table).report();
     debug_assert_eq!(
         cost,
         partition_cost(spec, graph, allocation, &partition, config)

@@ -28,6 +28,35 @@ pub struct SchedStats {
     pub timer_pops: u64,
 }
 
+/// Meter slot names — doubling as the global `sim.*` counter names the
+/// kernels publish into on completion. Slot order matches the
+/// `SLOT_*` indices below.
+pub(crate) const METER_NAMES: &[&str] = &[
+    "sim.rounds",
+    "sim.cond_evals",
+    "sim.wakeups",
+    "sim.timer_pops",
+];
+pub(crate) const SLOT_ROUNDS: usize = 0;
+pub(crate) const SLOT_COND_EVALS: usize = 1;
+pub(crate) const SLOT_WAKEUPS: usize = 2;
+pub(crate) const SLOT_TIMER_POPS: usize = 3;
+
+impl SchedStats {
+    /// Builds the per-run stats from the kernel's meter — the *single*
+    /// counting site: the same slots are published into the global
+    /// `sim.*` counters, so `--stats` output and a trace can never
+    /// disagree.
+    pub(crate) fn from_meter(meter: &modref_obs::Meter) -> Self {
+        Self {
+            rounds: meter.get(SLOT_ROUNDS),
+            cond_evals: meter.get(SLOT_COND_EVALS),
+            wakeups: meter.get(SLOT_WAKEUPS),
+            timer_pops: meter.get(SLOT_TIMER_POPS),
+        }
+    }
+}
+
 /// The observable outcome of a simulation run.
 ///
 /// Equality compares only the *observable* fields — final time, steps,
@@ -74,8 +103,10 @@ impl SimResult {
         time: u64,
         steps: u64,
         completed: bool,
-        sched: SchedStats,
+        meter: &modref_obs::Meter,
     ) -> Self {
+        meter.publish();
+        let sched = SchedStats::from_meter(meter);
         let vars = spec
             .variables()
             .map(|(id, v)| (v.name().to_string(), state.vars[id.index()].clone()))

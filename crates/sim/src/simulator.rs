@@ -34,7 +34,9 @@ use modref_spec::Spec;
 
 use crate::error::SimError;
 use crate::process::{Process, SharedState, Status, StepEvent};
-use crate::result::{SchedStats, SimResult};
+use crate::result::{
+    SimResult, METER_NAMES, SLOT_COND_EVALS, SLOT_ROUNDS, SLOT_TIMER_POPS, SLOT_WAKEUPS,
+};
 use crate::sensitivity::SensitivityMap;
 use crate::value::truthy;
 
@@ -154,10 +156,18 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::Deadlock`] when all live processes block forever,
     /// * evaluation errors (out-of-bounds indices, unbound parameters).
     pub fn run(&self) -> Result<SimResult, SimError> {
-        match self.config.kernel {
-            SimKernel::EventDriven => self.run_event_driven(),
-            SimKernel::RoundRobin => self.run_round_robin(),
-        }
+        let (kernel, name) = match self.config.kernel {
+            SimKernel::EventDriven => (
+                Self::run_event_driven as fn(&Self) -> Result<SimResult, SimError>,
+                "event-driven",
+            ),
+            SimKernel::RoundRobin => (
+                Self::run_round_robin as fn(&Self) -> Result<SimResult, SimError>,
+                "round-robin",
+            ),
+        };
+        let _span = modref_obs::span("sim.run").attr("kernel", name);
+        kernel(self)
     }
 
     /// The event-driven kernel.
@@ -169,7 +179,7 @@ impl<'a> Simulator<'a> {
         let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
         let mut now: u64 = 0;
         let mut steps: u64 = 0;
-        let mut stats = SchedStats::default();
+        let mut meter = modref_obs::Meter::new(METER_NAMES);
 
         // Scheduler bookkeeping, indexed by process id.
         let mut parent: Vec<Option<usize>> = vec![None];
@@ -190,7 +200,7 @@ impl<'a> Simulator<'a> {
         let mut dirty_s: Vec<usize> = Vec::new();
 
         loop {
-            stats.rounds += 1;
+            meter.inc(SLOT_ROUNDS);
 
             // Phase 1: step each ready process until it blocks/completes,
             // in ascending pid order (children spawn with larger pids, so
@@ -293,13 +303,13 @@ impl<'a> Simulator<'a> {
                 let p = &processes[pid];
                 let wake = match &p.status {
                     Status::WaitUntil(cond) => {
-                        stats.cond_evals += 1;
+                        meter.inc(SLOT_COND_EVALS);
                         truthy(p.eval(spec, &state, cond)?)
                     }
                     _ => false,
                 };
                 if wake {
-                    stats.wakeups += 1;
+                    meter.inc(SLOT_WAKEUPS);
                     // Bump the epoch so remaining waiter entries go stale.
                     epoch[pid] += 1;
                     processes[pid].status = Status::Ready;
@@ -329,7 +339,7 @@ impl<'a> Simulator<'a> {
 
             // Termination: root process finished.
             if matches!(processes[0].status, Status::Done) {
-                return Ok(SimResult::collect(spec, &state, now, steps, true, stats));
+                return Ok(SimResult::collect(spec, &state, now, steps, true, &meter));
             }
 
             if !woken.is_empty() {
@@ -349,7 +359,7 @@ impl<'a> Simulator<'a> {
                             break Some(t);
                         }
                         timers.pop();
-                        stats.timer_pops += 1;
+                        meter.inc(SLOT_TIMER_POPS);
                     }
                     None => break None,
                 }
@@ -362,7 +372,7 @@ impl<'a> Simulator<'a> {
                             break;
                         }
                         timers.pop();
-                        stats.timer_pops += 1;
+                        meter.inc(SLOT_TIMER_POPS);
                         if matches!(processes[pid].status, Status::WaitTime(w) if w == t2) {
                             processes[pid].status = Status::Ready;
                             ready.push(pid);
@@ -390,10 +400,10 @@ impl<'a> Simulator<'a> {
         let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
         let mut now: u64 = 0;
         let mut steps: u64 = 0;
-        let mut stats = SchedStats::default();
+        let mut meter = modref_obs::Meter::new(METER_NAMES);
 
         loop {
-            stats.rounds += 1;
+            meter.inc(SLOT_ROUNDS);
             // Phase 1: step every Ready process until it blocks/completes.
             let mut pid = 0;
             while pid < processes.len() {
@@ -438,10 +448,10 @@ impl<'a> Simulator<'a> {
             for p in processes.iter_mut() {
                 let wake = match &p.status {
                     Status::WaitUntil(cond) => {
-                        stats.cond_evals += 1;
+                        meter.inc(SLOT_COND_EVALS);
                         let woke = truthy(p.eval(spec, &state, cond)?);
                         if woke {
-                            stats.wakeups += 1;
+                            meter.inc(SLOT_WAKEUPS);
                         }
                         woke
                     }
@@ -471,7 +481,7 @@ impl<'a> Simulator<'a> {
 
             // Termination: root process finished.
             if matches!(processes[0].status, Status::Done) {
-                return Ok(SimResult::collect(spec, &state, now, steps, true, stats));
+                return Ok(SimResult::collect(spec, &state, now, steps, true, &meter));
             }
 
             if any_ready {
@@ -479,7 +489,7 @@ impl<'a> Simulator<'a> {
             }
 
             // Phase 3: advance time to the earliest sleeper.
-            stats.timer_pops += 1;
+            meter.inc(SLOT_TIMER_POPS);
             let next_wake = processes
                 .iter()
                 .filter_map(|p| match p.status {

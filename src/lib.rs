@@ -2,6 +2,7 @@
 pub use modref_core as core;
 pub use modref_estimate as estimate;
 pub use modref_graph as graph;
+pub use modref_obs as obs;
 pub use modref_partition as partition;
 pub use modref_sim as sim;
 pub use modref_spec as spec;
