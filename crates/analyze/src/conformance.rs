@@ -1,0 +1,282 @@
+//! Refinement-conformance lints (`RC01`–`RC04`), run against the *output*
+//! of refinement under each implementation model.
+//!
+//! The lints operate on neutral view structs rather than the refiner's
+//! own types, so this crate stays independent of `modref-core`: the core
+//! crate builds a [`RefinedView`] from its `Refined` result and hands it
+//! here. A candidate that trips any of these lints is structurally broken
+//! — simulating it would waste time or deadlock — so the explorer rejects
+//! it before simulation.
+
+use crate::diag::{Diagnostic, Severity};
+
+/// A bus of the refined architecture, as seen by the conformance lints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusView {
+    /// Bus name (`b1`, `b2`, ...).
+    pub name: String,
+    /// Data-line width in bits.
+    pub data_bits: u32,
+    /// Address-line width in bits.
+    pub addr_bits: u32,
+    /// Master behaviors driving transactions.
+    pub masters: Vec<String>,
+    /// Slave behaviors serving requests.
+    pub slaves: Vec<String>,
+    /// Whether an arbiter guards the bus.
+    pub has_arbiter: bool,
+    /// The widest single access any channel routed over this bus
+    /// performs; must not exceed `data_bits`.
+    pub required_data_bits: u32,
+}
+
+/// A memory module of the refined architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryView {
+    /// Module name (`Gmem_p0`, `Lmem_PROC`, ...).
+    pub name: String,
+    /// Whether the module holds globals.
+    pub global: bool,
+    /// Inclusive word-address range `[lo, hi]` the module decodes, when
+    /// it stores any variables.
+    pub range: Option<(u64, u64)>,
+    /// The buses its ports serve.
+    pub port_buses: Vec<String>,
+}
+
+/// Everything the conformance lints need to know about one refined
+/// candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinedView {
+    /// Implementation model number (1–4).
+    pub model: u8,
+    /// All buses.
+    pub buses: Vec<BusView>,
+    /// All memory modules.
+    pub memories: Vec<MemoryView>,
+}
+
+/// Runs `RC01`–`RC04` over a refined candidate.
+pub fn conformance_lints(view: &RefinedView) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let model = view.model;
+    for bus in &view.buses {
+        // RC01: several masters race for the bus with nothing to
+        // serialize their transactions.
+        if bus.masters.len() > 1 && !bus.has_arbiter {
+            out.push(
+                Diagnostic::new(
+                    "RC01",
+                    Severity::Error,
+                    format!(
+                        "Model{model}: bus `{}` has {} masters ({}) but no arbiter",
+                        bus.name,
+                        bus.masters.len(),
+                        bus.masters.join(", ")
+                    ),
+                )
+                .with_object(bus.name.clone())
+                .with_fix("insert a bus arbiter (the paper's Figure 7)".to_string()),
+            );
+        }
+        // RC03: a one-sided bus deadlocks (masters wait for an ack that
+        // never comes) or is dead weight (slaves nobody addresses).
+        if !bus.masters.is_empty() && bus.slaves.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    "RC03",
+                    Severity::Error,
+                    format!(
+                        "Model{model}: bus `{}` has masters ({}) but no slave to acknowledge them — every transaction deadlocks",
+                        bus.name,
+                        bus.masters.join(", ")
+                    ),
+                )
+                .with_object(bus.name.clone())
+                .with_fix("attach the memory port or bus interface that serves this bus".to_string()),
+            );
+        } else if bus.masters.is_empty() && !bus.slaves.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    "RC03",
+                    Severity::Error,
+                    format!(
+                        "Model{model}: bus `{}` has slaves ({}) but no master ever drives it",
+                        bus.name,
+                        bus.slaves.join(", ")
+                    ),
+                )
+                .with_object(bus.name.clone())
+                .with_fix("remove the bus or route a channel over it".to_string()),
+            );
+        }
+        // RC04 (data width): a channel moves wider words than the bus
+        // carries per transfer.
+        if bus.required_data_bits > bus.data_bits {
+            out.push(
+                Diagnostic::new(
+                    "RC04",
+                    Severity::Error,
+                    format!(
+                        "Model{model}: bus `{}` is {} bits wide but a channel routed over it needs {}-bit accesses",
+                        bus.name, bus.data_bits, bus.required_data_bits
+                    ),
+                )
+                .with_object(bus.name.clone())
+                .with_fix(format!("widen the bus to {} data bits", bus.required_data_bits)),
+            );
+        }
+        // RC04 (address width): a slave's decode range does not fit on the
+        // address lines.
+        let capacity = 1u64.checked_shl(bus.addr_bits).unwrap_or(u64::MAX);
+        for m in &view.memories {
+            if !m.port_buses.iter().any(|b| b == &bus.name) {
+                continue;
+            }
+            if let Some((_, hi)) = m.range {
+                if hi >= capacity {
+                    out.push(
+                        Diagnostic::new(
+                            "RC04",
+                            Severity::Error,
+                            format!(
+                                "Model{model}: memory `{}` decodes addresses up to {hi} but bus `{}` has only {} address bits ({} words)",
+                                m.name, bus.name, bus.addr_bits, capacity
+                            ),
+                        )
+                        .with_object(m.name.clone())
+                        .with_fix(format!(
+                            "widen `{}` to at least {} address bits",
+                            bus.name,
+                            64 - hi.leading_zeros()
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    // RC02: the address map must give every memory a disjoint slice —
+    // overlapping ranges make slave decode ambiguous.
+    for (i, a) in view.memories.iter().enumerate() {
+        for b in &view.memories[i + 1..] {
+            let (Some((alo, ahi)), Some((blo, bhi))) = (a.range, b.range) else {
+                continue;
+            };
+            if alo <= bhi && blo <= ahi {
+                out.push(
+                    Diagnostic::new(
+                        "RC02",
+                        Severity::Error,
+                        format!(
+                            "Model{model}: memories `{}` [{alo}, {ahi}] and `{}` [{blo}, {bhi}] decode overlapping address ranges",
+                            a.name, b.name
+                        ),
+                    )
+                    .with_object(a.name.clone())
+                    .with_fix("assign disjoint address ranges in the address map".to_string()),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus(name: &str, masters: &[&str], slaves: &[&str], has_arbiter: bool) -> BusView {
+        BusView {
+            name: name.into(),
+            data_bits: 16,
+            addr_bits: 8,
+            masters: masters.iter().map(|s| s.to_string()).collect(),
+            slaves: slaves.iter().map(|s| s.to_string()).collect(),
+            has_arbiter,
+            required_data_bits: 16,
+        }
+    }
+
+    fn mem(name: &str, range: Option<(u64, u64)>, buses: &[&str]) -> MemoryView {
+        MemoryView {
+            name: name.into(),
+            global: true,
+            range,
+            port_buses: buses.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn codes(view: &RefinedView) -> Vec<&'static str> {
+        conformance_lints(view)
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_view_passes() {
+        let view = RefinedView {
+            model: 1,
+            buses: vec![bus("b1", &["A", "B"], &["Gmem"], true)],
+            memories: vec![mem("Gmem", Some((0, 9)), &["b1"])],
+        };
+        assert!(codes(&view).is_empty());
+    }
+
+    #[test]
+    fn multi_master_without_arbiter_is_rc01() {
+        let view = RefinedView {
+            model: 2,
+            buses: vec![bus("b1", &["A", "B"], &["Gmem"], false)],
+            memories: vec![mem("Gmem", Some((0, 9)), &["b1"])],
+        };
+        assert_eq!(codes(&view), vec!["RC01"]);
+    }
+
+    #[test]
+    fn overlapping_ranges_are_rc02() {
+        let view = RefinedView {
+            model: 3,
+            buses: vec![
+                bus("b1", &["A"], &["M1"], false),
+                bus("b2", &["B"], &["M2"], false),
+            ],
+            memories: vec![
+                mem("M1", Some((0, 9)), &["b1"]),
+                mem("M2", Some((5, 12)), &["b2"]),
+            ],
+        };
+        assert_eq!(codes(&view), vec!["RC02"]);
+    }
+
+    #[test]
+    fn one_sided_buses_are_rc03() {
+        let view = RefinedView {
+            model: 4,
+            buses: vec![
+                bus("b1", &["A"], &[], false),
+                bus("b2", &[], &["IF"], false),
+            ],
+            memories: vec![],
+        };
+        assert_eq!(codes(&view), vec!["RC03", "RC03"]);
+    }
+
+    #[test]
+    fn width_mismatches_are_rc04() {
+        let mut narrow = bus("b1", &["A"], &["Gmem"], false);
+        narrow.required_data_bits = 32;
+        let mut short_addr = bus("b2", &["B"], &["M2"], false);
+        short_addr.addr_bits = 2;
+        let view = RefinedView {
+            model: 1,
+            buses: vec![narrow, short_addr],
+            memories: vec![
+                mem("Gmem", Some((0, 3)), &["b1"]),
+                mem("M2", Some((4, 9)), &["b2"]),
+            ],
+        };
+        assert_eq!(codes(&view), vec!["RC04", "RC04"]);
+    }
+}

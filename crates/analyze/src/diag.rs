@@ -1,0 +1,280 @@
+//! The diagnostic type and its human/JSON renderers.
+//!
+//! A [`Diagnostic`] is one finding of one lint: a stable code, a
+//! severity, a message, and optionally a source [`Span`], the name of the
+//! object it concerns, and a suggested fix. Renderers follow the
+//! `modref-obs` JSONL conventions — one `{"k": "diag", ...}` object per
+//! line plus a trailing `{"k": "lint_summary", ...}` — so `modref report`
+//! tooling and the CI JSON-parse check can consume lint output with the
+//! same strict parser used for traces.
+
+use std::fmt;
+
+use modref_obs::json;
+use modref_spec::Span;
+
+/// How serious a diagnostic is. Ordering is `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, not necessarily wrong (e.g. a shared
+    /// variable the refinement will have to serialize).
+    Note,
+    /// Likely defect that does not invalidate the model.
+    Warning,
+    /// Definite defect; `modref lint` exits nonzero.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both renderers ("note", "warning", "error").
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding of one lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code, e.g. `"DF01"`.
+    pub code: &'static str,
+    /// Effective severity (after any `--deny` promotion).
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Source position, when the spec came from text.
+    pub span: Option<Span>,
+    /// Name of the object the finding concerns (variable, behavior, bus...).
+    pub object: Option<String>,
+    /// A suggested fix, when one is mechanical enough to state.
+    pub fix: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no span, object or fix.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+            object: None,
+            fix: None,
+        }
+    }
+
+    /// Attaches a source position.
+    #[must_use]
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Names the object the finding concerns.
+    #[must_use]
+    pub fn with_object(mut self, object: impl Into<String>) -> Self {
+        self.object = Some(object.into());
+        self
+    }
+
+    /// Attaches a suggested fix.
+    #[must_use]
+    pub fn with_fix(mut self, fix: impl Into<String>) -> Self {
+        self.fix = Some(fix.into());
+        self
+    }
+
+    /// Renders `file:line:col: severity[CODE] message` (position omitted
+    /// when unknown, `file` omitted when empty).
+    pub fn render_human(&self, file: &str) -> String {
+        let mut out = String::new();
+        if let Some(span) = self.span {
+            if file.is_empty() {
+                out.push_str(&format!("{span}: "));
+            } else {
+                out.push_str(&format!("{file}:{span}: "));
+            }
+        } else if !file.is_empty() {
+            out.push_str(&format!("{file}: "));
+        }
+        out.push_str(&format!(
+            "{}[{}] {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        ));
+        if let Some(fix) = &self.fix {
+            out.push_str(&format!("\n  fix: {fix}"));
+        }
+        out
+    }
+
+    /// Renders the diagnostic as one JSONL object (no trailing newline).
+    /// Absent fields (span/object/fix) are omitted, not nulled.
+    pub fn render_json(&self, file: &str) -> String {
+        let mut out = String::from("{\"k\": \"diag\", \"code\": ");
+        json::write_str(&mut out, self.code);
+        out.push_str(", \"severity\": ");
+        json::write_str(&mut out, self.severity.label());
+        if !file.is_empty() {
+            out.push_str(", \"file\": ");
+            json::write_str(&mut out, file);
+        }
+        if let Some(span) = self.span {
+            out.push_str(", \"line\": ");
+            json::write_u64(&mut out, u64::from(span.line));
+            out.push_str(", \"col\": ");
+            json::write_u64(&mut out, u64::from(span.col));
+        }
+        if let Some(object) = &self.object {
+            out.push_str(", \"object\": ");
+            json::write_str(&mut out, object);
+        }
+        out.push_str(", \"message\": ");
+        json::write_str(&mut out, &self.message);
+        if let Some(fix) = &self.fix {
+            out.push_str(", \"fix\": ");
+            json::write_str(&mut out, fix);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Counts of diagnostics per severity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Number of error diagnostics.
+    pub errors: usize,
+    /// Number of warning diagnostics.
+    pub warnings: usize,
+    /// Number of note diagnostics.
+    pub notes: usize,
+}
+
+impl Totals {
+    /// Tallies a batch of diagnostics.
+    pub fn of(diags: &[Diagnostic]) -> Self {
+        let mut t = Totals::default();
+        for d in diags {
+            match d.severity {
+                Severity::Error => t.errors += 1,
+                Severity::Warning => t.warnings += 1,
+                Severity::Note => t.notes += 1,
+            }
+        }
+        t
+    }
+
+    /// Total diagnostic count.
+    pub fn total(&self) -> usize {
+        self.errors + self.warnings + self.notes
+    }
+}
+
+/// Renders a batch of diagnostics as JSONL: one `diag` object per line
+/// and a final `lint_summary` line with per-severity totals.
+pub fn render_json_lines(diags: &[Diagnostic], file: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render_json(file));
+        out.push('\n');
+    }
+    let t = Totals::of(diags);
+    out.push_str("{\"k\": \"lint_summary\", \"errors\": ");
+    json::write_u64(&mut out, t.errors as u64);
+    out.push_str(", \"warnings\": ");
+    json::write_u64(&mut out, t.warnings as u64);
+    out.push_str(", \"notes\": ");
+    json::write_u64(&mut out, t.notes as u64);
+    out.push_str(", \"total\": ");
+    json::write_u64(&mut out, t.total() as u64);
+    out.push_str("}\n");
+    out
+}
+
+/// Sorts diagnostics into the canonical report order: by position
+/// (unknown positions last), then code, then message.
+pub fn sort_canonical(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let ka = a.span.map_or((u32::MAX, u32::MAX), |s| (s.line, s.col));
+        let kb = b.span.map_or((u32::MAX, u32::MAX), |s| (s.line, s.col));
+        ka.cmp(&kb)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_note_warning_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn human_rendering_includes_position_and_code() {
+        let d = Diagnostic::new("DF01", Severity::Warning, "use before def of `x`")
+            .with_span(Some(Span::new(3, 7)))
+            .with_fix("initialize `x` before the loop");
+        let s = d.render_human("a.spec");
+        assert!(s.starts_with("a.spec:3:7: warning[DF01]"), "{s}");
+        assert!(s.contains("fix: initialize"), "{s}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_omits_absent_fields() {
+        let d = Diagnostic::new("CC01", Severity::Note, "race on `v\"q`");
+        let s = d.render_json("");
+        assert!(s.contains("\"k\": \"diag\""), "{s}");
+        assert!(s.contains("v\\\"q"), "{s}");
+        assert!(!s.contains("line"), "{s}");
+        assert!(!s.contains("fix"), "{s}");
+        // Strict round-trip through the obs parser.
+        let v = json::parse(&s).expect("valid json");
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["severity"].as_str(), Some("note"));
+    }
+
+    #[test]
+    fn jsonl_batch_ends_with_summary() {
+        let diags = vec![
+            Diagnostic::new("DF02", Severity::Warning, "dead store"),
+            Diagnostic::new("RC01", Severity::Error, "no arbiter"),
+        ];
+        let text = render_json_lines(&diags, "m.spec");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            json::parse(line).expect("each line parses");
+        }
+        assert!(lines[2].contains("\"lint_summary\""), "{}", lines[2]);
+        assert!(lines[2].contains("\"errors\": 1"), "{}", lines[2]);
+        assert!(lines[2].contains("\"total\": 2"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn canonical_sort_puts_unknown_positions_last() {
+        let mut diags = vec![
+            Diagnostic::new("ZZ", Severity::Note, "nowhere"),
+            Diagnostic::new("AA", Severity::Note, "line9").with_span(Some(Span::new(9, 1))),
+            Diagnostic::new("AA", Severity::Note, "line2").with_span(Some(Span::new(2, 5))),
+        ];
+        sort_canonical(&mut diags);
+        assert_eq!(diags[0].message, "line2");
+        assert_eq!(diags[1].message, "line9");
+        assert_eq!(diags[2].message, "nowhere");
+    }
+}

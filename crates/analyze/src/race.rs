@@ -1,0 +1,163 @@
+//! Concurrency race lint (`CC01`): shared variables with concurrent
+//! accessors where at least one writes.
+//!
+//! In the functional model of the paper, such accesses are *expected* —
+//! they are exactly the channels refinement must map onto arbitrated
+//! memories and buses. The lint therefore reports a [`Severity::Note`],
+//! surfacing the refinement obligation rather than condemning the spec.
+
+use std::collections::HashMap;
+
+use modref_graph::AccessGraph;
+use modref_spec::{BehaviorId, BehaviorKind, SourceMap, Spec};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Walks the spec's concurrent composites and the access graph, emitting
+/// one `CC01` note per shared variable with a concurrent writer.
+pub fn race_lints(spec: &Spec, graph: &AccessGraph, map: &SourceMap) -> Vec<Diagnostic> {
+    let parents = spec.parent_map();
+    let mut out = Vec::new();
+    for (vid, v) in spec.variables() {
+        let accessors = graph.behaviors_accessing(vid);
+        if accessors.len() < 2 {
+            continue;
+        }
+        let writers = graph.writers_of(vid);
+        if writers.is_empty() {
+            continue;
+        }
+        if let Some((a, b)) = first_concurrent_pair(spec, &parents, &accessors, &writers) {
+            out.push(
+                Diagnostic::new(
+                    "CC01",
+                    Severity::Note,
+                    format!(
+                        "shared variable `{}` is written by `{}` and accessed by `{}`, which run concurrently; refinement must serialize these accesses",
+                        v.name(),
+                        spec.behavior(a).name(),
+                        spec.behavior(b).name()
+                    ),
+                )
+                .with_span(map.variable_span(vid))
+                .with_object(v.name().to_string())
+                .with_fix(
+                    "map the variable to an arbitrated global memory (Models 1-4) during refinement"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// The first `(writer, other)` pair of accessors that can run at the same
+/// time, in the deterministic order of the sorted accessor lists.
+fn first_concurrent_pair(
+    spec: &Spec,
+    parents: &HashMap<BehaviorId, BehaviorId>,
+    accessors: &[BehaviorId],
+    writers: &[BehaviorId],
+) -> Option<(BehaviorId, BehaviorId)> {
+    for &w in writers {
+        for &other in accessors {
+            if other != w && concurrent(spec, parents, w, other) {
+                return Some((w, other));
+            }
+        }
+    }
+    None
+}
+
+/// Two behaviors run concurrently iff their lowest common ancestor is a
+/// `conc` composite and neither is an ancestor of the other (an ancestor
+/// only touches the variable in guards, evaluated between child steps).
+fn concurrent(
+    spec: &Spec,
+    parents: &HashMap<BehaviorId, BehaviorId>,
+    a: BehaviorId,
+    b: BehaviorId,
+) -> bool {
+    let path_a = path_to_root(parents, a);
+    let mut cur = b;
+    loop {
+        if let Some(pos) = path_a.iter().position(|&x| x == cur) {
+            // `cur` is the LCA. Concurrent only if it is a conc composite
+            // strictly above both endpoints.
+            if cur == a || cur == b {
+                return false;
+            }
+            let _ = pos;
+            return matches!(spec.behavior(cur).kind(), BehaviorKind::Concurrent { .. });
+        }
+        match parents.get(&cur) {
+            Some(&p) => cur = p,
+            None => return false,
+        }
+    }
+}
+
+fn path_to_root(parents: &HashMap<BehaviorId, BehaviorId>, mut b: BehaviorId) -> Vec<BehaviorId> {
+    let mut path = vec![b];
+    while let Some(&p) = parents.get(&b) {
+        path.push(p);
+        b = p;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt, SourceMap};
+
+    #[test]
+    fn concurrent_writer_and_reader_are_flagged() {
+        let mut b = SpecBuilder::new("race");
+        let x = b.var_int("x", 16, 0);
+        let w = b.leaf("W", vec![stmt::assign(x, expr::lit(1))]);
+        let y = b.var_int("y", 16, 0);
+        let r = b.leaf("R", vec![stmt::assign(y, expr::var(x))]);
+        let top = b.concurrent("Top", vec![w, r]);
+        let spec = b.finish(top).expect("valid");
+        let graph = AccessGraph::derive(&spec);
+        let diags = race_lints(&spec, &graph, &SourceMap::default());
+        let cc: Vec<_> = diags.iter().filter(|d| d.code == "CC01").collect();
+        assert_eq!(cc.len(), 1, "{diags:?}");
+        assert_eq!(cc[0].object.as_deref(), Some("x"));
+        assert_eq!(cc[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn sequential_accessors_do_not_race() {
+        let mut b = SpecBuilder::new("seq");
+        let x = b.var_int("x", 16, 0);
+        let w = b.leaf("W", vec![stmt::assign(x, expr::lit(1))]);
+        let y = b.var_int("y", 16, 0);
+        let r = b.leaf("R", vec![stmt::assign(y, expr::var(x))]);
+        let top = b.seq_in_order("Top", vec![w, r]);
+        let spec = b.finish(top).expect("valid");
+        let graph = AccessGraph::derive(&spec);
+        let diags = race_lints(&spec, &graph, &SourceMap::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn concurrent_readers_without_writer_do_not_race() {
+        let mut b = SpecBuilder::new("readers");
+        let x = b.var_int("x", 16, 7);
+        let y = b.var_int("y", 16, 0);
+        let z = b.var_int("z", 16, 0);
+        let r1 = b.leaf("R1", vec![stmt::assign(y, expr::var(x))]);
+        let r2 = b.leaf("R2", vec![stmt::assign(z, expr::var(x))]);
+        let top = b.concurrent("Top", vec![r1, r2]);
+        let spec = b.finish(top).expect("valid");
+        let graph = AccessGraph::derive(&spec);
+        let diags = race_lints(&spec, &graph, &SourceMap::default());
+        assert!(
+            diags.iter().all(|d| d.object.as_deref() != Some("x")),
+            "{diags:?}"
+        );
+    }
+}

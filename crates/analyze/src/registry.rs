@@ -1,0 +1,256 @@
+//! The lint registry: every lint the engine can emit, with stable codes,
+//! default severities, and per-run enable/deny configuration.
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// A registered lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable code, e.g. `"DF01"`.
+    pub code: &'static str,
+    /// Short kebab-case name, e.g. `"use-before-def"`.
+    pub name: &'static str,
+    /// Severity the lint fires at unless denied.
+    pub default_severity: Severity,
+    /// One-line description (shown by docs and `modref lint` help).
+    pub description: &'static str,
+}
+
+/// Every lint the engine knows, in code order. Structural (`ST`),
+/// dataflow (`DF`), concurrency (`CC`) and refinement-conformance (`RC`)
+/// families.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        code: "ST01",
+        name: "duplicate-name",
+        default_severity: Severity::Error,
+        description: "two entities of the same kind share a name",
+    },
+    Lint {
+        code: "ST02",
+        name: "broken-hierarchy",
+        default_severity: Severity::Error,
+        description: "behavior hierarchy is not a tree rooted at top (shared child, cycle, top used as child, dangling id)",
+    },
+    Lint {
+        code: "ST03",
+        name: "foreign-transition",
+        default_severity: Severity::Error,
+        description: "transition endpoint is not a child of the composite declaring it",
+    },
+    Lint {
+        code: "ST04",
+        name: "call-arity",
+        default_severity: Severity::Error,
+        description: "call argument list does not match the subroutine signature",
+    },
+    Lint {
+        code: "ST05",
+        name: "indexing-mismatch",
+        default_severity: Severity::Error,
+        description: "array accessed without an index, or scalar with one",
+    },
+    Lint {
+        code: "ST06",
+        name: "unresolved-ref",
+        default_severity: Severity::Error,
+        description: "reference to a variable, signal or subroutine that does not exist",
+    },
+    Lint {
+        code: "DF01",
+        name: "use-before-def",
+        default_severity: Severity::Warning,
+        description: "behavior-local variable may be read before any assignment on some path",
+    },
+    Lint {
+        code: "DF02",
+        name: "dead-store",
+        default_severity: Severity::Warning,
+        description: "assignment to a private variable whose value is never read afterwards",
+    },
+    Lint {
+        code: "DF03",
+        name: "unused-variable",
+        default_severity: Severity::Warning,
+        description: "variable is never read or written anywhere in the spec",
+    },
+    Lint {
+        code: "DF04",
+        name: "unused-subroutine",
+        default_severity: Severity::Warning,
+        description: "subroutine is never called",
+    },
+    Lint {
+        code: "DF05",
+        name: "unreachable-behavior",
+        default_severity: Severity::Warning,
+        description: "behavior can never become active (not reachable from top, or no transition path reaches it)",
+    },
+    Lint {
+        code: "DF06",
+        name: "shadowed-transition",
+        default_severity: Severity::Warning,
+        description: "transition can never fire (shadowed by an earlier unconditional arc from the same source, or guard is constant false)",
+    },
+    Lint {
+        code: "CC01",
+        name: "shared-write-race",
+        default_severity: Severity::Note,
+        description: "shared variable with concurrent accessors of which at least one writes — an access the refinement must serialize",
+    },
+    Lint {
+        code: "RC01",
+        name: "arbiter-missing",
+        default_severity: Severity::Error,
+        description: "refined bus has multiple masters but no arbiter",
+    },
+    Lint {
+        code: "RC02",
+        name: "address-overlap",
+        default_severity: Severity::Error,
+        description: "two memory modules map overlapping address ranges",
+    },
+    Lint {
+        code: "RC03",
+        name: "unmatched-send-recv",
+        default_severity: Severity::Error,
+        description: "message-passing bus with senders but no receivers (or vice versa) — a deadlock candidate",
+    },
+    Lint {
+        code: "RC04",
+        name: "width-mismatch",
+        default_severity: Severity::Error,
+        description: "channel data wider than the bus carrying it, or address range exceeding the bus address width",
+    },
+];
+
+/// Looks up a lint by code (`"DF01"`) or by name (`"use-before-def"`).
+pub fn lint(code_or_name: &str) -> Option<&'static Lint> {
+    LINTS
+        .iter()
+        .find(|l| l.code == code_or_name || l.name == code_or_name)
+}
+
+/// Per-run lint configuration: which lints are allowed (dropped), denied
+/// (promoted to error), and whether all warnings are denied.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// When true, every `Warning` is promoted to `Error` (`--deny warnings`).
+    pub deny_warnings: bool,
+    /// Lint codes promoted to `Error` regardless of default severity.
+    pub denied: BTreeSet<&'static str>,
+    /// Lint codes suppressed entirely.
+    pub allowed: BTreeSet<&'static str>,
+}
+
+impl LintConfig {
+    /// Creates the default configuration (all lints at default severity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a `--deny` argument: a lint code/name, or the special
+    /// value `warnings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string when it names no known lint.
+    pub fn deny(&mut self, code_or_name: &str) -> Result<(), String> {
+        if code_or_name == "warnings" {
+            self.deny_warnings = true;
+            return Ok(());
+        }
+        match lint(code_or_name) {
+            Some(l) => {
+                self.denied.insert(l.code);
+                Ok(())
+            }
+            None => Err(format!("unknown lint `{code_or_name}`")),
+        }
+    }
+
+    /// Registers an `--allow` argument (suppresses the lint).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string when it names no known lint.
+    pub fn allow(&mut self, code_or_name: &str) -> Result<(), String> {
+        match lint(code_or_name) {
+            Some(l) => {
+                self.allowed.insert(l.code);
+                Ok(())
+            }
+            None => Err(format!("unknown lint `{code_or_name}`")),
+        }
+    }
+
+    /// Applies the configuration to one diagnostic: `None` when the lint
+    /// is allowed, otherwise the diagnostic with its effective severity.
+    pub fn apply(&self, mut d: Diagnostic) -> Option<Diagnostic> {
+        if self.allowed.contains(d.code) {
+            return None;
+        }
+        if self.denied.contains(d.code) || (self.deny_warnings && d.severity == Severity::Warning) {
+            d.severity = Severity::Error;
+        }
+        Some(d)
+    }
+
+    /// Applies the configuration to a batch, dropping allowed lints and
+    /// promoting denied ones.
+    pub fn apply_all(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags.into_iter().filter_map(|d| self.apply(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted_per_family() {
+        let mut seen = BTreeSet::new();
+        for l in LINTS {
+            assert!(seen.insert(l.code), "duplicate code {}", l.code);
+        }
+        assert!(LINTS.len() >= 6, "ISSUE requires >= 6 distinct lint codes");
+    }
+
+    #[test]
+    fn lookup_by_code_and_name() {
+        assert_eq!(lint("DF01").unwrap().name, "use-before-def");
+        assert_eq!(lint("use-before-def").unwrap().code, "DF01");
+        assert!(lint("nope").is_none());
+    }
+
+    #[test]
+    fn deny_warnings_promotes_only_warnings() {
+        let mut cfg = LintConfig::new();
+        cfg.deny("warnings").unwrap();
+        let w = Diagnostic::new("DF02", Severity::Warning, "w");
+        let n = Diagnostic::new("CC01", Severity::Note, "n");
+        assert_eq!(cfg.apply(w).unwrap().severity, Severity::Error);
+        assert_eq!(cfg.apply(n).unwrap().severity, Severity::Note);
+    }
+
+    #[test]
+    fn deny_specific_lint_promotes_notes_too() {
+        let mut cfg = LintConfig::new();
+        cfg.deny("shared-write-race").unwrap();
+        let n = Diagnostic::new("CC01", Severity::Note, "n");
+        assert_eq!(cfg.apply(n).unwrap().severity, Severity::Error);
+    }
+
+    #[test]
+    fn allow_suppresses_and_unknown_errors() {
+        let mut cfg = LintConfig::new();
+        cfg.allow("DF03").unwrap();
+        assert!(cfg
+            .apply(Diagnostic::new("DF03", Severity::Warning, "x"))
+            .is_none());
+        assert!(cfg.deny("bogus").is_err());
+        assert!(cfg.allow("bogus").is_err());
+    }
+}

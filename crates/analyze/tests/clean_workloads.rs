@@ -1,0 +1,54 @@
+//! The shipped workloads must lint clean: no errors, no warnings. (Notes
+//! are allowed — CC01 flags refinement obligations, not defects.) This is
+//! the same bar CI's lint-smoke job enforces with `--deny warnings`.
+
+use modref_analyze::{analyze_spec, Severity};
+use modref_spec::{SourceMap, Spec};
+
+fn assert_clean(name: &str, spec: &Spec) {
+    let diags = analyze_spec(spec, &SourceMap::default());
+    let offending: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .collect();
+    assert!(
+        offending.is_empty(),
+        "workload `{name}` must produce no errors or warnings, got: {offending:#?}"
+    );
+}
+
+#[test]
+fn medical_is_clean() {
+    assert_clean("medical", &modref_workloads::medical_spec());
+}
+
+#[test]
+fn fig2_is_clean() {
+    assert_clean("fig2", &modref_workloads::fig2_spec());
+}
+
+#[test]
+fn dsp_is_clean() {
+    assert_clean("dsp", &modref_workloads::dsp_spec());
+}
+
+#[test]
+fn ring_is_clean() {
+    assert_clean("ring", &modref_workloads::ring_spec(4, 3));
+}
+
+#[test]
+fn parsed_demo_spec_matches_builder_spec_verdict() {
+    // The printer/parser round trip must not introduce or hide findings:
+    // printing the medical spec and re-linting the parsed text (now with
+    // real positions) stays clean too.
+    let spec = modref_workloads::medical_spec();
+    let text = modref_spec::printer::print(&spec);
+    let (reparsed, map) = modref_spec::parser::parse_with_spans(&text).expect("round trip");
+    let diags = analyze_spec(&reparsed, &map);
+    let offending: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .collect();
+    assert!(offending.is_empty(), "{offending:#?}");
+}

@@ -1,0 +1,233 @@
+//! Golden-file diagnostics: one malformed fixture per lint family,
+//! asserting the exact JSONL each produces. These pin both the finding
+//! logic and the rendered output format — any change to either shows up
+//! as a diff here.
+
+use modref_analyze::{
+    analyze_spec, conformance_lints, render_json_lines, BusView, MemoryView, RefinedView,
+};
+use modref_spec::parser::parse_with_spans;
+
+/// Parses a fixture, lints it, and renders the JSONL batch under the
+/// given file name.
+fn lint_json(src: &str, file: &str) -> String {
+    let (spec, map) = parse_with_spans(src).expect("fixture must be syntactically valid");
+    let diags = analyze_spec(&spec, &map);
+    render_json_lines(&diags, file)
+}
+
+#[test]
+fn golden_st01_duplicate_name() {
+    let src = "spec g;\nvar x : int<16> = 0;\nvar x : int<16> = 1;\n\
+               behavior L leaf { x := 1; }\nbehavior T seq { children { L; } }\ntop T;\n";
+    // Two findings at the same position: the second `x` is a duplicate
+    // *and*, because the body's `x` resolves to the first declaration,
+    // it is also unused.
+    let json = lint_json(src, "dup.spec");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"DF03\", \"severity\": \"warning\", \"file\": \"dup.spec\", ",
+            "\"line\": 3, \"col\": 1, \"object\": \"x\", ",
+            "\"message\": \"variable `x` is never used\", ",
+            "\"fix\": \"remove the declaration\"}\n",
+            "{\"k\": \"diag\", \"code\": \"ST01\", \"severity\": \"error\", \"file\": \"dup.spec\", ",
+            "\"line\": 3, \"col\": 1, \"object\": \"x\", ",
+            "\"message\": \"duplicate variable name `x`\", ",
+            "\"fix\": \"rename one of the `x` variables\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 1, \"warnings\": 1, \"notes\": 0, \"total\": 2}\n",
+        )
+    );
+}
+
+#[test]
+fn golden_df01_use_before_def() {
+    let src = "spec g;\nvar x : int<16> = 0;\nbehavior A leaf {\n  var t : int<16> = 0;\n\
+               \x20 x := t;\n  t := 1;\n}\nbehavior T seq { children { A; } }\ntop T;\n";
+    let json = lint_json(src, "ubd.spec");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"DF01\", \"severity\": \"warning\", \"file\": \"ubd.spec\", ",
+            "\"line\": 5, \"col\": 3, \"object\": \"t\", ",
+            "\"message\": \"variable `t` may be read before `A` assigns it; ",
+            "only the declared initializer is available on that path\", ",
+            "\"fix\": \"assign `t` before the first read\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 0, \"warnings\": 1, \"notes\": 0, \"total\": 1}\n",
+        )
+    );
+}
+
+#[test]
+fn golden_df02_dead_store() {
+    let src = "spec g;\nvar x : int<16> = 0;\nbehavior A leaf {\n  var t : int<16> = 0;\n\
+               \x20 t := 1;\n  t := 2;\n  x := t;\n}\nbehavior T seq { children { A; } }\ntop T;\n";
+    let json = lint_json(src, "ds.spec");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"DF02\", \"severity\": \"warning\", \"file\": \"ds.spec\", ",
+            "\"line\": 5, \"col\": 3, \"object\": \"t\", ",
+            "\"message\": \"value assigned to `t` in `A` is never read\", ",
+            "\"fix\": \"remove the assignment or use `t` afterwards\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 0, \"warnings\": 1, \"notes\": 0, \"total\": 1}\n",
+        )
+    );
+}
+
+#[test]
+fn golden_df05_unreachable_behavior() {
+    // `C` has no inbound arc: execution starts at `A`, `A -> B`, and `B`
+    // completes the composite.
+    let src = "spec g;\nvar x : int<16> = 0;\n\
+               behavior A leaf { x := 1; }\nbehavior B leaf { x := 2; }\n\
+               behavior C leaf { x := 3; }\n\
+               behavior T seq {\n  children { A; B; C; }\n  transitions {\n\
+               \x20   A -> B;\n    B -> complete;\n  }\n}\ntop T;\n";
+    let json = lint_json(src, "unreach.spec");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"DF05\", \"severity\": \"warning\", \"file\": \"unreach.spec\", ",
+            "\"line\": 5, \"col\": 1, \"object\": \"C\", ",
+            "\"message\": \"behavior `C` can never become active: no transition path in `T` reaches it\", ",
+            "\"fix\": \"add a transition targeting it, or remove it from the composite\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 0, \"warnings\": 1, \"notes\": 0, \"total\": 1}\n",
+        )
+    );
+}
+
+#[test]
+fn golden_cc01_shared_write_race() {
+    let src = "spec g;\nvar shared : int<16> = 0;\nvar y : int<16> = 0;\n\
+               behavior W leaf { shared := 1; }\nbehavior R leaf { y := shared; }\n\
+               behavior P conc {\n  children { W; R; }\n}\ntop P;\n";
+    let json = lint_json(src, "race.spec");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"CC01\", \"severity\": \"note\", \"file\": \"race.spec\", ",
+            "\"line\": 2, \"col\": 1, \"object\": \"shared\", ",
+            "\"message\": \"shared variable `shared` is written by `W` and accessed by `R`, ",
+            "which run concurrently; refinement must serialize these accesses\", ",
+            "\"fix\": \"map the variable to an arbitrated global memory (Models 1-4) during refinement\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 0, \"warnings\": 0, \"notes\": 1, \"total\": 1}\n",
+        )
+    );
+}
+
+fn bus(name: &str, masters: &[&str], slaves: &[&str], has_arbiter: bool) -> BusView {
+    BusView {
+        name: name.into(),
+        data_bits: 16,
+        addr_bits: 8,
+        masters: masters.iter().map(|s| s.to_string()).collect(),
+        slaves: slaves.iter().map(|s| s.to_string()).collect(),
+        has_arbiter,
+        required_data_bits: 16,
+    }
+}
+
+fn mem(name: &str, range: Option<(u64, u64)>, buses: &[&str]) -> MemoryView {
+    MemoryView {
+        name: name.into(),
+        global: true,
+        range,
+        port_buses: buses.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+#[test]
+fn golden_rc01_arbiter_missing() {
+    let view = RefinedView {
+        model: 1,
+        buses: vec![bus("b1", &["A", "B"], &["Gmem"], false)],
+        memories: vec![mem("Gmem", Some((0, 9)), &["b1"])],
+    };
+    let json = render_json_lines(&conformance_lints(&view), "");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"RC01\", \"severity\": \"error\", \"object\": \"b1\", ",
+            "\"message\": \"Model1: bus `b1` has 2 masters (A, B) but no arbiter\", ",
+            "\"fix\": \"insert a bus arbiter (the paper's Figure 7)\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 1, \"warnings\": 0, \"notes\": 0, \"total\": 1}\n",
+        )
+    );
+}
+
+#[test]
+fn golden_rc02_address_overlap() {
+    let view = RefinedView {
+        model: 2,
+        buses: vec![
+            bus("b1", &["A"], &["M1"], false),
+            bus("b2", &["B"], &["M2"], false),
+        ],
+        memories: vec![
+            mem("M1", Some((0, 9)), &["b1"]),
+            mem("M2", Some((5, 12)), &["b2"]),
+        ],
+    };
+    let json = render_json_lines(&conformance_lints(&view), "");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"RC02\", \"severity\": \"error\", \"object\": \"M1\", ",
+            "\"message\": \"Model2: memories `M1` [0, 9] and `M2` [5, 12] decode overlapping address ranges\", ",
+            "\"fix\": \"assign disjoint address ranges in the address map\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 1, \"warnings\": 0, \"notes\": 0, \"total\": 1}\n",
+        )
+    );
+}
+
+#[test]
+fn golden_rc03_unmatched_send_recv() {
+    let view = RefinedView {
+        model: 4,
+        buses: vec![bus("b3", &["IF_p0"], &[], false)],
+        memories: vec![],
+    };
+    let json = render_json_lines(&conformance_lints(&view), "");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"RC03\", \"severity\": \"error\", \"object\": \"b3\", ",
+            "\"message\": \"Model4: bus `b3` has masters (IF_p0) but no slave to acknowledge them ",
+            "\u{2014} every transaction deadlocks\", ",
+            "\"fix\": \"attach the memory port or bus interface that serves this bus\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 1, \"warnings\": 0, \"notes\": 0, \"total\": 1}\n",
+        )
+    );
+}
+
+#[test]
+fn golden_rc04_width_mismatch() {
+    let mut narrow = bus("b1", &["A"], &["Gmem"], false);
+    narrow.required_data_bits = 32;
+    let view = RefinedView {
+        model: 3,
+        buses: vec![narrow],
+        memories: vec![mem("Gmem", Some((0, 9)), &["b1"])],
+    };
+    let json = render_json_lines(&conformance_lints(&view), "");
+    assert_eq!(
+        json,
+        concat!(
+            "{\"k\": \"diag\", \"code\": \"RC04\", \"severity\": \"error\", \"object\": \"b1\", ",
+            "\"message\": \"Model3: bus `b1` is 16 bits wide but a channel routed over it ",
+            "needs 32-bit accesses\", ",
+            "\"fix\": \"widen the bus to 32 data bits\"}\n",
+            "{\"k\": \"lint_summary\", \"errors\": 1, \"warnings\": 0, \"notes\": 0, \"total\": 1}\n",
+        )
+    );
+}
+
+#[test]
+fn every_json_line_round_trips_through_the_strict_parser() {
+    let src = "spec g;\nvar x : int<16> = 0;\nvar x : int<16> = 1;\n\
+               behavior L leaf { x := 1; }\nbehavior T seq { children { L; } }\ntop T;\n";
+    for line in lint_json(src, "dup.spec").lines() {
+        modref_obs::json::parse(line).expect("strict JSON");
+    }
+}

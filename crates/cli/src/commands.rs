@@ -3,12 +3,13 @@
 use std::fs;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use modref_analyze::{analyze_spec, render_json_lines, sort_canonical, LintConfig, Totals};
 use modref_core::{figure9_rates, ImplModel};
 use modref_estimate::LifetimeConfig;
 use modref_graph::{AccessGraph, ChannelKind};
 use modref_partition::textfmt::{parse_partition, render_partition};
 use modref_sim::Simulator;
-use modref_spec::{printer, Spec};
+use modref_spec::{printer, SourceMap, Spec};
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -48,6 +49,70 @@ pub fn check(spec: &Spec) -> CmdResult {
         graph.data_channel_count(),
         graph.control_channels().count()
     );
+    Ok(())
+}
+
+/// `modref check` front end: report *every* validation violation with a
+/// `file:line:col` position, or fall through to the stats printout when
+/// the spec is well-formed.
+pub fn check_source(file: &str, spec: &Spec, map: &SourceMap) -> CmdResult {
+    let mut diags = modref_analyze::structural::structural_lints(spec, map);
+    sort_canonical(&mut diags);
+    if !diags.is_empty() {
+        for d in &diags {
+            eprintln!("{}", d.render_human(file));
+        }
+        return Err(format!("{} validation error(s)", diags.len()).into());
+    }
+    check(spec)
+}
+
+/// `modref lint`: the full static-analysis suite over a spec, plus the
+/// refinement-conformance lints when a partition (and optionally one
+/// model) is supplied.
+#[allow(clippy::too_many_arguments)]
+pub fn lint(
+    file: &str,
+    spec: &Spec,
+    map: &SourceMap,
+    part_text: Option<&str>,
+    model: Option<ImplModel>,
+    json: bool,
+    config: &LintConfig,
+) -> CmdResult {
+    let mut diags = analyze_spec(spec, map);
+    if let Some(text) = part_text {
+        let (alloc, partition) = parse_partition(spec, text)?;
+        let graph = AccessGraph::derive(spec);
+        let models: Vec<ImplModel> = match model {
+            Some(m) => vec![m],
+            None => ImplModel::ALL.to_vec(),
+        };
+        for m in models {
+            let refined = modref_core::refine(spec, &graph, &alloc, &partition, m)
+                .map_err(|e| format!("refinement under {} failed: {e}", m.name()))?;
+            diags.extend(modref_core::lint_refined(spec, &graph, &refined));
+        }
+        sort_canonical(&mut diags);
+    }
+    let diags = config.apply_all(diags);
+    let totals = Totals::of(&diags);
+    if json {
+        print!("{}", render_json_lines(&diags, file));
+    } else {
+        for d in &diags {
+            println!("{}", d.render_human(file));
+        }
+        if !quiet() {
+            println!(
+                "{} error(s), {} warning(s), {} note(s)",
+                totals.errors, totals.warnings, totals.notes
+            );
+        }
+    }
+    if totals.errors > 0 {
+        return Err(format!("lint found {} error(s)", totals.errors).into());
+    }
     Ok(())
 }
 

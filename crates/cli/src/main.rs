@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! modref check    <spec>                 parse + validate, print stats
+//! modref lint     <spec>                 static analysis: all lint families
 //! modref print    <spec>                 re-print the canonical form
 //! modref graph    <spec>                 list derived channels
 //! modref simulate <spec>                 run and print final state
@@ -70,7 +71,53 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
-        "check" => commands::check(&read_spec(args, 1)?),
+        "check" => {
+            let (path, spec, map) = read_spec_with_spans(args, 1)?;
+            commands::check_source(&path, &spec, &map)
+        }
+        "lint" => {
+            let (path, spec, map) = read_spec_with_spans(args, 1)?;
+            let part_text = match flag_value(args, "-p") {
+                Some(_) => Some(read_flag_file(args, "-p")?),
+                None => None,
+            };
+            let model = if args.iter().any(|a| a == "-m") {
+                if part_text.is_none() {
+                    return Err(
+                        "`-m` requires `-p <part>` (conformance lints need a partition)".into(),
+                    );
+                }
+                Some(parse_model(args)?)
+            } else {
+                None
+            };
+            let json = match flag_value(args, "--format").as_deref() {
+                None | Some("human") => false,
+                Some("json") => true,
+                Some(other) => {
+                    return Err(format!("invalid --format `{other}` (expected human|json)").into())
+                }
+            };
+            let mut config = modref_analyze::LintConfig::new();
+            for v in flag_values(args, "--deny")
+                .into_iter()
+                .chain(flag_values(args, "-D"))
+            {
+                config.deny(&v)?;
+            }
+            for v in flag_values(args, "--allow") {
+                config.allow(&v)?;
+            }
+            commands::lint(
+                &path,
+                &spec,
+                &map,
+                part_text.as_deref(),
+                model,
+                json,
+                &config,
+            )
+        }
         "print" => commands::print_spec(&read_spec(args, 1)?),
         "graph" => {
             let dot = args.iter().any(|a| a == "--dot");
@@ -180,7 +227,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
 
 /// Every subcommand name, for `unknown command` suggestions.
 const COMMANDS: &[&str] = &[
-    "check", "print", "graph", "simulate", "refine", "vhdl", "cgen", "estimate", "rates",
+    "check", "lint", "print", "graph", "simulate", "refine", "vhdl", "cgen", "estimate", "rates",
     "explore", "report", "demo", "help",
 ];
 
@@ -199,6 +246,14 @@ const GLOBAL_FLAGS: &[(&str, bool)] = &[
 fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
     Some(match cmd {
         "check" | "print" | "vhdl" | "report" | "demo" | "help" => &[],
+        "lint" => &[
+            ("-p", true),
+            ("-m", true),
+            ("--format", true),
+            ("--deny", true),
+            ("--allow", true),
+            ("-D", true),
+        ],
         "graph" => &[("--dot", false)],
         "simulate" => &[
             ("--profile", false),
@@ -307,6 +362,11 @@ fn print_usage() {
 
 USAGE:
   modref check    <spec>                      parse + validate, print stats
+  modref lint     <spec> [-p <part> [-m N]]   static analysis: structural,
+                  [--format human|json]       dataflow, race + (with -p) the
+                  [--deny L] [-D L]           refinement-conformance lints;
+                  [--allow L]                 `--deny warnings` fails on any
+                                              warning, -D is short for --deny
   modref print    <spec>                      re-print the canonical form
   modref graph    <spec> [--dot]              list channels (or emit DOT)
   modref simulate <spec> [--profile]          run and print final state
@@ -347,7 +407,25 @@ The <part> file format is documented in modref-partition's textfmt module:
 fn read_spec(args: &[String], pos: usize) -> Result<modref_spec::Spec, Box<dyn std::error::Error>> {
     let path = args.get(pos).ok_or("missing specification file argument")?;
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    Ok(modref_spec::parser::parse(&text)?)
+    modref_spec::parser::parse(&text)
+        .map_err(|e| format!("{path}:{}:{}: {}", e.line, e.col, e.message).into())
+}
+
+/// Like [`read_spec`], but skips validation and keeps the source map —
+/// `check` and `lint` report validation problems themselves, with
+/// positions, instead of stopping at the first one.
+fn read_spec_with_spans(
+    args: &[String],
+    pos: usize,
+) -> Result<(String, modref_spec::Spec, modref_spec::SourceMap), Box<dyn std::error::Error>> {
+    let path = args
+        .get(pos)
+        .ok_or("missing specification file argument")?
+        .clone();
+    let text = fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (spec, map) = modref_spec::parser::parse_with_spans(&text)
+        .map_err(|e| format!("{path}:{}:{}: {}", e.line, e.col, e.message))?;
+    Ok((path, spec, map))
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -355,6 +433,22 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Every value of a flag that may repeat (`--deny A --deny B`).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
 }
 
 fn read_flag_file(args: &[String], flag: &str) -> Result<String, Box<dyn std::error::Error>> {

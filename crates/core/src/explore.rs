@@ -196,6 +196,7 @@ pub fn verify_pareto(
     let span_id = span.id();
     let pass_counter = modref_obs::counter("verify.pass");
     let fail_counter = modref_obs::counter("verify.fail");
+    let reject_counter = modref_obs::counter("verify.static_reject");
     let sim_config = SimConfig::default();
     let original = Simulator::with_config(spec, sim_config).run();
     let (original_time, original_steps) = match &original {
@@ -251,6 +252,15 @@ pub fn verify_pareto(
                     return record;
                 }
             };
+            // Static conformance gate: a candidate whose architecture
+            // trips RC01-RC04 would deadlock or misdecode in simulation;
+            // reject it without spending the simulation time.
+            let diags = crate::lint::lint_refined(spec, graph, &refined);
+            if let Some(codes) = crate::lint::static_reject(&diags) {
+                reject_counter.inc();
+                record.detail = format!("static analysis rejected: {codes}");
+                return record;
+            }
             let result = match Simulator::with_config(&refined.spec, sim_config).run() {
                 Ok(r) => r,
                 Err(e) => {

@@ -63,6 +63,7 @@ pub mod dot;
 pub mod error;
 pub mod explore;
 pub mod interface;
+pub mod lint;
 pub mod memory;
 pub mod model;
 pub mod plan;
@@ -77,6 +78,7 @@ pub use error::RefineError;
 pub use explore::{
     explore_designs, verify_pareto, DesignPoint, Exploration, Verification, VerifyRecord,
 };
+pub use lint::{lint_refined, static_reject};
 pub use model::ImplModel;
 pub use plan::RefinePlan;
 pub use rates::figure9_rates;

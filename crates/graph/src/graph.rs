@@ -177,6 +177,28 @@ impl AccessGraph {
         out
     }
 
+    /// The distinct behaviors that *write* a variable — the subset of
+    /// [`behaviors_accessing`](Self::behaviors_accessing) with a
+    /// write-direction data channel. Race detection keys on this: a
+    /// shared variable is only a race candidate when at least one of its
+    /// concurrent accessors appears here.
+    pub fn writers_of(&self, var: VarId) -> Vec<BehaviorId> {
+        let mut out: Vec<BehaviorId> = self
+            .channels_of_var(var)
+            .filter_map(|c| match c.kind() {
+                ChannelKind::Data {
+                    behavior,
+                    direction: Direction::Write,
+                    ..
+                } => Some(*behavior),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// The access counts computed for a behavior during derivation.
     pub fn counts(&self, behavior: BehaviorId) -> Option<&AccessCounts> {
         self.counts.get(&behavior)

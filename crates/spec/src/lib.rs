@@ -50,6 +50,7 @@ pub mod ids;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod span;
 pub mod spec;
 pub mod stmt;
 pub mod subroutine;
@@ -62,6 +63,7 @@ pub use behavior::{Behavior, BehaviorKind, Transition, TransitionTarget};
 pub use error::{ParseError, SpecError};
 pub use expr::{BinOp, Expr, UnOp};
 pub use ids::{BehaviorId, SignalId, SubroutineId, VarId};
+pub use span::{spec_error_span, SourceMap, Span, StmtOwner, StmtPath};
 pub use spec::{Signal, Spec, Variable};
 pub use stmt::{LValue, Stmt, WaitCond};
 pub use subroutine::{ParamDir, Parameter, Subroutine};

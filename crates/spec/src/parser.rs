@@ -6,11 +6,17 @@
 //! assigned in one pass). The grammar is exactly what
 //! [`printer::print`](crate::printer::print) emits; `parse(print(s))`
 //! reproduces `s` up to id numbering and is property-tested.
+//!
+//! [`parse_with_spans`] additionally returns a [`SourceMap`] recording the
+//! source position of every declaration, transition and statement, which
+//! is what lets downstream diagnostics point at real `file:line:col`
+//! locations instead of just naming the offending object.
 
 use crate::behavior::{Behavior, BehaviorKind, Transition, TransitionTarget};
 use crate::error::ParseError;
 use crate::expr::{BinOp, Expr, UnOp};
 use crate::lexer::{lex, Token, TokenKind};
+use crate::span::{SourceMap, Span, StmtOwner, StmtPath};
 use crate::spec::Spec;
 use crate::stmt::{CallArg, LValue, Stmt, WaitCond};
 use crate::subroutine::{ParamDir, Parameter, Subroutine};
@@ -34,6 +40,27 @@ use crate::validate;
 /// # Ok::<(), modref_spec::ParseError>(())
 /// ```
 pub fn parse(input: &str) -> Result<Spec, ParseError> {
+    let (spec, map) = parse_with_spans(input)?;
+    if let Err(e) = validate::check(&spec) {
+        let span = crate::span::spec_error_span(&spec, &map, &e).unwrap_or(Span::new(1, 1));
+        return Err(ParseError::new(span.line, span.col, e.to_string()));
+    }
+    Ok(spec)
+}
+
+/// Parses a specification, returning it together with the [`SourceMap`]
+/// of declaration/transition/statement positions.
+///
+/// Unlike [`parse`], this does **not** run the structural
+/// [`validate::check`] pass: callers that want to report *all*
+/// violations (rather than stop at the first) run
+/// [`validate::check_all`] themselves on the returned spec and use the
+/// map to attach positions.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or unresolved names.
+pub fn parse_with_spans(input: &str) -> Result<(Spec, SourceMap), ParseError> {
     let tokens = lex(input)?;
     let mut p = Parser::new(tokens);
     let cst = p.parse_spec()?;
@@ -47,11 +74,12 @@ pub fn parse(input: &str) -> Result<Spec, ParseError> {
 #[derive(Debug)]
 struct CstSpec {
     name: String,
+    span: Span,
     signals: Vec<CstDecl>,
     global_vars: Vec<CstDecl>,
     subroutines: Vec<CstSub>,
     behaviors: Vec<CstBehavior>,
-    top: Option<String>,
+    top: Option<(String, Span)>,
 }
 
 #[derive(Debug)]
@@ -59,6 +87,7 @@ struct CstDecl {
     name: String,
     ty: DataType,
     init: i64,
+    span: Span,
 }
 
 #[derive(Debug)]
@@ -67,6 +96,7 @@ struct CstSub {
     params: Vec<(ParamDir, String, DataType)>,
     locals: Vec<CstDecl>,
     body: Vec<CstStmt>,
+    span: Span,
 }
 
 #[derive(Debug)]
@@ -87,6 +117,7 @@ struct CstBehavior {
     vars: Vec<CstDecl>,
     kind: CstBehaviorKind,
     server: bool,
+    span: Span,
 }
 
 #[derive(Debug)]
@@ -94,6 +125,7 @@ struct CstTransition {
     from: String,
     cond: Option<CstExpr>,
     to: Option<String>, // None = complete
+    span: Span,
 }
 
 #[derive(Debug)]
@@ -104,7 +136,13 @@ enum CstLValue {
 }
 
 #[derive(Debug)]
-enum CstStmt {
+struct CstStmt {
+    kind: CstStmtKind,
+    span: Span,
+}
+
+#[derive(Debug)]
+enum CstStmtKind {
     Assign(CstLValue, CstExpr),
     SignalSet(String, CstExpr),
     WaitUntil(CstExpr),
@@ -150,6 +188,12 @@ impl Parser {
 
     fn peek(&self) -> &Token {
         &self.tokens[self.pos]
+    }
+
+    /// The position of the next (not yet consumed) token.
+    fn here(&self) -> Span {
+        let t = self.peek();
+        Span::new(t.line, t.col)
     }
 
     fn next(&mut self) -> Token {
@@ -220,12 +264,14 @@ impl Parser {
     }
 
     fn parse_spec(&mut self) -> Result<CstSpec, ParseError> {
+        let span = self.here();
         self.expect_keyword("spec")?;
         let name = self.expect_ident()?;
         self.expect(&TokenKind::Semi)?;
 
         let mut cst = CstSpec {
             name,
+            span,
             signals: Vec::new(),
             global_vars: Vec::new(),
             subroutines: Vec::new(),
@@ -254,10 +300,11 @@ impl Parser {
                         cst.behaviors.push(b);
                     }
                     "top" => {
+                        let top_span = self.here();
                         self.next();
                         let t = self.expect_ident()?;
                         self.expect(&TokenKind::Semi)?;
-                        cst.top = Some(t);
+                        cst.top = Some((t, top_span));
                     }
                     other => {
                         return Err(self.err(format!(
@@ -278,6 +325,7 @@ impl Parser {
 
     /// `signal NAME : TYPE = INIT;` / `var NAME : TYPE = INIT;`
     fn parse_decl(&mut self, kw: &str) -> Result<CstDecl, ParseError> {
+        let span = self.here();
         self.expect_keyword(kw)?;
         let name = self.expect_ident()?;
         self.expect(&TokenKind::Colon)?;
@@ -285,7 +333,12 @@ impl Parser {
         self.expect(&TokenKind::Eq)?;
         let init = self.expect_int()?;
         self.expect(&TokenKind::Semi)?;
-        Ok(CstDecl { name, ty, init })
+        Ok(CstDecl {
+            name,
+            ty,
+            init,
+            span,
+        })
     }
 
     fn parse_type(&mut self) -> Result<DataType, ParseError> {
@@ -348,6 +401,7 @@ impl Parser {
     }
 
     fn parse_subroutine(&mut self) -> Result<CstSub, ParseError> {
+        let span = self.here();
         self.expect_keyword("subroutine")?;
         let name = self.expect_ident()?;
         self.expect(&TokenKind::LParen)?;
@@ -386,10 +440,12 @@ impl Parser {
             params,
             locals,
             body,
+            span,
         })
     }
 
     fn parse_behavior(&mut self) -> Result<CstBehavior, ParseError> {
+        let span = self.here();
         self.expect_keyword("behavior")?;
         let name = self.expect_ident()?;
         let kind_word = self.expect_ident()?;
@@ -433,6 +489,7 @@ impl Parser {
             vars,
             kind,
             server,
+            span,
         })
     }
 
@@ -453,6 +510,7 @@ impl Parser {
         self.expect(&TokenKind::LBrace)?;
         let mut arcs = Vec::new();
         while self.peek().kind != TokenKind::RBrace {
+            let span = self.here();
             let from = self.expect_ident()?;
             self.expect(&TokenKind::Arrow)?;
             let to_name = self.expect_ident()?;
@@ -471,7 +529,12 @@ impl Parser {
                 None
             };
             self.expect(&TokenKind::Semi)?;
-            arcs.push(CstTransition { from, cond, to });
+            arcs.push(CstTransition {
+                from,
+                cond,
+                to,
+                span,
+            });
         }
         self.expect(&TokenKind::RBrace)?;
         Ok(arcs)
@@ -490,6 +553,12 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<CstStmt, ParseError> {
+        let span = self.here();
+        let kind = self.parse_stmt_kind()?;
+        Ok(CstStmt { kind, span })
+    }
+
+    fn parse_stmt_kind(&mut self) -> Result<CstStmtKind, ParseError> {
         match &self.peek().kind {
             TokenKind::Ident(kw) => match kw.as_str() {
                 "set" => {
@@ -498,7 +567,7 @@ impl Parser {
                     self.expect(&TokenKind::Assign)?;
                     let e = self.parse_expr()?;
                     self.expect(&TokenKind::Semi)?;
-                    Ok(CstStmt::SignalSet(name, e))
+                    Ok(CstStmtKind::SignalSet(name, e))
                 }
                 "wait" => {
                     self.next();
@@ -508,12 +577,12 @@ impl Parser {
                         let e = self.parse_expr()?;
                         self.expect(&TokenKind::RParen)?;
                         self.expect(&TokenKind::Semi)?;
-                        Ok(CstStmt::WaitUntil(e))
+                        Ok(CstStmtKind::WaitUntil(e))
                     } else if self.at_keyword("for") {
                         self.next();
                         let n = self.expect_int()?;
                         self.expect(&TokenKind::Semi)?;
-                        Ok(CstStmt::WaitFor(n.max(0) as u64))
+                        Ok(CstStmtKind::WaitFor(n.max(0) as u64))
                     } else {
                         Err(self.err("expected `until` or `for` after `wait`"))
                     }
@@ -532,7 +601,7 @@ impl Parser {
                     } else {
                         Vec::new()
                     };
-                    Ok(CstStmt::If(cond, then_body, else_body))
+                    Ok(CstStmtKind::If(cond, then_body, else_body))
                 }
                 "while" => {
                     self.next();
@@ -547,7 +616,7 @@ impl Parser {
                     };
                     self.expect(&TokenKind::LBrace)?;
                     let body = self.parse_stmts_until_rbrace()?;
-                    Ok(CstStmt::While(cond, hint, body))
+                    Ok(CstStmtKind::While(cond, hint, body))
                 }
                 "for" => {
                     self.next();
@@ -558,13 +627,13 @@ impl Parser {
                     let to = self.parse_expr()?;
                     self.expect(&TokenKind::LBrace)?;
                     let body = self.parse_stmts_until_rbrace()?;
-                    Ok(CstStmt::For(var, from, to, body))
+                    Ok(CstStmtKind::For(var, from, to, body))
                 }
                 "loop" => {
                     self.next();
                     self.expect(&TokenKind::LBrace)?;
                     let body = self.parse_stmts_until_rbrace()?;
-                    Ok(CstStmt::Loop(body))
+                    Ok(CstStmtKind::Loop(body))
                 }
                 "call" => {
                     self.next();
@@ -594,18 +663,18 @@ impl Parser {
                     }
                     self.expect(&TokenKind::RParen)?;
                     self.expect(&TokenKind::Semi)?;
-                    Ok(CstStmt::Call(name, args))
+                    Ok(CstStmtKind::Call(name, args))
                 }
                 "delay" => {
                     self.next();
                     let n = self.expect_int()?;
                     self.expect(&TokenKind::Semi)?;
-                    Ok(CstStmt::Delay(n.max(0) as u64))
+                    Ok(CstStmtKind::Delay(n.max(0) as u64))
                 }
                 "skip" => {
                     self.next();
                     self.expect(&TokenKind::Semi)?;
-                    Ok(CstStmt::Skip)
+                    Ok(CstStmtKind::Skip)
                 }
                 _ => {
                     // assignment: NAME [ '[' expr ']' ] := expr ;
@@ -613,7 +682,7 @@ impl Parser {
                     self.expect(&TokenKind::Assign)?;
                     let e = self.parse_expr()?;
                     self.expect(&TokenKind::Semi)?;
-                    Ok(CstStmt::Assign(lv, e))
+                    Ok(CstStmtKind::Assign(lv, e))
                 }
             },
             TokenKind::Param(_) => {
@@ -621,7 +690,7 @@ impl Parser {
                 self.expect(&TokenKind::Assign)?;
                 let e = self.parse_expr()?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(CstStmt::Assign(lv, e))
+                Ok(CstStmtKind::Assign(lv, e))
             }
             other => Err(self.err(format!("expected a statement, found {}", other.describe()))),
         }
@@ -748,17 +817,20 @@ fn op_from_token(op: &str) -> Option<BinOp> {
 }
 
 // ---------------------------------------------------------------------------
-// Resolution: CST -> Spec
+// Resolution: CST -> Spec (+ SourceMap)
 // ---------------------------------------------------------------------------
 
-fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
+fn resolve(cst: CstSpec) -> Result<(Spec, SourceMap), ParseError> {
     let mut spec = Spec::new(cst.name.clone());
+    let mut map = SourceMap::new();
 
     for s in &cst.signals {
-        spec.add_signal(s.name.clone(), s.ty, s.init);
+        let id = spec.add_signal(s.name.clone(), s.ty, s.init);
+        map.record_signal(id, s.span);
     }
     for v in &cst.global_vars {
-        spec.add_variable(v.name.clone(), v.ty, v.init, None);
+        let id = spec.add_variable(v.name.clone(), v.ty, v.init, None);
+        map.record_variable(id, v.span);
     }
 
     // Create behaviors first (empty), so children and transitions resolve.
@@ -768,12 +840,14 @@ fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
             b.name.clone(),
             BehaviorKind::Leaf { body: Vec::new() },
         ));
+        map.record_behavior(id, b.span);
         if b.server {
             spec.behavior_mut(id).set_server(true);
         }
         behavior_ids.push(id);
         for v in &b.vars {
-            spec.add_variable(v.name.clone(), v.ty, v.init, Some(id));
+            let vid = spec.add_variable(v.name.clone(), v.ty, v.init, Some(id));
+            map.record_variable(vid, v.span);
         }
     }
 
@@ -791,8 +865,10 @@ fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
             })
             .collect();
         let id = spec.add_subroutine(Subroutine::new(s.name.clone(), params, Vec::new()));
+        map.record_subroutine(id, s.span);
         for l in &s.locals {
             let vid = spec.add_variable(l.name.clone(), l.ty, l.init, None);
+            map.record_variable(vid, l.span);
             spec.subroutine_mut(id).declare_local(vid);
         }
         sub_ids.push(id);
@@ -802,7 +878,13 @@ fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
     for (b, &id) in cst.behaviors.iter().zip(&behavior_ids) {
         let kind = match &b.kind {
             CstBehaviorKind::Leaf(body) => BehaviorKind::Leaf {
-                body: resolve_stmts(&spec, body)?,
+                body: resolve_stmts(
+                    &spec,
+                    &mut map,
+                    &StmtPath::root(StmtOwner::Behavior(id)),
+                    0,
+                    body,
+                )?,
             },
             CstBehaviorKind::Seq {
                 children,
@@ -810,20 +892,24 @@ fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
             } => {
                 let child_ids = children
                     .iter()
-                    .map(|n| lookup_behavior(&spec, n))
+                    .map(|n| lookup_behavior(&spec, n, b.span))
                     .collect::<Result<Vec<_>, _>>()?;
                 let arcs = transitions
                     .iter()
-                    .map(|t| {
+                    .enumerate()
+                    .map(|(arc_index, t)| {
+                        map.record_transition(id, arc_index, t.span);
                         Ok(Transition {
-                            from: lookup_behavior(&spec, &t.from)?,
+                            from: lookup_behavior(&spec, &t.from, t.span)?,
                             cond: t
                                 .cond
                                 .as_ref()
-                                .map(|c| resolve_expr(&spec, c))
+                                .map(|c| resolve_expr(&spec, c, t.span))
                                 .transpose()?,
                             to: match &t.to {
-                                Some(n) => TransitionTarget::Behavior(lookup_behavior(&spec, n)?),
+                                Some(n) => {
+                                    TransitionTarget::Behavior(lookup_behavior(&spec, n, t.span)?)
+                                }
                                 None => TransitionTarget::Complete,
                             },
                         })
@@ -837,7 +923,7 @@ fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
             CstBehaviorKind::Conc { children } => BehaviorKind::Concurrent {
                 children: children
                     .iter()
-                    .map(|n| lookup_behavior(&spec, n))
+                    .map(|n| lookup_behavior(&spec, n, b.span))
                     .collect::<Result<Vec<_>, _>>()?,
             },
         };
@@ -846,77 +932,119 @@ fn resolve(cst: CstSpec) -> Result<Spec, ParseError> {
 
     // Fill in subroutine bodies.
     for (s, &id) in cst.subroutines.iter().zip(&sub_ids) {
-        let body = resolve_stmts(&spec, &s.body)?;
+        let body = resolve_stmts(
+            &spec,
+            &mut map,
+            &StmtPath::root(StmtOwner::Subroutine(id)),
+            0,
+            &s.body,
+        )?;
         *spec.subroutine_mut(id).body_mut() = body;
     }
 
     match &cst.top {
-        Some(name) => {
-            let top = lookup_behavior(&spec, name)?;
+        Some((name, span)) => {
+            let top = lookup_behavior(&spec, name, *span)?;
             spec.set_top(top);
         }
-        None => return Err(ParseError::new(0, 0, "missing `top` declaration")),
+        None => {
+            return Err(ParseError::new(
+                cst.span.line,
+                cst.span.col,
+                "missing `top` declaration",
+            ))
+        }
     }
 
-    validate::check(&spec).map_err(|e| ParseError::new(0, 0, e.to_string()))?;
-    Ok(spec)
+    Ok((spec, map))
 }
 
-fn lookup_behavior(spec: &Spec, name: &str) -> Result<crate::ids::BehaviorId, ParseError> {
-    spec.behavior_by_name(name)
-        .ok_or_else(|| ParseError::new(0, 0, format!("unresolved behavior `{name}`")))
+fn lookup_behavior(
+    spec: &Spec,
+    name: &str,
+    span: Span,
+) -> Result<crate::ids::BehaviorId, ParseError> {
+    spec.behavior_by_name(name).ok_or_else(|| {
+        ParseError::new(span.line, span.col, format!("unresolved behavior `{name}`"))
+    })
 }
 
-fn resolve_stmts(spec: &Spec, stmts: &[CstStmt]) -> Result<Vec<Stmt>, ParseError> {
-    stmts.iter().map(|s| resolve_stmt(spec, s)).collect()
+fn resolve_stmts(
+    spec: &Spec,
+    map: &mut SourceMap,
+    parent: &StmtPath,
+    block: u8,
+    stmts: &[CstStmt],
+) -> Result<Vec<Stmt>, ParseError> {
+    stmts
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let path = parent.child(block, i as u32);
+            map.record_stmt(path.clone(), s.span);
+            resolve_stmt(spec, map, &path, s)
+        })
+        .collect()
 }
 
-fn resolve_stmt(spec: &Spec, s: &CstStmt) -> Result<Stmt, ParseError> {
-    Ok(match s {
-        CstStmt::Assign(lv, e) => Stmt::Assign {
-            target: resolve_lvalue(spec, lv)?,
-            value: resolve_expr(spec, e)?,
+fn resolve_stmt(
+    spec: &Spec,
+    map: &mut SourceMap,
+    path: &StmtPath,
+    s: &CstStmt,
+) -> Result<Stmt, ParseError> {
+    let span = s.span;
+    Ok(match &s.kind {
+        CstStmtKind::Assign(lv, e) => Stmt::Assign {
+            target: resolve_lvalue(spec, lv, span)?,
+            value: resolve_expr(spec, e, span)?,
         },
-        CstStmt::SignalSet(name, e) => Stmt::SignalSet {
-            signal: spec
-                .signal_by_name(name)
-                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved signal `{name}`")))?,
-            value: resolve_expr(spec, e)?,
+        CstStmtKind::SignalSet(name, e) => Stmt::SignalSet {
+            signal: spec.signal_by_name(name).ok_or_else(|| {
+                ParseError::new(span.line, span.col, format!("unresolved signal `{name}`"))
+            })?,
+            value: resolve_expr(spec, e, span)?,
         },
-        CstStmt::WaitUntil(e) => Stmt::Wait(WaitCond::Until(resolve_expr(spec, e)?)),
-        CstStmt::WaitFor(n) => Stmt::Wait(WaitCond::For(*n)),
-        CstStmt::If(c, t, e) => Stmt::If {
-            cond: resolve_expr(spec, c)?,
-            then_body: resolve_stmts(spec, t)?,
-            else_body: resolve_stmts(spec, e)?,
+        CstStmtKind::WaitUntil(e) => Stmt::Wait(WaitCond::Until(resolve_expr(spec, e, span)?)),
+        CstStmtKind::WaitFor(n) => Stmt::Wait(WaitCond::For(*n)),
+        CstStmtKind::If(c, t, e) => Stmt::If {
+            cond: resolve_expr(spec, c, span)?,
+            then_body: resolve_stmts(spec, map, path, 0, t)?,
+            else_body: resolve_stmts(spec, map, path, 1, e)?,
         },
-        CstStmt::While(c, hint, body) => Stmt::While {
-            cond: resolve_expr(spec, c)?,
-            body: resolve_stmts(spec, body)?,
+        CstStmtKind::While(c, hint, body) => Stmt::While {
+            cond: resolve_expr(spec, c, span)?,
+            body: resolve_stmts(spec, map, path, 0, body)?,
             trip_hint: *hint,
         },
-        CstStmt::For(var, from, to, body) => Stmt::For {
-            var: spec
-                .variable_by_name(var)
-                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{var}`")))?,
-            from: resolve_expr(spec, from)?,
-            to: resolve_expr(spec, to)?,
-            body: resolve_stmts(spec, body)?,
+        CstStmtKind::For(var, from, to, body) => Stmt::For {
+            var: spec.variable_by_name(var).ok_or_else(|| {
+                ParseError::new(span.line, span.col, format!("unresolved variable `{var}`"))
+            })?,
+            from: resolve_expr(spec, from, span)?,
+            to: resolve_expr(spec, to, span)?,
+            body: resolve_stmts(spec, map, path, 0, body)?,
         },
-        CstStmt::Loop(body) => Stmt::Loop {
-            body: resolve_stmts(spec, body)?,
+        CstStmtKind::Loop(body) => Stmt::Loop {
+            body: resolve_stmts(spec, map, path, 0, body)?,
         },
-        CstStmt::Call(name, args) => {
-            let sub = spec
-                .subroutine_by_name(name)
-                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved subroutine `{name}`")))?;
+        CstStmtKind::Call(name, args) => {
+            let sub = spec.subroutine_by_name(name).ok_or_else(|| {
+                ParseError::new(
+                    span.line,
+                    span.col,
+                    format!("unresolved subroutine `{name}`"),
+                )
+            })?;
             let args = args
                 .iter()
                 .map(|(dir, a)| {
                     Ok(match (dir, a) {
-                        (ParamDir::In, CstCallArg::Expr(e)) => CallArg::In(resolve_expr(spec, e)?),
+                        (ParamDir::In, CstCallArg::Expr(e)) => {
+                            CallArg::In(resolve_expr(spec, e, span)?)
+                        }
                         (ParamDir::Out, CstCallArg::LValue(lv)) => {
-                            CallArg::Out(resolve_lvalue(spec, lv)?)
+                            CallArg::Out(resolve_lvalue(spec, lv, span)?)
                         }
                         _ => unreachable!("parser pairs directions with arg forms"),
                     })
@@ -924,27 +1052,27 @@ fn resolve_stmt(spec: &Spec, s: &CstStmt) -> Result<Stmt, ParseError> {
                 .collect::<Result<Vec<_>, ParseError>>()?;
             Stmt::Call { sub, args }
         }
-        CstStmt::Delay(n) => Stmt::Delay(*n),
-        CstStmt::Skip => Stmt::Skip,
+        CstStmtKind::Delay(n) => Stmt::Delay(*n),
+        CstStmtKind::Skip => Stmt::Skip,
     })
 }
 
-fn resolve_lvalue(spec: &Spec, lv: &CstLValue) -> Result<LValue, ParseError> {
+fn resolve_lvalue(spec: &Spec, lv: &CstLValue, span: Span) -> Result<LValue, ParseError> {
     Ok(match lv {
-        CstLValue::Name(name) => LValue::Var(
-            spec.variable_by_name(name)
-                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{name}`")))?,
-        ),
+        CstLValue::Name(name) => LValue::Var(spec.variable_by_name(name).ok_or_else(|| {
+            ParseError::new(span.line, span.col, format!("unresolved variable `{name}`"))
+        })?),
         CstLValue::Index(name, idx) => LValue::Index(
-            spec.variable_by_name(name)
-                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{name}`")))?,
-            resolve_expr(spec, idx)?,
+            spec.variable_by_name(name).ok_or_else(|| {
+                ParseError::new(span.line, span.col, format!("unresolved variable `{name}`"))
+            })?,
+            resolve_expr(spec, idx, span)?,
         ),
         CstLValue::Param(name) => LValue::Param(name.clone()),
     })
 }
 
-fn resolve_expr(spec: &Spec, e: &CstExpr) -> Result<Expr, ParseError> {
+fn resolve_expr(spec: &Spec, e: &CstExpr, span: Span) -> Result<Expr, ParseError> {
     Ok(match e {
         CstExpr::Lit(v) => Expr::Lit(*v),
         CstExpr::Param(name) => Expr::Param(name.clone()),
@@ -954,19 +1082,24 @@ fn resolve_expr(spec: &Spec, e: &CstExpr) -> Result<Expr, ParseError> {
             } else if let Some(s) = spec.signal_by_name(name) {
                 Expr::Signal(s)
             } else {
-                return Err(ParseError::new(0, 0, format!("unresolved name `{name}`")));
+                return Err(ParseError::new(
+                    span.line,
+                    span.col,
+                    format!("unresolved name `{name}`"),
+                ));
             }
         }
         CstExpr::Index(name, idx) => Expr::Index(
-            spec.variable_by_name(name)
-                .ok_or_else(|| ParseError::new(0, 0, format!("unresolved variable `{name}`")))?,
-            Box::new(resolve_expr(spec, idx)?),
+            spec.variable_by_name(name).ok_or_else(|| {
+                ParseError::new(span.line, span.col, format!("unresolved variable `{name}`"))
+            })?,
+            Box::new(resolve_expr(spec, idx, span)?),
         ),
-        CstExpr::Unary(op, inner) => Expr::Unary(*op, Box::new(resolve_expr(spec, inner)?)),
+        CstExpr::Unary(op, inner) => Expr::Unary(*op, Box::new(resolve_expr(spec, inner, span)?)),
         CstExpr::Binary(op, l, r) => Expr::Binary(
             *op,
-            Box::new(resolve_expr(spec, l)?),
-            Box::new(resolve_expr(spec, r)?),
+            Box::new(resolve_expr(spec, l, span)?),
+            Box::new(resolve_expr(spec, r, span)?),
         ),
     })
 }
@@ -1024,6 +1157,33 @@ top Top;
     }
 
     #[test]
+    fn spans_point_at_declarations_and_statements() {
+        let (spec, map) = parse_with_spans(FIG1).expect("parses");
+        let x = spec.variable_by_name("x").unwrap();
+        assert_eq!(map.variable_span(x), Some(Span::new(4, 1)));
+        let a = spec.behavior_by_name("A").unwrap();
+        assert_eq!(map.behavior_span(a), Some(Span::new(6, 1)));
+        // A's single statement `x := x + 5;` on line 7, indented two cols.
+        let path = StmtPath::root(StmtOwner::Behavior(a)).child(0, 0);
+        assert_eq!(map.stmt_span(&path), Some(Span::new(7, 3)));
+        // First transition arc of Top on line 21.
+        let top = spec.behavior_by_name("Top").unwrap();
+        assert_eq!(map.transition_span(top, 0), Some(Span::new(21, 5)));
+        assert_eq!(map.transition_span(top, 3), None);
+    }
+
+    #[test]
+    fn nested_statement_spans_distinguish_branches() {
+        let src = "spec s;\nvar x : int<16> = 0;\nbehavior L leaf {\n  if (x > 0) {\n    x := 1;\n  } else {\n    x := 2;\n  }\n}\nbehavior T seq { children { L; } }\ntop T;\n";
+        let (spec, map) = parse_with_spans(src).expect("parses");
+        let l = spec.behavior_by_name("L").unwrap();
+        let if_path = StmtPath::root(StmtOwner::Behavior(l)).child(0, 0);
+        assert_eq!(map.stmt_span(&if_path), Some(Span::new(4, 3)));
+        assert_eq!(map.stmt_span(&if_path.child(0, 0)), Some(Span::new(5, 5)));
+        assert_eq!(map.stmt_span(&if_path.child(1, 0)), Some(Span::new(7, 5)));
+    }
+
+    #[test]
     fn parses_all_statement_forms() {
         let src = r#"
 spec all;
@@ -1073,6 +1233,8 @@ top Top;
         let src = "spec s;\nbehavior L leaf {\n  y := 1;\n}\nbehavior Top seq {\n  children { L; }\n}\ntop Top;\n";
         let err = parse(src).unwrap_err();
         assert!(err.message.contains("unresolved"), "{err}");
+        // The error points at the offending statement, not 0:0.
+        assert_eq!((err.line, err.col), (3, 3));
     }
 
     #[test]
@@ -1085,6 +1247,16 @@ top Top;
     fn rejects_missing_top() {
         let err = parse("spec s;\nbehavior L leaf { }\n").unwrap_err();
         assert!(err.message.contains("top"));
+    }
+
+    #[test]
+    fn validation_errors_carry_declaration_position() {
+        // `x` declared scalar but indexed as an array: the structural
+        // check fires and the error points at the declaration of `x`.
+        let src = "spec s;\nvar x : int<16> = 0;\nbehavior L leaf {\n  x[0] := 1;\n}\nbehavior T seq { children { L; } }\ntop T;\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("indexed"), "{err}");
+        assert_eq!((err.line, err.col), (2, 1));
     }
 
     #[test]

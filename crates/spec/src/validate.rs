@@ -1,10 +1,12 @@
 //! Structural validation of a [`Spec`].
 //!
-//! `check` verifies the invariants the rest of the toolchain relies on:
-//! unique names per entity kind, a tree-shaped behavior hierarchy rooted at
-//! the top, transitions that stay within their composite's children,
-//! call-site arity matching subroutine signatures, and array/scalar access
-//! consistency.
+//! [`check_all`] verifies the invariants the rest of the toolchain relies
+//! on — unique names per entity kind, a tree-shaped behavior hierarchy
+//! rooted at the top, transitions that stay within their composite's
+//! children, call-site arity matching subroutine signatures, and
+//! array/scalar access consistency — and collects *every* violation.
+//! [`check`] is the `Result`-returning shim that reports only the first,
+//! for callers that just need pass/fail.
 
 use std::collections::{HashMap, HashSet};
 
@@ -20,20 +22,33 @@ use crate::visit;
 ///
 /// # Errors
 ///
-/// Returns the first violation found as a [`SpecError`].
+/// Returns the first violation found as a [`SpecError`]. Use
+/// [`check_all`] to collect every violation instead.
 pub fn check(spec: &Spec) -> Result<(), SpecError> {
-    check_unique_names(spec)?;
-    check_hierarchy(spec)?;
-    check_transitions(spec)?;
-    check_bodies(spec)?;
-    Ok(())
+    match check_all(spec).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
-fn check_unique_names(spec: &Spec) -> Result<(), SpecError> {
+/// Checks all structural invariants of a spec, collecting **every**
+/// violation instead of stopping at the first. The order is deterministic
+/// (names, hierarchy, transitions, bodies) and the first element equals
+/// the error [`check`] would return.
+pub fn check_all(spec: &Spec) -> Vec<SpecError> {
+    let mut out = Vec::new();
+    check_unique_names(spec, &mut out);
+    check_hierarchy(spec, &mut out);
+    check_transitions(spec, &mut out);
+    check_bodies(spec, &mut out);
+    out
+}
+
+fn check_unique_names(spec: &Spec, out: &mut Vec<SpecError>) {
     let mut seen = HashSet::new();
     for (_, b) in spec.behaviors() {
         if !seen.insert(b.name().to_string()) {
-            return Err(SpecError::DuplicateName {
+            out.push(SpecError::DuplicateName {
                 kind: "behavior",
                 name: b.name().to_string(),
             });
@@ -44,7 +59,7 @@ fn check_unique_names(spec: &Spec) -> Result<(), SpecError> {
     let mut seen = HashSet::new();
     for (_, v) in spec.variables() {
         if !seen.insert(v.name().to_string()) {
-            return Err(SpecError::DuplicateName {
+            out.push(SpecError::DuplicateName {
                 kind: "variable",
                 name: v.name().to_string(),
             });
@@ -53,7 +68,7 @@ fn check_unique_names(spec: &Spec) -> Result<(), SpecError> {
     let mut seen = HashSet::new();
     for (_, s) in spec.signals() {
         if !seen.insert(s.name().to_string()) {
-            return Err(SpecError::DuplicateName {
+            out.push(SpecError::DuplicateName {
                 kind: "signal",
                 name: s.name().to_string(),
             });
@@ -62,30 +77,35 @@ fn check_unique_names(spec: &Spec) -> Result<(), SpecError> {
     let mut seen = HashSet::new();
     for (_, s) in spec.subroutines() {
         if !seen.insert(s.name().to_string()) {
-            return Err(SpecError::DuplicateName {
+            out.push(SpecError::DuplicateName {
                 kind: "subroutine",
                 name: s.name().to_string(),
             });
         }
     }
-    Ok(())
 }
 
-fn check_hierarchy(spec: &Spec) -> Result<(), SpecError> {
+fn check_hierarchy(spec: &Spec, out: &mut Vec<SpecError>) {
     // Every behavior is a child of at most one composite.
     let mut parent: HashMap<BehaviorId, BehaviorId> = HashMap::new();
     for (id, b) in spec.behaviors() {
         for &c in b.children() {
-            spec.try_behavior(c)?;
+            if let Err(e) = spec.try_behavior(c) {
+                out.push(e);
+                continue;
+            }
             if parent.insert(c, id).is_some() {
-                return Err(SpecError::SharedChild(c));
+                out.push(SpecError::SharedChild(c));
             }
         }
     }
     if let Some(top) = spec.top_opt() {
-        spec.try_behavior(top)?;
+        if let Err(e) = spec.try_behavior(top) {
+            out.push(e);
+            return;
+        }
         if parent.contains_key(&top) {
-            return Err(SpecError::TopIsChild(top));
+            out.push(SpecError::TopIsChild(top));
         }
         // Detect cycles: walk up from every behavior; the chain must
         // terminate within behavior_count steps.
@@ -96,27 +116,27 @@ fn check_hierarchy(spec: &Spec) -> Result<(), SpecError> {
                 cur = p;
                 steps += 1;
                 if steps > spec.behavior_count() {
-                    return Err(SpecError::HierarchyCycle(id));
+                    out.push(SpecError::HierarchyCycle(id));
+                    break;
                 }
             }
         }
     }
-    Ok(())
 }
 
-fn check_transitions(spec: &Spec) -> Result<(), SpecError> {
+fn check_transitions(spec: &Spec, out: &mut Vec<SpecError>) {
     for (id, b) in spec.behaviors() {
         let children: HashSet<_> = b.children().iter().copied().collect();
         for t in b.transitions() {
             if !children.contains(&t.from) {
-                return Err(SpecError::TransitionNotSibling {
+                out.push(SpecError::TransitionNotSibling {
                     parent: id,
                     endpoint: t.from,
                 });
             }
             if let TransitionTarget::Behavior(to) = t.to {
                 if !children.contains(&to) {
-                    return Err(SpecError::TransitionNotSibling {
+                    out.push(SpecError::TransitionNotSibling {
                         parent: id,
                         endpoint: to,
                     });
@@ -124,55 +144,43 @@ fn check_transitions(spec: &Spec) -> Result<(), SpecError> {
             }
         }
     }
-    Ok(())
 }
 
-fn check_bodies(spec: &Spec) -> Result<(), SpecError> {
-    let mut result = Ok(());
-    let mut check_stmts = |stmts: &[Stmt]| {
+fn check_bodies(spec: &Spec, out: &mut Vec<SpecError>) {
+    let check_stmts = |stmts: &[Stmt], out: &mut Vec<SpecError>| {
         visit::for_each_stmt(stmts, &mut |s| {
-            if result.is_err() {
-                return;
+            if let Err(e) = check_stmt(spec, s) {
+                out.push(e);
             }
-            result = check_stmt(spec, s);
         });
-        if result.is_ok() {
-            visit::for_each_expr(stmts, &mut |e| {
-                if result.is_err() {
-                    return;
-                }
-                result = check_expr(spec, e);
-            });
-        }
+        visit::for_each_expr(stmts, &mut |e| {
+            if let Err(err) = check_expr(spec, e) {
+                out.push(err);
+            }
+        });
     };
     for (_, b) in spec.behaviors() {
         if let Some(body) = b.body() {
-            check_stmts(body);
+            check_stmts(body, out);
         }
     }
     for (_, sub) in spec.subroutines() {
-        check_stmts(sub.body());
+        check_stmts(sub.body(), out);
     }
     // Transition guards.
-    if result.is_ok() {
-        for (_, b) in spec.behaviors() {
-            for t in b.transitions() {
-                if let Some(cond) = &t.cond {
-                    let mut walk_result = Ok(());
-                    walk_guard(spec, cond, &mut walk_result);
-                    walk_result?;
-                }
+    for (_, b) in spec.behaviors() {
+        for t in b.transitions() {
+            if let Some(cond) = &t.cond {
+                walk_guard(spec, cond, out);
             }
         }
     }
-    result
 }
 
-fn walk_guard(spec: &Spec, e: &Expr, out: &mut Result<(), SpecError>) {
-    if out.is_err() {
-        return;
+fn walk_guard(spec: &Spec, e: &Expr, out: &mut Vec<SpecError>) {
+    if let Err(err) = check_expr(spec, e) {
+        out.push(err);
     }
-    *out = check_expr(spec, e);
     match e {
         Expr::Index(_, idx) => walk_guard(spec, idx, out),
         Expr::Unary(_, inner) => walk_guard(spec, inner, out),
@@ -356,6 +364,29 @@ mod tests {
         ));
         spec.set_top(top);
         assert!(matches!(check(&spec), Err(SpecError::SharedChild(_))));
+    }
+
+    #[test]
+    fn check_all_collects_multiple_violations() {
+        // Two independent defects: `x` (scalar) indexed as array AND
+        // `a` (array) read without an index. `check` sees only the first;
+        // `check_all` reports both.
+        let mut b = SpecBuilder::new("multi");
+        let x = b.var_int("x", 16, 0);
+        let arr = b.var("a", DataType::array(ScalarType::Int(8), 4), 0);
+        let leaf = b.leaf(
+            "A",
+            vec![assign_index(x, lit(0), lit(1)), assign(x, var(arr))],
+        );
+        let top = b.seq_in_order("Top", vec![leaf]);
+        let spec = b.finish_unchecked(top);
+        let all = check_all(&spec);
+        assert_eq!(all.len(), 2, "{all:?}");
+        assert!(all
+            .iter()
+            .all(|e| matches!(e, SpecError::IndexingMismatch(_))));
+        // First element equals what the shim reports.
+        assert_eq!(check(&spec).unwrap_err(), all[0]);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the modref toolchain.
+pub use modref_analyze as analyze;
 pub use modref_core as core;
 pub use modref_estimate as estimate;
 pub use modref_graph as graph;

@@ -1,0 +1,126 @@
+//! Conformance property: every shipped workload, refined under every
+//! implementation model, produces an architecture that passes the
+//! `RC01`–`RC04` static lints — the refiner never emits an arbiterless
+//! multi-master bus, overlapping decode ranges, a one-sided bus, or an
+//! under-width bus. Tamper tests then break each invariant by hand and
+//! check the corresponding lint fires, so the property is not passing
+//! vacuously.
+
+use modref::analyze::Severity;
+use modref::core::{lint_refined, refine, static_reject, ImplModel, Refined};
+use modref::graph::AccessGraph;
+use modref::partition::{Allocation, Partition};
+use modref::spec::Spec;
+use modref::workloads::{
+    dsp_partition, dsp_spec, fig2_partition, fig2_spec, medical_allocation, medical_partition,
+    medical_spec, Design,
+};
+
+/// Refines `spec` under every model and asserts the result is statically
+/// sound: no error-severity conformance diagnostics, so the explorer's
+/// static gate would let every candidate through to simulation.
+fn assert_all_models_conform(label: &str, spec: &Spec, alloc: &Allocation, part: &Partition) {
+    let graph = AccessGraph::derive(spec);
+    for model in ImplModel::ALL {
+        let refined = refine(spec, &graph, alloc, part, model)
+            .unwrap_or_else(|e| panic!("{label}/{model}: refinement failed: {e}"));
+        let diags = lint_refined(spec, &graph, &refined);
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Error),
+            "{label}/{model}: conformance errors: {diags:#?}"
+        );
+        assert_eq!(
+            static_reject(&diags),
+            None,
+            "{label}/{model}: statically rejected"
+        );
+    }
+}
+
+#[test]
+fn medical_conforms_under_every_design_and_model() {
+    let spec = medical_spec();
+    let alloc = medical_allocation();
+    for design in [Design::Design1, Design::Design2, Design::Design3] {
+        let part = medical_partition(&spec, &alloc, design);
+        assert_all_models_conform(&format!("medical/{design:?}"), &spec, &alloc, &part);
+    }
+}
+
+#[test]
+fn fig2_conforms_under_every_model() {
+    let spec = fig2_spec();
+    let alloc = medical_allocation();
+    let part = fig2_partition(&spec, &alloc);
+    assert_all_models_conform("fig2", &spec, &alloc, &part);
+}
+
+#[test]
+fn dsp_conforms_under_every_model() {
+    let spec = dsp_spec();
+    let alloc = medical_allocation();
+    let part = dsp_partition(&spec, &alloc);
+    assert_all_models_conform("dsp", &spec, &alloc, &part);
+}
+
+/// Refines medical/Design1 under `model` — the shared fixture the tamper
+/// tests mutate.
+fn medical_refined(model: ImplModel) -> (Spec, AccessGraph, Refined) {
+    let spec = medical_spec();
+    let graph = AccessGraph::derive(&spec);
+    let alloc = medical_allocation();
+    let part = medical_partition(&spec, &alloc, Design::Design1);
+    let refined = refine(&spec, &graph, &alloc, &part, model).expect("refines");
+    (spec, graph, refined)
+}
+
+fn reject_codes(spec: &Spec, graph: &AccessGraph, refined: &Refined) -> String {
+    static_reject(&lint_refined(spec, graph, refined)).expect("tampered candidate must be rejected")
+}
+
+#[test]
+fn removing_arbiters_trips_rc01() {
+    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    refined.architecture.arbiters.clear();
+    let codes = reject_codes(&spec, &graph, &refined);
+    assert!(codes.contains("RC01"), "{codes}");
+}
+
+#[test]
+fn overlapping_decode_ranges_trip_rc02() {
+    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    // Ghost module decoding the same variables as the real global memory:
+    // identical (hence overlapping) address ranges.
+    let original = refined
+        .plan
+        .memories
+        .iter()
+        .find(|m| m.global)
+        .expect("Model1 has a global memory")
+        .clone();
+    let mut ghost = original;
+    ghost.name = "Ghost".into();
+    refined.plan.memories.push(ghost);
+    let codes = reject_codes(&spec, &graph, &refined);
+    assert!(codes.contains("RC02"), "{codes}");
+}
+
+#[test]
+fn orphaning_a_bus_trips_rc03() {
+    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    for bus in &mut refined.architecture.buses {
+        bus.slaves.clear();
+    }
+    let codes = reject_codes(&spec, &graph, &refined);
+    assert!(codes.contains("RC03"), "{codes}");
+}
+
+#[test]
+fn narrowing_every_bus_trips_rc04() {
+    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    for bus in &mut refined.architecture.buses {
+        bus.data_bits = 1;
+    }
+    let codes = reject_codes(&spec, &graph, &refined);
+    assert!(codes.contains("RC04"), "{codes}");
+}
