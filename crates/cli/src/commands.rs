@@ -1,15 +1,17 @@
-//! The CLI subcommand implementations.
+//! The CLI subcommand implementations, all running through the
+//! [`Codesign`] facade — one spec load, one lazily derived access
+//! graph, structured [`ModrefError`] failures.
 
 use std::fs;
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use modref_analyze::{analyze_spec, render_json_lines, sort_canonical, LintConfig, Totals};
-use modref_core::{figure9_rates, ImplModel};
-use modref_estimate::LifetimeConfig;
-use modref_graph::{AccessGraph, ChannelKind};
-use modref_partition::textfmt::{parse_partition, render_partition};
-use modref_sim::Simulator;
-use modref_spec::{printer, SourceMap, Spec};
+use modref_analyze::{render_json_lines, Totals};
+use modref_core::api::{Codesign, ExploreOpts, LintOpts, SimOpts, VerifyOpts};
+use modref_core::{ImplModel, ModrefError};
+use modref_graph::ChannelKind;
+use modref_partition::textfmt::render_partition;
+use modref_partition::Allocation;
+use modref_spec::printer;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -30,24 +32,19 @@ fn quiet() -> bool {
     VERBOSITY.load(Ordering::Relaxed) == 0
 }
 
-/// `modref check`: the spec already parsed and validated; print stats.
-pub fn check(spec: &Spec) -> CmdResult {
-    let graph = AccessGraph::derive(spec);
-    println!("spec `{}` is valid", spec.name());
-    println!(
-        "  behaviors:     {} ({} leaves)",
-        spec.behavior_count(),
-        spec.leaves().len()
-    );
-    println!("  variables:     {}", spec.variable_count());
-    println!("  signals:       {}", spec.signal_count());
-    println!("  subroutines:   {}", spec.subroutine_count());
-    println!("  statements:    {}", spec.total_statements());
-    println!("  printed lines: {}", printer::line_count(spec));
+/// `modref check`: the session already validated; print stats.
+pub fn check(cd: &Codesign) -> CmdResult {
+    let s = cd.stats();
+    println!("spec `{}` is valid", s.name);
+    println!("  behaviors:     {} ({} leaves)", s.behaviors, s.leaves);
+    println!("  variables:     {}", s.variables);
+    println!("  signals:       {}", s.signals);
+    println!("  subroutines:   {}", s.subroutines);
+    println!("  statements:    {}", s.statements);
+    println!("  printed lines: {}", s.printed_lines);
     println!(
         "  channels:      {} data, {} control",
-        graph.data_channel_count(),
-        graph.control_channels().count()
+        s.data_channels, s.control_channels
     );
     Ok(())
 }
@@ -55,53 +52,27 @@ pub fn check(spec: &Spec) -> CmdResult {
 /// `modref check` front end: report *every* validation violation with a
 /// `file:line:col` position, or fall through to the stats printout when
 /// the spec is well-formed.
-pub fn check_source(file: &str, spec: &Spec, map: &SourceMap) -> CmdResult {
-    let mut diags = modref_analyze::structural::structural_lints(spec, map);
-    sort_canonical(&mut diags);
+pub fn check_source(cd: &Codesign) -> CmdResult {
+    let diags = cd.check();
     if !diags.is_empty() {
         for d in &diags {
-            eprintln!("{}", d.render_human(file));
+            eprintln!("{}", d.render_human(cd.name()));
         }
         return Err(format!("{} validation error(s)", diags.len()).into());
     }
-    check(spec)
+    check(cd)
 }
 
 /// `modref lint`: the full static-analysis suite over a spec, plus the
-/// refinement-conformance lints when a partition (and optionally one
-/// model) is supplied.
-#[allow(clippy::too_many_arguments)]
-pub fn lint(
-    file: &str,
-    spec: &Spec,
-    map: &SourceMap,
-    part_text: Option<&str>,
-    model: Option<ImplModel>,
-    json: bool,
-    config: &LintConfig,
-) -> CmdResult {
-    let mut diags = analyze_spec(spec, map);
-    if let Some(text) = part_text {
-        let (alloc, partition) = parse_partition(spec, text)?;
-        let graph = AccessGraph::derive(spec);
-        let models: Vec<ImplModel> = match model {
-            Some(m) => vec![m],
-            None => ImplModel::ALL.to_vec(),
-        };
-        for m in models {
-            let refined = modref_core::refine(spec, &graph, &alloc, &partition, m)
-                .map_err(|e| format!("refinement under {} failed: {e}", m.name()))?;
-            diags.extend(modref_core::lint_refined(spec, &graph, &refined));
-        }
-        sort_canonical(&mut diags);
-    }
-    let diags = config.apply_all(diags);
+/// refinement-conformance lints when the options carry a partition.
+pub fn lint(cd: &Codesign, opts: &LintOpts, json: bool) -> CmdResult {
+    let diags = cd.lint(opts)?;
     let totals = Totals::of(&diags);
     if json {
-        print!("{}", render_json_lines(&diags, file));
+        print!("{}", render_json_lines(&diags, cd.name()));
     } else {
         for d in &diags {
-            println!("{}", d.render_human(file));
+            println!("{}", d.render_human(cd.name()));
         }
         if !quiet() {
             println!(
@@ -111,22 +82,26 @@ pub fn lint(
         }
     }
     if totals.errors > 0 {
-        return Err(format!("lint found {} error(s)", totals.errors).into());
+        return Err(ModrefError::Lint {
+            errors: totals.errors,
+        }
+        .into());
     }
     Ok(())
 }
 
 /// `modref print`: canonical re-print.
-pub fn print_spec(spec: &Spec) -> CmdResult {
-    print!("{}", printer::print(spec));
+pub fn print_spec(cd: &Codesign) -> CmdResult {
+    print!("{}", cd.pretty());
     Ok(())
 }
 
 /// `modref graph`: list every derived channel (or emit DOT).
-pub fn graph(spec: &Spec, dot: bool) -> CmdResult {
-    let graph = AccessGraph::derive(spec);
+pub fn graph(cd: &Codesign, dot: bool) -> CmdResult {
+    let spec = cd.spec();
+    let graph = cd.graph();
     if dot {
-        print!("{}", modref_graph::dot::to_dot(spec, &graph));
+        print!("{}", modref_graph::dot::to_dot(spec, graph));
         return Ok(());
     }
     for ch in graph.channels() {
@@ -168,28 +143,15 @@ pub fn graph(spec: &Spec, dot: bool) -> CmdResult {
 }
 
 /// `modref simulate`: run to completion, print final state.
-pub fn simulate(
-    spec: &Spec,
-    profile: bool,
-    stats: bool,
-    max_steps: Option<u64>,
-    kernel: modref_sim::SimKernel,
-) -> CmdResult {
-    let config = modref_sim::SimConfig {
-        max_steps: max_steps.unwrap_or(modref_sim::SimConfig::default().max_steps),
-        kernel,
+pub fn simulate(cd: &Codesign, profile: bool, stats: bool, opts: &SimOpts) -> CmdResult {
+    let kernel_name = match opts.kernel {
+        modref_sim::SimKernel::EventDriven => "event-driven",
+        modref_sim::SimKernel::RoundRobin => "round-robin",
     };
     if verbose() {
-        let kernel_name = match kernel {
-            modref_sim::SimKernel::EventDriven => "event-driven",
-            modref_sim::SimKernel::RoundRobin => "round-robin",
-        };
-        eprintln!(
-            "simulating with the {kernel_name} kernel (max {} steps)",
-            config.max_steps
-        );
+        eprintln!("simulating with the {kernel_name} kernel");
     }
-    let result = Simulator::with_config(spec, config).run()?;
+    let result = cd.simulate(opts)?;
     println!(
         "completed at t={} after {} micro-steps ({} var writes, {} signal writes)",
         result.time, result.steps, result.var_writes, result.signal_writes
@@ -199,10 +161,6 @@ pub fn simulate(
     }
     if stats {
         let s = result.sched;
-        let kernel_name = match kernel {
-            modref_sim::SimKernel::EventDriven => "event-driven",
-            modref_sim::SimKernel::RoundRobin => "round-robin",
-        };
         println!("scheduler stats ({kernel_name} kernel):");
         println!("  rounds:      {}", s.rounds);
         println!("  cond evals:  {}", s.cond_evals);
@@ -222,20 +180,18 @@ pub fn simulate(
 
 /// `modref refine`: refine under a partition file, report and print.
 pub fn refine(
-    spec: &Spec,
+    cd: &Codesign,
     part_text: &str,
     model: ImplModel,
     out: Option<&str>,
     dot: Option<&str>,
 ) -> CmdResult {
-    let (alloc, partition) = parse_partition(spec, part_text)?;
-    let graph = AccessGraph::derive(spec);
-    let refined = modref_core::refine(spec, &graph, &alloc, &partition, model)?;
+    let refined = cd.refine(part_text, model)?;
 
     if !quiet() {
         eprintln!(
             "refined `{}` under {model}: {} behaviors, {} lines",
-            spec.name(),
+            cd.spec().name(),
             refined.spec.behavior_count(),
             printer::line_count(&refined.spec)
         );
@@ -263,47 +219,37 @@ pub fn refine(
 }
 
 /// `modref vhdl`: export a (refined) specification to VHDL.
-pub fn vhdl(spec: &Spec) -> CmdResult {
-    print!("{}", modref_spec::vhdl::export(spec)?);
+pub fn vhdl(cd: &Codesign) -> CmdResult {
+    print!("{}", modref_spec::vhdl::export(cd.spec())?);
     Ok(())
 }
 
 /// `modref cgen`: export one process to C with a bus HAL.
-pub fn cgen(spec: &Spec, process: &str) -> CmdResult {
-    print!("{}", modref_spec::cgen::export_software(spec, process)?);
-    Ok(())
-}
-
-/// `modref estimate`: lifetimes and channel-rate report.
-pub fn estimate(spec: &Spec, part_text: &str) -> CmdResult {
-    let (alloc, partition) = parse_partition(spec, part_text)?;
-    let graph = AccessGraph::derive(spec);
-    let model_of = |b: modref_spec::BehaviorId| {
-        partition
-            .component_of_behavior(spec, b)
-            .map(|c| alloc.component(c).timing_model())
-            .unwrap_or_default()
-    };
+pub fn cgen(cd: &Codesign, process: &str) -> CmdResult {
     print!(
         "{}",
-        modref_estimate::estimation_report(spec, &graph, &model_of, &LifetimeConfig::default())
+        modref_spec::cgen::export_software(cd.spec(), process)?
     );
     Ok(())
 }
 
+/// `modref estimate`: lifetimes and channel-rate report.
+pub fn estimate(cd: &Codesign, part_text: &str) -> CmdResult {
+    print!("{}", cd.estimate(part_text)?);
+    Ok(())
+}
+
 /// `modref rates`: Figure 9 tables for all four models.
-pub fn rates(spec: &Spec, part_text: &str) -> CmdResult {
-    let (alloc, partition) = parse_partition(spec, part_text)?;
-    let graph = AccessGraph::derive(spec);
-    let cfg = LifetimeConfig::default();
-    let (locals, globals) = partition.classify_all(spec, &graph);
+pub fn rates(cd: &Codesign, part_text: &str) -> CmdResult {
+    let (_, partition) = cd.partition(part_text)?;
+    let (locals, globals) = partition.classify_all(cd.spec(), cd.graph());
     println!(
         "{} local / {} global variables",
         locals.len(),
         globals.len()
     );
     for model in ImplModel::ALL {
-        let table = figure9_rates(spec, &graph, &alloc, &partition, model, &cfg)?;
+        let table = cd.rates(part_text, model)?;
         let cells: Vec<String> = table
             .iter()
             .map(|(bus, rate)| format!("{bus}={rate:.0}"))
@@ -328,7 +274,7 @@ pub fn rates(spec: &Spec, part_text: &str) -> CmdResult {
 /// `-o`, writes the best candidate's partition file.
 #[allow(clippy::too_many_arguments)]
 pub fn explore(
-    spec: &Spec,
+    cd: &Codesign,
     part_text: Option<&str>,
     seeds: u64,
     threads: Option<usize>,
@@ -336,20 +282,13 @@ pub fn explore(
     verify: bool,
     out: Option<&str>,
 ) -> CmdResult {
-    use modref_partition::explore::ExploreConfig;
-    use modref_partition::{Allocation, CostConfig};
-
-    let alloc = match part_text {
-        Some(text) => parse_partition(spec, text)?.0,
-        None => Allocation::proc_plus_asic(),
-    };
-    let graph = AccessGraph::derive(spec);
-    let cost_config = CostConfig::default();
-    let expl = ExploreConfig {
-        seeds,
-        threads,
-        ..ExploreConfig::default()
-    };
+    let mut eopts = ExploreOpts::new().seeds(seeds);
+    if let Some(text) = part_text {
+        eopts = eopts.part(text);
+    }
+    if let Some(t) = threads {
+        eopts = eopts.threads(t);
+    }
     let workers = modref_partition::thread_count(threads);
 
     if verbose() {
@@ -360,7 +299,7 @@ pub fn explore(
         );
     }
     let started = std::time::Instant::now();
-    let result = modref_core::explore_designs(spec, &graph, &alloc, &cost_config, &expl)?;
+    let result = cd.explore(&eopts)?;
     let elapsed = started.elapsed();
 
     let n = result.points.len();
@@ -409,8 +348,15 @@ pub fn explore(
     }
 
     if verify {
+        let mut vopts = VerifyOpts::new();
+        if let Some(text) = part_text {
+            vopts = vopts.part(text);
+        }
+        if let Some(t) = threads {
+            vopts = vopts.threads(t);
+        }
         let started = std::time::Instant::now();
-        let v = modref_core::verify_pareto(spec, &graph, &alloc, &result, threads);
+        let v = cd.verify(&result, &vopts)?;
         let elapsed = started.elapsed();
         println!();
         println!(
@@ -445,12 +391,58 @@ pub fn explore(
     }
 
     if let Some(path) = out {
-        let best = &result.points[0];
-        let text = render_partition(spec, &alloc, &best.partition);
+        let best = result
+            .points
+            .first()
+            .ok_or("exploration produced no design points")?;
+        let alloc = match part_text {
+            Some(text) => cd.partition(text)?.0,
+            None => Allocation::proc_plus_asic(),
+        };
+        let text = render_partition(cd.spec(), &alloc, &best.partition);
         fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
         println!(
             "wrote best partition ({} seed {} under {}) to {path}",
             best.algorithm, best.seed, best.model
+        );
+    }
+    Ok(())
+}
+
+/// `modref serve`: run the concurrent JSONL codesign service over
+/// stdin/stdout or TCP. Responses go to stdout; the summary goes to
+/// stderr so it never corrupts the protocol stream.
+pub fn serve(stdio: bool, listen: Option<&str>, cfg: modref_core::serve::ServeConfig) -> CmdResult {
+    let cfg = cfg.workload_resolver(modref_workloads::named_spec);
+    let stats = if let Some(addr) = listen {
+        let listener =
+            std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        if !quiet() {
+            eprintln!("modref serve listening on {}", listener.local_addr()?);
+        }
+        modref_core::serve::serve_listener(listener, &cfg)?
+    } else if stdio {
+        if verbose() {
+            eprintln!(
+                "modref serve reading JSONL requests from stdin ({} workers, queue {})",
+                cfg.workers, cfg.queue
+            );
+        }
+        modref_core::serve::serve_stdio(&cfg)
+    } else {
+        return Err("serve needs a transport: `--stdio` or `--listen <addr>`".into());
+    };
+    if !quiet() {
+        eprintln!(
+            "served {} request(s): {} ok, {} failed ({} cancelled, {} timed out), \
+             {} overloaded, {} malformed",
+            stats.accepted,
+            stats.completed,
+            stats.errors,
+            stats.cancelled,
+            stats.timeouts,
+            stats.overloaded,
+            stats.malformed
         );
     }
     Ok(())
@@ -475,17 +467,17 @@ pub fn demo(dir: &str) -> CmdResult {
         fig2_partition, fig2_spec, medical_allocation, medical_partition, medical_spec, Design,
     };
     fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
-    let spec = medical_spec();
+    let cd = Codesign::from_spec(medical_spec());
     let alloc = medical_allocation();
     let spec_path = format!("{dir}/medical.spec");
-    fs::write(&spec_path, printer::print(&spec))?;
+    fs::write(&spec_path, cd.pretty())?;
     println!("wrote {spec_path}");
     for design in Design::ALL {
-        let part = medical_partition(&spec, &alloc, design);
+        let part = medical_partition(cd.spec(), &alloc, design);
         let path = format!("{dir}/medical_{}.part", design.to_string().to_lowercase());
         // Insert the `default` line between the component declarations
         // and the assignments.
-        let rendered = render_partition(&spec, &alloc, &part);
+        let rendered = render_partition(cd.spec(), &alloc, &part);
         let split = rendered.find("behavior ").unwrap_or(rendered.len());
         let (components, assignments) = rendered.split_at(split);
         let text = format!(
@@ -496,12 +488,12 @@ pub fn demo(dir: &str) -> CmdResult {
         println!("wrote {path}");
     }
 
-    let fig2 = fig2_spec();
+    let fig2 = Codesign::from_spec(fig2_spec());
     let fig2_spec_path = format!("{dir}/fig2.spec");
-    fs::write(&fig2_spec_path, printer::print(&fig2))?;
+    fs::write(&fig2_spec_path, fig2.pretty())?;
     println!("wrote {fig2_spec_path}");
-    let fig2_part = fig2_partition(&fig2, &alloc);
-    let rendered = render_partition(&fig2, &alloc, &fig2_part);
+    let fig2_part = fig2_partition(fig2.spec(), &alloc);
+    let rendered = render_partition(fig2.spec(), &alloc, &fig2_part);
     let split = rendered.find("behavior ").unwrap_or(rendered.len());
     let (components, assignments) = rendered.split_at(split);
     let fig2_part_path = format!("{dir}/fig2.part");
@@ -521,6 +513,7 @@ pub fn demo(dir: &str) -> CmdResult {
         println!("  modref simulate refined.spec");
         println!("  modref explore {dir}/fig2.spec --trace fig2.jsonl");
         println!("  modref report fig2.jsonl");
+        println!("  modref serve --stdio");
     }
     Ok(())
 }

@@ -9,9 +9,14 @@
 //! modref refine   <spec> -p <part> -m N  refine to ModelN, print result
 //! modref rates    <spec> -p <part>       Figure 9 rate table, all models
 //! modref explore  <spec> [--seeds K]     parallel multi-start exploration
+//! modref serve    --stdio|--listen ADDR  concurrent JSONL codesign service
 //! modref report   <trace.jsonl>          render a recorded trace
 //! modref demo     <dir>                  write the example files
 //! ```
+//!
+//! Every spec-taking command goes through one [`Codesign`] session: the
+//! spec is loaded and validated once, the access graph derived once,
+//! and failures are structured [`ModrefError`]s.
 //!
 //! Global flags (any command): `--trace <file.jsonl>` records spans and
 //! metrics for the run, `-v`/`--verbose` adds diagnostics, `-q`/`--quiet`
@@ -21,6 +26,8 @@
 use std::env;
 use std::fs;
 use std::process::ExitCode;
+
+use modref_core::api::{Codesign, LintOpts, ModrefError, SimOpts};
 
 mod commands;
 
@@ -71,26 +78,21 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
-        "check" => {
-            let (path, spec, map) = read_spec_with_spans(args, 1)?;
-            commands::check_source(&path, &spec, &map)
-        }
+        "check" => commands::check_source(&load_session_lenient(args, 1)?),
         "lint" => {
-            let (path, spec, map) = read_spec_with_spans(args, 1)?;
-            let part_text = match flag_value(args, "-p") {
-                Some(_) => Some(read_flag_file(args, "-p")?),
-                None => None,
-            };
-            let model = if args.iter().any(|a| a == "-m") {
-                if part_text.is_none() {
+            let cd = load_session_lenient(args, 1)?;
+            let mut opts = LintOpts::new();
+            if flag_value(args, "-p").is_some() {
+                opts = opts.part(read_flag_file(args, "-p")?);
+            }
+            if args.iter().any(|a| a == "-m") {
+                if opts.part.is_none() {
                     return Err(
                         "`-m` requires `-p <part>` (conformance lints need a partition)".into(),
                     );
                 }
-                Some(parse_model(args)?)
-            } else {
-                None
-            };
+                opts = opts.model(parse_model(args)?);
+            }
             let json = match flag_value(args, "--format").as_deref() {
                 None | Some("human") => false,
                 Some("json") => true,
@@ -98,40 +100,31 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                     return Err(format!("invalid --format `{other}` (expected human|json)").into())
                 }
             };
-            let mut config = modref_analyze::LintConfig::new();
             for v in flag_values(args, "--deny")
                 .into_iter()
                 .chain(flag_values(args, "-D"))
             {
-                config.deny(&v)?;
+                opts = opts.deny(v);
             }
             for v in flag_values(args, "--allow") {
-                config.allow(&v)?;
+                opts = opts.allow(v);
             }
-            commands::lint(
-                &path,
-                &spec,
-                &map,
-                part_text.as_deref(),
-                model,
-                json,
-                &config,
-            )
+            commands::lint(&cd, &opts, json)
         }
-        "print" => commands::print_spec(&read_spec(args, 1)?),
+        "print" => commands::print_spec(&load_session(args, 1)?),
         "graph" => {
             let dot = args.iter().any(|a| a == "--dot");
-            commands::graph(&read_spec(args, 1)?, dot)
+            commands::graph(&load_session(args, 1)?, dot)
         }
         "simulate" => {
-            let spec = read_spec(args, 1)?;
+            let cd = load_session(args, 1)?;
             let profile = args.iter().any(|a| a == "--profile");
             let stats = args.iter().any(|a| a == "--stats");
-            let max_steps = flag_value(args, "--max-steps")
-                .map(|v| v.parse::<u64>())
-                .transpose()
-                .map_err(|e| format!("invalid --max-steps: {e}"))?;
-            let kernel = match flag_value(args, "--kernel").as_deref() {
+            let mut opts = SimOpts::new();
+            if let Some(v) = flag_value(args, "--max-steps") {
+                opts = opts.max_steps(v.parse().map_err(|e| format!("invalid --max-steps: {e}"))?);
+            }
+            opts = opts.kernel(match flag_value(args, "--kernel").as_deref() {
                 None | Some("event") => modref_sim::SimKernel::EventDriven,
                 Some("roundrobin") => modref_sim::SimKernel::RoundRobin,
                 Some(other) => {
@@ -139,39 +132,36 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                         format!("invalid --kernel `{other}` (expected event|roundrobin)").into(),
                     )
                 }
-            };
-            commands::simulate(&spec, profile, stats, max_steps, kernel)
+            });
+            commands::simulate(&cd, profile, stats, &opts)
         }
         "refine" => {
-            let spec = read_spec(args, 1)?;
+            let cd = load_session(args, 1)?;
             let part_text = read_flag_file(args, "-p")?;
             let model = parse_model(args)?;
             let out = flag_value(args, "-o");
             let dot = flag_value(args, "--dot");
-            commands::refine(&spec, &part_text, model, out.as_deref(), dot.as_deref())
+            commands::refine(&cd, &part_text, model, out.as_deref(), dot.as_deref())
         }
-        "vhdl" => {
-            let spec = read_spec(args, 1)?;
-            commands::vhdl(&spec)
-        }
+        "vhdl" => commands::vhdl(&load_session(args, 1)?),
         "cgen" => {
-            let spec = read_spec(args, 1)?;
+            let cd = load_session(args, 1)?;
             let process =
                 flag_value(args, "--process").ok_or("missing `--process <behavior>` argument")?;
-            commands::cgen(&spec, &process)
+            commands::cgen(&cd, &process)
         }
         "estimate" => {
-            let spec = read_spec(args, 1)?;
+            let cd = load_session(args, 1)?;
             let part_text = read_flag_file(args, "-p")?;
-            commands::estimate(&spec, &part_text)
+            commands::estimate(&cd, &part_text)
         }
         "rates" => {
-            let spec = read_spec(args, 1)?;
+            let cd = load_session(args, 1)?;
             let part_text = read_flag_file(args, "-p")?;
-            commands::rates(&spec, &part_text)
+            commands::rates(&cd, &part_text)
         }
         "explore" => {
-            let spec = read_spec(args, 1)?;
+            let cd = load_session(args, 1)?;
             let part_text = match flag_value(args, "-p") {
                 Some(_) => Some(read_flag_file(args, "-p")?),
                 None => None,
@@ -193,7 +183,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
             let verify = args.iter().any(|a| a == "--verify");
             let out = flag_value(args, "-o");
             commands::explore(
-                &spec,
+                &cd,
                 part_text.as_deref(),
                 seeds,
                 threads,
@@ -201,6 +191,28 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                 verify,
                 out.as_deref(),
             )
+        }
+        "serve" => {
+            let stdio = args.iter().any(|a| a == "--stdio");
+            let listen = flag_value(args, "--listen");
+            let mut cfg = modref_core::serve::ServeConfig::default();
+            if let Some(v) = flag_value(args, "--workers") {
+                cfg = cfg.workers(v.parse().map_err(|e| format!("invalid --workers: {e}"))?);
+            }
+            if let Some(v) = flag_value(args, "--queue") {
+                cfg = cfg.queue(v.parse().map_err(|e| format!("invalid --queue: {e}"))?);
+            }
+            if let Some(v) = flag_value(args, "--deadline-ms") {
+                cfg = cfg.default_deadline_ms(
+                    v.parse()
+                        .map_err(|e| format!("invalid --deadline-ms: {e}"))?,
+                );
+            }
+            if let Some(v) = flag_value(args, "--max-conns") {
+                cfg = cfg
+                    .max_connections(v.parse().map_err(|e| format!("invalid --max-conns: {e}"))?);
+            }
+            commands::serve(stdio, listen.as_deref(), cfg)
         }
         "report" => {
             let path = args.get(1).ok_or("usage: modref report <trace.jsonl>")?;
@@ -228,7 +240,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
 /// Every subcommand name, for `unknown command` suggestions.
 const COMMANDS: &[&str] = &[
     "check", "lint", "print", "graph", "simulate", "refine", "vhdl", "cgen", "estimate", "rates",
-    "explore", "report", "demo", "help",
+    "explore", "serve", "report", "demo", "help",
 ];
 
 /// Flags accepted by every command. `true` = the flag consumes a value.
@@ -271,6 +283,14 @@ fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--top", true),
             ("--verify", false),
             ("-o", true),
+        ],
+        "serve" => &[
+            ("--stdio", false),
+            ("--listen", true),
+            ("--workers", true),
+            ("--queue", true),
+            ("--deadline-ms", true),
+            ("--max-conns", true),
         ],
         _ => return None,
     })
@@ -381,6 +401,12 @@ USAGE:
                   [--verify]                  simulate original vs refined for
                                               every Pareto-front candidate
   modref estimate <spec> -p <part>            lifetimes + channel rates report
+  modref serve    --stdio | --listen ADDR     concurrent JSONL codesign service:
+                  [--workers N] [--queue N]   one request per line on stdin (or
+                  [--deadline-ms MS]          per TCP connection), one JSON
+                  [--max-conns N]             response per line, tagged by id;
+                                              ops: parse refine estimate explore
+                                              verify lint cancel
   modref vhdl     <spec>                      export to VHDL (refined specs)
   modref cgen     <spec> --process <name>     export a process to C + bus HAL
   modref report   <trace.jsonl>               render a trace recorded with
@@ -404,28 +430,29 @@ The <part> file format is documented in modref-partition's textfmt module:
     );
 }
 
-fn read_spec(args: &[String], pos: usize) -> Result<modref_spec::Spec, Box<dyn std::error::Error>> {
+/// Opens a validated [`Codesign`] session on the spec file at `pos`,
+/// rendering parse errors as `path:line:col: message`.
+fn load_session(args: &[String], pos: usize) -> Result<Codesign, Box<dyn std::error::Error>> {
     let path = args.get(pos).ok_or("missing specification file argument")?;
-    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    modref_spec::parser::parse(&text)
-        .map_err(|e| format!("{path}:{}:{}: {}", e.line, e.col, e.message).into())
+    Codesign::load(path).map_err(|e| render_load_error(path, e))
 }
 
-/// Like [`read_spec`], but skips validation and keeps the source map —
-/// `check` and `lint` report validation problems themselves, with
-/// positions, instead of stopping at the first one.
-fn read_spec_with_spans(
+/// Like [`load_session`], but skips validation — `check` and `lint`
+/// report validation problems themselves, with positions, instead of
+/// stopping at the first one.
+fn load_session_lenient(
     args: &[String],
     pos: usize,
-) -> Result<(String, modref_spec::Spec, modref_spec::SourceMap), Box<dyn std::error::Error>> {
-    let path = args
-        .get(pos)
-        .ok_or("missing specification file argument")?
-        .clone();
-    let text = fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-    let (spec, map) = modref_spec::parser::parse_with_spans(&text)
-        .map_err(|e| format!("{path}:{}:{}: {}", e.line, e.col, e.message))?;
-    Ok((path, spec, map))
+) -> Result<Codesign, Box<dyn std::error::Error>> {
+    let path = args.get(pos).ok_or("missing specification file argument")?;
+    Codesign::load_lenient(path).map_err(|e| render_load_error(path, e))
+}
+
+fn render_load_error(path: &str, e: ModrefError) -> Box<dyn std::error::Error> {
+    match e {
+        ModrefError::Parse(p) => format!("{path}:{}:{}: {}", p.line, p.col, p.message).into(),
+        other => Box::new(other),
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {

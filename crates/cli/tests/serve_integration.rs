@@ -1,0 +1,217 @@
+//! End-to-end tests of `modref serve --stdio`: a golden scripted
+//! session, a 100-request mixed load from four concurrent writers, and
+//! the structured-error paths (timeout, cancel mid-explore, malformed
+//! input) — all against the real binary, all required to drain cleanly
+//! with exit code 0.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use modref_core::api::{Response, ResponseBody};
+
+const BIN: &str = env!("CARGO_BIN_EXE_modref");
+
+fn spawn_serve(extra: &[&str]) -> Child {
+    Command::new(BIN)
+        .arg("serve")
+        .arg("--stdio")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("modref serve spawns")
+}
+
+/// Closes stdin, reads every response line, and asserts a clean exit.
+fn drain(mut child: Child) -> Vec<Response> {
+    drop(child.stdin.take());
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut out)
+        .expect("responses are UTF-8");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "serve must drain and exit 0: {status}");
+    out.lines()
+        .map(|l| Response::from_json(l).unwrap_or_else(|e| panic!("bad response `{l}`: {e}")))
+        .collect()
+}
+
+fn error_code(resp: &Response) -> Option<&str> {
+    match &resp.body {
+        ResponseBody::Error { code, .. } => Some(code),
+        _ => None,
+    }
+}
+
+#[test]
+fn golden_session_round_trips() {
+    let session = include_str!("data/serve_session.jsonl");
+    let golden = include_str!("data/serve_session.golden.jsonl");
+    let mut child = spawn_serve(&["--workers", "1", "-q"]);
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(session.as_bytes())
+        .expect("session written");
+    drop(child.stdin.take());
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut out)
+        .expect("responses read");
+    assert!(child.wait().expect("exits").success());
+    assert_eq!(
+        out, golden,
+        "serve responses diverged from the golden session"
+    );
+}
+
+#[test]
+fn hundred_requests_from_four_concurrent_writers_drop_no_ids() {
+    let mut child = spawn_serve(&["--workers", "4", "--queue", "256", "-q"]);
+    let stdin: Arc<Mutex<ChildStdin>> =
+        Arc::new(Mutex::new(child.stdin.take().expect("stdin piped")));
+
+    // Four writers, 25 requests each, ids partitioned by writer. A mixed
+    // bag of ops — parse, lint, estimate, refine, a couple of explores —
+    // plus guaranteed-failing requests, which still must be answered.
+    let part = modref_workloads::named_partition("fig2").expect("fig2 partition");
+    let mut handles = Vec::new();
+    for writer in 0u64..4 {
+        let stdin = Arc::clone(&stdin);
+        let part = part.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..25u64 {
+                let id = writer * 25 + i + 1;
+                let part_json = json_str(&part);
+                let line = match i % 5 {
+                    0 => format!(r#"{{"id":{id},"op":"parse","workload":"medical"}}"#),
+                    1 => format!(r#"{{"id":{id},"op":"lint","workload":"fig2"}}"#),
+                    2 => format!(
+                        r#"{{"id":{id},"op":"estimate","workload":"fig2","part":{part_json}}}"#
+                    ),
+                    3 => format!(
+                        r#"{{"id":{id},"op":"refine","workload":"fig2","part":{part_json},"model":{}}}"#,
+                        1 + (id % 4)
+                    ),
+                    _ => format!(r#"{{"id":{id},"op":"parse","workload":"no_such_workload"}}"#),
+                };
+                let mut guard = stdin.lock().expect("writer lock");
+                guard
+                    .write_all(format!("{line}\n").as_bytes())
+                    .expect("request written");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("writer finishes");
+    }
+    drop(stdin); // last Arc clone gone -> stdin closes -> server drains
+
+    let responses = drain(child);
+    assert_eq!(responses.len(), 100, "every request must be answered");
+    let ids: BTreeSet<u64> = responses.iter().map(|r| r.id).collect();
+    assert_eq!(
+        ids,
+        (1..=100).collect::<BTreeSet<u64>>(),
+        "no id may be dropped or duplicated"
+    );
+    for r in &responses {
+        // The only expected failures are the deliberate bad ones.
+        if let Some(code) = error_code(r) {
+            assert_eq!(code, "unknown_workload", "id {}: {code}", r.id);
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_is_a_timeout_response() {
+    let mut child = spawn_serve(&["--workers", "1", "-q"]);
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(
+            br#"{"id":1,"op":"explore","workload":"medical","seeds":32,"deadline_ms":1}
+"#,
+        )
+        .expect("request written");
+    let responses = drain(child);
+    assert_eq!(responses.len(), 1);
+    assert_eq!(error_code(&responses[0]), Some("timeout"));
+}
+
+#[test]
+fn cancel_kills_an_inflight_explore() {
+    let mut child = spawn_serve(&["--workers", "1", "-q"]);
+    {
+        let stdin = child.stdin.as_mut().expect("stdin piped");
+        stdin
+            .write_all(br#"{"id":1,"op":"explore","workload":"medical","seeds":64}"#)
+            .and_then(|()| stdin.write_all(b"\n"))
+            .expect("explore written");
+        stdin.flush().expect("flushed");
+        // Give the worker a moment to pick the explore up, then cancel.
+        thread::sleep(std::time::Duration::from_millis(50));
+        stdin
+            .write_all(b"{\"id\":2,\"op\":\"cancel\",\"target\":1}\n")
+            .expect("cancel written");
+    }
+    let responses = drain(child);
+    assert_eq!(responses.len(), 2, "explore error + cancel ack");
+    let explore = responses.iter().find(|r| r.id == 1).expect("id 1 answered");
+    assert_eq!(error_code(explore), Some("cancelled"));
+    let ack = responses.iter().find(|r| r.id == 2).expect("id 2 answered");
+    assert!(
+        matches!(ack.body, ResponseBody::Cancelled { target: 1, .. }),
+        "{ack:?}"
+    );
+}
+
+#[test]
+fn malformed_line_is_answered_and_the_session_recovers() {
+    let mut child = spawn_serve(&["--workers", "1", "-q"]);
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"this is not json\n{\"id\":7,\"op\":\"parse\",\"workload\":\"fig2\"}\n")
+        .expect("requests written");
+    let responses = drain(child);
+    assert_eq!(responses.len(), 2);
+    let bad = responses
+        .iter()
+        .find(|r| error_code(r).is_some())
+        .expect("malformed line answered");
+    assert_eq!(error_code(bad), Some("invalid_request"));
+    let good = responses.iter().find(|r| r.id == 7).expect("id 7 answered");
+    assert!(matches!(good.body, ResponseBody::Parsed(_)), "{good:?}");
+}
+
+/// Minimal JSON string encoding for partition text (quotes + newlines).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

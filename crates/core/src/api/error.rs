@@ -1,0 +1,208 @@
+//! The unified error type of the typed codesign API.
+//!
+//! Every operation of the [`Codesign`](super::Codesign) facade — and
+//! therefore every `modref serve` request — fails with one
+//! [`ModrefError`]. The per-crate error enums ([`modref_spec::ParseError`],
+//! [`modref_spec::SpecError`], [`RefineError`](crate::RefineError),
+//! [`modref_sim::SimError`], the partition-file parse error) are wrapped,
+//! not replaced: the original error rides along as the source, and a
+//! stable [`code`](ModrefError::code) string identifies the failure class
+//! on the wire, so a malformed or doomed request always becomes a
+//! structured response instead of aborting the process.
+
+use std::error::Error;
+use std::fmt;
+
+use modref_sim::SimError;
+use modref_spec::{ParseError, SpecError};
+
+use crate::error::RefineError;
+
+/// Any failure of a [`Codesign`](super::Codesign) operation or a serve
+/// request, with a stable wire code per class.
+///
+/// ```
+/// use modref_core::api::ModrefError;
+/// let e = ModrefError::Cancelled;
+/// assert_eq!(e.code(), "cancelled");
+/// assert_eq!(e.to_string(), "request cancelled");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModrefError {
+    /// Reading a file failed (CLI convenience constructors only).
+    Io(String),
+    /// The specification text did not parse.
+    Parse(ParseError),
+    /// The specification parsed but failed structural validation.
+    Spec(SpecError),
+    /// The partition file did not parse or does not fit the spec.
+    Partition {
+        /// 1-based line in the partition text (0 when unknown).
+        line: u32,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Refinement rejected the (spec, partition, model) combination.
+    Refine(RefineError),
+    /// Simulation of the specification failed.
+    Sim(SimError),
+    /// Lint found hard errors (count carried for exit-code decisions).
+    Lint {
+        /// Number of error-severity diagnostics.
+        errors: usize,
+    },
+    /// A `"workload"` request named no shipped workload.
+    UnknownWorkload(String),
+    /// The request itself is malformed: bad JSON, missing fields, an
+    /// out-of-range model number, an unknown lint name...
+    InvalidRequest(String),
+    /// The per-request deadline expired before the operation finished.
+    Timeout,
+    /// A `cancel` request stopped the operation.
+    Cancelled,
+    /// The server's bounded queue was full; the request was rejected
+    /// instead of buffered.
+    Overloaded {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The operation panicked; the worker caught it and kept serving.
+    Internal(String),
+}
+
+impl ModrefError {
+    /// The stable, machine-readable failure class used as the wire
+    /// `error.code` field. Never changes for an existing variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ModrefError::Io(_) => "io",
+            ModrefError::Parse(_) => "parse",
+            ModrefError::Spec(_) => "spec",
+            ModrefError::Partition { .. } => "partition",
+            ModrefError::Refine(_) => "refine",
+            ModrefError::Sim(_) => "sim",
+            ModrefError::Lint { .. } => "lint",
+            ModrefError::UnknownWorkload(_) => "unknown_workload",
+            ModrefError::InvalidRequest(_) => "invalid_request",
+            ModrefError::Timeout => "timeout",
+            ModrefError::Cancelled => "cancelled",
+            ModrefError::Overloaded { .. } => "overloaded",
+            ModrefError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ModrefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModrefError::Io(msg) => write!(f, "{msg}"),
+            ModrefError::Parse(e) => write!(f, "{e}"),
+            ModrefError::Spec(e) => write!(f, "invalid specification: {e}"),
+            ModrefError::Partition { line: 0, message } => {
+                write!(f, "partition error: {message}")
+            }
+            ModrefError::Partition { line, message } => {
+                write!(f, "partition error at line {line}: {message}")
+            }
+            ModrefError::Refine(e) => write!(f, "{e}"),
+            ModrefError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ModrefError::Lint { errors } => write!(f, "lint found {errors} error(s)"),
+            ModrefError::UnknownWorkload(name) => {
+                write!(f, "unknown workload `{name}`")
+            }
+            ModrefError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ModrefError::Timeout => write!(f, "deadline exceeded"),
+            ModrefError::Cancelled => write!(f, "request cancelled"),
+            ModrefError::Overloaded { capacity } => {
+                write!(f, "server overloaded (queue of {capacity} full)")
+            }
+            ModrefError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl Error for ModrefError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModrefError::Parse(e) => Some(e),
+            ModrefError::Spec(e) => Some(e),
+            ModrefError::Refine(e) => Some(e),
+            ModrefError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ModrefError {
+    fn from(e: ParseError) -> Self {
+        ModrefError::Parse(e)
+    }
+}
+
+impl From<SpecError> for ModrefError {
+    fn from(e: SpecError) -> Self {
+        ModrefError::Spec(e)
+    }
+}
+
+impl From<RefineError> for ModrefError {
+    fn from(e: RefineError) -> Self {
+        ModrefError::Refine(e)
+    }
+}
+
+impl From<SimError> for ModrefError {
+    fn from(e: SimError) -> Self {
+        ModrefError::Sim(e)
+    }
+}
+
+impl From<modref_partition::ParsePartitionError> for ModrefError {
+    fn from(e: modref_partition::ParsePartitionError) -> Self {
+        ModrefError::Partition {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            ModrefError::Io("x".into()),
+            ModrefError::Parse(ParseError::new(1, 1, "x")),
+            ModrefError::Partition {
+                line: 2,
+                message: "x".into(),
+            },
+            ModrefError::Refine(RefineError::EmptyAllocation),
+            ModrefError::Sim(SimError::StepLimitExceeded { limit: 1 }),
+            ModrefError::Lint { errors: 2 },
+            ModrefError::UnknownWorkload("z".into()),
+            ModrefError::InvalidRequest("x".into()),
+            ModrefError::Timeout,
+            ModrefError::Cancelled,
+            ModrefError::Overloaded { capacity: 8 },
+            ModrefError::Internal("boom".into()),
+        ];
+        let codes: std::collections::BTreeSet<&str> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errors.len(), "codes must be distinct");
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn wrapped_errors_keep_their_source() {
+        let e: ModrefError = RefineError::EmptyAllocation.into();
+        assert!(e.source().is_some());
+        assert_eq!(e.code(), "refine");
+        let e: ModrefError = SimError::StepLimitExceeded { limit: 9 }.into();
+        assert!(e.to_string().contains("simulation failed"));
+    }
+}

@@ -1,0 +1,825 @@
+//! The [`Codesign`] session facade: load a specification once, run any
+//! number of codesign operations against it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use modref_analyze::{analyze_spec, sort_canonical, Diagnostic, LintConfig};
+use modref_graph::AccessGraph;
+use modref_partition::explore::ExploreConfig;
+use modref_partition::{parse_partition, Allocation, CostConfig, Partition};
+use modref_sim::{SimConfig, SimKernel, SimResult, Simulator};
+use modref_spec::{printer, SourceMap, Spec};
+
+use modref_estimate::BusRateTable;
+
+use crate::explore::{explore_designs_impl, verify_pareto_impl, Exploration, Verification};
+use crate::model::ImplModel;
+use crate::rates::figure9_rates;
+use crate::refine::{refine, Refined};
+
+use super::error::ModrefError;
+
+/// Why a cooperative operation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// [`CancelToken::cancel`] was called (a `cancel` request).
+    Cancelled,
+    /// [`CancelToken::expire`] was called (the deadline reaper fired).
+    Expired,
+}
+
+impl From<Stop> for ModrefError {
+    fn from(stop: Stop) -> Self {
+        match stop {
+            Stop::Cancelled => ModrefError::Cancelled,
+            Stop::Expired => ModrefError::Timeout,
+        }
+    }
+}
+
+/// A shared cooperative stop flag for long-running operations.
+///
+/// Clone the token, hand one clone to the operation (via
+/// [`ExploreOpts::cancel`] / [`VerifyOpts::cancel`]) and keep the other;
+/// [`cancel`](CancelToken::cancel) or [`expire`](CancelToken::expire)
+/// from any thread makes the operation return
+/// [`ModrefError::Cancelled`] / [`ModrefError::Timeout`] at its next
+/// checkpoint (between exploration seeds or verification jobs). The
+/// first stop reason wins and is sticky.
+///
+/// ```
+/// use modref_core::api::{CancelToken, Stop};
+/// let t = CancelToken::new();
+/// assert_eq!(t.stopped(), None);
+/// t.cancel();
+/// t.expire(); // too late — the first reason sticks
+/// assert_eq!(t.stopped(), Some(Stop::Cancelled));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+const RUNNING: u8 = 0;
+const CANCELLED: u8 = 1;
+const EXPIRED: u8 = 2;
+
+impl CancelToken {
+    /// A fresh, un-stopped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cooperative cancellation. No-op if already stopped.
+    pub fn cancel(&self) {
+        let _ =
+            self.state
+                .compare_exchange(RUNNING, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Marks the deadline as exceeded. No-op if already stopped.
+    pub fn expire(&self) {
+        let _ = self
+            .state
+            .compare_exchange(RUNNING, EXPIRED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The stop reason, if any. One relaxed atomic load.
+    pub fn stopped(&self) -> Option<Stop> {
+        match self.state.load(Ordering::Relaxed) {
+            CANCELLED => Some(Stop::Cancelled),
+            EXPIRED => Some(Stop::Expired),
+            _ => None,
+        }
+    }
+
+    /// The stop reason as an error, for `?`-style checkpoints.
+    pub fn check(&self) -> Result<(), ModrefError> {
+        match self.stopped() {
+            Some(stop) => Err(stop.into()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Basic size statistics of a loaded specification, as reported by the
+/// `parse` serve operation and `modref check`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SpecStats {
+    /// The specification's name.
+    pub name: String,
+    /// Total behaviors.
+    pub behaviors: usize,
+    /// Leaf behaviors.
+    pub leaves: usize,
+    /// Declared variables.
+    pub variables: usize,
+    /// Declared signals.
+    pub signals: usize,
+    /// Declared subroutines.
+    pub subroutines: usize,
+    /// Statements across all leaf bodies.
+    pub statements: usize,
+    /// Lines of the canonical pretty-print.
+    pub printed_lines: usize,
+    /// Derived data channels.
+    pub data_channels: usize,
+    /// Derived control channels.
+    pub control_channels: usize,
+}
+
+/// Options for [`Codesign::explore`]. `#[non_exhaustive]` — construct
+/// with [`ExploreOpts::new`] and the builder methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ExploreOpts {
+    /// Partition text supplying the allocation (components); `None`
+    /// falls back to the default PROC+ASIC allocation.
+    pub part: Option<String>,
+    /// Number of random starting seeds (K).
+    pub seeds: u64,
+    /// Worker threads; `None` resolves like
+    /// [`modref_partition::thread_count`].
+    pub threads: Option<usize>,
+    /// Iteration budget per annealing run.
+    pub anneal_iterations: u32,
+    /// Sweep budget per migration run.
+    pub migration_passes: u32,
+    /// Cooperative stop token, checked between jobs.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        let d = ExploreConfig::default();
+        Self {
+            part: None,
+            seeds: d.seeds,
+            threads: d.threads,
+            anneal_iterations: d.anneal_iterations,
+            migration_passes: d.migration_passes,
+            cancel: None,
+        }
+    }
+}
+
+impl ExploreOpts {
+    /// Default options: 4 seeds, automatic thread count, no partition
+    /// file, no cancellation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the partition text supplying the allocation.
+    #[must_use]
+    pub fn part(mut self, text: impl Into<String>) -> Self {
+        self.part = Some(text.into());
+        self
+    }
+
+    /// Sets the seed count.
+    #[must_use]
+    pub fn seeds(mut self, seeds: u64) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the annealing iteration budget.
+    #[must_use]
+    pub fn anneal_iterations(mut self, iterations: u32) -> Self {
+        self.anneal_iterations = iterations;
+        self
+    }
+
+    /// Sets the migration sweep budget.
+    #[must_use]
+    pub fn migration_passes(mut self, passes: u32) -> Self {
+        self.migration_passes = passes;
+        self
+    }
+
+    /// Attaches a cooperative stop token.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Options for [`Codesign::verify`]. `#[non_exhaustive]` — construct
+/// with [`VerifyOpts::new`] and the builder methods.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct VerifyOpts {
+    /// Partition text supplying the allocation; `None` falls back to the
+    /// default PROC+ASIC allocation.
+    pub part: Option<String>,
+    /// Worker threads; `None` resolves like
+    /// [`modref_partition::thread_count`].
+    pub threads: Option<usize>,
+    /// Cooperative stop token, checked between verification jobs.
+    pub cancel: Option<CancelToken>,
+}
+
+impl VerifyOpts {
+    /// Default options: default allocation, automatic thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the partition text supplying the allocation.
+    #[must_use]
+    pub fn part(mut self, text: impl Into<String>) -> Self {
+        self.part = Some(text.into());
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Attaches a cooperative stop token.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Options for [`Codesign::lint`]. `#[non_exhaustive]` — construct with
+/// [`LintOpts::new`] and the builder methods.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct LintOpts {
+    /// Partition text; when present the refinement-conformance lints
+    /// (RC01–RC04) run over the refined output.
+    pub part: Option<String>,
+    /// Restricts conformance linting to one implementation model;
+    /// `None` refines under all four.
+    pub model: Option<ImplModel>,
+    /// Lint codes/names (or `warnings`) to promote to errors.
+    pub deny: Vec<String>,
+    /// Lint codes/names to suppress.
+    pub allow: Vec<String>,
+}
+
+impl LintOpts {
+    /// Default options: spec-level lints only, default severities.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Supplies partition text, enabling the conformance lints.
+    #[must_use]
+    pub fn part(mut self, text: impl Into<String>) -> Self {
+        self.part = Some(text.into());
+        self
+    }
+
+    /// Restricts conformance linting to one model.
+    #[must_use]
+    pub fn model(mut self, model: ImplModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Promotes a lint (or `warnings`) to error severity.
+    #[must_use]
+    pub fn deny(mut self, code_or_name: impl Into<String>) -> Self {
+        self.deny.push(code_or_name.into());
+        self
+    }
+
+    /// Suppresses a lint.
+    #[must_use]
+    pub fn allow(mut self, code_or_name: impl Into<String>) -> Self {
+        self.allow.push(code_or_name.into());
+        self
+    }
+}
+
+/// Options for [`Codesign::simulate`]. `#[non_exhaustive]` — construct
+/// with [`SimOpts::new`] and the builder methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SimOpts {
+    /// Micro-step budget; `None` keeps the simulator default.
+    pub max_steps: Option<u64>,
+    /// Scheduler kernel.
+    pub kernel: SimKernel,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        Self {
+            max_steps: None,
+            kernel: SimKernel::EventDriven,
+        }
+    }
+}
+
+impl SimOpts {
+    /// Default options: event-driven kernel, default step budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the micro-step budget.
+    #[must_use]
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Picks the scheduler kernel.
+    #[must_use]
+    pub fn kernel(mut self, kernel: SimKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+}
+
+/// A codesign session: one parsed specification plus its lazily derived
+/// access graph, against which every pipeline operation runs.
+///
+/// This facade is the single typed entry point the CLI, the
+/// `modref serve` server and library consumers share — spec loading and
+/// graph derivation happen once per session instead of once per call
+/// site, and every operation fails with a structured [`ModrefError`].
+///
+/// ```
+/// use modref_core::api::Codesign;
+/// let src = "spec tiny;\nvar x : int<16> = 0;\n\
+///            behavior L leaf { x := x + 5; }\n\
+///            behavior T seq { children { L; } }\ntop T;\n";
+/// let cd = Codesign::parse("tiny.spec", src)?;
+/// assert_eq!(cd.stats().behaviors, 2);
+/// # Ok::<(), modref_core::api::ModrefError>(())
+/// ```
+#[derive(Debug)]
+pub struct Codesign {
+    name: String,
+    spec: Spec,
+    map: SourceMap,
+    graph: OnceLock<AccessGraph>,
+}
+
+impl Codesign {
+    /// Parses and validates specification text, keeping the source map
+    /// for positioned diagnostics. Rejects both syntax errors
+    /// ([`ModrefError::Parse`]) and structural violations
+    /// ([`ModrefError::Spec`]).
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// let err = Codesign::parse("bad.spec", "spec x;\ntop missing;\n").unwrap_err();
+    /// assert_eq!(err.code(), "parse");
+    /// ```
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, ModrefError> {
+        let cd = Self::parse_lenient(name, text)?;
+        modref_spec::validate::check(&cd.spec)?;
+        Ok(cd)
+    }
+
+    /// Parses specification text but skips structural validation, so
+    /// [`check`](Self::check) and [`lint`](Self::lint) can report *every*
+    /// violation with positions instead of stopping at the first.
+    ///
+    /// Operations that need a well-formed hierarchy (refine, explore,
+    /// simulate, [`stats`](Self::stats)) must not be called on a lenient
+    /// session that failed [`check`](Self::check).
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// // Missing top behavior parses leniently but fails `check`.
+    /// let src = "spec s;\nvar v : int<8> = 0;\nvar v2 : int<8> = 0;\n\
+    ///            behavior L leaf { v := v2; }\n\
+    ///            behavior T seq { children { L; } }\ntop T;\n";
+    /// let cd = Codesign::parse_lenient("s.spec", src)?;
+    /// assert!(cd.check().is_empty());
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn parse_lenient(name: impl Into<String>, text: &str) -> Result<Self, ModrefError> {
+        let (spec, map) = modref_spec::parser::parse_with_spans(text)?;
+        Ok(Self {
+            name: name.into(),
+            spec,
+            map,
+            graph: OnceLock::new(),
+        })
+    }
+
+    /// Wraps an already built (and therefore valid) specification, e.g.
+    /// one of the shipped workloads.
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// assert_eq!(cd.name(), cd.spec().name());
+    /// ```
+    pub fn from_spec(spec: Spec) -> Self {
+        Self {
+            name: spec.name().to_string(),
+            spec,
+            map: SourceMap::new(),
+            graph: OnceLock::new(),
+        }
+    }
+
+    /// Reads, parses and validates a specification file.
+    ///
+    /// ```no_run
+    /// use modref_core::api::Codesign;
+    /// let cd = Codesign::load("designs/medical.spec")?;
+    /// println!("{} behaviors", cd.stats().behaviors);
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn load(path: &str) -> Result<Self, ModrefError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ModrefError::Io(format!("reading {path}: {e}")))?;
+        Self::parse(path, &text)
+    }
+
+    /// Like [`load`](Self::load) but using
+    /// [`parse_lenient`](Self::parse_lenient).
+    ///
+    /// ```no_run
+    /// use modref_core::api::Codesign;
+    /// let cd = Codesign::load_lenient("designs/medical.spec")?;
+    /// for d in cd.check() {
+    ///     eprintln!("{}", d.render_human(cd.name()));
+    /// }
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn load_lenient(path: &str) -> Result<Self, ModrefError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ModrefError::Io(format!("reading {path}: {e}")))?;
+        Self::parse_lenient(path, &text)
+    }
+
+    /// The session's display name (usually the file path).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loaded specification.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// The source map (empty for built specs).
+    pub fn source_map(&self) -> &SourceMap {
+        &self.map
+    }
+
+    /// The derived access graph, computed on first use and shared by
+    /// every subsequent operation.
+    pub fn graph(&self) -> &AccessGraph {
+        self.graph.get_or_init(|| AccessGraph::derive(&self.spec))
+    }
+
+    /// Size statistics of the specification, including derived channel
+    /// counts. Requires a validated spec (see
+    /// [`parse_lenient`](Self::parse_lenient)).
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let stats = cd.stats();
+    /// assert!(stats.leaves <= stats.behaviors);
+    /// assert!(stats.data_channels > 0);
+    /// ```
+    pub fn stats(&self) -> SpecStats {
+        let graph = self.graph();
+        SpecStats {
+            name: self.spec.name().to_string(),
+            behaviors: self.spec.behavior_count(),
+            leaves: self.spec.leaves().len(),
+            variables: self.spec.variable_count(),
+            signals: self.spec.signal_count(),
+            subroutines: self.spec.subroutine_count(),
+            statements: self.spec.total_statements(),
+            printed_lines: printer::line_count(&self.spec),
+            data_channels: graph.data_channel_count(),
+            control_channels: graph.control_channels().count(),
+        }
+    }
+
+    /// The canonical pretty-print of the specification.
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// assert!(cd.pretty().starts_with("spec "));
+    /// ```
+    pub fn pretty(&self) -> String {
+        printer::print(&self.spec)
+    }
+
+    /// Runs the structural well-formedness lints (`ST01`–`ST06`),
+    /// returning every violation with source positions. Empty means the
+    /// spec is valid.
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// // A scalar indexed like an array: parses, fails `check`.
+    /// let src = "spec s;\nvar x : int<16> = 0;\n\
+    ///            behavior L leaf { x[0] := 1; }\n\
+    ///            behavior T seq { children { L; } }\ntop T;\n";
+    /// let cd = Codesign::parse_lenient("s.spec", src)?;
+    /// let diags = cd.check();
+    /// assert!(diags.iter().any(|d| d.code.starts_with("ST")), "{diags:?}");
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn check(&self) -> Vec<Diagnostic> {
+        let mut diags = modref_analyze::structural::structural_lints(&self.spec, &self.map);
+        sort_canonical(&mut diags);
+        diags
+    }
+
+    /// Runs the full static-analysis suite (structural, dataflow,
+    /// concurrency), plus the refinement-conformance lints when
+    /// [`LintOpts::part`] is set, applying the deny/allow configuration.
+    ///
+    /// ```
+    /// use modref_core::api::{Codesign, LintOpts};
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let diags = cd.lint(&LintOpts::new())?;
+    /// assert!(diags.iter().all(|d| d.severity < modref_analyze::Severity::Error));
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn lint(&self, opts: &LintOpts) -> Result<Vec<Diagnostic>, ModrefError> {
+        let mut config = LintConfig::new();
+        for name in &opts.deny {
+            config.deny(name).map_err(ModrefError::InvalidRequest)?;
+        }
+        for name in &opts.allow {
+            config.allow(name).map_err(ModrefError::InvalidRequest)?;
+        }
+        let mut diags = analyze_spec(&self.spec, &self.map);
+        if let Some(part_text) = &opts.part {
+            let (alloc, partition) = self.partition(part_text)?;
+            let models: Vec<ImplModel> = match opts.model {
+                Some(m) => vec![m],
+                None => ImplModel::ALL.to_vec(),
+            };
+            for model in models {
+                let refined = refine(&self.spec, self.graph(), &alloc, &partition, model)?;
+                diags.extend(crate::lint::lint_refined_impl(
+                    &self.spec,
+                    self.graph(),
+                    &refined,
+                ));
+            }
+            sort_canonical(&mut diags);
+        }
+        Ok(config.apply_all(diags))
+    }
+
+    /// Parses partition text against this spec, yielding the allocation
+    /// (components) and the behavior/variable assignment.
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let text = modref_workloads::named_partition("fig2").unwrap();
+    /// let (alloc, part) = cd.partition(&text)?;
+    /// assert!(part.is_complete(cd.spec(), &alloc));
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn partition(&self, text: &str) -> Result<(Allocation, Partition), ModrefError> {
+        Ok(parse_partition(&self.spec, text)?)
+    }
+
+    /// Refines the specification under a partition into one of the four
+    /// implementation models.
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// use modref_core::ImplModel;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let part = modref_workloads::named_partition("fig2").unwrap();
+    /// let refined = cd.refine(&part, ImplModel::Model1)?;
+    /// assert!(refined.spec.behavior_count() > cd.spec().behavior_count());
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn refine(&self, part_text: &str, model: ImplModel) -> Result<Refined, ModrefError> {
+        let (alloc, partition) = self.partition(part_text)?;
+        Ok(refine(&self.spec, self.graph(), &alloc, &partition, model)?)
+    }
+
+    /// Renders the lifetime/channel-rate estimation report for the
+    /// specification under a partition.
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let part = modref_workloads::named_partition("fig2").unwrap();
+    /// let report = cd.estimate(&part)?;
+    /// assert!(report.contains("behavior lifetimes"));
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn estimate(&self, part_text: &str) -> Result<String, ModrefError> {
+        let (alloc, partition) = self.partition(part_text)?;
+        let model_of = |b: modref_spec::BehaviorId| {
+            partition
+                .component_of_behavior(&self.spec, b)
+                .map(|c| alloc.component(c).timing_model())
+                .unwrap_or_default()
+        };
+        Ok(modref_estimate::estimation_report(
+            &self.spec,
+            self.graph(),
+            &model_of,
+            &modref_estimate::LifetimeConfig::default(),
+        ))
+    }
+
+    /// Evaluates the Figure 9 bus transfer-rate table for one
+    /// implementation model under a partition.
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// use modref_core::ImplModel;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let part = modref_workloads::named_partition("fig2").unwrap();
+    /// let table = cd.rates(&part, ImplModel::Model2)?;
+    /// assert!(table.bus_count() >= 1);
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn rates(&self, part_text: &str, model: ImplModel) -> Result<BusRateTable, ModrefError> {
+        let (alloc, partition) = self.partition(part_text)?;
+        Ok(figure9_rates(
+            &self.spec,
+            self.graph(),
+            &alloc,
+            &partition,
+            model,
+            &modref_estimate::LifetimeConfig::default(),
+        )?)
+    }
+
+    /// Simulates the specification to completion.
+    ///
+    /// ```
+    /// use modref_core::api::{Codesign, SimOpts};
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let result = cd.simulate(&SimOpts::new())?;
+    /// assert!(result.steps > 0);
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn simulate(&self, opts: &SimOpts) -> Result<SimResult, ModrefError> {
+        let config = SimConfig {
+            max_steps: opts.max_steps.unwrap_or(SimConfig::default().max_steps),
+            kernel: opts.kernel,
+        };
+        Ok(Simulator::with_config(&self.spec, config).run()?)
+    }
+
+    /// Runs the parallel multi-start design-space exploration: K seeds ×
+    /// algorithms × the four implementation models, ranked with the
+    /// Pareto front flagged. Deterministic for fixed options regardless
+    /// of thread count; honors [`ExploreOpts::cancel`].
+    ///
+    /// ```
+    /// use modref_core::api::{Codesign, ExploreOpts};
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let opts = ExploreOpts::new().seeds(1).anneal_iterations(40).migration_passes(2);
+    /// let out = cd.explore(&opts)?;
+    /// assert!(!out.pareto_front().is_empty());
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn explore(&self, opts: &ExploreOpts) -> Result<Exploration, ModrefError> {
+        let alloc = self.allocation_from(opts.part.as_deref())?;
+        let expl = ExploreConfig {
+            seeds: opts.seeds,
+            anneal_iterations: opts.anneal_iterations,
+            migration_passes: opts.migration_passes,
+            threads: opts.threads,
+        };
+        let out = explore_designs_impl(
+            &self.spec,
+            self.graph(),
+            &alloc,
+            &CostConfig::default(),
+            &expl,
+            opts.cancel.as_ref(),
+        )?;
+        if let Some(token) = &opts.cancel {
+            token.check()?;
+        }
+        Ok(out)
+    }
+
+    /// Verifies an exploration's Pareto front by simulation: every
+    /// distinct front candidate is refined under Models 1–4 and the
+    /// refined spec is simulated against the original. Honors
+    /// [`VerifyOpts::cancel`].
+    ///
+    /// ```
+    /// use modref_core::api::{Codesign, ExploreOpts, VerifyOpts};
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let opts = ExploreOpts::new().seeds(1).anneal_iterations(40).migration_passes(2);
+    /// let out = cd.explore(&opts)?;
+    /// let v = cd.verify(&out, &VerifyOpts::new())?;
+    /// assert!(v.all_equivalent());
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn verify(
+        &self,
+        exploration: &Exploration,
+        opts: &VerifyOpts,
+    ) -> Result<Verification, ModrefError> {
+        let alloc = self.allocation_from(opts.part.as_deref())?;
+        let v = verify_pareto_impl(
+            &self.spec,
+            self.graph(),
+            &alloc,
+            exploration,
+            opts.threads,
+            opts.cancel.as_ref(),
+        );
+        if let Some(token) = &opts.cancel {
+            token.check()?;
+        }
+        Ok(v)
+    }
+
+    /// The allocation from partition text, or the default PROC+ASIC
+    /// allocation when no text is supplied.
+    fn allocation_from(&self, part: Option<&str>) -> Result<Allocation, ModrefError> {
+        match part {
+            Some(text) => Ok(self.partition(text)?.0),
+            None => Ok(Allocation::proc_plus_asic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_first_reason_wins() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        t.expire();
+        t.cancel();
+        assert_eq!(t.stopped(), Some(Stop::Expired));
+        assert_eq!(t.check().unwrap_err(), ModrefError::Timeout);
+        // Clones share state.
+        let u = t.clone();
+        assert_eq!(u.stopped(), Some(Stop::Expired));
+    }
+
+    #[test]
+    fn parse_rejects_invalid_spec_with_structured_error() {
+        // Valid syntax, but a scalar is indexed like an array — a
+        // structural violation only validation catches.
+        let src = "spec s;\nvar x : int<16> = 0;\n\
+                   behavior L leaf { x[0] := 1; }\n\
+                   behavior T seq { children { L; } }\ntop T;\n";
+        let err = Codesign::parse("x.spec", src).unwrap_err();
+        assert_eq!(err.code(), "spec");
+        // Lenient parse accepts it and reports through lint instead.
+        let cd = Codesign::parse_lenient("x.spec", src).expect("syntax is fine");
+        assert_eq!(cd.stats().behaviors, 2);
+    }
+
+    #[test]
+    fn unknown_lint_name_is_invalid_request() {
+        let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+        let err = cd.lint(&LintOpts::new().deny("NOPE99")).unwrap_err();
+        assert_eq!(err.code(), "invalid_request");
+    }
+
+    #[test]
+    fn bad_partition_is_partition_error() {
+        let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+        let err = cd.partition("component ???").unwrap_err();
+        assert_eq!(err.code(), "partition");
+    }
+
+    #[test]
+    fn cancelled_explore_returns_cancelled() {
+        let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+        let token = CancelToken::new();
+        token.cancel();
+        let err = cd
+            .explore(&ExploreOpts::new().seeds(2).cancel(token))
+            .unwrap_err();
+        assert_eq!(err, ModrefError::Cancelled);
+    }
+}

@@ -1,0 +1,1027 @@
+//! The typed JSONL wire protocol of `modref serve`.
+//!
+//! Each request is one JSON object per line; each reply is one JSON
+//! object per line tagged with the request's `id`. [`Request`] and
+//! [`Response`] are the typed forms: [`Request::from_json`] decodes a
+//! client line (malformed input becomes
+//! [`ModrefError::InvalidRequest`], never a panic), and
+//! [`Response::to_json_line`] encodes a reply canonically — object keys
+//! sorted, floats in shortest round-trip form, no timestamps — so a
+//! fixed request stream yields byte-identical responses across runs.
+//!
+//! ```
+//! use modref_core::api::{Request, RequestOp, SpecSource};
+//! let req = Request::from_json(
+//!     r#"{"id":7,"op":"parse","workload":"fig2","deadline_ms":500}"#,
+//! ).unwrap();
+//! assert_eq!(req.id, 7);
+//! assert_eq!(req.deadline_ms, Some(500));
+//! assert!(matches!(
+//!     req.op,
+//!     RequestOp::Parse { source: SpecSource::Workload(_) }
+//! ));
+//! // Encoding is canonical and stable.
+//! let line = req.to_json_line();
+//! assert_eq!(Request::from_json(&line).unwrap(), req);
+//! ```
+
+use std::collections::BTreeMap;
+
+use modref_analyze::{Diagnostic, Totals};
+use modref_obs::json::{self, Value};
+
+use crate::explore::{Exploration, Verification};
+use crate::model::ImplModel;
+
+use super::error::ModrefError;
+use super::facade::SpecStats;
+
+/// Where the specification of a request comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecSource {
+    /// Inline specification text (the `"spec"` field).
+    Text(String),
+    /// The name of a shipped workload (the `"workload"` field), resolved
+    /// by the server's workload resolver.
+    Workload(String),
+}
+
+/// The operation a request asks for, with its operation-specific
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RequestOp {
+    /// Parse + validate a spec and report its size statistics.
+    Parse {
+        /// The specification to parse.
+        source: SpecSource,
+    },
+    /// Refine the spec under a partition into one implementation model.
+    Refine {
+        /// The specification to refine.
+        source: SpecSource,
+        /// Partition text (allocation + assignment).
+        part: String,
+        /// Implementation model number, 1–4.
+        model: u8,
+    },
+    /// Render the lifetime/channel-rate estimation report.
+    Estimate {
+        /// The specification to estimate.
+        source: SpecSource,
+        /// Partition text (allocation + assignment).
+        part: String,
+    },
+    /// Run the multi-start design-space exploration.
+    Explore {
+        /// The specification to explore.
+        source: SpecSource,
+        /// Optional partition text supplying the allocation.
+        part: Option<String>,
+        /// Seed count (`None` keeps the default).
+        seeds: Option<u64>,
+        /// Worker threads for the exploration itself.
+        threads: Option<usize>,
+        /// Keep only the best N points in the response.
+        top: Option<usize>,
+    },
+    /// Explore, then verify the Pareto front by simulation.
+    Verify {
+        /// The specification to explore and verify.
+        source: SpecSource,
+        /// Optional partition text supplying the allocation.
+        part: Option<String>,
+        /// Seed count for the exploration phase.
+        seeds: Option<u64>,
+        /// Worker threads.
+        threads: Option<usize>,
+    },
+    /// Run the static-analysis lints (plus conformance lints with a
+    /// partition).
+    Lint {
+        /// The specification to lint.
+        source: SpecSource,
+        /// Optional partition text enabling the conformance lints.
+        part: Option<String>,
+        /// Restrict conformance linting to one model (1–4).
+        model: Option<u8>,
+        /// Lint codes/names (or `warnings`) promoted to errors.
+        deny: Vec<String>,
+        /// Lint codes/names suppressed.
+        allow: Vec<String>,
+    },
+    /// Cooperatively cancel the in-flight request with id `target`.
+    Cancel {
+        /// The id of the request to stop.
+        target: u64,
+    },
+}
+
+impl RequestOp {
+    /// The wire name of the operation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestOp::Parse { .. } => "parse",
+            RequestOp::Refine { .. } => "refine",
+            RequestOp::Estimate { .. } => "estimate",
+            RequestOp::Explore { .. } => "explore",
+            RequestOp::Verify { .. } => "verify",
+            RequestOp::Lint { .. } => "lint",
+            RequestOp::Cancel { .. } => "cancel",
+        }
+    }
+}
+
+/// One decoded serve request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id echoed on the response.
+    pub id: u64,
+    /// Per-request deadline in milliseconds (overrides the server
+    /// default).
+    pub deadline_ms: Option<u64>,
+    /// The operation and its parameters.
+    pub op: RequestOp,
+}
+
+/// The payload of a reply.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ResponseBody {
+    /// `parse` succeeded.
+    Parsed(SpecStats),
+    /// `refine` succeeded.
+    Refined {
+        /// The implementation model refined under.
+        model: u8,
+        /// Behavior count of the refined specification.
+        behaviors: usize,
+        /// Buses the refinement plan allocated.
+        buses: usize,
+        /// Lines of the refined spec's canonical pretty-print.
+        printed_lines: usize,
+    },
+    /// `estimate` succeeded.
+    Estimated {
+        /// The rendered estimation report.
+        report: String,
+    },
+    /// `explore` succeeded.
+    Explored {
+        /// Evaluated design points (possibly truncated to the request's
+        /// `top`).
+        points: Vec<PointSummary>,
+        /// Number of Pareto-optimal points over the *full* set.
+        pareto: usize,
+        /// Total points evaluated before truncation.
+        total: usize,
+    },
+    /// `verify` succeeded.
+    Verified {
+        /// One record per front candidate × implementation model.
+        records: Vec<RecordSummary>,
+        /// Whether every record verified equivalent.
+        equivalent: bool,
+        /// Final simulated time of the original specification.
+        original_time: u64,
+        /// Micro-steps of the original simulation.
+        original_steps: u64,
+    },
+    /// `lint` succeeded (diagnostics may still contain errors).
+    Linted {
+        /// The diagnostics, in canonical order.
+        diagnostics: Vec<DiagSummary>,
+        /// Error-severity count.
+        errors: usize,
+        /// Warning-severity count.
+        warnings: usize,
+        /// Note-severity count.
+        notes: usize,
+    },
+    /// `cancel` was processed (an ack — the cancelled request itself
+    /// still replies with a `cancelled` error).
+    Cancelled {
+        /// The id the cancel aimed at.
+        target: u64,
+        /// Whether that id was in flight when the cancel arrived.
+        found: bool,
+    },
+    /// The request failed; `code` is the stable
+    /// [`ModrefError::code`] class.
+    Error {
+        /// Stable failure class.
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// One design point of an `explore` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// The partitioning algorithm that produced the candidate.
+    pub algorithm: String,
+    /// The seed that drove it.
+    pub seed: u64,
+    /// The implementation model evaluated (1–4).
+    pub model: u8,
+    /// Weighted total partition cost.
+    pub cost: f64,
+    /// Peak bus transfer rate in Mbit/s.
+    pub max_bus_rate: f64,
+    /// Buses the refinement plan allocates.
+    pub buses: usize,
+    /// Whether the point is Pareto-optimal.
+    pub pareto: bool,
+}
+
+/// One candidate×model record of a `verify` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSummary {
+    /// The partitioning algorithm that produced the candidate.
+    pub algorithm: String,
+    /// The seed that drove it.
+    pub seed: u64,
+    /// The implementation model refined under (1–4).
+    pub model: u8,
+    /// Whether the refined spec simulated equivalently.
+    pub equivalent: bool,
+    /// Divergence description (empty when equivalent).
+    pub detail: String,
+    /// Signal writes introduced by the refinement's bus protocol.
+    pub bus_traffic: u64,
+}
+
+/// One diagnostic of a `lint` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagSummary {
+    /// Stable lint code (`ST01`, `DF02`, `RC01`, ...).
+    pub code: String,
+    /// Severity label: `note`, `warning` or `error`.
+    pub severity: String,
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line, when the spec came from text.
+    pub line: Option<u32>,
+    /// 1-based source column.
+    pub col: Option<u32>,
+}
+
+/// One reply, tagged with the id of the request it answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id this answers (0 for lines that carried no id).
+    pub id: u64,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// A success reply.
+    pub fn ok(id: u64, body: ResponseBody) -> Self {
+        Response { id, body }
+    }
+
+    /// A failure reply carrying the error's stable code.
+    pub fn err(id: u64, e: &ModrefError) -> Self {
+        Response {
+            id,
+            body: ResponseBody::Error {
+                code: e.code().to_string(),
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversions from pipeline results.
+
+impl ResponseBody {
+    /// Summarizes an exploration, keeping only the best `top` points
+    /// (all when `None`).
+    pub fn from_exploration(out: &Exploration, top: Option<usize>) -> Self {
+        let total = out.points.len();
+        let pareto = out.points.iter().filter(|p| p.pareto).count();
+        let keep = top.unwrap_or(total).min(total);
+        let points = out.points[..keep]
+            .iter()
+            .map(|p| PointSummary {
+                algorithm: p.algorithm.to_string(),
+                seed: p.seed,
+                model: p.model.number(),
+                cost: p.cost.total,
+                max_bus_rate: p.max_bus_rate,
+                buses: p.bus_count,
+                pareto: p.pareto,
+            })
+            .collect();
+        ResponseBody::Explored {
+            points,
+            pareto,
+            total,
+        }
+    }
+
+    /// Summarizes a verification.
+    pub fn from_verification(v: &Verification) -> Self {
+        ResponseBody::Verified {
+            records: v
+                .records
+                .iter()
+                .map(|r| RecordSummary {
+                    algorithm: r.algorithm.to_string(),
+                    seed: r.seed,
+                    model: r.model.number(),
+                    equivalent: r.equivalent,
+                    detail: r.detail.clone(),
+                    bus_traffic: r.bus_traffic,
+                })
+                .collect(),
+            equivalent: v.all_equivalent(),
+            original_time: v.original_time,
+            original_steps: v.original_steps,
+        }
+    }
+
+    /// Summarizes lint diagnostics (assumed already in canonical order).
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Self {
+        let totals = Totals::of(diags);
+        ResponseBody::Linted {
+            diagnostics: diags
+                .iter()
+                .map(|d| DiagSummary {
+                    code: d.code.to_string(),
+                    severity: d.severity.label().to_string(),
+                    message: d.message.clone(),
+                    line: d.span.map(|s| s.line),
+                    col: d.span.map(|s| s.col),
+                })
+                .collect(),
+            errors: totals.errors,
+            warnings: totals.warnings,
+            notes: totals.notes,
+        }
+    }
+}
+
+/// The implementation model for a wire model number.
+pub(crate) fn model_from(n: u64) -> Result<ImplModel, ModrefError> {
+    match n {
+        1..=4 => Ok(ImplModel::ALL[(n - 1) as usize]),
+        _ => Err(ModrefError::InvalidRequest(format!(
+            "model must be 1..=4, got {n}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding.
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn render(v: &Value) -> String {
+    let mut out = String::new();
+    json::write_value(&mut out, v);
+    out
+}
+
+fn str_arr(items: &[String]) -> Value {
+    Value::Arr(items.iter().map(|s| Value::Str(s.clone())).collect())
+}
+
+impl Request {
+    /// Encodes the request as one canonical JSON line (no trailing
+    /// newline).
+    pub fn to_json_line(&self) -> String {
+        let mut m: Vec<(&str, Value)> = vec![
+            ("id", Value::UInt(self.id)),
+            ("op", Value::Str(self.op.name().to_string())),
+        ];
+        if let Some(d) = self.deadline_ms {
+            m.push(("deadline_ms", Value::UInt(d)));
+        }
+        let push_source = |m: &mut Vec<(&str, Value)>, s: &SpecSource| match s {
+            SpecSource::Text(t) => m.push(("spec", Value::Str(t.clone()))),
+            SpecSource::Workload(w) => m.push(("workload", Value::Str(w.clone()))),
+        };
+        match &self.op {
+            RequestOp::Parse { source } => push_source(&mut m, source),
+            RequestOp::Refine {
+                source,
+                part,
+                model,
+            } => {
+                push_source(&mut m, source);
+                m.push(("part", Value::Str(part.clone())));
+                m.push(("model", Value::UInt(u64::from(*model))));
+            }
+            RequestOp::Estimate { source, part } => {
+                push_source(&mut m, source);
+                m.push(("part", Value::Str(part.clone())));
+            }
+            RequestOp::Explore {
+                source,
+                part,
+                seeds,
+                threads,
+                top,
+            } => {
+                push_source(&mut m, source);
+                if let Some(p) = part {
+                    m.push(("part", Value::Str(p.clone())));
+                }
+                if let Some(s) = seeds {
+                    m.push(("seeds", Value::UInt(*s)));
+                }
+                if let Some(t) = threads {
+                    m.push(("threads", Value::UInt(*t as u64)));
+                }
+                if let Some(t) = top {
+                    m.push(("top", Value::UInt(*t as u64)));
+                }
+            }
+            RequestOp::Verify {
+                source,
+                part,
+                seeds,
+                threads,
+            } => {
+                push_source(&mut m, source);
+                if let Some(p) = part {
+                    m.push(("part", Value::Str(p.clone())));
+                }
+                if let Some(s) = seeds {
+                    m.push(("seeds", Value::UInt(*s)));
+                }
+                if let Some(t) = threads {
+                    m.push(("threads", Value::UInt(*t as u64)));
+                }
+            }
+            RequestOp::Lint {
+                source,
+                part,
+                model,
+                deny,
+                allow,
+            } => {
+                push_source(&mut m, source);
+                if let Some(p) = part {
+                    m.push(("part", Value::Str(p.clone())));
+                }
+                if let Some(n) = model {
+                    m.push(("model", Value::UInt(u64::from(*n))));
+                }
+                if !deny.is_empty() {
+                    m.push(("deny", str_arr(deny)));
+                }
+                if !allow.is_empty() {
+                    m.push(("allow", str_arr(allow)));
+                }
+            }
+            RequestOp::Cancel { target } => m.push(("target", Value::UInt(*target))),
+        }
+        render(&obj(m))
+    }
+}
+
+impl Response {
+    /// Encodes the reply as one canonical JSON line (no trailing
+    /// newline). Responses carry no timestamps, so a fixed request is
+    /// answered byte-identically across runs.
+    pub fn to_json_line(&self) -> String {
+        let mut m: Vec<(&str, Value)> = vec![("id", Value::UInt(self.id))];
+        match &self.body {
+            ResponseBody::Error { code, message } => {
+                m.push(("ok", Value::Bool(false)));
+                m.push((
+                    "error",
+                    obj(vec![
+                        ("code", Value::Str(code.clone())),
+                        ("message", Value::Str(message.clone())),
+                    ]),
+                ));
+            }
+            body => {
+                m.push(("ok", Value::Bool(true)));
+                match body {
+                    ResponseBody::Parsed(s) => {
+                        m.push(("op", Value::Str("parse".into())));
+                        m.push((
+                            "stats",
+                            obj(vec![
+                                ("behaviors", Value::UInt(s.behaviors as u64)),
+                                ("control_channels", Value::UInt(s.control_channels as u64)),
+                                ("data_channels", Value::UInt(s.data_channels as u64)),
+                                ("leaves", Value::UInt(s.leaves as u64)),
+                                ("name", Value::Str(s.name.clone())),
+                                ("printed_lines", Value::UInt(s.printed_lines as u64)),
+                                ("signals", Value::UInt(s.signals as u64)),
+                                ("statements", Value::UInt(s.statements as u64)),
+                                ("subroutines", Value::UInt(s.subroutines as u64)),
+                                ("variables", Value::UInt(s.variables as u64)),
+                            ]),
+                        ));
+                    }
+                    ResponseBody::Refined {
+                        model,
+                        behaviors,
+                        buses,
+                        printed_lines,
+                    } => {
+                        m.push(("op", Value::Str("refine".into())));
+                        m.push(("model", Value::UInt(u64::from(*model))));
+                        m.push(("behaviors", Value::UInt(*behaviors as u64)));
+                        m.push(("buses", Value::UInt(*buses as u64)));
+                        m.push(("printed_lines", Value::UInt(*printed_lines as u64)));
+                    }
+                    ResponseBody::Estimated { report } => {
+                        m.push(("op", Value::Str("estimate".into())));
+                        m.push(("report", Value::Str(report.clone())));
+                    }
+                    ResponseBody::Explored {
+                        points,
+                        pareto,
+                        total,
+                    } => {
+                        m.push(("op", Value::Str("explore".into())));
+                        m.push(("total", Value::UInt(*total as u64)));
+                        m.push(("pareto", Value::UInt(*pareto as u64)));
+                        m.push((
+                            "points",
+                            Value::Arr(
+                                points
+                                    .iter()
+                                    .map(|p| {
+                                        obj(vec![
+                                            ("algorithm", Value::Str(p.algorithm.clone())),
+                                            ("buses", Value::UInt(p.buses as u64)),
+                                            ("cost", Value::Num(p.cost)),
+                                            ("max_bus_rate", Value::Num(p.max_bus_rate)),
+                                            ("model", Value::UInt(u64::from(p.model))),
+                                            ("pareto", Value::Bool(p.pareto)),
+                                            ("seed", Value::UInt(p.seed)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    ResponseBody::Verified {
+                        records,
+                        equivalent,
+                        original_time,
+                        original_steps,
+                    } => {
+                        m.push(("op", Value::Str("verify".into())));
+                        m.push(("equivalent", Value::Bool(*equivalent)));
+                        m.push(("original_time", Value::UInt(*original_time)));
+                        m.push(("original_steps", Value::UInt(*original_steps)));
+                        m.push((
+                            "records",
+                            Value::Arr(
+                                records
+                                    .iter()
+                                    .map(|r| {
+                                        obj(vec![
+                                            ("algorithm", Value::Str(r.algorithm.clone())),
+                                            ("bus_traffic", Value::UInt(r.bus_traffic)),
+                                            ("detail", Value::Str(r.detail.clone())),
+                                            ("equivalent", Value::Bool(r.equivalent)),
+                                            ("model", Value::UInt(u64::from(r.model))),
+                                            ("seed", Value::UInt(r.seed)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    ResponseBody::Linted {
+                        diagnostics,
+                        errors,
+                        warnings,
+                        notes,
+                    } => {
+                        m.push(("op", Value::Str("lint".into())));
+                        m.push(("errors", Value::UInt(*errors as u64)));
+                        m.push(("warnings", Value::UInt(*warnings as u64)));
+                        m.push(("notes", Value::UInt(*notes as u64)));
+                        m.push((
+                            "diagnostics",
+                            Value::Arr(
+                                diagnostics
+                                    .iter()
+                                    .map(|d| {
+                                        let mut e = vec![
+                                            ("code", Value::Str(d.code.clone())),
+                                            ("message", Value::Str(d.message.clone())),
+                                            ("severity", Value::Str(d.severity.clone())),
+                                        ];
+                                        if let Some(line) = d.line {
+                                            e.push(("line", Value::UInt(u64::from(line))));
+                                        }
+                                        if let Some(col) = d.col {
+                                            e.push(("col", Value::UInt(u64::from(col))));
+                                        }
+                                        obj(e)
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    ResponseBody::Cancelled { target, found } => {
+                        m.push(("op", Value::Str("cancel".into())));
+                        m.push(("target", Value::UInt(*target)));
+                        m.push(("found", Value::Bool(*found)));
+                    }
+                    ResponseBody::Error { .. } => unreachable!("handled above"),
+                }
+            }
+        }
+        render(&obj(m))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+
+fn invalid(msg: impl Into<String>) -> ModrefError {
+    ModrefError::InvalidRequest(msg.into())
+}
+
+fn get_u64(o: &BTreeMap<String, Value>, key: &str) -> Result<Option<u64>, ModrefError> {
+    match o.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| invalid(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn get_str(o: &BTreeMap<String, Value>, key: &str) -> Result<Option<String>, ModrefError> {
+    match o.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| invalid(format!("`{key}` must be a string"))),
+    }
+}
+
+fn get_str_list(o: &BTreeMap<String, Value>, key: &str) -> Result<Vec<String>, ModrefError> {
+    match o.get(key) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| invalid(format!("`{key}` must be an array of strings")))?;
+            arr.iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| invalid(format!("`{key}` must be an array of strings")))
+                })
+                .collect()
+        }
+    }
+}
+
+fn get_model(o: &BTreeMap<String, Value>) -> Result<Option<u8>, ModrefError> {
+    match get_u64(o, "model")? {
+        None => Ok(None),
+        Some(n) => Ok(Some(model_from(n)?.number())),
+    }
+}
+
+fn source_of(o: &BTreeMap<String, Value>) -> Result<SpecSource, ModrefError> {
+    let spec = get_str(o, "spec")?;
+    let workload = get_str(o, "workload")?;
+    match (spec, workload) {
+        (Some(text), None) => Ok(SpecSource::Text(text)),
+        (None, Some(name)) => Ok(SpecSource::Workload(name)),
+        (Some(_), Some(_)) => Err(invalid("give either `spec` or `workload`, not both")),
+        (None, None) => Err(invalid("missing `spec` text or `workload` name")),
+    }
+}
+
+impl Request {
+    /// Decodes one request line. Every malformation — bad JSON, a
+    /// missing id, an unknown op, a wrongly typed field — is an
+    /// [`ModrefError::InvalidRequest`], never a panic.
+    pub fn from_json(line: &str) -> Result<Self, ModrefError> {
+        let v = json::parse(line).map_err(|e| invalid(format!("bad JSON: {e}")))?;
+        let o = v
+            .as_obj()
+            .ok_or_else(|| invalid("request must be a JSON object"))?;
+        let id = get_u64(o, "id")?.ok_or_else(|| invalid("missing numeric `id`"))?;
+        let op_name = get_str(o, "op")?.ok_or_else(|| invalid("missing `op`"))?;
+        let deadline_ms = get_u64(o, "deadline_ms")?;
+        let op = match op_name.as_str() {
+            "parse" => RequestOp::Parse {
+                source: source_of(o)?,
+            },
+            "refine" => RequestOp::Refine {
+                source: source_of(o)?,
+                part: get_str(o, "part")?.ok_or_else(|| invalid("refine needs `part` text"))?,
+                model: get_model(o)?.ok_or_else(|| invalid("refine needs `model` 1..=4"))?,
+            },
+            "estimate" => RequestOp::Estimate {
+                source: source_of(o)?,
+                part: get_str(o, "part")?.ok_or_else(|| invalid("estimate needs `part` text"))?,
+            },
+            "explore" => RequestOp::Explore {
+                source: source_of(o)?,
+                part: get_str(o, "part")?,
+                seeds: get_u64(o, "seeds")?,
+                threads: get_u64(o, "threads")?.map(|t| t as usize),
+                top: get_u64(o, "top")?.map(|t| t as usize),
+            },
+            "verify" => RequestOp::Verify {
+                source: source_of(o)?,
+                part: get_str(o, "part")?,
+                seeds: get_u64(o, "seeds")?,
+                threads: get_u64(o, "threads")?.map(|t| t as usize),
+            },
+            "lint" => RequestOp::Lint {
+                source: source_of(o)?,
+                part: get_str(o, "part")?,
+                model: get_model(o)?,
+                deny: get_str_list(o, "deny")?,
+                allow: get_str_list(o, "allow")?,
+            },
+            "cancel" => RequestOp::Cancel {
+                target: get_u64(o, "target")?
+                    .ok_or_else(|| invalid("cancel needs a numeric `target`"))?,
+            },
+            other => return Err(invalid(format!("unknown op `{other}`"))),
+        };
+        Ok(Request {
+            id,
+            deadline_ms,
+            op,
+        })
+    }
+}
+
+impl Response {
+    /// Decodes one response line — the client half of the protocol,
+    /// used by tests and scripted drivers.
+    pub fn from_json(line: &str) -> Result<Self, ModrefError> {
+        let v = json::parse(line).map_err(|e| invalid(format!("bad JSON: {e}")))?;
+        let o = v
+            .as_obj()
+            .ok_or_else(|| invalid("response must be a JSON object"))?;
+        let id = get_u64(o, "id")?.ok_or_else(|| invalid("missing numeric `id`"))?;
+        let ok = match o.get("ok") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err(invalid("missing boolean `ok`")),
+        };
+        if !ok {
+            let e = o
+                .get("error")
+                .and_then(Value::as_obj)
+                .ok_or_else(|| invalid("failure response needs an `error` object"))?;
+            return Ok(Response {
+                id,
+                body: ResponseBody::Error {
+                    code: get_str(e, "code")?.unwrap_or_default(),
+                    message: get_str(e, "message")?.unwrap_or_default(),
+                },
+            });
+        }
+        let op = get_str(o, "op")?.ok_or_else(|| invalid("missing `op`"))?;
+        let body = match op.as_str() {
+            "parse" => {
+                let s = o
+                    .get("stats")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| invalid("parse response needs `stats`"))?;
+                let field = |k: &str| -> Result<usize, ModrefError> {
+                    Ok(get_u64(s, k)?.unwrap_or(0) as usize)
+                };
+                ResponseBody::Parsed(SpecStats {
+                    name: get_str(s, "name")?.unwrap_or_default(),
+                    behaviors: field("behaviors")?,
+                    leaves: field("leaves")?,
+                    variables: field("variables")?,
+                    signals: field("signals")?,
+                    subroutines: field("subroutines")?,
+                    statements: field("statements")?,
+                    printed_lines: field("printed_lines")?,
+                    data_channels: field("data_channels")?,
+                    control_channels: field("control_channels")?,
+                })
+            }
+            "refine" => ResponseBody::Refined {
+                model: get_u64(o, "model")?.unwrap_or(0) as u8,
+                behaviors: get_u64(o, "behaviors")?.unwrap_or(0) as usize,
+                buses: get_u64(o, "buses")?.unwrap_or(0) as usize,
+                printed_lines: get_u64(o, "printed_lines")?.unwrap_or(0) as usize,
+            },
+            "estimate" => ResponseBody::Estimated {
+                report: get_str(o, "report")?.unwrap_or_default(),
+            },
+            "explore" => {
+                let pts = o.get("points").and_then(Value::as_arr).unwrap_or(&[]);
+                let points = pts
+                    .iter()
+                    .map(|p| {
+                        let p = p
+                            .as_obj()
+                            .ok_or_else(|| invalid("points must be objects"))?;
+                        Ok(PointSummary {
+                            algorithm: get_str(p, "algorithm")?.unwrap_or_default(),
+                            seed: get_u64(p, "seed")?.unwrap_or(0),
+                            model: get_u64(p, "model")?.unwrap_or(0) as u8,
+                            cost: p.get("cost").and_then(Value::as_f64).unwrap_or(0.0),
+                            max_bus_rate: p
+                                .get("max_bus_rate")
+                                .and_then(Value::as_f64)
+                                .unwrap_or(0.0),
+                            buses: get_u64(p, "buses")?.unwrap_or(0) as usize,
+                            pareto: matches!(p.get("pareto"), Some(Value::Bool(true))),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ModrefError>>()?;
+                ResponseBody::Explored {
+                    points,
+                    pareto: get_u64(o, "pareto")?.unwrap_or(0) as usize,
+                    total: get_u64(o, "total")?.unwrap_or(0) as usize,
+                }
+            }
+            "verify" => {
+                let recs = o.get("records").and_then(Value::as_arr).unwrap_or(&[]);
+                let records = recs
+                    .iter()
+                    .map(|r| {
+                        let r = r
+                            .as_obj()
+                            .ok_or_else(|| invalid("records must be objects"))?;
+                        Ok(RecordSummary {
+                            algorithm: get_str(r, "algorithm")?.unwrap_or_default(),
+                            seed: get_u64(r, "seed")?.unwrap_or(0),
+                            model: get_u64(r, "model")?.unwrap_or(0) as u8,
+                            equivalent: matches!(r.get("equivalent"), Some(Value::Bool(true))),
+                            detail: get_str(r, "detail")?.unwrap_or_default(),
+                            bus_traffic: get_u64(r, "bus_traffic")?.unwrap_or(0),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ModrefError>>()?;
+                ResponseBody::Verified {
+                    records,
+                    equivalent: matches!(o.get("equivalent"), Some(Value::Bool(true))),
+                    original_time: get_u64(o, "original_time")?.unwrap_or(0),
+                    original_steps: get_u64(o, "original_steps")?.unwrap_or(0),
+                }
+            }
+            "lint" => {
+                let ds = o.get("diagnostics").and_then(Value::as_arr).unwrap_or(&[]);
+                let diagnostics = ds
+                    .iter()
+                    .map(|d| {
+                        let d = d
+                            .as_obj()
+                            .ok_or_else(|| invalid("diagnostics must be objects"))?;
+                        Ok(DiagSummary {
+                            code: get_str(d, "code")?.unwrap_or_default(),
+                            severity: get_str(d, "severity")?.unwrap_or_default(),
+                            message: get_str(d, "message")?.unwrap_or_default(),
+                            line: get_u64(d, "line")?.map(|n| n as u32),
+                            col: get_u64(d, "col")?.map(|n| n as u32),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ModrefError>>()?;
+                ResponseBody::Linted {
+                    diagnostics,
+                    errors: get_u64(o, "errors")?.unwrap_or(0) as usize,
+                    warnings: get_u64(o, "warnings")?.unwrap_or(0) as usize,
+                    notes: get_u64(o, "notes")?.unwrap_or(0) as usize,
+                }
+            }
+            "cancel" => ResponseBody::Cancelled {
+                target: get_u64(o, "target")?.unwrap_or(0),
+                found: matches!(o.get("found"), Some(Value::Bool(true))),
+            },
+            other => return Err(invalid(format!("unknown response op `{other}`"))),
+        };
+        Ok(Response { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let reqs = vec![
+            Request {
+                id: 1,
+                deadline_ms: Some(250),
+                op: RequestOp::Parse {
+                    source: SpecSource::Workload("fig2".into()),
+                },
+            },
+            Request {
+                id: 2,
+                deadline_ms: None,
+                op: RequestOp::Refine {
+                    source: SpecSource::Text("spec s;\n".into()),
+                    part: "component PROC processor\n".into(),
+                    model: 3,
+                },
+            },
+            Request {
+                id: 3,
+                deadline_ms: None,
+                op: RequestOp::Explore {
+                    source: SpecSource::Workload("medical".into()),
+                    part: None,
+                    seeds: Some(4),
+                    threads: Some(2),
+                    top: Some(5),
+                },
+            },
+            Request {
+                id: 4,
+                deadline_ms: None,
+                op: RequestOp::Lint {
+                    source: SpecSource::Workload("dsp".into()),
+                    part: None,
+                    model: Some(1),
+                    deny: vec!["warnings".into()],
+                    allow: vec!["DF02".into()],
+                },
+            },
+            Request {
+                id: 5,
+                deadline_ms: None,
+                op: RequestOp::Cancel { target: 3 },
+            },
+        ];
+        for req in reqs {
+            let line = req.to_json_line();
+            assert_eq!(Request::from_json(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_invalid_not_panics() {
+        for line in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"op":"parse","workload":"fig2"}"#,
+            r#"{"id":1}"#,
+            r#"{"id":1,"op":"warp"}"#,
+            r#"{"id":1,"op":"parse"}"#,
+            r#"{"id":1,"op":"parse","spec":"x","workload":"y"}"#,
+            r#"{"id":1,"op":"refine","workload":"fig2","part":"p","model":9}"#,
+            r#"{"id":1,"op":"cancel"}"#,
+            r#"{"id":"one","op":"parse","workload":"fig2"}"#,
+        ] {
+            let err = Request::from_json(line).unwrap_err();
+            assert_eq!(err.code(), "invalid_request", "{line}");
+        }
+    }
+
+    #[test]
+    fn response_encoding_is_canonical_and_decodable() {
+        let resp = Response::ok(
+            9,
+            ResponseBody::Explored {
+                points: vec![PointSummary {
+                    algorithm: "anneal".into(),
+                    seed: 7,
+                    model: 2,
+                    cost: 12.5,
+                    max_bus_rate: 3.25,
+                    buses: 2,
+                    pareto: true,
+                }],
+                pareto: 1,
+                total: 24,
+            },
+        );
+        let line = resp.to_json_line();
+        assert_eq!(Response::from_json(&line).unwrap(), resp);
+        // Canonical: keys sorted within each object.
+        assert!(line.starts_with(r#"{"id":9,"#), "{line}");
+
+        let err = Response::err(3, &ModrefError::Timeout);
+        let line = err.to_json_line();
+        assert_eq!(
+            line,
+            r#"{"error":{"code":"timeout","message":"deadline exceeded"},"id":3,"ok":false}"#
+        );
+        assert_eq!(Response::from_json(&line).unwrap(), err);
+    }
+}

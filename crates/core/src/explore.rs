@@ -2,7 +2,7 @@
 //! models.
 //!
 //! The partition layer's multi-start explorer
-//! ([`modref_partition::explore`]) produces ranked candidate partitions;
+//! ([`mod@modref_partition::explore`]) produces ranked candidate partitions;
 //! this module crosses each candidate with the four implementation
 //! models, evaluates the Figure 9 bus-rate tables for every pair, and
 //! ranks the resulting design points. A point's quality is the pair
@@ -11,7 +11,7 @@
 //! directly off the table.
 //!
 //! Rate evaluation fans out over the same deterministic
-//! [`par_map`](modref_partition::par_map) used for partitioning, so the
+//! [`par_map`] used for partitioning, so the
 //! full exploration is parallel end to end yet reproducible for a fixed
 //! seed count regardless of thread count.
 //!
@@ -24,11 +24,12 @@
 //! and observed bus traffic for the frontier.
 
 use modref_graph::AccessGraph;
-use modref_partition::explore::{explore as explore_partitions, Candidate, ExploreConfig};
+use modref_partition::explore::{explore_with_cancel, Candidate, ExploreConfig};
 use modref_partition::{par_map, thread_count, Allocation, CostConfig, CostReport, Partition};
 use modref_sim::{SimConfig, Simulator};
 use modref_spec::Spec;
 
+use crate::api::CancelToken;
 use crate::error::RefineError;
 use crate::model::ImplModel;
 use crate::rates::figure9_rates;
@@ -76,6 +77,10 @@ impl Exploration {
 /// under all four implementation models, and returns the ranked points.
 ///
 /// Deterministic for a fixed `expl` config regardless of thread count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use modref_core::api::Codesign::explore, which adds cancellation and unified errors"
+)]
 pub fn explore_designs(
     spec: &Spec,
     graph: &AccessGraph,
@@ -83,9 +88,37 @@ pub fn explore_designs(
     cost_config: &CostConfig,
     expl: &ExploreConfig,
 ) -> Result<Exploration, RefineError> {
+    explore_designs_impl(spec, graph, allocation, cost_config, expl, None)
+}
+
+/// The shared implementation behind [`explore_designs`] and
+/// [`Codesign::explore`](crate::api::Codesign::explore): the legacy shim
+/// passes no token, the facade threads one through. The token is checked
+/// before each partition job and each rate evaluation; on stop the
+/// partial result ranks whatever finished — the facade then checks its
+/// token, discards the partial result and reports the stop reason.
+pub(crate) fn explore_designs_impl(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    cost_config: &CostConfig,
+    expl: &ExploreConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<Exploration, RefineError> {
     let span = modref_obs::span("explore_designs");
     let span_id = span.id();
-    let candidates = explore_partitions(spec, graph, allocation, cost_config, expl);
+    let stop_fn: Option<Box<dyn Fn() -> bool + Sync>> = cancel.map(|token| {
+        let token = token.clone();
+        Box::new(move || token.stopped().is_some()) as Box<dyn Fn() -> bool + Sync>
+    });
+    let candidates = explore_with_cancel(
+        spec,
+        graph,
+        allocation,
+        cost_config,
+        expl,
+        stop_fn.as_deref(),
+    );
     let lifetime = cost_config.lifetime;
 
     // Cross candidates with models; rate evaluation is independent per
@@ -97,15 +130,20 @@ pub fn explore_designs(
         .collect();
     let threads = thread_count(expl.threads);
     let rated = par_map(jobs, threads, |_, (ci, model)| {
+        if cancel.is_some_and(|t| t.stopped().is_some()) {
+            return Ok(None);
+        }
         let _job = modref_obs::span_under(span_id, "rate_eval").attr("model", model.name());
         let cand: &Candidate = &candidates[ci];
         figure9_rates(spec, graph, allocation, &cand.partition, model, &lifetime)
-            .map(|table| (ci, model, table.max_rate(), table.bus_count()))
+            .map(|table| Some((ci, model, table.max_rate(), table.bus_count())))
     });
 
     let mut points = Vec::with_capacity(rated.len());
     for r in rated {
-        let (ci, model, max_bus_rate, bus_count) = r?;
+        let Some((ci, model, max_bus_rate, bus_count)) = r? else {
+            continue;
+        };
         let cand = &candidates[ci];
         points.push(DesignPoint {
             algorithm: cand.algorithm,
@@ -179,18 +217,38 @@ impl Verification {
 
 /// Simulates original vs. refined specifications for every distinct
 /// Pareto-front candidate × Model1–4, in parallel over the deterministic
-/// [`par_map`](modref_partition::par_map).
+/// [`par_map`].
 ///
 /// Refinement or simulation failures are *reported* (as non-equivalent
 /// records with the error in `detail`), not propagated — a design-space
 /// sweep should show which corners break, not abort on the first one.
 /// Output is identical regardless of thread count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use modref_core::api::Codesign::verify, which adds cancellation and unified errors"
+)]
 pub fn verify_pareto(
     spec: &Spec,
     graph: &AccessGraph,
     allocation: &Allocation,
     exploration: &Exploration,
     threads: Option<usize>,
+) -> Verification {
+    verify_pareto_impl(spec, graph, allocation, exploration, threads, None)
+}
+
+/// The shared implementation behind [`verify_pareto`] and
+/// [`Codesign::verify`](crate::api::Codesign::verify). The token is
+/// checked before each candidate × model job; jobs that start after a
+/// stop return a non-equivalent record marked `"stopped"` (the facade
+/// then checks its token and reports the stop reason instead).
+pub(crate) fn verify_pareto_impl(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    exploration: &Exploration,
+    threads: Option<usize>,
+    cancel: Option<&CancelToken>,
 ) -> Verification {
     let span = modref_obs::span("verify_pareto");
     let span_id = span.id();
@@ -223,6 +281,18 @@ pub fn verify_pareto(
     let workers = thread_count(threads);
     let records = par_map(jobs, workers, |_, (ci, model)| {
         let (algorithm, seed, partition) = cands[ci];
+        if cancel.is_some_and(|t| t.stopped().is_some()) {
+            return VerifyRecord {
+                algorithm,
+                seed,
+                model,
+                equivalent: false,
+                detail: "stopped before simulation".into(),
+                refined_time: 0,
+                refined_steps: 0,
+                bus_traffic: 0,
+            };
+        }
         let _job = modref_obs::span_under(span_id, "verify.job")
             .attr("algorithm", algorithm)
             .attr("seed", seed)
@@ -255,7 +325,7 @@ pub fn verify_pareto(
             // Static conformance gate: a candidate whose architecture
             // trips RC01-RC04 would deadlock or misdecode in simulation;
             // reject it without spending the simulation time.
-            let diags = crate::lint::lint_refined(spec, graph, &refined);
+            let diags = crate::lint::lint_refined_impl(spec, graph, &refined);
             if let Some(codes) = crate::lint::static_reject(&diags) {
                 reject_counter.inc();
                 record.detail = format!("static analysis rejected: {codes}");
@@ -295,18 +365,14 @@ pub fn verify_pareto(
 }
 
 /// Total order: partition cost, then peak bus rate, then model number,
-/// then algorithm name, then seed.
+/// then algorithm name, then seed. `total_cmp` keeps the order total
+/// even for NaN costs/rates, so ranking can never panic mid-request.
 fn rank(points: &mut [DesignPoint]) {
     points.sort_by(|a, b| {
         a.cost
             .total
-            .partial_cmp(&b.cost.total)
-            .expect("finite costs")
-            .then_with(|| {
-                a.max_bus_rate
-                    .partial_cmp(&b.max_bus_rate)
-                    .expect("finite rates")
-            })
+            .total_cmp(&b.cost.total)
+            .then_with(|| a.max_bus_rate.total_cmp(&b.max_bus_rate))
             .then_with(|| a.model.number().cmp(&b.model.number()))
             .then_with(|| a.algorithm.cmp(b.algorithm))
             .then_with(|| a.seed.cmp(&b.seed))
@@ -332,6 +398,7 @@ fn mark_pareto(points: &mut [DesignPoint]) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims remain covered until removal
 mod tests {
     use super::*;
     use modref_workloads::{medical_allocation, medical_spec};

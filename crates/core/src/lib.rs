@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod address;
+pub mod api;
 pub mod arbiter;
 pub mod arch;
 pub mod control;
@@ -71,14 +72,18 @@ pub mod protocol;
 pub mod rates;
 pub mod refine;
 pub mod report;
+pub mod serve;
 
+pub use api::{Codesign, ModrefError};
 pub use arbiter::ArbiterPolicy;
 pub use arch::{ArbiterDesc, Architecture, Bus, BusKind, InterfaceDesc, MemoryModule};
 pub use error::RefineError;
-pub use explore::{
-    explore_designs, verify_pareto, DesignPoint, Exploration, Verification, VerifyRecord,
-};
-pub use lint::{lint_refined, static_reject};
+#[allow(deprecated)]
+pub use explore::{explore_designs, verify_pareto};
+pub use explore::{DesignPoint, Exploration, Verification, VerifyRecord};
+#[allow(deprecated)]
+pub use lint::lint_refined;
+pub use lint::static_reject;
 pub use model::ImplModel;
 pub use plan::RefinePlan;
 pub use rates::figure9_rates;

@@ -18,7 +18,22 @@ use crate::refine::Refined;
 /// the `RC01`–`RC04` lints over it. `spec` and `graph` are the *original*
 /// specification and its access graph (the plan's variable ids and the
 /// channel ids in `refined.channel_buses` belong to them).
+#[deprecated(
+    since = "0.1.0",
+    note = "use modref_core::api::Codesign::lint with LintOpts::part, which runs the \
+            conformance lints alongside the spec-level families"
+)]
 pub fn lint_refined(spec: &Spec, graph: &AccessGraph, refined: &Refined) -> Vec<Diagnostic> {
+    lint_refined_impl(spec, graph, refined)
+}
+
+/// The implementation behind [`lint_refined`] and the conformance half
+/// of [`Codesign::lint`](crate::api::Codesign::lint).
+pub(crate) fn lint_refined_impl(
+    spec: &Spec,
+    graph: &AccessGraph,
+    refined: &Refined,
+) -> Vec<Diagnostic> {
     let arch = &refined.architecture;
     let plan = &refined.plan;
 
@@ -104,6 +119,7 @@ pub fn static_reject(diags: &[Diagnostic]) -> Option<String> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shim remains covered until removal
 mod tests {
     use super::*;
     use crate::{refine, ImplModel};

@@ -1,0 +1,791 @@
+//! `modref serve` — a long-running concurrent codesign service.
+//!
+//! The server reads newline-delimited JSON requests (the
+//! [`api::Request`](crate::api::Request) wire format) from a byte
+//! stream, executes them on a bounded worker pool, and writes one JSON
+//! response line per request, tagged with the request's id. Responses
+//! may interleave in completion order; ids are what correlate them.
+//!
+//! Robustness model — every failure is a structured response, never a
+//! dead server:
+//!
+//! * **deadlines** — each request may carry `deadline_ms` (or inherit
+//!   [`ServeConfig::default_deadline_ms`]); a reaper thread expires the
+//!   request's [`CancelToken`] when time runs out and the client gets a
+//!   `timeout` error;
+//! * **cancellation** — a `cancel` request flips the target's token;
+//!   in-flight explorations/verifications stop at their next checkpoint
+//!   and answer with a `cancelled` error, while the cancel itself is
+//!   acknowledged immediately from the reader thread;
+//! * **backpressure** — the job queue is bounded; when it is full new
+//!   requests are rejected with an `overloaded` error instead of
+//!   buffering without limit;
+//! * **panic isolation** — a panicking operation is caught per worker
+//!   ([`std::panic::catch_unwind`]); the client gets an `internal`
+//!   error and the worker keeps serving;
+//! * **graceful drain** — on end of input the queue is closed, queued
+//!   work finishes, workers are joined, and [`serve`] returns its
+//!   [`ServeStats`].
+//!
+//! Every request runs under a `serve.request` span with queue-wait and
+//! execution-time histograms (`serve.queue_ns`, `serve.exec_ns`) and
+//! `serve.*` counters, so a `--trace` session round-trips through
+//! `modref report`.
+//!
+//! ```
+//! use modref_core::api::{Request, RequestOp, Response, SpecSource};
+//! use modref_core::serve::{serve, ServeConfig};
+//! let spec = "spec tiny;\nvar x : int<16> = 0;\n\
+//!             behavior L leaf { x := x + 5; }\n\
+//!             behavior T seq { children { L; } }\ntop T;\n";
+//! let req = Request {
+//!     id: 1,
+//!     deadline_ms: None,
+//!     op: RequestOp::Parse { source: SpecSource::Text(spec.into()) },
+//! };
+//! let input = format!("{}\n", req.to_json_line());
+//! let mut out = Vec::new();
+//! let stats = serve(
+//!     std::io::Cursor::new(input.into_bytes()),
+//!     &mut out,
+//!     &ServeConfig::default().workers(1),
+//! );
+//! assert_eq!((stats.accepted, stats.completed), (1, 1));
+//! let line = String::from_utf8(out).unwrap();
+//! assert_eq!(Response::from_json(line.trim()).unwrap().id, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{mpsc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use modref_spec::Spec;
+
+use crate::api::{
+    CancelToken, Codesign, ExploreOpts, LintOpts, ModrefError, Request, RequestOp, Response,
+    ResponseBody, SpecSource, VerifyOpts,
+};
+
+/// How often the deadline reaper scans in-flight requests.
+const REAPER_TICK: Duration = Duration::from_millis(2);
+
+/// Server configuration. `#[non_exhaustive]` — construct with
+/// [`ServeConfig::default`] and the builder methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with
+    /// `overloaded`.
+    pub queue: usize,
+    /// Deadline applied to requests that carry none of their own.
+    pub default_deadline_ms: Option<u64>,
+    /// For [`serve_listener`]: stop accepting after this many
+    /// connections (`None` accepts forever).
+    pub max_connections: Option<usize>,
+    /// Resolves `"workload"` request names to specs. The CLI injects
+    /// `modref_workloads::named_spec`; `None` rejects workload requests
+    /// with `unknown_workload`.
+    pub workload_resolver: Option<fn(&str) -> Option<Spec>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: modref_partition::thread_count(None),
+            queue: 64,
+            default_deadline_ms: None,
+            max_connections: None,
+            workload_resolver: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count (minimum 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the bounded job-queue capacity (minimum 1).
+    #[must_use]
+    pub fn queue(mut self, queue: usize) -> Self {
+        self.queue = queue.max(1);
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    #[must_use]
+    pub fn default_deadline_ms(mut self, ms: u64) -> Self {
+        self.default_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Limits [`serve_listener`] to a fixed number of connections.
+    #[must_use]
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = Some(n);
+        self
+    }
+
+    /// Installs the workload-name resolver.
+    #[must_use]
+    pub fn workload_resolver(mut self, f: fn(&str) -> Option<Spec>) -> Self {
+        self.workload_resolver = Some(f);
+        self
+    }
+}
+
+/// What a serve session did, returned by [`serve`] when the input
+/// drains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServeStats {
+    /// Requests accepted onto the queue.
+    pub accepted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed (any structured error, including timeout
+    /// and cancellation).
+    pub errors: u64,
+    /// Failures whose code was `cancelled`.
+    pub cancelled: u64,
+    /// Failures whose code was `timeout`.
+    pub timeouts: u64,
+    /// Requests rejected because the queue was full.
+    pub overloaded: u64,
+    /// Input lines that did not decode to a request.
+    pub malformed: u64,
+}
+
+impl ServeStats {
+    /// Accumulates another session's counts (used by
+    /// [`serve_listener`]).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.accepted += other.accepted;
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.cancelled += other.cancelled;
+        self.timeouts += other.timeouts;
+        self.overloaded += other.overloaded;
+        self.malformed += other.malformed;
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    cancelled: AtomicU64,
+    timeouts: AtomicU64,
+    overloaded: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One queued request: the decoded form, its stop token, and when it
+/// was enqueued (for the queue-wait histogram).
+struct Job {
+    req: Request,
+    token: CancelToken,
+    span_parent: u64,
+    enqueued: Instant,
+}
+
+/// In-flight request registry: id → (token, optional deadline).
+type Registry = Mutex<HashMap<u64, (CancelToken, Option<Instant>)>>;
+
+/// Locks poison-tolerantly: a panicking worker must not take the whole
+/// server down with a poisoned mutex.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn emit<W: Write>(writer: &Mutex<W>, resp: &Response) {
+    let mut w = lock(writer);
+    // A vanished client is not a server error; keep draining.
+    let _ = writeln!(w, "{}", resp.to_json_line());
+    let _ = w.flush();
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "operation panicked".to_string()
+    }
+}
+
+/// Runs one serve session: reads request lines from `reader` until end
+/// of input, answers on `writer`, drains queued work, and returns the
+/// session's [`ServeStats`]. See the [module docs](self) for the
+/// robustness model and an example.
+pub fn serve<R: BufRead, W: Write + Send>(reader: R, writer: W, cfg: &ServeConfig) -> ServeStats {
+    let stats = AtomicStats::default();
+    let registry: Registry = Mutex::new(HashMap::new());
+    let writer = Mutex::new(writer);
+    let drained = AtomicBool::new(false);
+    let session = modref_obs::span("serve.session").attr("workers", cfg.workers.max(1));
+    let session_id = session.id();
+    let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue.max(1));
+    let rx = Mutex::new(rx);
+
+    thread::scope(|s| {
+        let workers: Vec<_> = (0..cfg.workers.max(1))
+            .map(|_| s.spawn(|| worker_loop(&rx, &writer, &registry, &stats, cfg)))
+            .collect();
+        let reaper = s.spawn(|| {
+            while !drained.load(Ordering::Relaxed) {
+                reap_deadlines(&registry);
+                thread::sleep(REAPER_TICK);
+            }
+        });
+
+        read_loop(reader, &tx, &writer, &registry, &stats, cfg, session_id);
+
+        drop(tx); // close the queue: workers drain and exit
+        for w in workers {
+            let _ = w.join();
+        }
+        drained.store(true, Ordering::Relaxed);
+        let _ = reaper.join();
+    });
+    drop(session);
+    stats.snapshot()
+}
+
+/// Serves one session over stdin/stdout (the `modref serve --stdio`
+/// transport).
+pub fn serve_stdio(cfg: &ServeConfig) -> ServeStats {
+    let stdin = std::io::stdin();
+    serve(stdin.lock(), std::io::stdout(), cfg)
+}
+
+/// Accepts TCP connections and runs one serve session per connection,
+/// concurrently. Stops after [`ServeConfig::max_connections`]
+/// connections (forever when `None`) and returns the merged stats of
+/// every session.
+pub fn serve_listener(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeStats> {
+    let total = Mutex::new(ServeStats::default());
+    thread::scope(|s| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        let mut accepted = 0usize;
+        while cfg.max_connections.is_none_or(|max| accepted < max) {
+            let (stream, _) = listener.accept()?;
+            accepted += 1;
+            let total = &total;
+            handles.push(s.spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(clone) => BufReader::new(clone),
+                    Err(_) => return,
+                };
+                let stats = serve(reader, stream, cfg);
+                lock(total).merge(&stats);
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    })?;
+    let stats = *lock(&total);
+    Ok(stats)
+}
+
+/// The reader half: decodes lines, acknowledges cancels inline, and
+/// enqueues everything else with backpressure.
+#[allow(clippy::too_many_arguments)]
+fn read_loop<R: BufRead, W: Write>(
+    reader: R,
+    tx: &SyncSender<Job>,
+    writer: &Mutex<W>,
+    registry: &Registry,
+    stats: &AtomicStats,
+    cfg: &ServeConfig,
+    session_span: u64,
+) {
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break; // unreadable input stream: drain and exit
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::from_json(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                modref_obs::counter("serve.malformed").inc();
+                // Salvage the id when the object had one, so the client
+                // can still correlate; 0 otherwise.
+                let id = modref_obs::json::parse(&line)
+                    .ok()
+                    .as_ref()
+                    .and_then(|v| v.as_obj())
+                    .and_then(|o| o.get("id"))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                emit(writer, &Response::err(id, &e));
+                continue;
+            }
+        };
+
+        if let RequestOp::Cancel { target } = req.op {
+            let found = match lock(registry).get(&target) {
+                Some((token, _)) => {
+                    token.cancel();
+                    true
+                }
+                None => false,
+            };
+            modref_obs::counter("serve.cancel_requests").inc();
+            emit(
+                writer,
+                &Response::ok(req.id, ResponseBody::Cancelled { target, found }),
+            );
+            continue;
+        }
+
+        let token = CancelToken::new();
+        let deadline = req
+            .deadline_ms
+            .or(cfg.default_deadline_ms)
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        {
+            let mut reg = lock(registry);
+            if reg.contains_key(&req.id) {
+                drop(reg);
+                let e = ModrefError::InvalidRequest(format!("id {} is already in flight", req.id));
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                emit(writer, &Response::err(req.id, &e));
+                continue;
+            }
+            reg.insert(req.id, (token.clone(), deadline));
+        }
+
+        let id = req.id;
+        let job = Job {
+            req,
+            token,
+            span_parent: session_span,
+            enqueued: Instant::now(),
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                modref_obs::counter("serve.accepted").inc();
+            }
+            Err(TrySendError::Full(_)) => {
+                lock(registry).remove(&id);
+                stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                modref_obs::counter("serve.overloaded").inc();
+                let e = ModrefError::Overloaded {
+                    capacity: cfg.queue.max(1),
+                };
+                emit(writer, &Response::err(id, &e));
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                lock(registry).remove(&id);
+                break; // workers are gone; nothing more can be served
+            }
+        }
+    }
+}
+
+/// Expires the token of every in-flight request whose deadline passed.
+fn reap_deadlines(registry: &Registry) {
+    let now = Instant::now();
+    for (token, deadline) in lock(registry).values() {
+        if deadline.is_some_and(|d| d <= now) {
+            token.expire();
+        }
+    }
+}
+
+/// The worker half: dequeues jobs, executes them with panic isolation,
+/// and emits the response.
+fn worker_loop<W: Write>(
+    rx: &Mutex<mpsc::Receiver<Job>>,
+    writer: &Mutex<W>,
+    registry: &Registry,
+    stats: &AtomicStats,
+    cfg: &ServeConfig,
+) {
+    loop {
+        let job = lock(rx).recv();
+        let Ok(job) = job else {
+            return; // queue closed and drained
+        };
+        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+        modref_obs::histogram("serve.queue_ns").record(queue_ns);
+        let span = modref_obs::span_under(job.span_parent, "serve.request")
+            .attr("op", job.req.op.name())
+            .attr("request_id", job.req.id);
+
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| execute(&job.req.op, &job.token, cfg)))
+            .unwrap_or_else(|payload| Err(ModrefError::Internal(panic_message(payload))));
+        modref_obs::histogram("serve.exec_ns").record(started.elapsed().as_nanos() as u64);
+
+        lock(registry).remove(&job.req.id);
+        let resp = match result {
+            Ok(body) => {
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                modref_obs::counter("serve.completed").inc();
+                Response::ok(job.req.id, body)
+            }
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                modref_obs::counter("serve.errors").inc();
+                match e {
+                    ModrefError::Cancelled => {
+                        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                        modref_obs::counter("serve.cancelled").inc();
+                    }
+                    ModrefError::Timeout => {
+                        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        modref_obs::counter("serve.timeout").inc();
+                    }
+                    _ => {}
+                }
+                Response::err(job.req.id, &e)
+            }
+        };
+        drop(span);
+        emit(writer, &resp);
+    }
+}
+
+/// Executes one non-cancel operation against a fresh [`Codesign`]
+/// session, honoring the request's stop token.
+fn execute(
+    op: &RequestOp,
+    token: &CancelToken,
+    cfg: &ServeConfig,
+) -> Result<ResponseBody, ModrefError> {
+    token.check()?; // the deadline may have expired while queued
+    let load = |source: &SpecSource| -> Result<Codesign, ModrefError> {
+        match source {
+            SpecSource::Text(text) => Codesign::parse("<request>", text),
+            SpecSource::Workload(name) => cfg
+                .workload_resolver
+                .and_then(|resolve| resolve(name))
+                .map(Codesign::from_spec)
+                .ok_or_else(|| ModrefError::UnknownWorkload(name.clone())),
+        }
+    };
+    match op {
+        RequestOp::Parse { source } => Ok(ResponseBody::Parsed(load(source)?.stats())),
+        RequestOp::Refine {
+            source,
+            part,
+            model,
+        } => {
+            let cd = load(source)?;
+            let model = crate::api::model_from(u64::from(*model))?;
+            let refined = cd.refine(part, model)?;
+            Ok(ResponseBody::Refined {
+                model: model.number(),
+                behaviors: refined.spec.behavior_count(),
+                buses: refined.architecture.buses.len(),
+                printed_lines: modref_spec::printer::line_count(&refined.spec),
+            })
+        }
+        RequestOp::Estimate { source, part } => Ok(ResponseBody::Estimated {
+            report: load(source)?.estimate(part)?,
+        }),
+        RequestOp::Explore {
+            source,
+            part,
+            seeds,
+            threads,
+            top,
+        } => {
+            let cd = load(source)?;
+            let mut opts = ExploreOpts::new().cancel(token.clone());
+            if let Some(p) = part {
+                opts = opts.part(p.clone());
+            }
+            if let Some(k) = seeds {
+                opts = opts.seeds(*k);
+            }
+            if let Some(t) = threads {
+                opts = opts.threads(*t);
+            }
+            let out = cd.explore(&opts)?;
+            Ok(ResponseBody::from_exploration(&out, *top))
+        }
+        RequestOp::Verify {
+            source,
+            part,
+            seeds,
+            threads,
+        } => {
+            let cd = load(source)?;
+            let mut eopts = ExploreOpts::new().cancel(token.clone());
+            let mut vopts = VerifyOpts::new().cancel(token.clone());
+            if let Some(p) = part {
+                eopts = eopts.part(p.clone());
+                vopts = vopts.part(p.clone());
+            }
+            if let Some(k) = seeds {
+                eopts = eopts.seeds(*k);
+            }
+            if let Some(t) = threads {
+                eopts = eopts.threads(*t);
+                vopts = vopts.threads(*t);
+            }
+            let out = cd.explore(&eopts)?;
+            let v = cd.verify(&out, &vopts)?;
+            Ok(ResponseBody::from_verification(&v))
+        }
+        RequestOp::Lint {
+            source,
+            part,
+            model,
+            deny,
+            allow,
+        } => {
+            let cd = load(source)?;
+            let mut opts = LintOpts::new();
+            if let Some(p) = part {
+                opts = opts.part(p.clone());
+            }
+            if let Some(n) = model {
+                opts = opts.model(crate::api::model_from(u64::from(*n))?);
+            }
+            for name in deny {
+                opts = opts.deny(name.clone());
+            }
+            for name in allow {
+                opts = opts.allow(name.clone());
+            }
+            Ok(ResponseBody::from_diagnostics(&cd.lint(&opts)?))
+        }
+        RequestOp::Cancel { .. } => Err(ModrefError::InvalidRequest(
+            "cancel is handled by the reader, not the worker pool".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run(input: &str, cfg: &ServeConfig) -> (ServeStats, Vec<Response>) {
+        let mut out = Vec::new();
+        let stats = serve(Cursor::new(input.as_bytes().to_vec()), &mut out, cfg);
+        let text = String::from_utf8(out).expect("utf8 output");
+        let responses = text
+            .lines()
+            .map(|l| Response::from_json(l).expect("decodable response"))
+            .collect();
+        (stats, responses)
+    }
+
+    fn resolver(name: &str) -> Option<Spec> {
+        modref_workloads::named_spec(name)
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig::default().workload_resolver(resolver)
+    }
+
+    fn line(id: u64, body: &str) -> String {
+        format!("{{\"id\":{id},{body}}}\n")
+    }
+
+    fn body_of(responses: &[Response], id: u64) -> &ResponseBody {
+        &responses
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no response for id {id}"))
+            .body
+    }
+
+    fn error_code(responses: &[Response], id: u64) -> &str {
+        match body_of(responses, id) {
+            ResponseBody::Error { code, .. } => code,
+            other => panic!("id {id}: expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_session_answers_every_id() {
+        let mut input = String::new();
+        input.push_str(&line(1, r#""op":"parse","workload":"fig2""#));
+        input.push_str(&line(2, r#""op":"parse","workload":"nope""#));
+        input.push_str(&line(3, r#""op":"lint","workload":"dsp""#));
+        input.push_str(&line(
+            4,
+            r#""op":"explore","workload":"fig2","seeds":1,"top":3"#,
+        ));
+        input.push_str("this is not json\n");
+        input.push_str(&line(5, r#""op":"cancel","target":77"#));
+        let (stats, responses) = run(&input, &cfg().workers(2));
+        assert_eq!(stats.accepted, 4);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.malformed, 1);
+        assert!(matches!(body_of(&responses, 1), ResponseBody::Parsed(_)));
+        assert_eq!(error_code(&responses, 2), "unknown_workload");
+        assert!(matches!(
+            body_of(&responses, 3),
+            ResponseBody::Linted { .. }
+        ));
+        assert!(matches!(
+            body_of(&responses, 4),
+            ResponseBody::Explored { .. }
+        ));
+        assert!(matches!(
+            body_of(&responses, 5),
+            ResponseBody::Cancelled { found: false, .. }
+        ));
+        // The malformed line got a structured reply with id 0.
+        assert_eq!(error_code(&responses, 0), "invalid_request");
+        assert_eq!(responses.len(), 6, "one response per line, none dropped");
+    }
+
+    #[test]
+    fn cancel_stops_an_inflight_explore() {
+        let mut input = String::new();
+        input.push_str(&line(
+            1,
+            r#""op":"explore","workload":"medical","seeds":64"#,
+        ));
+        input.push_str(&line(2, r#""op":"cancel","target":1"#));
+        let (stats, responses) = run(&input, &cfg().workers(1));
+        assert_eq!(error_code(&responses, 1), "cancelled");
+        assert!(matches!(
+            body_of(&responses, 2),
+            ResponseBody::Cancelled {
+                target: 1,
+                found: true
+            }
+        ));
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_timeout_error() {
+        let input = line(
+            9,
+            r#""op":"explore","workload":"medical","seeds":32,"deadline_ms":1"#,
+        );
+        let (stats, responses) = run(&input, &cfg().workers(1));
+        assert_eq!(error_code(&responses, 9), "timeout");
+        assert_eq!(stats.timeouts, 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        // One slow worker, queue of one: of three quick-fire explores at
+        // least one cannot fit and must be rejected — but still answered.
+        let mut input = String::new();
+        for id in 1..=3u64 {
+            input.push_str(&line(
+                id,
+                r#""op":"explore","workload":"medical","seeds":4"#,
+            ));
+        }
+        let (stats, responses) = run(&input, &cfg().workers(1).queue(1));
+        assert!(stats.overloaded >= 1, "{stats:?}");
+        assert_eq!(stats.accepted + stats.overloaded, 3);
+        for id in 1..=3 {
+            match body_of(&responses, id) {
+                ResponseBody::Explored { .. } => {}
+                ResponseBody::Error { code, .. } => assert_eq!(code, "overloaded"),
+                other => panic!("id {id}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_inflight_id_is_rejected() {
+        let mut input = String::new();
+        input.push_str(&line(
+            5,
+            r#""op":"explore","workload":"medical","seeds":16"#,
+        ));
+        input.push_str(&line(5, r#""op":"parse","workload":"fig2""#));
+        let (stats, responses) = run(&input, &cfg().workers(1).queue(4));
+        // Two responses for id 5: one invalid_request (the duplicate,
+        // answered inline) and one for whichever request ran.
+        let for_five: Vec<_> = responses.iter().filter(|r| r.id == 5).collect();
+        assert_eq!(for_five.len(), 2);
+        assert!(for_five.iter().any(
+            |r| matches!(&r.body, ResponseBody::Error { code, .. } if code == "invalid_request")
+        ));
+        assert_eq!(stats.malformed, 1);
+    }
+
+    #[test]
+    fn tcp_transport_serves_a_connection() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::TcpStream;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = thread::spawn(move || {
+            serve_listener(listener, &cfg().workers(1).max_connections(1)).expect("serve")
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(line(1, r#""op":"parse","workload":"fig2""#).as_bytes())
+            .expect("send");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown write");
+        let mut lines = Vec::new();
+        for l in BufReader::new(&stream).lines() {
+            lines.push(l.expect("read line"));
+        }
+        assert_eq!(lines.len(), 1);
+        let resp = Response::from_json(&lines[0]).expect("decodes");
+        assert_eq!(resp.id, 1);
+        assert!(matches!(resp.body, ResponseBody::Parsed(_)));
+        let stats = server.join().expect("join");
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn serve_counters_round_trip_through_a_trace() {
+        modref_obs::init(modref_obs::ClockMode::Wall);
+        let input = line(1, r#""op":"parse","workload":"fig2""#);
+        let (stats, _) = run(&input, &cfg().workers(1));
+        assert_eq!(stats.completed, 1);
+        let trace = modref_obs::shutdown();
+        assert!(trace.counter("serve.accepted").unwrap_or(0) >= 1);
+        assert!(trace.counter("serve.completed").unwrap_or(0) >= 1);
+        assert!(
+            !trace.spans_named("serve.request").is_empty(),
+            "per-request span recorded"
+        );
+    }
+}

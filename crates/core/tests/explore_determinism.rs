@@ -1,39 +1,39 @@
 //! Exploration determinism: the ranked design points are identical across
 //! repeated runs and across every way of choosing the thread count —
 //! explicit config, `RAYON_NUM_THREADS`/`MODREF_THREADS` environment
-//! overrides, and the machine default.
+//! overrides, and the machine default. Runs through the [`Codesign`]
+//! facade, the entry point the CLI and `modref serve` share.
 //!
 //! This lives in its own integration-test binary (its own process) so the
 //! environment-variable manipulation cannot race other tests; the single
 //! `#[test]` keeps the env mutations sequential within the process too.
 
-use modref_core::{explore_designs, verify_pareto};
-use modref_graph::AccessGraph;
-use modref_partition::explore::ExploreConfig;
-use modref_partition::CostConfig;
-use modref_workloads::{medical_allocation, medical_spec};
+use modref_core::api::{Codesign, ExploreOpts, VerifyOpts};
+use modref_workloads::medical_spec;
 
 #[test]
 fn ranked_results_are_identical_across_runs_and_thread_counts() {
-    let spec = medical_spec();
-    let graph = AccessGraph::derive(&spec);
-    let alloc = medical_allocation();
-    let cost = CostConfig::default();
-    let expl = |threads| ExploreConfig {
-        seeds: 2,
-        anneal_iterations: 120,
-        migration_passes: 3,
-        threads,
+    let cd = Codesign::from_spec(medical_spec());
+    let opts = |threads: Option<usize>| {
+        let mut o = ExploreOpts::new()
+            .seeds(2)
+            .anneal_iterations(120)
+            .migration_passes(3);
+        if let Some(t) = threads {
+            o = o.threads(t);
+        }
+        o
     };
 
     // Two identical runs agree point-for-point.
-    let first = explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("run 1");
-    let second = explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("run 2");
+    let first = cd.explore(&opts(None)).expect("run 1");
+    let second = cd.explore(&opts(None)).expect("run 2");
     assert_eq!(first, second, "repeat runs must be identical");
 
     // Explicit thread counts, serial through oversubscribed.
     for threads in [1, 2, 5, 16] {
-        let run = explore_designs(&spec, &graph, &alloc, &cost, &expl(Some(threads)))
+        let run = cd
+            .explore(&opts(Some(threads)))
             .unwrap_or_else(|e| panic!("{threads}-thread run: {e}"));
         assert_eq!(first, run, "results differ at {threads} threads");
     }
@@ -43,7 +43,7 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
     let saved = std::env::var("RAYON_NUM_THREADS").ok();
     std::env::set_var("RAYON_NUM_THREADS", "1");
     assert_eq!(modref_partition::thread_count(None), 1);
-    let pinned = explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("pinned run");
+    let pinned = cd.explore(&opts(None)).expect("pinned run");
     std::env::remove_var("RAYON_NUM_THREADS");
     assert_eq!(first, pinned, "RAYON_NUM_THREADS=1 changed the results");
 
@@ -51,8 +51,7 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
     std::env::set_var("RAYON_NUM_THREADS", "7");
     std::env::set_var("MODREF_THREADS", "3");
     assert_eq!(modref_partition::thread_count(None), 3);
-    let overridden =
-        explore_designs(&spec, &graph, &alloc, &cost, &expl(None)).expect("override run");
+    let overridden = cd.explore(&opts(None)).expect("override run");
     std::env::remove_var("MODREF_THREADS");
     std::env::remove_var("RAYON_NUM_THREADS");
     if let Some(v) = saved {
@@ -73,7 +72,9 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
     // oversubscribed count, and under the env-var knobs. `Verification`
     // derives `Eq` over exact fields only (no floats), so equality here
     // really is byte-for-byte.
-    let verified_single = verify_pareto(&spec, &graph, &alloc, &first, Some(1));
+    let verified_single = cd
+        .verify(&first, &VerifyOpts::new().threads(1))
+        .expect("verify 1 thread");
     assert!(
         !verified_single.records.is_empty(),
         "front must produce verification records"
@@ -84,14 +85,16 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
         verified_single.records
     );
     for threads in [2, 5, 16] {
-        let run = verify_pareto(&spec, &graph, &alloc, &first, Some(threads));
+        let run = cd
+            .verify(&first, &VerifyOpts::new().threads(threads))
+            .expect("verify");
         assert_eq!(
             verified_single, run,
             "verification differs at {threads} threads"
         );
     }
     std::env::set_var("MODREF_THREADS", "4");
-    let enved = verify_pareto(&spec, &graph, &alloc, &first, None);
+    let enved = cd.verify(&first, &VerifyOpts::new()).expect("verify env");
     std::env::remove_var("MODREF_THREADS");
     assert_eq!(
         verified_single, enved,

@@ -62,8 +62,16 @@ impl AccessGraph {
         for behavior in spec.reachable() {
             let acc = count_accesses(spec, behavior, config);
 
-            // Data channels: one per (behavior, var, direction).
-            for (&var, &n) in &acc.reads {
+            // Data channels: one per (behavior, var, direction). The
+            // access maps are hashed; sort by variable id so channel
+            // ids — and everything ordered by them, like tie-breaks in
+            // the estimation report — are identical across derivations.
+            let in_declaration_order = |m: &HashMap<VarId, f64>| {
+                let mut entries: Vec<(VarId, f64)> = m.iter().map(|(&v, &n)| (v, n)).collect();
+                entries.sort_by_key(|(v, _)| *v);
+                entries
+            };
+            for (var, n) in in_declaration_order(&acc.reads) {
                 if n <= 0.0 {
                     continue;
                 }
@@ -82,7 +90,7 @@ impl AccessGraph {
                     &mut by_behavior,
                 );
             }
-            for (&var, &n) in &acc.writes {
+            for (var, n) in in_declaration_order(&acc.writes) {
                 if n <= 0.0 {
                     continue;
                 }

@@ -108,6 +108,43 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Writes any [`Value`] in canonical form: object keys in `BTreeMap`
+/// order, numbers via [`write_u64`]/[`write_f64`], strings escaped with
+/// [`write_str`] — so `parse(write(v)) == v` for every value without a
+/// NaN/infinity inside.
+pub fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => write_u64(out, *n),
+        Value::Num(n) => write_f64(out, *n),
+        Value::Str(s) => write_str(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// A parse failure, with byte offset for error messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -369,6 +406,16 @@ mod tests {
         for bad in ["{", "[1,", "\"unterminated", "{\"a\" 1}", "01x", "{} junk"] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn write_value_round_trips() {
+        let v = parse(r#"{"a":[1,2.5,-3,"s"],"b":{"c":"x\ny","d":null},"t":false}"#).unwrap();
+        let mut out = String::new();
+        write_value(&mut out, &v);
+        assert_eq!(parse(&out).unwrap(), v);
+        // Canonical: keys emerge in BTreeMap (sorted) order.
+        assert!(out.find("\"a\"").unwrap() < out.find("\"b\"").unwrap());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The JSONL trace sink: one event per line, `{"k": "<kind>", ...}`.
 //!
 //! Serialization and parsing are exact inverses for every event kind —
-//! [`parse`]`(`[`write`]`(trace))` reproduces the trace bit for bit —
+//! [`parse`]`(`[`write`](fn@write)`(trace))` reproduces the trace bit for bit —
 //! and parsing is strict: any malformed line (bad JSON, unknown kind,
 //! missing or mistyped field) is an error naming the line, which is what
 //! lets CI pipe a trace through `modref report` as a well-formedness

@@ -5,7 +5,7 @@
 //!
 //! Three layers:
 //!
-//! * **Spans** ([`span`], [`span_under`]) — hierarchical timed regions
+//! * **Spans** ([`span`](fn@span), [`span_under`]) — hierarchical timed regions
 //!   with `key=value` attributes, recorded into per-thread buffers that
 //!   are merged at flush. Span and event ids come from a per-run
 //!   sequence counter (never wall clock or randomness), so ids are

@@ -194,6 +194,24 @@ pub fn explore(
     config: &CostConfig,
     expl: &ExploreConfig,
 ) -> Vec<Candidate> {
+    explore_with_cancel(spec, graph, allocation, config, expl, None)
+}
+
+/// [`explore`] with a cooperative stop check: `should_stop` is consulted
+/// before each job (one annealing or migration run per seed, plus the
+/// constructive singletons), and jobs that start after it returns `true`
+/// are skipped. The candidates of jobs that already finished are still
+/// ranked and returned, so a cancelled exploration yields a truthful
+/// partial result; callers that must treat cancellation as failure check
+/// their own token after the call.
+pub fn explore_with_cancel(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    config: &CostConfig,
+    expl: &ExploreConfig,
+    should_stop: Option<&(dyn Fn() -> bool + Sync)>,
+) -> Vec<Candidate> {
     let mut jobs = Vec::new();
     for seed in 0..expl.seeds {
         jobs.push(Job::Anneal {
@@ -221,7 +239,10 @@ pub fn explore(
     let job_ns = modref_obs::histogram("explore.job_ns");
 
     let warm = warm_lifetimes(spec, allocation, config);
-    let mut candidates = par_map(jobs, threads, |_, job| {
+    let mut candidates: Vec<Candidate> = par_map(jobs, threads, |_, job| {
+        if should_stop.is_some_and(|stop| stop()) {
+            return None;
+        }
         let (algorithm, seed) = job_meta(&job);
         let job_span = modref_obs::span_under(span_id, "explore.job")
             .attr("algorithm", algorithm)
@@ -229,8 +250,11 @@ pub fn explore(
         let mut table = warm.clone();
         let candidate = run_job(spec, graph, allocation, config, job, &mut table);
         job_ns.record(job_span.elapsed_ns());
-        candidate
-    });
+        Some(candidate)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     rank(&mut candidates);
     modref_obs::gauge("explore.candidates").set(candidates.len() as f64);
     candidates
@@ -277,14 +301,13 @@ fn run_job(
 }
 
 /// Sorts candidates by a total order: cost, then algorithm name, then
-/// seed. Total costs are finite by construction, so the comparison is a
-/// genuine total order.
+/// seed. `total_cmp` keeps the order total even if a cost model ever
+/// produces a NaN, so ranking can never panic on a request path.
 fn rank(candidates: &mut [Candidate]) {
     candidates.sort_by(|a, b| {
         a.cost
             .total
-            .partial_cmp(&b.cost.total)
-            .expect("finite costs")
+            .total_cmp(&b.cost.total)
             .then_with(|| a.algorithm.cmp(b.algorithm))
             .then_with(|| a.seed.cmp(&b.seed))
     });
@@ -372,6 +395,31 @@ mod tests {
         for c in &out {
             assert!(c.partition.is_complete(&spec, &alloc), "{}", c.algorithm);
         }
+    }
+
+    #[test]
+    fn cancelled_explore_skips_pending_jobs_but_keeps_finished_ones() {
+        use std::sync::atomic::AtomicBool;
+        let spec = clustered_spec();
+        let graph = AccessGraph::derive(&spec);
+        let alloc = Allocation::proc_plus_asic();
+        let config = CostConfig::default();
+        let expl = ExploreConfig {
+            seeds: 4,
+            anneal_iterations: 30,
+            migration_passes: 2,
+            threads: Some(1),
+        };
+        // Already-stopped token: every job is skipped.
+        let stopped = AtomicBool::new(true);
+        let stop = || stopped.load(Ordering::Relaxed);
+        let none = explore_with_cancel(&spec, &graph, &alloc, &config, &expl, Some(&stop));
+        assert!(none.is_empty());
+        // Never-stopped token: identical to the plain entry point.
+        let live = AtomicBool::new(false);
+        let stop = || live.load(Ordering::Relaxed);
+        let all = explore_with_cancel(&spec, &graph, &alloc, &config, &expl, Some(&stop));
+        assert_eq!(all, explore(&spec, &graph, &alloc, &config, &expl));
     }
 
     #[test]

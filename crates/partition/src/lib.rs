@@ -18,7 +18,7 @@
 //! * [`algorithms`] — automatic partitioners: random seeding, greedy
 //!   constructive placement, Kernighan–Lin-style group migration, and
 //!   simulated annealing — all driven by the incremental engine.
-//! * [`explore`] — parallel multi-start exploration: many seeds ×
+//! * [`explore`](fn@explore) — parallel multi-start exploration: many seeds ×
 //!   algorithms evaluated concurrently with deterministic results.
 //! * [`textfmt`] — a line-oriented text format for describing
 //!   allocations and partitions in files, used by the `modref` CLI.
@@ -42,5 +42,5 @@ pub use assignment::{Partition, VarClass};
 pub use cache::CostCache;
 pub use component::{Allocation, Component, ComponentId, ComponentKind};
 pub use cost::{partition_cost, CostConfig, CostReport};
-pub use explore::{explore, par_map, thread_count, Candidate, ExploreConfig};
+pub use explore::{explore, explore_with_cancel, par_map, thread_count, Candidate, ExploreConfig};
 pub use textfmt::{parse_partition, render_partition, ParsePartitionError};

@@ -21,7 +21,7 @@
 //! * Processes are stepped in a deterministic order (ascending process
 //!   id within each scheduling round). Two kernels implement the same
 //!   semantics: the default event-driven kernel wakes blocked processes
-//!   from [sensitivity](sensitivity)-indexed waiter lists and a timer
+//!   from [sensitivity]-indexed waiter lists and a timer
 //!   heap, while [`SimKernel::RoundRobin`] is the original polling
 //!   scheduler, retained as an executable reference; both produce
 //!   identical observable results.

@@ -115,6 +115,23 @@ impl ParseError {
             message: message.into(),
         }
     }
+
+    /// Renders the conventional `file:line:col: message` diagnostic line
+    /// (the file prefix is dropped when `file` is empty) — the one format
+    /// shared by the CLI front end and the serve protocol.
+    ///
+    /// ```
+    /// let e = modref_spec::ParseError::new(3, 7, "expected `;`");
+    /// assert_eq!(e.render("m.spec"), "m.spec:3:7: expected `;`");
+    /// assert_eq!(e.render(""), "3:7: expected `;`");
+    /// ```
+    pub fn render(&self, file: &str) -> String {
+        if file.is_empty() {
+            format!("{}:{}: {}", self.line, self.col, self.message)
+        } else {
+            format!("{file}:{}:{}: {}", self.line, self.col, self.message)
+        }
+    }
 }
 
 impl fmt::Display for ParseError {

@@ -42,3 +42,67 @@ pub use fig2::{fig2_partition, fig2_spec};
 pub use medical::{medical_allocation, medical_spec};
 pub use ring::ring_spec;
 pub use synth::{SynthConfig, SynthSpec};
+
+/// The names [`named_spec`] (and the `modref serve` `"workload"` request
+/// field) accepts, in canonical order.
+pub const WORKLOAD_NAMES: &[&str] = &["medical", "fig2", "dsp", "ring"];
+
+/// Builds a shipped workload specification by name.
+///
+/// This is the registry behind `modref serve`'s `"workload"` request
+/// field: clients name a built-in spec instead of inlining its source.
+/// Returns `None` for names outside [`WORKLOAD_NAMES`].
+///
+/// ```
+/// let spec = modref_workloads::named_spec("fig2").expect("shipped workload");
+/// assert!(spec.behavior_count() > 0);
+/// assert!(modref_workloads::named_spec("nope").is_none());
+/// ```
+pub fn named_spec(name: &str) -> Option<modref_spec::Spec> {
+    Some(match name {
+        "medical" => medical_spec(),
+        "fig2" => fig2_spec(),
+        "dsp" => dsp_spec(),
+        "ring" => ring_spec(16, 3),
+        _ => return None,
+    })
+}
+
+/// Renders the published partition of a named workload as partition-file
+/// text (the `-p` format), when the workload ships one.
+///
+/// `medical` resolves to Design1; `ring` has no published partition.
+///
+/// ```
+/// let text = modref_workloads::named_partition("fig2").expect("published partition");
+/// assert!(text.contains("component PROC"));
+/// assert!(modref_workloads::named_partition("ring").is_none());
+/// ```
+pub fn named_partition(name: &str) -> Option<String> {
+    use modref_partition::render_partition;
+    let alloc = medical_allocation();
+    let (spec, part) = match name {
+        "medical" => {
+            let spec = medical_spec();
+            let part = medical_partition(&spec, &alloc, Design::ALL[0]);
+            (spec, part)
+        }
+        "fig2" => {
+            let spec = fig2_spec();
+            let part = fig2_partition(&spec, &alloc);
+            (spec, part)
+        }
+        "dsp" => {
+            let spec = dsp_spec();
+            let part = dsp_partition(&spec, &alloc);
+            (spec, part)
+        }
+        _ => return None,
+    };
+    // `render_partition` emits components then assignments; splice the
+    // `default` line between them so the text parses standalone.
+    let rendered = render_partition(&spec, &alloc, &part);
+    let split = rendered.find("behavior ").unwrap_or(rendered.len());
+    let (components, assignments) = rendered.split_at(split);
+    Some(format!("{components}default PROC\n{assignments}"))
+}

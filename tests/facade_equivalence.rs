@@ -1,0 +1,154 @@
+//! Facade equivalence: the [`Codesign`] facade produces byte-identical
+//! results to the legacy free functions it supersedes, on every shipped
+//! workload. This is the migration-safety net for the `api` redesign —
+//! callers moving from `explore_designs`/`verify_pareto`/`lint_refined`
+//! (and the open-coded refine/estimate/simulate call chains) to the
+//! facade must observe no behavioral change whatsoever.
+
+// The whole point of this suite is to call the deprecated shims and
+// compare them against the facade.
+#![allow(deprecated)]
+
+use modref::analyze::{analyze_spec, render_json_lines, sort_canonical, LintConfig};
+use modref::core::api::{Codesign, ExploreOpts, LintOpts, SimOpts, VerifyOpts};
+use modref::core::{explore_designs, lint_refined, refine, verify_pareto, ImplModel};
+use modref::graph::AccessGraph;
+use modref::partition::explore::ExploreConfig;
+use modref::partition::{parse_partition, CostConfig};
+use modref::spec::{printer, SourceMap};
+use modref::workloads::{named_partition, named_spec};
+
+/// Workloads that ship a published partition — the full pipeline runs.
+const PARTITIONED: &[&str] = &["medical", "fig2", "dsp"];
+
+fn session(workload: &str) -> (Codesign, String) {
+    let cd = Codesign::from_spec(named_spec(workload).expect("shipped workload"));
+    let part = named_partition(workload).expect("published partition");
+    (cd, part)
+}
+
+#[test]
+fn explore_and_verify_match_the_legacy_functions() {
+    for workload in PARTITIONED {
+        let (cd, part) = session(workload);
+        let config = ExploreConfig {
+            seeds: 2,
+            anneal_iterations: 120,
+            migration_passes: 3,
+            threads: Some(2),
+        };
+        let opts = ExploreOpts::new()
+            .part(part.clone())
+            .seeds(config.seeds)
+            .anneal_iterations(config.anneal_iterations)
+            .migration_passes(config.migration_passes)
+            .threads(2);
+
+        let (alloc, _) = parse_partition(cd.spec(), &part).expect("partition parses");
+        let graph = AccessGraph::derive(cd.spec());
+        let legacy = explore_designs(cd.spec(), &graph, &alloc, &CostConfig::default(), &config)
+            .expect("legacy explore");
+        let facade = cd.explore(&opts).expect("facade explore");
+        assert_eq!(legacy, facade, "{workload}: exploration results differ");
+
+        let legacy_v = verify_pareto(cd.spec(), &graph, &alloc, &legacy, Some(2));
+        let facade_v = cd
+            .verify(&facade, &VerifyOpts::new().part(part.clone()).threads(2))
+            .expect("facade verify");
+        assert_eq!(legacy_v, facade_v, "{workload}: verification differs");
+    }
+}
+
+#[test]
+fn lint_matches_the_legacy_composition() {
+    for workload in PARTITIONED {
+        let (cd, part) = session(workload);
+        let graph = AccessGraph::derive(cd.spec());
+        let (alloc, partition) = parse_partition(cd.spec(), &part).expect("partition parses");
+
+        // The legacy call chain `modref lint -p` used to hand-assemble.
+        let map = SourceMap::new();
+        let mut legacy = analyze_spec(cd.spec(), &map);
+        for model in ImplModel::ALL {
+            let refined = refine(cd.spec(), &graph, &alloc, &partition, model).expect("refines");
+            legacy.extend(lint_refined(cd.spec(), &graph, &refined));
+        }
+        sort_canonical(&mut legacy);
+        let legacy = LintConfig::new().apply_all(legacy);
+
+        let facade = cd
+            .lint(&LintOpts::new().part(part.clone()))
+            .expect("facade lint");
+        assert_eq!(
+            render_json_lines(&legacy, workload),
+            render_json_lines(&facade, workload),
+            "{workload}: lint diagnostics differ"
+        );
+    }
+}
+
+#[test]
+fn refine_output_is_byte_identical() {
+    for workload in PARTITIONED {
+        let (cd, part) = session(workload);
+        let graph = AccessGraph::derive(cd.spec());
+        let (alloc, partition) = parse_partition(cd.spec(), &part).expect("partition parses");
+        for model in ImplModel::ALL {
+            let legacy =
+                refine(cd.spec(), &graph, &alloc, &partition, model).expect("legacy refine");
+            let facade = cd.refine(&part, model).expect("facade refine");
+            assert_eq!(
+                printer::print(&legacy.spec),
+                printer::print(&facade.spec),
+                "{workload}/{model}: refined specs differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimate_report_is_byte_identical() {
+    for workload in PARTITIONED {
+        let (cd, part) = session(workload);
+        let graph = AccessGraph::derive(cd.spec());
+        let (alloc, partition) = parse_partition(cd.spec(), &part).expect("partition parses");
+        let model_of = |b| {
+            partition
+                .component_of_behavior(cd.spec(), b)
+                .map(|c| alloc.component(c).timing_model())
+                .unwrap_or_default()
+        };
+        let legacy = modref::estimate::estimation_report(
+            cd.spec(),
+            &graph,
+            &model_of,
+            &modref::estimate::LifetimeConfig::default(),
+        );
+        let facade = cd.estimate(&part).expect("facade estimate");
+        assert_eq!(legacy, facade, "{workload}: estimation reports differ");
+    }
+}
+
+#[test]
+fn simulation_matches_on_every_workload() {
+    // `ring` has no published partition but simulates fine — include it.
+    for workload in ["medical", "fig2", "dsp", "ring"] {
+        let spec = named_spec(workload).expect("shipped workload");
+        let legacy = modref::sim::Simulator::new(&spec)
+            .run()
+            .expect("legacy sim");
+        let cd = Codesign::from_spec(spec);
+        let facade = cd.simulate(&SimOpts::new()).expect("facade sim");
+        assert_eq!(legacy.time, facade.time, "{workload}: sim time differs");
+        assert_eq!(legacy.steps, facade.steps, "{workload}: sim steps differ");
+        assert_eq!(
+            legacy.var_writes, facade.var_writes,
+            "{workload}: var writes differ"
+        );
+        assert_eq!(
+            legacy.scalar_vars().collect::<Vec<_>>(),
+            facade.scalar_vars().collect::<Vec<_>>(),
+            "{workload}: final state differs"
+        );
+    }
+}

@@ -5,12 +5,9 @@
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use modref::core::explore_designs;
-use modref::graph::AccessGraph;
+use modref::core::api::{Codesign, ExploreOpts};
 use modref::obs::{self, ClockMode, Event};
-use modref::partition::explore::ExploreConfig;
-use modref::partition::CostConfig;
-use modref::workloads::{medical_allocation, medical_spec};
+use modref::workloads::medical_spec;
 
 /// The recorder is process-global; tests that flip it must not overlap.
 static RECORDER: Mutex<()> = Mutex::new(());
@@ -20,15 +17,9 @@ fn hold() -> MutexGuard<'static, ()> {
 }
 
 fn explore_medical(seeds: u64, threads: usize) {
-    let spec = medical_spec();
-    let alloc = medical_allocation();
-    let graph = AccessGraph::derive(&spec);
-    let expl = ExploreConfig {
-        seeds,
-        threads: Some(threads),
-        ..ExploreConfig::default()
-    };
-    let result = explore_designs(&spec, &graph, &alloc, &CostConfig::default(), &expl)
+    let cd = Codesign::from_spec(medical_spec());
+    let result = cd
+        .explore(&ExploreOpts::new().seeds(seeds).threads(threads))
         .expect("exploration succeeds");
     assert!(!result.points.is_empty());
 }
