@@ -1,16 +1,21 @@
-//! Simulation-kernel throughput: event-driven scheduler versus the
-//! polling round-robin reference, on the same specs in the same run.
+//! Simulation-kernel throughput: the compiled bytecode kernel and the
+//! event-driven scheduler versus the polling round-robin reference, on
+//! the same specs in the same run.
 //!
-//! The tentpole claim is that static sensitivity sets, dirty-set-driven
-//! condition re-evaluation and a timer heap turn the scheduler's
-//! per-round cost from O(processes) into O(events). This bench times
-//! both kernels on the token-ring workload (16 and 32 concurrent
-//! stations blocked on distinct signals — the polling worst case), and
-//! on the medical workload refined to Model4 (the realistic
-//! signal-handshake-heavy case), then records ns/step for each kernel,
-//! the speedup, and the condition re-evaluations the event kernel
-//! avoided, in `BENCH_sim.json` at the repo root. Both kernels' results
-//! are asserted equal, so the numbers always describe equivalent runs.
+//! Two claims are measured. The event kernel's: static sensitivity
+//! sets, dirty-set-driven condition re-evaluation and a timer heap turn
+//! the scheduler's per-round cost from O(processes) into O(events). The
+//! compiled kernel's: lowering behaviors to flat bytecode with
+//! slot-interned operands removes the tree-walking interpreter from the
+//! per-step cost on top of that. The bench times all three kernels on
+//! the token-ring workload (16–128 concurrent stations blocked on
+//! distinct signals — the polling worst case), and on the medical
+//! workload refined to Model4 (the realistic signal-handshake-heavy
+//! case), then records ns/step for each kernel, the speedups, the
+//! condition re-evaluations the event kernel avoided, and the compiled
+//! kernel's instruction/dispatch counts, in `BENCH_sim.json` at the
+//! repo root. All kernels' results are asserted equal, so the numbers
+//! always describe equivalent runs.
 
 use std::time::Instant;
 
@@ -23,19 +28,27 @@ use modref_sim::{SimConfig, SimKernel, SimResult, Simulator};
 use modref_spec::Spec;
 use modref_workloads::{medical_allocation, medical_partition, medical_spec, ring_spec, Design};
 
-/// One workload's paired measurement.
+/// One workload's three-kernel measurement.
 struct Record {
     name: String,
     concurrent_leaves: usize,
     steps: u64,
     roundrobin_ns_per_step: f64,
     event_ns_per_step: f64,
+    compiled_ns_per_step: f64,
+    /// Event kernel over the polling reference.
     speedup: f64,
+    /// Compiled kernel over the event kernel.
+    compiled_speedup: f64,
     roundrobin_cond_evals: u64,
     event_cond_evals: u64,
     cond_evals_avoided: u64,
     wakeups: u64,
     rounds: u64,
+    /// Bytecode instructions the compiled kernel executed (== steps).
+    instrs: u64,
+    /// Dispatch-loop entries (process resumes) in the compiled kernel.
+    dispatches: u64,
 }
 
 fn run(spec: &Spec, kernel: SimKernel) -> SimResult {
@@ -50,42 +63,59 @@ fn run(spec: &Spec, kernel: SimKernel) -> SimResult {
     .expect("bench workloads complete")
 }
 
-/// Times `reps` full simulations under one kernel, returning the result
-/// of the last run and the best-of-reps ns/step (best-of filters out
-/// scheduling noise the same way criterion's minimum does).
-fn time_kernel(spec: &Spec, kernel: SimKernel, reps: u32) -> (SimResult, f64) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let start = Instant::now();
-        let result = run(spec, kernel);
-        let ns = start.elapsed().as_secs_f64() * 1e9 / result.steps.max(1) as f64;
-        best = best.min(ns);
-        last = Some(result);
-    }
-    (last.expect("reps >= 1"), best)
+/// Times one full simulation, returning the result and its ns/step.
+fn time_once(spec: &Spec, kernel: SimKernel) -> (SimResult, f64) {
+    let start = Instant::now();
+    let result = run(spec, kernel);
+    let ns = start.elapsed().as_secs_f64() * 1e9 / result.steps.max(1) as f64;
+    (result, ns)
 }
 
 fn measure(name: impl Into<String>, spec: &Spec, reps: u32) -> Record {
-    // Warm both kernels once so first-touch allocation stays out of the
-    // timing, then measure both in the same run on the same spec.
+    // Warm every kernel once so first-touch allocation stays out of the
+    // timing, then measure all three *interleaved* — one rep of each per
+    // pass — so load spikes on a shared machine hit every kernel's
+    // sample set alike. Best-of-reps per kernel filters the spikes out,
+    // the same way criterion's minimum does.
     run(spec, SimKernel::RoundRobin);
     run(spec, SimKernel::EventDriven);
-    let (rr, rr_ns) = time_kernel(spec, SimKernel::RoundRobin, reps);
-    let (ev, ev_ns) = time_kernel(spec, SimKernel::EventDriven, reps);
+    run(spec, SimKernel::Compiled);
+    let (mut rr_ns, mut ev_ns, mut co_ns) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let (mut rr, mut ev, mut co) = (None, None, None);
+    for _ in 0..reps {
+        let (r, ns) = time_once(spec, SimKernel::RoundRobin);
+        rr_ns = rr_ns.min(ns);
+        rr = Some(r);
+        let (r, ns) = time_once(spec, SimKernel::EventDriven);
+        ev_ns = ev_ns.min(ns);
+        ev = Some(r);
+        let (r, ns) = time_once(spec, SimKernel::Compiled);
+        co_ns = co_ns.min(ns);
+        co = Some(r);
+    }
+    let (rr, ev, co) = (
+        rr.expect("reps >= 1"),
+        ev.expect("reps >= 1"),
+        co.expect("reps >= 1"),
+    );
     assert_eq!(ev, rr, "kernels must agree before their times are compared");
+    assert_eq!(co, ev, "kernels must agree before their times are compared");
     Record {
         name: name.into(),
         concurrent_leaves: spec.leaves().len(),
         steps: ev.steps,
         roundrobin_ns_per_step: rr_ns,
         event_ns_per_step: ev_ns,
+        compiled_ns_per_step: co_ns,
         speedup: rr_ns / ev_ns,
+        compiled_speedup: ev_ns / co_ns,
         roundrobin_cond_evals: rr.sched.cond_evals,
         event_cond_evals: ev.sched.cond_evals,
         cond_evals_avoided: rr.sched.cond_evals - ev.sched.cond_evals,
         wakeups: ev.sched.wakeups,
         rounds: ev.sched.rounds,
+        instrs: co.sched.instrs,
+        dispatches: co.sched.dispatches,
     }
 }
 
@@ -93,18 +123,22 @@ fn json(records: &[Record]) -> String {
     let mut out = String::from("{\n  \"bench\": \"sim\",\n  \"workloads\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\n      \"name\": \"{}\",\n      \"concurrent_leaves\": {},\n      \"steps\": {},\n      \"roundrobin_ns_per_step\": {:.1},\n      \"event_ns_per_step\": {:.1},\n      \"speedup\": {:.2},\n      \"roundrobin_cond_evals\": {},\n      \"event_cond_evals\": {},\n      \"cond_evals_avoided\": {},\n      \"wakeups\": {},\n      \"rounds\": {}\n    }}{}\n",
+            "    {{\n      \"name\": \"{}\",\n      \"concurrent_leaves\": {},\n      \"steps\": {},\n      \"roundrobin_ns_per_step\": {:.1},\n      \"event_ns_per_step\": {:.1},\n      \"compiled_ns_per_step\": {:.1},\n      \"speedup\": {:.2},\n      \"compiled_speedup\": {:.2},\n      \"roundrobin_cond_evals\": {},\n      \"event_cond_evals\": {},\n      \"cond_evals_avoided\": {},\n      \"wakeups\": {},\n      \"rounds\": {},\n      \"instrs\": {},\n      \"dispatches\": {}\n    }}{}\n",
             r.name,
             r.concurrent_leaves,
             r.steps,
             r.roundrobin_ns_per_step,
             r.event_ns_per_step,
+            r.compiled_ns_per_step,
             r.speedup,
+            r.compiled_speedup,
             r.roundrobin_cond_evals,
             r.event_cond_evals,
             r.cond_evals_avoided,
             r.wakeups,
             r.rounds,
+            r.instrs,
+            r.dispatches,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -138,6 +172,7 @@ fn bench_sim_kernel(c: &mut Criterion) {
         b.iter(|| run(&ring32, SimKernel::RoundRobin))
     });
     group.bench_function("event", |b| b.iter(|| run(&ring32, SimKernel::EventDriven)));
+    group.bench_function("compiled", |b| b.iter(|| run(&ring32, SimKernel::Compiled)));
     group.finish();
 
     // The recorded comparison the acceptance criteria read.
@@ -150,17 +185,22 @@ fn bench_sim_kernel(c: &mut Criterion) {
     ];
     for r in &records {
         eprintln!(
-            "{:<16} {:>2} leaves, {:>7} steps: roundrobin {:>8.1} ns/step, event {:>7.1} ns/step — {:>5.1}x; \
-             cond re-evals {} -> {} ({} avoided)",
+            "{:<16} {:>2} leaves, {:>7} steps: roundrobin {:>8.1} ns/step, event {:>7.1} ns/step \
+             ({:>5.1}x), compiled {:>6.1} ns/step ({:>4.1}x over event); \
+             cond re-evals {} -> {} ({} avoided); {} instrs / {} dispatches",
             r.name,
             r.concurrent_leaves,
             r.steps,
             r.roundrobin_ns_per_step,
             r.event_ns_per_step,
             r.speedup,
+            r.compiled_ns_per_step,
+            r.compiled_speedup,
             r.roundrobin_cond_evals,
             r.event_cond_evals,
             r.cond_evals_avoided,
+            r.instrs,
+            r.dispatches,
         );
     }
 

@@ -144,10 +144,7 @@ pub fn graph(cd: &Codesign, dot: bool) -> CmdResult {
 
 /// `modref simulate`: run to completion, print final state.
 pub fn simulate(cd: &Codesign, profile: bool, stats: bool, opts: &SimOpts) -> CmdResult {
-    let kernel_name = match opts.kernel {
-        modref_sim::SimKernel::EventDriven => "event-driven",
-        modref_sim::SimKernel::RoundRobin => "round-robin",
-    };
+    let kernel_name = opts.kernel.name();
     if verbose() {
         eprintln!("simulating with the {kernel_name} kernel");
     }
@@ -280,6 +277,7 @@ pub fn explore(
     threads: Option<usize>,
     top: usize,
     verify: bool,
+    kernel: modref_sim::SimKernel,
     out: Option<&str>,
 ) -> CmdResult {
     let mut eopts = ExploreOpts::new().seeds(seeds);
@@ -348,7 +346,7 @@ pub fn explore(
     }
 
     if verify {
-        let mut vopts = VerifyOpts::new();
+        let mut vopts = VerifyOpts::new().kernel(kernel);
         if let Some(text) = part_text {
             vopts = vopts.part(text);
         }
@@ -361,9 +359,10 @@ pub fn explore(
         println!();
         println!(
             "verified {} front candidate x model pairs by simulation in {:.2?} \
-             (original: t={}, {} steps)",
+             ({} kernel; original: t={}, {} steps)",
             v.records.len(),
             elapsed,
+            kernel.name(),
             v.original_time,
             v.original_steps
         );

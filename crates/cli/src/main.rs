@@ -124,15 +124,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
             if let Some(v) = flag_value(args, "--max-steps") {
                 opts = opts.max_steps(v.parse().map_err(|e| format!("invalid --max-steps: {e}"))?);
             }
-            opts = opts.kernel(match flag_value(args, "--kernel").as_deref() {
-                None | Some("event") => modref_sim::SimKernel::EventDriven,
-                Some("roundrobin") => modref_sim::SimKernel::RoundRobin,
-                Some(other) => {
-                    return Err(
-                        format!("invalid --kernel `{other}` (expected event|roundrobin)").into(),
-                    )
-                }
-            });
+            opts = opts.kernel(parse_kernel(args)?);
             commands::simulate(&cd, profile, stats, &opts)
         }
         "refine" => {
@@ -181,6 +173,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                 .map_err(|e| format!("invalid --top: {e}"))?
                 .unwrap_or(10);
             let verify = args.iter().any(|a| a == "--verify");
+            let kernel = parse_kernel(args)?;
             let out = flag_value(args, "-o");
             commands::explore(
                 &cd,
@@ -189,6 +182,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                 threads,
                 top,
                 verify,
+                kernel,
                 out.as_deref(),
             )
         }
@@ -282,6 +276,7 @@ fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--threads", true),
             ("--top", true),
             ("--verify", false),
+            ("--kernel", true),
             ("-o", true),
         ],
         "serve" => &[
@@ -391,7 +386,8 @@ USAGE:
   modref graph    <spec> [--dot]              list channels (or emit DOT)
   modref simulate <spec> [--profile]          run and print final state
                   [--max-steps N] [--stats]   (+ activations / scheduler stats)
-                  [--kernel event|roundrobin] pick the scheduler kernel
+                  [--kernel event|roundrobin|compiled]
+                                              pick the simulation kernel
   modref refine   <spec> -p <part> -m <1..4>  refine, print spec
                   [-o FILE] [--dot FILE]      write spec / architecture DOT
   modref rates    <spec> -p <part>            Figure 9 rate tables, all models
@@ -400,6 +396,8 @@ USAGE:
                   [--top M] [-o FILE]         ranked with Pareto front flagged
                   [--verify]                  simulate original vs refined for
                                               every Pareto-front candidate
+                  [--kernel event|roundrobin|compiled]
+                                              kernel for --verify simulations
   modref estimate <spec> -p <part>            lifetimes + channel rates report
   modref serve    --stdio | --listen ADDR     concurrent JSONL codesign service:
                   [--workers N] [--queue N]   one request per line on stdin (or
@@ -482,6 +480,17 @@ fn read_flag_file(args: &[String], flag: &str) -> Result<String, Box<dyn std::er
     let path = flag_value(args, flag)
         .ok_or_else(|| format!("missing `{flag} <partition-file>` argument"))?;
     Ok(fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?)
+}
+
+/// Resolves the optional `--kernel` flag; absent means the default
+/// event-driven kernel.
+fn parse_kernel(args: &[String]) -> Result<modref_sim::SimKernel, Box<dyn std::error::Error>> {
+    match flag_value(args, "--kernel") {
+        None => Ok(modref_sim::SimKernel::default()),
+        Some(name) => modref_sim::SimKernel::from_name(&name).ok_or_else(|| {
+            format!("invalid --kernel `{name}` (expected event|roundrobin|compiled)").into()
+        }),
+    }
 }
 
 fn parse_model(args: &[String]) -> Result<modref_core::ImplModel, Box<dyn std::error::Error>> {

@@ -201,3 +201,62 @@ fn trace_report_round_trip() {
 
     let _ = fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn verified_explore_verdicts_are_kernel_independent() {
+    let bin = modref_bin();
+    let dir = tmpdir("verify_kernel");
+    let dir_s = dir.to_str().expect("utf8 tmpdir");
+
+    let run = |args: &[&str]| -> (String, String, bool) {
+        let out = Command::new(&bin).args(args).output().expect("binary runs");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.success(),
+        )
+    };
+
+    let (_, stderr, ok) = run(&["demo", dir_s]);
+    assert!(ok, "demo failed: {stderr}");
+    let spec = format!("{dir_s}/fig2.spec");
+
+    // Keeps only the deterministic part of a verified-explore transcript:
+    // the verdict table and closing summary, with the wall-clock and the
+    // kernel name cut out of the banner line.
+    fn verdicts(stdout: &str) -> String {
+        stdout
+            .lines()
+            .skip_while(|l| !l.starts_with("verified "))
+            .map(|l| match l.split_once(" by simulation") {
+                Some((head, _)) => format!("{head}\n"),
+                None => format!("{l}\n"),
+            })
+            .collect()
+    }
+
+    let (ev_out, stderr, ok) = run(&["explore", &spec, "--seeds", "2", "--verify"]);
+    assert!(ok, "event-kernel verify failed: {stderr}");
+    let (co_out, stderr, ok) = run(&[
+        "explore", &spec, "--seeds", "2", "--verify", "--kernel", "compiled",
+    ]);
+    assert!(ok, "compiled-kernel verify failed: {stderr}");
+
+    let (ev, co) = (verdicts(&ev_out), verdicts(&co_out));
+    assert!(
+        ev.lines().count() > 2 && ev.contains("algorithm"),
+        "verdict table missing: {ev_out}"
+    );
+    assert_eq!(ev, co, "verification verdicts must be kernel-independent");
+    assert!(
+        co_out.contains("(compiled kernel;"),
+        "banner names the kernel: {co_out}"
+    );
+
+    // Unknown kernel names are rejected up front, not defaulted.
+    let (_, stderr, ok) = run(&["explore", &spec, "--verify", "--kernel", "jit"]);
+    assert!(!ok, "invalid kernel must fail");
+    assert!(stderr.contains("invalid --kernel `jit`"), "{stderr}");
+
+    let _ = fs::remove_dir_all(&dir);
+}

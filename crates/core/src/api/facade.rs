@@ -228,12 +228,25 @@ pub struct VerifyOpts {
     pub threads: Option<usize>,
     /// Cooperative stop token, checked between verification jobs.
     pub cancel: Option<CancelToken>,
+    /// Scheduler kernel used for both the original and the refined
+    /// simulations. Verdicts are kernel-independent (the kernels produce
+    /// identical observable results), so this only changes how fast the
+    /// verification runs.
+    pub kernel: SimKernel,
 }
 
 impl VerifyOpts {
-    /// Default options: default allocation, automatic thread count.
+    /// Default options: default allocation, automatic thread count,
+    /// event-driven kernel.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Picks the scheduler kernel for the verification simulations.
+    #[must_use]
+    pub fn kernel(mut self, kernel: SimKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Sets the partition text supplying the allocation.
@@ -750,6 +763,7 @@ impl Codesign {
             exploration,
             opts.threads,
             opts.cancel.as_ref(),
+            opts.kernel,
         );
         if let Some(token) = &opts.cancel {
             token.check()?;

@@ -95,6 +95,12 @@ pub enum RequestOp {
         seeds: Option<u64>,
         /// Worker threads.
         threads: Option<usize>,
+        /// Simulation kernel for the verification runs (the `"kernel"`
+        /// field, one of `event`, `roundrobin`, `compiled`); `None`
+        /// keeps the default event-driven kernel. Omitted from the
+        /// encoded form when absent, so existing request streams are
+        /// unchanged.
+        kernel: Option<modref_sim::SimKernel>,
     },
     /// Run the static-analysis lints (plus conformance lints with a
     /// partition).
@@ -453,6 +459,7 @@ impl Request {
                 part,
                 seeds,
                 threads,
+                kernel,
             } => {
                 push_source(&mut m, source);
                 if let Some(p) = part {
@@ -463,6 +470,9 @@ impl Request {
                 }
                 if let Some(t) = threads {
                     m.push(("threads", Value::UInt(*t as u64)));
+                }
+                if let Some(k) = kernel {
+                    m.push(("kernel", Value::Str(k.name().to_string())));
                 }
             }
             RequestOp::Lint {
@@ -676,6 +686,21 @@ fn get_str(o: &BTreeMap<String, Value>, key: &str) -> Result<Option<String>, Mod
     }
 }
 
+/// The optional `"kernel"` field, by wire name. An unknown kernel name
+/// is an invalid request, not a silent fallback to the default.
+fn get_kernel(o: &BTreeMap<String, Value>) -> Result<Option<modref_sim::SimKernel>, ModrefError> {
+    match get_str(o, "kernel")? {
+        None => Ok(None),
+        Some(name) => modref_sim::SimKernel::from_name(&name)
+            .map(Some)
+            .ok_or_else(|| {
+                invalid(format!(
+                    "unknown kernel `{name}` (expected event|roundrobin|compiled)"
+                ))
+            }),
+    }
+}
+
 fn get_str_list(o: &BTreeMap<String, Value>, key: &str) -> Result<Vec<String>, ModrefError> {
     match o.get(key) {
         None | Some(Value::Null) => Ok(Vec::new()),
@@ -749,6 +774,7 @@ impl Request {
                 part: get_str(o, "part")?,
                 seeds: get_u64(o, "seeds")?,
                 threads: get_u64(o, "threads")?.map(|t| t as usize),
+                kernel: get_kernel(o)?,
             },
             "lint" => RequestOp::Lint {
                 source: source_of(o)?,

@@ -26,7 +26,7 @@
 use modref_graph::AccessGraph;
 use modref_partition::explore::{explore_with_cancel, Candidate, ExploreConfig};
 use modref_partition::{par_map, thread_count, Allocation, CostConfig, CostReport, Partition};
-use modref_sim::{SimConfig, Simulator};
+use modref_sim::{SimConfig, SimKernel, Simulator};
 use modref_spec::Spec;
 
 use crate::api::CancelToken;
@@ -234,7 +234,15 @@ pub fn verify_pareto(
     exploration: &Exploration,
     threads: Option<usize>,
 ) -> Verification {
-    verify_pareto_impl(spec, graph, allocation, exploration, threads, None)
+    verify_pareto_impl(
+        spec,
+        graph,
+        allocation,
+        exploration,
+        threads,
+        None,
+        SimKernel::default(),
+    )
 }
 
 /// The shared implementation behind [`verify_pareto`] and
@@ -249,13 +257,17 @@ pub(crate) fn verify_pareto_impl(
     exploration: &Exploration,
     threads: Option<usize>,
     cancel: Option<&CancelToken>,
+    kernel: SimKernel,
 ) -> Verification {
     let span = modref_obs::span("verify_pareto");
     let span_id = span.id();
     let pass_counter = modref_obs::counter("verify.pass");
     let fail_counter = modref_obs::counter("verify.fail");
     let reject_counter = modref_obs::counter("verify.static_reject");
-    let sim_config = SimConfig::default();
+    let sim_config = SimConfig {
+        kernel,
+        ..SimConfig::default()
+    };
     let original = Simulator::with_config(spec, sim_config).run();
     let (original_time, original_steps) = match &original {
         Ok(r) => (r.time, r.steps),

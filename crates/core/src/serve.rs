@@ -545,10 +545,14 @@ fn execute(
             part,
             seeds,
             threads,
+            kernel,
         } => {
             let cd = load(source)?;
             let mut eopts = ExploreOpts::new().cancel(token.clone());
             let mut vopts = VerifyOpts::new().cancel(token.clone());
+            if let Some(k) = kernel {
+                vopts = vopts.kernel(*k);
+            }
             if let Some(p) = part {
                 eopts = eopts.part(p.clone());
                 vopts = vopts.part(p.clone());

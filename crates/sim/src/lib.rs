@@ -19,12 +19,14 @@
 //! * `set sig := e` is immediately visible; processes blocked on
 //!   `wait until` re-evaluate when the scheduler next runs them.
 //! * Processes are stepped in a deterministic order (ascending process
-//!   id within each scheduling round). Two kernels implement the same
+//!   id within each scheduling round). Three kernels implement the same
 //!   semantics: the default event-driven kernel wakes blocked processes
-//!   from [sensitivity]-indexed waiter lists and a timer
-//!   heap, while [`SimKernel::RoundRobin`] is the original polling
-//!   scheduler, retained as an executable reference; both produce
-//!   identical observable results.
+//!   from [sensitivity]-indexed waiter lists and a timer heap;
+//!   [`SimKernel::Compiled`] keeps that scheduler but executes behaviors
+//!   lowered to flat bytecode (see [`compile`]); and
+//!   [`SimKernel::RoundRobin`] is the original polling scheduler,
+//!   retained as an executable reference. All three produce identical
+//!   observable results — including step counts.
 //! * The simulation ends when the *root* process (the top behavior)
 //!   completes; infinite server loops (memory behaviors, arbiters, bus
 //!   interfaces inserted by refinement) are then terminated.
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compile;
 pub mod error;
 pub mod process;
 pub mod result;

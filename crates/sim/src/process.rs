@@ -1,8 +1,15 @@
 //! The per-process interpreter: frame stack, expression evaluation and
 //! statement micro-stepping.
-
-use std::collections::HashMap;
-use std::rc::Rc;
+//!
+//! Frames borrow their statement bodies, wait conditions and parameter
+//! names directly from the [`Spec`] instead of deep-cloning them: entering
+//! an `if`/`while`/`for`/`loop` body or a subroutine call pushes a slice
+//! reference, not a copy of the statement vector. On call-heavy refined
+//! models (bus protocols run on every access) this removes the dominant
+//! per-step allocation cost — see the medical_model4 investigation in
+//! EXPERIMENTS.md. Parameter frames are small `(name, value)` vectors
+//! scanned from the innermost end, matching the insertion-order-overwrite
+//! semantics a per-call name map would have.
 
 use modref_spec::stmt::CallArg;
 use modref_spec::{
@@ -112,26 +119,29 @@ pub(crate) enum SeqPos {
     Running(usize),
 }
 
-/// One entry of a process's control stack.
+/// One entry of a process's control stack. Bodies and conditions are
+/// borrowed from the spec — pushing a frame never copies statements.
 #[derive(Debug)]
-pub(crate) enum Frame {
+pub(crate) enum Frame<'a> {
     /// A straight-line block with a program counter.
-    Block { stmts: Rc<Vec<Stmt>>, pc: usize },
+    Block { stmts: &'a [Stmt], pc: usize },
     /// A `while` continuation: re-evaluate `cond` when the body completes.
-    While { cond: Expr, body: Rc<Vec<Stmt>> },
+    While { cond: &'a Expr, body: &'a [Stmt] },
     /// A `for` continuation.
     ForLoop {
         var: VarId,
         next: i64,
         to: i64,
-        body: Rc<Vec<Stmt>>,
+        body: &'a [Stmt],
     },
     /// A `loop` continuation: restart the body forever.
-    Forever { body: Rc<Vec<Stmt>> },
-    /// A subroutine call frame with per-call parameter storage.
+    Forever { body: &'a [Stmt] },
+    /// A subroutine call frame with per-call parameter storage. Parameters
+    /// are resolved by scanning from the *end*, so a duplicated name
+    /// behaves like repeated map insertion (last binding wins).
     Call {
-        params: HashMap<String, i64>,
-        outs: Vec<(String, LValue)>,
+        params: Vec<(&'a str, i64)>,
+        outs: Vec<(&'a str, &'a LValue)>,
     },
     /// A sequential composite executing its children under transition arcs.
     Seq { behavior: BehaviorId, pos: SeqPos },
@@ -142,10 +152,10 @@ pub(crate) enum Frame {
 
 /// Scheduling status of a process.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Status {
+pub(crate) enum Status<'a> {
     Ready,
     /// Blocked on `wait until`; the scheduler re-evaluates the condition.
-    WaitUntil(Expr),
+    WaitUntil(&'a Expr),
     /// Sleeping until the given absolute time.
     WaitTime(u64),
     /// Waiting for spawned child processes (by process index) to finish.
@@ -168,13 +178,13 @@ pub(crate) enum StepEvent {
 
 /// A lightweight process interpreting one concurrent behavior.
 #[derive(Debug)]
-pub(crate) struct Process {
+pub(crate) struct Process<'a> {
     /// The behavior this process interprets (diagnostics only).
     #[allow(dead_code)]
     pub behavior: BehaviorId,
-    pub name: String,
-    pub frames: Vec<Frame>,
-    pub status: Status,
+    pub name: &'a str,
+    pub frames: Vec<Frame<'a>>,
+    pub status: Status<'a>,
     /// Whether the behavior is a server (infinite service loop) that must
     /// not block its parent composite's completion.
     pub is_server: bool,
@@ -183,11 +193,11 @@ pub(crate) struct Process {
     pub spawned: Vec<usize>,
 }
 
-impl Process {
-    pub(crate) fn new(spec: &Spec, behavior: BehaviorId) -> Self {
+impl<'a> Process<'a> {
+    pub(crate) fn new(spec: &'a Spec, behavior: BehaviorId) -> Self {
         let mut p = Self {
             behavior,
-            name: spec.behavior(behavior).name().to_string(),
+            name: spec.behavior(behavior).name(),
             frames: Vec::new(),
             status: Status::Ready,
             is_server: spec.behavior(behavior).is_server(),
@@ -198,12 +208,9 @@ impl Process {
     }
 
     /// Pushes the frame(s) that start executing `behavior`.
-    fn push_behavior(&mut self, spec: &Spec, behavior: BehaviorId) {
+    fn push_behavior(&mut self, spec: &'a Spec, behavior: BehaviorId) {
         match spec.behavior(behavior).kind() {
-            BehaviorKind::Leaf { body } => self.frames.push(Frame::Block {
-                stmts: Rc::new(body.clone()),
-                pc: 0,
-            }),
+            BehaviorKind::Leaf { body } => self.frames.push(Frame::Block { stmts: body, pc: 0 }),
             BehaviorKind::Seq { .. } => self.frames.push(Frame::Seq {
                 behavior,
                 pos: SeqPos::NotStarted,
@@ -218,7 +225,7 @@ impl Process {
     /// Executes one micro-step.
     pub(crate) fn step(
         &mut self,
-        spec: &Spec,
+        spec: &'a Spec,
         state: &mut SharedState,
         now: u64,
     ) -> Result<StepEvent, SimError> {
@@ -233,14 +240,14 @@ impl Process {
                     self.frames.pop();
                     return Ok(StepEvent::Progress);
                 }
-                let stmts = Rc::clone(stmts);
+                let stmts = *stmts;
                 let idx = *pc;
-                self.exec_stmt(spec, state, now, stmts, idx)
+                self.exec_stmt(spec, state, now, &stmts[idx])
             }
             Frame::While { cond, body } => {
-                let cond = cond.clone();
-                let body = Rc::clone(body);
-                if truthy(self.eval(spec, state, &cond)?) {
+                let cond = *cond;
+                let body = *body;
+                if truthy(self.eval(spec, state, cond)?) {
                     self.frames.push(Frame::Block { stmts: body, pc: 0 });
                 } else {
                     self.frames.pop();
@@ -257,7 +264,7 @@ impl Process {
                     let var = *var;
                     let value = *next;
                     *next += 1;
-                    let body = Rc::clone(body);
+                    let body = *body;
                     self.store_var(spec, state, var, value);
                     self.frames.push(Frame::Block { stmts: body, pc: 0 });
                 } else {
@@ -266,7 +273,7 @@ impl Process {
                 Ok(StepEvent::Progress)
             }
             Frame::Forever { body } => {
-                let body = Rc::clone(body);
+                let body = *body;
                 self.frames.push(Frame::Block { stmts: body, pc: 0 });
                 Ok(StepEvent::Progress)
             }
@@ -276,8 +283,11 @@ impl Process {
                     unreachable!("just matched a call frame");
                 };
                 for (pname, lv) in outs {
-                    let value = *params.get(&pname).unwrap_or(&0);
-                    self.store_lvalue(spec, state, &lv, value)?;
+                    let value = params
+                        .iter()
+                        .rfind(|(n, _)| *n == pname)
+                        .map_or(0, |&(_, v)| v);
+                    self.store_lvalue(spec, state, lv, value)?;
                 }
                 Ok(StepEvent::Progress)
             }
@@ -301,28 +311,28 @@ impl Process {
 
     fn step_seq(
         &mut self,
-        spec: &Spec,
+        spec: &'a Spec,
         state: &mut SharedState,
         behavior: BehaviorId,
         pos: SeqPos,
     ) -> Result<StepEvent, SimError> {
-        let b = spec.behavior(behavior);
-        let children = b.children().to_vec();
+        let children = spec.behavior(behavior).children();
         match pos {
             SeqPos::NotStarted => {
                 if children.is_empty() {
                     self.frames.pop();
                     return Ok(StepEvent::Progress);
                 }
+                let first = children[0];
                 self.set_seq_pos(SeqPos::Running(0));
-                state.activations[children[0].index()] += 1;
-                self.push_behavior(spec, children[0]);
+                state.activations[first.index()] += 1;
+                self.push_behavior(spec, first);
                 Ok(StepEvent::Progress)
             }
             SeqPos::Running(idx) => {
                 // Child `idx` completed: fire the first matching arc.
                 let completed = children[idx];
-                let mut target: Option<TransitionTarget> = None;
+                let mut target: Option<&TransitionTarget> = None;
                 let mut has_arcs = false;
                 for t in spec.behavior(behavior).transitions() {
                     if t.from != completed {
@@ -334,12 +344,12 @@ impl Process {
                         None => true,
                     };
                     if fires {
-                        target = Some(t.to.clone());
+                        target = Some(&t.to);
                         break;
                     }
                 }
                 let next = match target {
-                    Some(TransitionTarget::Behavior(to)) => children.iter().position(|&c| c == to),
+                    Some(TransitionTarget::Behavior(to)) => children.iter().position(|c| c == to),
                     Some(TransitionTarget::Complete) => None,
                     None => {
                         if has_arcs {
@@ -355,9 +365,10 @@ impl Process {
                 };
                 match next {
                     Some(i) => {
+                        let child = children[i];
                         self.set_seq_pos(SeqPos::Running(i));
-                        state.activations[children[i].index()] += 1;
-                        self.push_behavior(spec, children[i]);
+                        state.activations[child.index()] += 1;
+                        self.push_behavior(spec, child);
                     }
                     None => {
                         self.frames.pop();
@@ -378,18 +389,17 @@ impl Process {
 
     fn exec_stmt(
         &mut self,
-        spec: &Spec,
+        spec: &'a Spec,
         state: &mut SharedState,
         now: u64,
-        stmts: Rc<Vec<Stmt>>,
-        idx: usize,
+        stmt: &'a Stmt,
     ) -> Result<StepEvent, SimError> {
         let advance = |frames: &mut Vec<Frame>| {
             if let Some(Frame::Block { pc, .. }) = frames.last_mut() {
                 *pc += 1;
             }
         };
-        match &stmts[idx] {
+        match stmt {
             Stmt::Assign { target, value } => {
                 let v = self.eval(spec, state, value)?;
                 self.store_lvalue(spec, state, target, v)?;
@@ -409,7 +419,7 @@ impl Process {
                     advance(&mut self.frames);
                     Ok(StepEvent::Progress)
                 } else {
-                    self.status = Status::WaitUntil(cond.clone());
+                    self.status = Status::WaitUntil(cond);
                     Ok(StepEvent::Blocked)
                 }
             }
@@ -425,15 +435,12 @@ impl Process {
                 else_body,
             } => {
                 let taken = truthy(self.eval(spec, state, cond)?);
-                let body = if taken { then_body } else { else_body };
-                let body = Rc::new(body.clone());
+                let body: &'a [Stmt] = if taken { then_body } else { else_body };
                 advance(&mut self.frames);
                 self.frames.push(Frame::Block { stmts: body, pc: 0 });
                 Ok(StepEvent::Progress)
             }
             Stmt::While { cond, body, .. } => {
-                let cond = cond.clone();
-                let body = Rc::new(body.clone());
                 advance(&mut self.frames);
                 self.frames.push(Frame::While { cond, body });
                 Ok(StepEvent::Progress)
@@ -446,7 +453,6 @@ impl Process {
             } => {
                 let from = self.eval(spec, state, from)?;
                 let to = self.eval(spec, state, to)?;
-                let body = Rc::new(body.clone());
                 advance(&mut self.frames);
                 self.frames.push(Frame::ForLoop {
                     var: *var,
@@ -457,34 +463,35 @@ impl Process {
                 Ok(StepEvent::Progress)
             }
             Stmt::Loop { body } => {
-                let body = Rc::new(body.clone());
                 advance(&mut self.frames);
                 self.frames.push(Frame::Forever { body });
                 Ok(StepEvent::Progress)
             }
             Stmt::Call { sub, args } => {
                 let def = spec.subroutine(*sub);
-                let mut params = HashMap::new();
-                let mut outs = Vec::new();
+                let mut params: Vec<(&'a str, i64)> = Vec::with_capacity(def.params().len());
+                let mut outs: Vec<(&'a str, &'a LValue)> = Vec::new();
                 for (param, arg) in def.params().iter().zip(args) {
                     match arg {
                         CallArg::In(e) => {
                             let v = self.eval(spec, state, e)?;
-                            params.insert(
-                                param.name.clone(),
+                            params.push((
+                                param.name.as_str(),
                                 wrap_scalar(v, param.ty.access_scalar()),
-                            );
+                            ));
                         }
                         CallArg::Out(lv) => {
-                            params.insert(param.name.clone(), 0);
-                            outs.push((param.name.clone(), lv.clone()));
+                            params.push((param.name.as_str(), 0));
+                            outs.push((param.name.as_str(), lv));
                         }
                     }
                 }
-                let body = Rc::new(def.body().to_vec());
                 advance(&mut self.frames);
                 self.frames.push(Frame::Call { params, outs });
-                self.frames.push(Frame::Block { stmts: body, pc: 0 });
+                self.frames.push(Frame::Block {
+                    stmts: def.body(),
+                    pc: 0,
+                });
                 Ok(StepEvent::Progress)
             }
             Stmt::Skip => {
@@ -535,12 +542,16 @@ impl Process {
         })
     }
 
+    /// Reads a parameter from the innermost call frame. Scanning from the
+    /// end makes a duplicated parameter name resolve to its last binding,
+    /// the same value repeated name-map insertion would have produced.
     fn read_param(&self, name: &str) -> Result<i64, SimError> {
         for frame in self.frames.iter().rev() {
             if let Frame::Call { params, .. } = frame {
                 return params
-                    .get(name)
-                    .copied()
+                    .iter()
+                    .rfind(|(n, _)| *n == name)
+                    .map(|&(_, v)| v)
                     .ok_or_else(|| SimError::UnboundParam(name.to_string()));
             }
         }
@@ -550,8 +561,8 @@ impl Process {
     fn write_param(&mut self, name: &str, value: i64) -> Result<(), SimError> {
         for frame in self.frames.iter_mut().rev() {
             if let Frame::Call { params, .. } = frame {
-                match params.get_mut(name) {
-                    Some(slot) => {
+                match params.iter_mut().rfind(|(n, _)| *n == name) {
+                    Some((_, slot)) => {
                         *slot = value;
                         return Ok(());
                     }
@@ -611,7 +622,11 @@ impl Process {
     }
 }
 
-fn eval_binop(op: BinOp, l: i64, r: i64) -> i64 {
+/// Binary-operator semantics shared by the interpreters and the compiled
+/// kernel (both its runtime and its constant folder): wrapping integer
+/// arithmetic, division/remainder by zero yielding 0, shift amounts
+/// masked to the `i64` width, comparisons and logical ops yielding 0/1.
+pub(crate) fn eval_binop(op: BinOp, l: i64, r: i64) -> i64 {
     match op {
         BinOp::Add => l.wrapping_add(r),
         BinOp::Sub => l.wrapping_sub(r),

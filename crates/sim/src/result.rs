@@ -26,6 +26,12 @@ pub struct SchedStats {
     /// Timer-queue pops (event-driven kernel) or sleeper-scan passes
     /// (round-robin kernel) performed to advance time.
     pub timer_pops: u64,
+    /// Bytecode instructions executed (compiled kernel only; equals
+    /// `steps` there, since one instruction is one micro-step).
+    pub instrs: u64,
+    /// Dispatch-loop entries (compiled kernel only): how many times a
+    /// ready process was resumed at its saved program counter.
+    pub dispatches: u64,
 }
 
 /// Meter slot names — doubling as the global `sim.*` counter names the
@@ -36,11 +42,15 @@ pub(crate) const METER_NAMES: &[&str] = &[
     "sim.cond_evals",
     "sim.wakeups",
     "sim.timer_pops",
+    "sim.instrs",
+    "sim.dispatches",
 ];
 pub(crate) const SLOT_ROUNDS: usize = 0;
 pub(crate) const SLOT_COND_EVALS: usize = 1;
 pub(crate) const SLOT_WAKEUPS: usize = 2;
 pub(crate) const SLOT_TIMER_POPS: usize = 3;
+pub(crate) const SLOT_INSTRS: usize = 4;
+pub(crate) const SLOT_DISPATCHES: usize = 5;
 
 impl SchedStats {
     /// Builds the per-run stats from the kernel's meter — the *single*
@@ -53,6 +63,8 @@ impl SchedStats {
             cond_evals: meter.get(SLOT_COND_EVALS),
             wakeups: meter.get(SLOT_WAKEUPS),
             timer_pops: meter.get(SLOT_TIMER_POPS),
+            instrs: meter.get(SLOT_INSTRS),
+            dispatches: meter.get(SLOT_DISPATCHES),
         }
     }
 }

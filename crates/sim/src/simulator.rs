@@ -1,11 +1,13 @@
-//! The scheduler: an event-driven kernel (default) and the original
-//! polling round-robin scheduler, retained as a behavioral reference.
+//! The scheduler: an event-driven kernel (default), a compiled bytecode
+//! kernel, and the original polling round-robin scheduler, retained as a
+//! behavioral reference.
 //!
-//! Both kernels implement the same delta-cycle semantics — step every
+//! All kernels implement the same delta-cycle semantics — step every
 //! ready process to a block point, then wake processes whose wait
 //! conditions came true, then (only when nothing woke) advance time to
 //! the earliest sleeper — and produce identical observable results. They
-//! differ only in how the wake phase finds candidates:
+//! differ in how the wake phase finds candidates and in how statements
+//! execute:
 //!
 //! * **Round-robin** re-evaluates *every* blocked `wait until`
 //!   condition and rescans *every* process's child/server status each
@@ -19,6 +21,11 @@
 //!   non-server child count instead of rescanning all processes. Scratch
 //!   buffers (ready lists, recheck queues, dirty sets) are reused across
 //!   rounds.
+//! * **Compiled** ([`SimKernel::Compiled`]) keeps the event-driven
+//!   scheduler structure but executes behaviors as flat bytecode produced
+//!   by the [`compile`](crate::compile) lowering pipeline instead of
+//!   tree-walking the AST — see that module for the instruction set and
+//!   the step-parity guarantee.
 //!
 //! Waiter-list entries are stamped with a per-process *block epoch*;
 //! waking or re-blocking bumps the epoch, so stale entries are recognized
@@ -28,16 +35,16 @@
 //! sleeps until exactly that time.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
-use modref_spec::Spec;
+use modref_spec::{Expr, Spec};
 
 use crate::error::SimError;
 use crate::process::{Process, SharedState, Status, StepEvent};
 use crate::result::{
     SimResult, METER_NAMES, SLOT_COND_EVALS, SLOT_ROUNDS, SLOT_TIMER_POPS, SLOT_WAKEUPS,
 };
-use crate::sensitivity::SensitivityMap;
+use crate::sensitivity::SensitivitySet;
 use crate::value::truthy;
 
 /// Which scheduling kernel executes the specification.
@@ -50,6 +57,34 @@ pub enum SimKernel {
     /// blocked condition. Kept as an executable reference for
     /// equivalence testing and as the bench baseline.
     RoundRobin,
+    /// The event-driven scheduler running behaviors lowered to flat
+    /// bytecode with slot-interned state (see [`crate::compile`]) —
+    /// the fastest kernel on every benched workload.
+    Compiled,
+}
+
+impl SimKernel {
+    /// Parses a kernel name as used by `modref simulate --kernel`, the
+    /// serve wire protocol and bench tooling. Accepts the canonical
+    /// short names (`event`, `roundrobin`, `compiled`) and the
+    /// hyphenated display forms.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "event" | "event-driven" => Some(Self::EventDriven),
+            "roundrobin" | "round-robin" => Some(Self::RoundRobin),
+            "compiled" => Some(Self::Compiled),
+            _ => None,
+        }
+    }
+
+    /// The kernel's display name (also the `sim.run` span attribute).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::EventDriven => "event-driven",
+            Self::RoundRobin => "round-robin",
+            Self::Compiled => "compiled",
+        }
+    }
 }
 
 /// Simulation limits and options.
@@ -85,7 +120,8 @@ pub struct Simulator<'a> {
 /// (epoch bump) and are purged lazily: during wake scans, and by
 /// amortized compaction when a list doubles past its last known live
 /// size — so lists for never-written variables cannot grow unboundedly.
-struct WaiterTable {
+/// Shared by the event-driven and compiled kernels.
+pub(crate) struct WaiterTable {
     lists: Vec<Vec<(usize, u64)>>,
     compact_at: Vec<usize>,
 }
@@ -93,14 +129,20 @@ struct WaiterTable {
 impl WaiterTable {
     const MIN_COMPACT: usize = 16;
 
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             lists: vec![Vec::new(); n],
             compact_at: vec![Self::MIN_COMPACT; n],
         }
     }
 
-    fn add(&mut self, idx: usize, pid: usize, epoch: u64, live: impl Fn(usize, u64) -> bool) {
+    pub(crate) fn add(
+        &mut self,
+        idx: usize,
+        pid: usize,
+        epoch: u64,
+        live: impl Fn(usize, u64) -> bool,
+    ) {
         let list = &mut self.lists[idx];
         list.push((pid, epoch));
         if list.len() >= self.compact_at[idx] {
@@ -111,7 +153,7 @@ impl WaiterTable {
 
     /// Collects the live waiters of `idx` into `out` (deduplicated via
     /// `seen`), dropping stale entries as it goes.
-    fn scan(
+    pub(crate) fn scan(
         &mut self,
         idx: usize,
         out: &mut Vec<usize>,
@@ -131,6 +173,14 @@ impl WaiterTable {
             }
         });
         self.compact_at[idx] = (list.len() * 2).max(Self::MIN_COMPACT);
+    }
+}
+
+impl std::fmt::Debug for WaiterTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaiterTable")
+            .field("lists", &self.lists.len())
+            .finish()
     }
 }
 
@@ -156,24 +206,31 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::Deadlock`] when all live processes block forever,
     /// * evaluation errors (out-of-bounds indices, unbound parameters).
     pub fn run(&self) -> Result<SimResult, SimError> {
-        let (kernel, name) = match self.config.kernel {
-            SimKernel::EventDriven => (
-                Self::run_event_driven as fn(&Self) -> Result<SimResult, SimError>,
-                "event-driven",
-            ),
-            SimKernel::RoundRobin => (
-                Self::run_round_robin as fn(&Self) -> Result<SimResult, SimError>,
-                "round-robin",
-            ),
+        let kernel = match self.config.kernel {
+            SimKernel::EventDriven => {
+                Self::run_event_driven as fn(&Self) -> Result<SimResult, SimError>
+            }
+            SimKernel::RoundRobin => Self::run_round_robin,
+            SimKernel::Compiled => Self::run_compiled,
         };
-        let _span = modref_obs::span("sim.run").attr("kernel", name);
+        let _span = modref_obs::span("sim.run").attr("kernel", self.config.kernel.name());
         kernel(self)
+    }
+
+    /// The compiled kernel: lower the spec to bytecode, then run the
+    /// event-driven scheduler over compiled processes.
+    fn run_compiled(&self) -> Result<SimResult, SimError> {
+        let program = crate::compile::compile(self.spec);
+        crate::compile::run(self.spec, &program, &self.config)
     }
 
     /// The event-driven kernel.
     fn run_event_driven(&self) -> Result<SimResult, SimError> {
         let spec = self.spec;
-        let mut sens = SensitivityMap::build(spec);
+        // Sensitivity sets cached per wait *site*: conditions are borrowed
+        // from the spec, so their addresses identify the site without
+        // hashing the expression tree on every block.
+        let mut sens: HashMap<*const Expr, SensitivitySet> = HashMap::new();
         let mut state = SharedState::init(spec);
         state.activations[spec.top().index()] += 1;
         let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
@@ -219,7 +276,7 @@ impl<'a> Simulator<'a> {
                     let event = processes[pid].step(spec, &mut state, now)?;
                     match event {
                         StepEvent::Progress => {}
-                        StepEvent::Blocked => match &processes[pid].status {
+                        StepEvent::Blocked => match processes[pid].status {
                             Status::WaitUntil(cond) => {
                                 // Register against the condition's
                                 // sensitivity set. An empty set means the
@@ -227,7 +284,9 @@ impl<'a> Simulator<'a> {
                                 // it was false, stays false, and only the
                                 // deadlock check will ever see it.
                                 let ep = epoch[pid];
-                                let s = sens.of(cond);
+                                let s = sens
+                                    .entry(cond as *const Expr)
+                                    .or_insert_with(|| SensitivitySet::of(cond));
                                 for v in &s.vars {
                                     var_waiters.add(v.index(), pid, ep, |p, e| {
                                         epoch[p] == e
@@ -241,7 +300,7 @@ impl<'a> Simulator<'a> {
                                     });
                                 }
                             }
-                            Status::WaitTime(t) => timers.push(Reverse((*t, pid))),
+                            Status::WaitTime(t) => timers.push(Reverse((t, pid))),
                             _ => {}
                         },
                         StepEvent::Completed => {
@@ -301,7 +360,7 @@ impl<'a> Simulator<'a> {
             for pid in recheck.drain(..) {
                 seen[pid] = false;
                 let p = &processes[pid];
-                let wake = match &p.status {
+                let wake = match p.status {
                     Status::WaitUntil(cond) => {
                         meter.inc(SLOT_COND_EVALS);
                         truthy(p.eval(spec, &state, cond)?)
@@ -384,7 +443,7 @@ impl<'a> Simulator<'a> {
                     let blocked: Vec<String> = processes
                         .iter()
                         .filter(|p| !matches!(p.status, Status::Done))
-                        .map(|p| p.name.clone())
+                        .map(|p| p.name.to_string())
                         .collect();
                     return Err(SimError::Deadlock { time: now, blocked });
                 }
@@ -510,7 +569,7 @@ impl<'a> Simulator<'a> {
                     let blocked: Vec<String> = processes
                         .iter()
                         .filter(|p| !matches!(p.status, Status::Done))
-                        .map(|p| p.name.clone())
+                        .map(|p| p.name.to_string())
                         .collect();
                     return Err(SimError::Deadlock { time: now, blocked });
                 }

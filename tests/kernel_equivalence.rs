@@ -1,17 +1,19 @@
-//! Kernel-equivalence property tests: the event-driven scheduler must be
-//! observationally indistinguishable from the reference round-robin
-//! scheduler.
+//! Kernel-equivalence property tests: the event-driven scheduler and the
+//! compiled bytecode kernel must be observationally indistinguishable
+//! from the reference round-robin scheduler.
 //!
 //! The event-driven kernel only re-evaluates `wait until` conditions
 //! whose sensitivity sets were written, wakes sleepers from a timer heap,
 //! and counts pending children instead of rescanning — all pure
-//! scheduling-work optimizations. These properties pin down that they
-//! are *only* that: for random synthetic specs and their Model1–4
-//! refinements (which add the signal handshakes, protocol subroutines,
-//! arbiters and server loops the optimizations target), both kernels
-//! must produce identical observable variable values, final time, step
-//! counts and — on failing runs — identical deadlock/step-limit
-//! verdicts.
+//! scheduling-work optimizations. The compiled kernel additionally lowers
+//! every behavior to flat bytecode with slot-interned operands, replacing
+//! the tree-walking interpreter entirely. These properties pin down that
+//! both are *only* that: for the named workloads, for random synthetic
+//! specs, and for their Model1–4 refinements (which add the signal
+//! handshakes, protocol subroutines, arbiters and server loops the
+//! optimizations target), all three kernels must produce identical
+//! observable variable values, final time, step counts and — on failing
+//! runs — identical deadlock/step-limit verdicts.
 
 use modref_rng::Rng;
 
@@ -20,21 +22,26 @@ use modref::partition::Allocation;
 use modref::sim::{SimConfig, SimError, SimKernel, SimResult, Simulator};
 use modref::spec::builder::SpecBuilder;
 use modref::spec::{expr, stmt, Spec};
-use modref::workloads::{SynthConfig, SynthSpec};
+use modref::workloads::{
+    dsp_partition, dsp_spec, fig2_partition, fig2_spec, medical_allocation, medical_partition,
+    medical_spec, ring_spec, Design, SynthConfig, SynthSpec,
+};
 
 fn run_kernel(spec: &Spec, kernel: SimKernel, max_steps: u64) -> Result<SimResult, SimError> {
     Simulator::with_config(spec, SimConfig { max_steps, kernel }).run()
 }
 
-/// Both kernels on the same spec; results (or errors) must agree.
+/// All three kernels on the same spec; results (or errors) must agree.
 fn assert_kernels_agree(spec: &Spec, max_steps: u64, context: &str) {
+    let compiled = run_kernel(spec, SimKernel::Compiled, max_steps);
     let event = run_kernel(spec, SimKernel::EventDriven, max_steps);
     let reference = run_kernel(spec, SimKernel::RoundRobin, max_steps);
-    match (event, reference) {
-        (Ok(e), Ok(r)) => {
+    match (compiled, event, reference) {
+        (Ok(c), Ok(e), Ok(r)) => {
             // `SimResult` equality covers time, steps, write counts,
             // variables, signals and activations — not scheduler stats.
-            assert_eq!(e, r, "{context}: observable results diverge");
+            assert_eq!(e, r, "{context}: event vs reference diverge");
+            assert_eq!(c, e, "{context}: compiled vs event diverge");
             assert!(
                 e.sched.cond_evals <= r.sched.cond_evals,
                 "{context}: event kernel re-evaluated more conditions \
@@ -42,12 +49,31 @@ fn assert_kernels_agree(spec: &Spec, max_steps: u64, context: &str) {
                 e.sched.cond_evals,
                 r.sched.cond_evals
             );
+            // The compiled kernel reuses the event scheduler wholesale,
+            // so its work counters must match *exactly*.
+            assert_eq!(
+                c.sched.cond_evals, e.sched.cond_evals,
+                "{context}: compiled cond_evals"
+            );
+            assert_eq!(
+                c.sched.timer_pops, e.sched.timer_pops,
+                "{context}: timer_pops"
+            );
             assert_eq!(e.sched.wakeups, r.sched.wakeups, "{context}: wakeups");
+            assert_eq!(c.sched.wakeups, e.sched.wakeups, "{context}: wakeups");
             assert_eq!(e.sched.rounds, r.sched.rounds, "{context}: rounds");
+            assert_eq!(c.sched.rounds, e.sched.rounds, "{context}: rounds");
+            // One instruction per micro-step, and at least one dispatch.
+            assert_eq!(c.sched.instrs, c.steps, "{context}: instrs == steps");
+            assert!(c.sched.dispatches > 0, "{context}: dispatches counted");
         }
-        (Err(e), Err(r)) => assert_eq!(e, r, "{context}: verdicts diverge"),
-        (event, reference) => panic!(
-            "{context}: kernels disagree on success — event: {event:?}, reference: {reference:?}"
+        (Err(c), Err(e), Err(r)) => {
+            assert_eq!(e, r, "{context}: event vs reference verdicts diverge");
+            assert_eq!(c, e, "{context}: compiled vs event verdicts diverge");
+        }
+        (compiled, event, reference) => panic!(
+            "{context}: kernels disagree on success — compiled: {compiled:?}, \
+             event: {event:?}, reference: {reference:?}"
         ),
     }
 }
@@ -60,6 +86,37 @@ fn small_config(rng: &mut Rng) -> SynthConfig {
         fanout: rng.gen_range(2..4usize),
         loop_percent: rng.gen_range(0..60u32),
     }
+}
+
+/// Every named workload, original and refined to all four implementation
+/// models: the kernels are interchangeable on the specs the benches,
+/// examples and exploration paths actually run.
+#[test]
+fn kernels_agree_on_named_workloads_and_models() {
+    let alloc = Allocation::proc_plus_asic();
+
+    let fig2 = fig2_spec();
+    let medical = medical_spec();
+    let dsp = dsp_spec();
+    let cases: Vec<(&str, &Spec)> = vec![("fig2", &fig2), ("medical", &medical), ("dsp", &dsp)];
+    for (name, spec) in &cases {
+        assert_kernels_agree(spec, 5_000_000, &format!("{name} original"));
+        let graph = modref::graph::AccessGraph::derive(spec);
+        let part = match *name {
+            "fig2" => fig2_partition(spec, &alloc),
+            "dsp" => dsp_partition(spec, &alloc),
+            _ => medical_partition(spec, &medical_allocation(), Design::Design1),
+        };
+        for model in ImplModel::ALL {
+            let refined = refine(spec, &graph, &alloc, &part, model)
+                .unwrap_or_else(|e| panic!("{name} {model}: {e}"));
+            assert_kernels_agree(&refined.spec, 5_000_000, &format!("{name} {model}"));
+        }
+    }
+
+    // The polling worst case the benches time: many concurrent stations
+    // blocked on distinct signals, token passed with delays.
+    assert_kernels_agree(&ring_spec(8, 12), 5_000_000, "ring8");
 }
 
 /// The headline property: across random specs and all four
@@ -90,7 +147,7 @@ fn kernels_agree_on_random_specs_and_refinements() {
 }
 
 /// Step-limit verdicts agree: a zero-time livelock trips the same error
-/// in both kernels.
+/// in all three kernels.
 #[test]
 fn kernels_agree_on_step_limit_verdict() {
     let mut b = SpecBuilder::new("spin");
@@ -101,18 +158,20 @@ fn kernels_agree_on_step_limit_verdict() {
     );
     let top = b.seq_in_order("Top", vec![a]);
     let spec = b.finish(top).expect("valid");
+    let compiled = run_kernel(&spec, SimKernel::Compiled, 1_000);
     let event = run_kernel(&spec, SimKernel::EventDriven, 1_000);
     let reference = run_kernel(&spec, SimKernel::RoundRobin, 1_000);
     assert_eq!(event, reference);
+    assert_eq!(compiled, event);
     assert!(matches!(
-        event,
+        compiled,
         Err(SimError::StepLimitExceeded { limit: 1_000 })
     ));
 }
 
 /// Deadlock verdicts agree, including the reported time and the list of
 /// blocked behaviors: a waiter whose signal is never set deadlocks
-/// identically under both kernels.
+/// identically under all three kernels.
 #[test]
 fn kernels_agree_on_deadlock_verdict() {
     let mut b = SpecBuilder::new("stuck");
@@ -131,10 +190,12 @@ fn kernels_agree_on_deadlock_verdict() {
     );
     let top = b.concurrent("Top", vec![waiter, worker]);
     let spec = b.finish(top).expect("valid");
+    let compiled = run_kernel(&spec, SimKernel::Compiled, 100_000);
     let event = run_kernel(&spec, SimKernel::EventDriven, 100_000);
     let reference = run_kernel(&spec, SimKernel::RoundRobin, 100_000);
     assert_eq!(event, reference);
-    match event {
+    assert_eq!(compiled, event);
+    match compiled {
         Err(SimError::Deadlock { time, blocked }) => {
             assert_eq!(time, 5, "worker's delay elapses before the deadlock");
             assert_eq!(blocked, vec!["Top".to_string(), "Waiter".to_string()]);
@@ -144,9 +205,9 @@ fn kernels_agree_on_deadlock_verdict() {
 }
 
 /// A never-woken waiter must not leak unbounded scheduler work: the
-/// event kernel performs zero condition re-evaluations when nothing in
-/// the sensitivity set is written, while the polling reference performs
-/// one per round.
+/// event-driven and compiled kernels perform zero condition
+/// re-evaluations when nothing in the sensitivity set is written, while
+/// the polling reference performs one per round.
 #[test]
 fn event_kernel_skips_unwritten_sensitivities() {
     let mut b = SpecBuilder::new("quiet");
@@ -167,13 +228,17 @@ fn event_kernel_skips_unwritten_sensitivities() {
     );
     let top = b.concurrent("Top", vec![waiter, ticker]);
     let spec = b.finish(top).expect("valid");
+    let compiled = run_kernel(&spec, SimKernel::Compiled, 100_000).expect("completes");
     let event = run_kernel(&spec, SimKernel::EventDriven, 100_000).expect("completes");
     let reference = run_kernel(&spec, SimKernel::RoundRobin, 100_000).expect("completes");
     assert_eq!(event, reference);
+    assert_eq!(compiled, event);
     // Exactly one write to `go`, so exactly one re-evaluation (which
-    // succeeds and wakes the waiter).
+    // succeeds and wakes the waiter) in both sensitivity-driven kernels.
     assert_eq!(event.sched.cond_evals, 1);
     assert_eq!(event.sched.wakeups, 1);
+    assert_eq!(compiled.sched.cond_evals, 1);
+    assert_eq!(compiled.sched.wakeups, 1);
     // The polling reference re-checked the waiter every round.
     assert!(
         reference.sched.cond_evals > 50,
