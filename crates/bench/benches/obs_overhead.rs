@@ -11,6 +11,13 @@
 //! * **enabled** — the same exploration timed with the recorder on
 //!   (wall clock, spans buffered, counters live) against the recorder
 //!   off. Acceptance: ≤ 10%.
+//!
+//! The simulator's trace sink follows the same disabled-fast-path
+//! pattern — every write site guards on `Option::is_some` of a
+//! null-pointer-optimized `Option<Box<TraceSink>>` — so the same two
+//! numbers are recorded for it: the estimated share of an untraced run
+//! spent on those discriminant checks (acceptance: < 1%), and the wall
+//! clock of a fully traced run against an untraced one.
 
 use std::time::Instant;
 
@@ -21,8 +28,9 @@ use modref_graph::AccessGraph;
 use modref_obs::Event;
 use modref_partition::explore::{explore, ExploreConfig};
 use modref_partition::{Allocation, CostConfig};
+use modref_sim::{SimConfig, SimTrace, Simulator};
 use modref_spec::Spec;
-use modref_workloads::{medical_allocation, medical_spec};
+use modref_workloads::{medical_allocation, medical_spec, ring_spec};
 
 fn explore_once(spec: &Spec, graph: &AccessGraph, alloc: &Allocation) -> usize {
     let expl = ExploreConfig {
@@ -62,9 +70,10 @@ fn json_out(
     counter_bumps_per_run: u64,
     disabled_pct: f64,
     enabled_pct: f64,
+    sim: &SimTraceRow,
 ) -> String {
     format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": \"medical explore, 4 seeds, 1 thread\",\n  \"explore_ms_disabled\": {:.3},\n  \"explore_ms_enabled\": {:.3},\n  \"span_disabled_ns\": {:.2},\n  \"counter_disabled_ns\": {:.2},\n  \"spans_per_run\": {},\n  \"counter_bumps_per_run\": {},\n  \"disabled_overhead_pct\": {:.3},\n  \"enabled_overhead_pct\": {:.2},\n  \"disabled_limit_pct\": 2.0,\n  \"enabled_limit_pct\": 10.0\n}}\n",
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": \"medical explore, 4 seeds, 1 thread\",\n  \"explore_ms_disabled\": {:.3},\n  \"explore_ms_enabled\": {:.3},\n  \"span_disabled_ns\": {:.2},\n  \"counter_disabled_ns\": {:.2},\n  \"spans_per_run\": {},\n  \"counter_bumps_per_run\": {},\n  \"disabled_overhead_pct\": {:.3},\n  \"enabled_overhead_pct\": {:.2},\n  \"disabled_limit_pct\": 2.0,\n  \"enabled_limit_pct\": 10.0,\n  \"sim_workload\": \"ring(8, 12) simulation, default kernel\",\n  \"sim_ms_untraced\": {:.3},\n  \"sim_ms_traced\": {:.3},\n  \"trace_events_per_run\": {},\n  \"trace_check_disabled_ns\": {:.2},\n  \"trace_disabled_overhead_pct\": {:.3},\n  \"trace_enabled_overhead_pct\": {:.2},\n  \"trace_disabled_limit_pct\": 1.0\n}}\n",
         explore_ns_off / 1e6,
         explore_ns_on / 1e6,
         span_disabled_ns,
@@ -73,7 +82,72 @@ fn json_out(
         counter_bumps_per_run,
         disabled_pct,
         enabled_pct,
+        sim.ns_untraced / 1e6,
+        sim.ns_traced / 1e6,
+        sim.events_per_run,
+        sim.check_disabled_ns,
+        sim.disabled_pct,
+        sim.enabled_pct,
     )
+}
+
+struct SimTraceRow {
+    ns_untraced: f64,
+    ns_traced: f64,
+    events_per_run: u64,
+    check_disabled_ns: f64,
+    disabled_pct: f64,
+    enabled_pct: f64,
+}
+
+fn sim_once(spec: &Spec, trace: bool) -> modref_sim::SimResult {
+    Simulator::with_config(
+        spec,
+        SimConfig {
+            trace,
+            ..SimConfig::default()
+        },
+    )
+    .run()
+    .expect("bench workload simulates")
+}
+
+/// Untraced vs traced simulation, plus the estimated cost of the
+/// disabled per-write discriminant checks themselves.
+fn sim_trace_row() -> SimTraceRow {
+    let spec = ring_spec(8, 12);
+    let (batches, iters) = (5, 64);
+    sim_once(&spec, false); // warm caches off the clock
+    let ns_untraced = best_time_ns(batches, iters, || sim_once(&spec, false));
+    let ns_traced = best_time_ns(batches, iters, || sim_once(&spec, true));
+
+    let events_per_run = sim_once(&spec, true)
+        .trace
+        .expect("traced run records")
+        .len() as u64;
+
+    // The disabled hook is one discriminant check of a
+    // null-pointer-optimized `Option<Box<_>>` — in the kernels it is an
+    // independent, perfectly predicted branch interleaved with
+    // interpreter work, so its cost is throughput, not latency: measure
+    // a block of independent checks and take the per-check mean.
+    let offs: [Option<Box<SimTrace>>; 16] = Default::default();
+    let check_disabled_ns = time_ns(1_000_000, || {
+        let offs = std::hint::black_box(&offs);
+        offs.iter().map(|o| o.is_some() as u64).sum::<u64>()
+    }) / 16.0;
+
+    // One check per would-be event is the per-run check count to first
+    // order (wake and time hooks fold into the same per-round guards).
+    let disabled_ns = events_per_run as f64 * check_disabled_ns;
+    SimTraceRow {
+        ns_untraced,
+        ns_traced,
+        events_per_run,
+        check_disabled_ns,
+        disabled_pct: 100.0 * disabled_ns / ns_untraced,
+        enabled_pct: 100.0 * (ns_traced - ns_untraced) / ns_untraced,
+    }
 }
 
 fn bench_obs_overhead(c: &mut Criterion) {
@@ -140,6 +214,18 @@ fn bench_obs_overhead(c: &mut Criterion) {
          — {spans_per_run} spans + {counter_bumps_per_run} bumps/run ≈ {disabled_pct:.3}% of runtime",
     );
 
+    let sim = sim_trace_row();
+    eprintln!(
+        "sim (ring 8×12): {:.2} ms untraced, {:.2} ms traced ({:+.2}%); {} events/run, \
+         disabled check {:.2} ns ≈ {:.3}% of runtime",
+        sim.ns_untraced / 1e6,
+        sim.ns_traced / 1e6,
+        sim.enabled_pct,
+        sim.events_per_run,
+        sim.check_disabled_ns,
+        sim.disabled_pct,
+    );
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     std::fs::write(
         path,
@@ -152,6 +238,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
             counter_bumps_per_run,
             disabled_pct,
             enabled_pct,
+            &sim,
         ),
     )
     .expect("write BENCH_obs.json");

@@ -25,6 +25,7 @@ fn time(name: &str, spec: &Spec, kernel: SimKernel, reps: u32) {
             SimConfig {
                 kernel,
                 max_steps: 100_000_000,
+                ..SimConfig::default()
             },
         )
         .run()

@@ -143,12 +143,35 @@ pub fn graph(cd: &Codesign, dot: bool) -> CmdResult {
 }
 
 /// `modref simulate`: run to completion, print final state.
-pub fn simulate(cd: &Codesign, profile: bool, stats: bool, opts: &SimOpts) -> CmdResult {
+pub fn simulate(
+    cd: &Codesign,
+    profile: bool,
+    stats: bool,
+    vcd: Option<&str>,
+    opts: &SimOpts,
+) -> CmdResult {
     let kernel_name = opts.kernel.name();
     if verbose() {
         eprintln!("simulating with the {kernel_name} kernel");
     }
-    let result = cd.simulate(opts)?;
+    let mut opts = opts.clone();
+    if vcd.is_some() {
+        opts = opts.trace(true);
+    }
+    let result = cd.simulate(&opts)?;
+    if let Some(path) = vcd {
+        let trace = result
+            .trace
+            .as_ref()
+            .ok_or("simulation recorded no trace")?;
+        // Render fully before touching the filesystem: a write failure
+        // exits nonzero without leaving a partial waveform behind.
+        let text = modref_sim::vcd::export(cd.spec(), cd.source_map(), trace);
+        fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        if !quiet() {
+            eprintln!("wrote {path} ({} trace events)", trace.len());
+        }
+    }
     println!(
         "completed at t={} after {} micro-steps ({} var writes, {} signal writes)",
         result.time, result.steps, result.var_writes, result.signal_writes
@@ -269,7 +292,7 @@ pub fn rates(cd: &Codesign, part_text: &str) -> CmdResult {
 /// crosses every candidate with the four implementation models, and
 /// prints the ranked design points with the Pareto front flagged. With
 /// `-o`, writes the best candidate's partition file.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // mirrors the CLI flag surface
 pub fn explore(
     cd: &Codesign,
     part_text: Option<&str>,
@@ -277,6 +300,7 @@ pub fn explore(
     threads: Option<usize>,
     top: usize,
     verify: bool,
+    verify_traces: bool,
     kernel: modref_sim::SimKernel,
     out: Option<&str>,
 ) -> CmdResult {
@@ -346,7 +370,7 @@ pub fn explore(
     }
 
     if verify {
-        let mut vopts = VerifyOpts::new().kernel(kernel);
+        let mut vopts = VerifyOpts::new().kernel(kernel).check_traces(verify_traces);
         if let Some(text) = part_text {
             vopts = vopts.part(text);
         }
@@ -358,9 +382,14 @@ pub fn explore(
         let elapsed = started.elapsed();
         println!();
         println!(
-            "verified {} front candidate x model pairs by simulation in {:.2?} \
+            "verified {} front candidate x model pairs by simulation{} in {:.2?} \
              ({} kernel; original: t={}, {} steps)",
             v.records.len(),
+            if verify_traces {
+                " + stuttering-refinement trace check"
+            } else {
+                ""
+            },
             elapsed,
             kernel.name(),
             v.original_time,
@@ -515,4 +544,38 @@ pub fn demo(dir: &str) -> CmdResult {
         println!("  modref serve --stdio");
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_workloads::fig2_spec;
+
+    #[test]
+    fn unwritable_vcd_path_fails_without_partial_file() {
+        let cd = Codesign::from_spec(fig2_spec());
+        let path = "/nonexistent-dir/out.vcd";
+        let err = simulate(&cd, false, false, Some(path), &SimOpts::new())
+            .expect_err("unwritable path must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("writing /nonexistent-dir/out.vcd"), "{msg}");
+        assert!(
+            !std::path::Path::new(path).exists(),
+            "no partial file may be left behind"
+        );
+    }
+
+    #[test]
+    fn vcd_is_written_for_a_writable_path() {
+        let cd = Codesign::from_spec(fig2_spec());
+        let dir = std::env::temp_dir().join("modref-vcd-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("fig2.vcd");
+        let path_str = path.to_str().expect("utf8 path");
+        simulate(&cd, false, false, Some(path_str), &SimOpts::new()).expect("simulate");
+        let text = fs::read_to_string(&path).expect("vcd written");
+        assert!(text.starts_with("$version modref $end"));
+        assert!(text.contains("$enddefinitions $end"));
+        fs::remove_file(&path).ok();
+    }
 }

@@ -120,12 +120,13 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
             let cd = load_session(args, 1)?;
             let profile = args.iter().any(|a| a == "--profile");
             let stats = args.iter().any(|a| a == "--stats");
+            let vcd = flag_value(args, "--vcd");
             let mut opts = SimOpts::new();
             if let Some(v) = flag_value(args, "--max-steps") {
                 opts = opts.max_steps(v.parse().map_err(|e| format!("invalid --max-steps: {e}"))?);
             }
             opts = opts.kernel(parse_kernel(args)?);
-            commands::simulate(&cd, profile, stats, &opts)
+            commands::simulate(&cd, profile, stats, vcd.as_deref(), &opts)
         }
         "refine" => {
             let cd = load_session(args, 1)?;
@@ -172,7 +173,10 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                 .transpose()
                 .map_err(|e| format!("invalid --top: {e}"))?
                 .unwrap_or(10);
-            let verify = args.iter().any(|a| a == "--verify");
+            let verify_traces = args.iter().any(|a| a == "--verify-traces");
+            // --verify-traces subsumes --verify: the trace check runs
+            // inside the verification pass.
+            let verify = verify_traces || args.iter().any(|a| a == "--verify");
             let kernel = parse_kernel(args)?;
             let out = flag_value(args, "-o");
             commands::explore(
@@ -182,6 +186,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                 threads,
                 top,
                 verify,
+                verify_traces,
                 kernel,
                 out.as_deref(),
             )
@@ -266,6 +271,7 @@ fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--stats", false),
             ("--max-steps", true),
             ("--kernel", true),
+            ("--vcd", true),
         ],
         "refine" => &[("-p", true), ("-m", true), ("-o", true), ("--dot", true)],
         "cgen" => &[("--process", true)],
@@ -276,6 +282,7 @@ fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--threads", true),
             ("--top", true),
             ("--verify", false),
+            ("--verify-traces", false),
             ("--kernel", true),
             ("-o", true),
         ],
@@ -388,6 +395,8 @@ USAGE:
                   [--max-steps N] [--stats]   (+ activations / scheduler stats)
                   [--kernel event|roundrobin|compiled]
                                               pick the simulation kernel
+                  [--vcd FILE]                record an event trace and write
+                                              an IEEE 1364 waveform (GTKWave)
   modref refine   <spec> -p <part> -m <1..4>  refine, print spec
                   [-o FILE] [--dot FILE]      write spec / architecture DOT
   modref rates    <spec> -p <part>            Figure 9 rate tables, all models
@@ -396,6 +405,9 @@ USAGE:
                   [--top M] [-o FILE]         ranked with Pareto front flagged
                   [--verify]                  simulate original vs refined for
                                               every Pareto-front candidate
+                  [--verify-traces]           --verify + require each refined
+                                              trace to be a stuttering
+                                              refinement of the original's
                   [--kernel event|roundrobin|compiled]
                                               kernel for --verify simulations
   modref estimate <spec> -p <part>            lifetimes + channel rates report

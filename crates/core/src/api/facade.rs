@@ -233,6 +233,12 @@ pub struct VerifyOpts {
     /// identical observable results), so this only changes how fast the
     /// verification runs.
     pub kernel: SimKernel,
+    /// Additionally record event traces for both simulations and require
+    /// every refined run to be a [stuttering
+    /// refinement](crate::trace_check) of the original — the
+    /// `modref explore --verify-traces` check. Off by default (tracing
+    /// costs time and memory proportional to the write count).
+    pub check_traces: bool,
 }
 
 impl VerifyOpts {
@@ -246,6 +252,13 @@ impl VerifyOpts {
     #[must_use]
     pub fn kernel(mut self, kernel: SimKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Enables the stuttering-refinement trace check.
+    #[must_use]
+    pub fn check_traces(mut self, on: bool) -> Self {
+        self.check_traces = on;
         self
     }
 
@@ -332,6 +345,10 @@ pub struct SimOpts {
     pub max_steps: Option<u64>,
     /// Scheduler kernel.
     pub kernel: SimKernel,
+    /// Record a full event trace onto
+    /// [`SimResult::trace`](modref_sim::SimResult) — the input to
+    /// [`modref_sim::vcd::export`] and the JSONL trace dump.
+    pub trace: bool,
 }
 
 impl Default for SimOpts {
@@ -339,6 +356,7 @@ impl Default for SimOpts {
         Self {
             max_steps: None,
             kernel: SimKernel::EventDriven,
+            trace: false,
         }
     }
 }
@@ -360,6 +378,13 @@ impl SimOpts {
     #[must_use]
     pub fn kernel(mut self, kernel: SimKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Enables event-trace recording.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 }
@@ -697,6 +722,7 @@ impl Codesign {
         let config = SimConfig {
             max_steps: opts.max_steps.unwrap_or(SimConfig::default().max_steps),
             kernel: opts.kernel,
+            trace: opts.trace,
         };
         Ok(Simulator::with_config(&self.spec, config).run()?)
     }
@@ -764,6 +790,8 @@ impl Codesign {
             opts.threads,
             opts.cancel.as_ref(),
             opts.kernel,
+            opts.check_traces,
+            &self.map,
         );
         if let Some(token) = &opts.cancel {
             token.check()?;

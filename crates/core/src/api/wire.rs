@@ -101,6 +101,11 @@ pub enum RequestOp {
         /// encoded form when absent, so existing request streams are
         /// unchanged.
         kernel: Option<modref_sim::SimKernel>,
+        /// The optional `"verify_traces"` boolean: when `true`, both
+        /// simulations record event traces and the stuttering-refinement
+        /// trace check runs per candidate × model. Omitted when absent,
+        /// keeping existing request streams valid.
+        verify_traces: Option<bool>,
     },
     /// Run the static-analysis lints (plus conformance lints with a
     /// partition).
@@ -460,6 +465,7 @@ impl Request {
                 seeds,
                 threads,
                 kernel,
+                verify_traces,
             } => {
                 push_source(&mut m, source);
                 if let Some(p) = part {
@@ -473,6 +479,9 @@ impl Request {
                 }
                 if let Some(k) = kernel {
                     m.push(("kernel", Value::Str(k.name().to_string())));
+                }
+                if let Some(v) = verify_traces {
+                    m.push(("verify_traces", Value::Bool(*v)));
                 }
             }
             RequestOp::Lint {
@@ -686,6 +695,14 @@ fn get_str(o: &BTreeMap<String, Value>, key: &str) -> Result<Option<String>, Mod
     }
 }
 
+fn get_bool(o: &BTreeMap<String, Value>, key: &str) -> Result<Option<bool>, ModrefError> {
+    match o.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(invalid(format!("`{key}` must be a boolean"))),
+    }
+}
+
 /// The optional `"kernel"` field, by wire name. An unknown kernel name
 /// is an invalid request, not a silent fallback to the default.
 fn get_kernel(o: &BTreeMap<String, Value>) -> Result<Option<modref_sim::SimKernel>, ModrefError> {
@@ -775,6 +792,7 @@ impl Request {
                 seeds: get_u64(o, "seeds")?,
                 threads: get_u64(o, "threads")?.map(|t| t as usize),
                 kernel: get_kernel(o)?,
+                verify_traces: get_bool(o, "verify_traces")?,
             },
             "lint" => RequestOp::Lint {
                 source: source_of(o)?,
@@ -992,6 +1010,30 @@ mod tests {
                 deadline_ms: None,
                 op: RequestOp::Cancel { target: 3 },
             },
+            Request {
+                id: 6,
+                deadline_ms: None,
+                op: RequestOp::Verify {
+                    source: SpecSource::Workload("medical".into()),
+                    part: None,
+                    seeds: Some(1),
+                    threads: None,
+                    kernel: Some(modref_sim::SimKernel::Compiled),
+                    verify_traces: Some(true),
+                },
+            },
+            Request {
+                id: 7,
+                deadline_ms: None,
+                op: RequestOp::Verify {
+                    source: SpecSource::Workload("fig2".into()),
+                    part: None,
+                    seeds: None,
+                    threads: None,
+                    kernel: None,
+                    verify_traces: None,
+                },
+            },
         ];
         for req in reqs {
             let line = req.to_json_line();
@@ -1013,6 +1055,8 @@ mod tests {
             r#"{"id":1,"op":"refine","workload":"fig2","part":"p","model":9}"#,
             r#"{"id":1,"op":"cancel"}"#,
             r#"{"id":"one","op":"parse","workload":"fig2"}"#,
+            r#"{"id":1,"op":"verify","workload":"fig2","verify_traces":"yes"}"#,
+            r#"{"id":1,"op":"verify","workload":"fig2","verify_traces":1}"#,
         ] {
             let err = Request::from_json(line).unwrap_err();
             assert_eq!(err.code(), "invalid_request", "{line}");

@@ -27,6 +27,7 @@ use modref_graph::AccessGraph;
 use modref_partition::explore::{explore_with_cancel, Candidate, ExploreConfig};
 use modref_partition::{par_map, thread_count, Allocation, CostConfig, CostReport, Partition};
 use modref_sim::{SimConfig, SimKernel, Simulator};
+use modref_spec::span::SourceMap;
 use modref_spec::Spec;
 
 use crate::api::CancelToken;
@@ -242,6 +243,8 @@ pub fn verify_pareto(
         threads,
         None,
         SimKernel::default(),
+        false,
+        &SourceMap::default(),
     )
 }
 
@@ -250,6 +253,13 @@ pub fn verify_pareto(
 /// checked before each candidate × model job; jobs that start after a
 /// stop return a non-equivalent record marked `"stopped"` (the facade
 /// then checks its token and reports the stop reason instead).
+///
+/// With `check_traces` set, both simulations record full event traces
+/// and each refined run must additionally pass the
+/// [stuttering-refinement check](crate::trace_check) against the
+/// original's trace; `map` supplies declaration spans for the mismatch
+/// report.
+#[allow(clippy::too_many_arguments)] // one call site per option surface
 pub(crate) fn verify_pareto_impl(
     spec: &Spec,
     graph: &AccessGraph,
@@ -258,6 +268,8 @@ pub(crate) fn verify_pareto_impl(
     threads: Option<usize>,
     cancel: Option<&CancelToken>,
     kernel: SimKernel,
+    check_traces: bool,
+    map: &SourceMap,
 ) -> Verification {
     let span = modref_obs::span("verify_pareto");
     let span_id = span.id();
@@ -266,6 +278,7 @@ pub(crate) fn verify_pareto_impl(
     let reject_counter = modref_obs::counter("verify.static_reject");
     let sim_config = SimConfig {
         kernel,
+        trace: check_traces,
         ..SimConfig::default()
     };
     let original = Simulator::with_config(spec, sim_config).run();
@@ -354,11 +367,25 @@ pub(crate) fn verify_pareto_impl(
             record.refined_steps = result.steps;
             record.bus_traffic = result.signal_writes.saturating_sub(orig.signal_writes);
             let diffs = orig.diff_common_vars(&result);
-            if diffs.is_empty() {
-                record.equivalent = true;
-            } else {
+            if !diffs.is_empty() {
                 record.detail = format!("vars diverged: {}", diffs.join(", "));
+                return record;
             }
+            if check_traces {
+                if let (Some(ot), Some(rt)) = (&orig.trace, &result.trace) {
+                    if let Err(m) = crate::trace_check::check_stuttering_refinement(
+                        spec,
+                        ot,
+                        &refined.spec,
+                        rt,
+                        map,
+                    ) {
+                        record.detail = m.to_string();
+                        return record;
+                    }
+                }
+            }
+            record.equivalent = true;
             record
         })();
         if record.equivalent {

@@ -73,6 +73,7 @@ pub mod rates;
 pub mod refine;
 pub mod report;
 pub mod serve;
+pub mod trace_check;
 
 pub use api::{Codesign, ModrefError};
 pub use arbiter::ArbiterPolicy;
@@ -89,3 +90,4 @@ pub use plan::RefinePlan;
 pub use rates::figure9_rates;
 pub use refine::{refine, refine_with_options, RefineOptions, Refined};
 pub use report::CostSummary;
+pub use trace_check::{check_stuttering_refinement, TraceMismatch};

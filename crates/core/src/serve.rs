@@ -546,12 +546,16 @@ fn execute(
             seeds,
             threads,
             kernel,
+            verify_traces,
         } => {
             let cd = load(source)?;
             let mut eopts = ExploreOpts::new().cancel(token.clone());
             let mut vopts = VerifyOpts::new().cancel(token.clone());
             if let Some(k) = kernel {
                 vopts = vopts.kernel(*k);
+            }
+            if let Some(t) = verify_traces {
+                vopts = vopts.check_traces(*t);
             }
             if let Some(p) = part {
                 eopts = eopts.part(p.clone());
@@ -674,6 +678,29 @@ mod tests {
         // The malformed line got a structured reply with id 0.
         assert_eq!(error_code(&responses, 0), "invalid_request");
         assert_eq!(responses.len(), 6, "one response per line, none dropped");
+    }
+
+    #[test]
+    fn verify_traces_field_runs_the_trace_check() {
+        let mut input = String::new();
+        input.push_str(&line(
+            1,
+            r#""op":"verify","workload":"fig2","seeds":1,"verify_traces":true"#,
+        ));
+        // Invalid value: strict decode, not a silent default.
+        input.push_str(&line(
+            2,
+            r#""op":"verify","workload":"fig2","verify_traces":"yes""#,
+        ));
+        let (stats, responses) = run(&input, &cfg().workers(1));
+        match body_of(&responses, 1) {
+            ResponseBody::Verified { equivalent, .. } => {
+                assert!(equivalent, "fig2 front must pass the trace check");
+            }
+            other => panic!("expected Verified, got {other:?}"),
+        }
+        assert_eq!(error_code(&responses, 2), "invalid_request");
+        assert_eq!(stats.completed, 1);
     }
 
     #[test]

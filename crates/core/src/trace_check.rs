@@ -1,0 +1,353 @@
+//! Stuttering-refinement trace checking.
+//!
+//! Final-state comparison ([`modref_sim::SimResult::diff_common_vars`])
+//! accepts a
+//! refinement that reaches the right values the wrong way — e.g. an
+//! intermediate value the original never produced, masked by a later
+//! overwrite. This module checks the stronger *stuttering refinement*
+//! property on recorded [`SimTrace`]s: for every observable the two
+//! specifications share (scalar variables, array elements and signals,
+//! matched by name — refinement copies the original declarations, so the
+//! shared names *are* the back-mapping through its renaming), the
+//! original's value-change sequence must equal the refined trace's
+//! sequence after stuttering compression (dropping writes that do not
+//! change the value). Refinement is allowed to add steps — bus
+//! handshakes, memory-image bookkeeping, protocol state — but every
+//! shared observable must pass through exactly the original value
+//! sequence, in order.
+//!
+//! Sequences are seeded from declared initial values, so a refined spec
+//! that "fixes up" a different initial value before use is caught too.
+//! Wake events and timing are excluded: refinement legitimately changes
+//! both scheduling and timing.
+//!
+//! A violation is reported as the first diverging change of the first
+//! diverging observable (observables in name order), with the
+//! declaration's source span when the [`SourceMap`] has one — this is
+//! the `modref explore --verify-traces` failure report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use modref_sim::value::wrap_scalar;
+use modref_sim::{SimTrace, TraceId};
+use modref_spec::span::{SourceMap, Span};
+use modref_spec::{DataType, Spec};
+
+/// The first point where a refined trace stops being a stuttering
+/// refinement of the original, for one shared observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMismatch {
+    /// The observable that diverged: a scalar variable or signal name,
+    /// or an array element (`name[index]`).
+    pub observable: String,
+    /// Index of the first diverging entry in the stutter-compressed
+    /// value-change sequence (0 is the initial value).
+    pub change: usize,
+    /// The original trace's value at that change, if it has one.
+    pub expected: Option<i64>,
+    /// The refined trace's value at that change, if it has one.
+    pub got: Option<i64>,
+    /// The observable's declaration site, when the source map records it.
+    pub span: Option<Span>,
+}
+
+impl fmt::Display for TraceMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace divergence on `{}`: change #{}",
+            self.observable, self.change
+        )?;
+        match (self.expected, self.got) {
+            (Some(e), Some(g)) => write!(f, " expected {e}, got {g}")?,
+            (Some(e), None) => write!(f, " expected {e}, refined trace has no further change")?,
+            (None, Some(g)) => write!(f, " unexpected extra change to {g}")?,
+            (None, None) => {}
+        }
+        if let Some(span) = self.span {
+            write!(f, " (declared at {span})")?;
+        }
+        Ok(())
+    }
+}
+
+/// How one variable slot maps to observable names: scalars get the
+/// variable name, arrays one name per element.
+enum VarKey {
+    Scalar(String),
+    Array(Vec<String>),
+}
+
+/// Builds the stutter-compressed value-change sequence of every
+/// observable in `spec`, seeded with declared initial values.
+fn change_sequences(spec: &Spec, trace: &SimTrace) -> BTreeMap<String, Vec<i64>> {
+    let mut seqs: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+    let mut var_keys: Vec<VarKey> = Vec::with_capacity(spec.variable_count());
+    for (_, v) in spec.variables() {
+        match v.ty() {
+            DataType::Array { elem, len } => {
+                let mut names = Vec::with_capacity(*len as usize);
+                for i in 0..*len {
+                    let name = format!("{}[{i}]", v.name());
+                    seqs.insert(name.clone(), vec![wrap_scalar(v.init(), *elem)]);
+                    names.push(name);
+                }
+                var_keys.push(VarKey::Array(names));
+            }
+            ty => {
+                let name = v.name().to_string();
+                seqs.insert(
+                    name.clone(),
+                    vec![wrap_scalar(v.init(), ty.access_scalar())],
+                );
+                var_keys.push(VarKey::Scalar(name));
+            }
+        }
+    }
+    let mut sig_keys: Vec<String> = Vec::with_capacity(spec.signal_count());
+    for (_, s) in spec.signals() {
+        let name = s.name().to_string();
+        seqs.insert(
+            name.clone(),
+            vec![wrap_scalar(s.init(), s.ty().access_scalar())],
+        );
+        sig_keys.push(name);
+    }
+
+    for e in &trace.events {
+        let key: Option<&str> = match e.id {
+            TraceId::Var(v) => match var_keys.get(v as usize) {
+                Some(VarKey::Scalar(name)) => Some(name),
+                _ => None,
+            },
+            TraceId::Elem { var, index } => match var_keys.get(var as usize) {
+                Some(VarKey::Array(names)) => names.get(index as usize).map(String::as_str),
+                _ => None,
+            },
+            TraceId::Signal(s) => sig_keys.get(s as usize).map(String::as_str),
+            TraceId::Wake(_) => None,
+        };
+        let Some(key) = key else { continue };
+        let seq = seqs.get_mut(key).expect("key built from spec");
+        if seq.last() != Some(&e.value) {
+            seq.push(e.value);
+        }
+    }
+    seqs
+}
+
+/// Declaration spans per observable name, from the original spec's map.
+fn span_index(spec: &Spec, map: &SourceMap) -> BTreeMap<String, Span> {
+    let mut spans = BTreeMap::new();
+    for (id, v) in spec.variables() {
+        let Some(span) = map.variable_span(id) else {
+            continue;
+        };
+        match v.ty() {
+            DataType::Array { len, .. } => {
+                for i in 0..*len {
+                    spans.insert(format!("{}[{i}]", v.name()), span);
+                }
+            }
+            _ => {
+                spans.insert(v.name().to_string(), span);
+            }
+        }
+    }
+    for (id, s) in spec.signals() {
+        if let Some(span) = map.signal_span(id) {
+            spans.insert(s.name().to_string(), span);
+        }
+    }
+    spans
+}
+
+/// Verifies that `refined_trace` is a stuttering refinement of
+/// `orig_trace` on every observable the two specs share by name.
+///
+/// # Errors
+///
+/// Returns the first diverging change (observables in name order, then
+/// change order) with the declaration span from `map` when recorded.
+pub fn check_stuttering_refinement(
+    orig_spec: &Spec,
+    orig_trace: &SimTrace,
+    refined_spec: &Spec,
+    refined_trace: &SimTrace,
+    map: &SourceMap,
+) -> Result<(), TraceMismatch> {
+    let orig = change_sequences(orig_spec, orig_trace);
+    let refined = change_sequences(refined_spec, refined_trace);
+    for (name, expected_seq) in &orig {
+        let Some(got_seq) = refined.get(name) else {
+            // Observable not shared: the refinement renamed or
+            // restructured it, so it is outside the projection.
+            continue;
+        };
+        if expected_seq == got_seq {
+            continue;
+        }
+        let change = expected_seq
+            .iter()
+            .zip(got_seq.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        return Err(TraceMismatch {
+            observable: name.clone(),
+            change,
+            expected: expected_seq.get(change).copied(),
+            got: got_seq.get(change).copied(),
+            span: span_index(orig_spec, map).get(name).copied(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_sim::{SimConfig, Simulator, TraceEvent};
+    use modref_spec::builder::SpecBuilder;
+    use modref_spec::{expr, stmt};
+
+    fn traced(spec: &Spec) -> SimTrace {
+        let config = SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        };
+        Simulator::with_config(spec, config)
+            .run()
+            .expect("runs")
+            .trace
+            .expect("traced")
+    }
+
+    /// x steps 0 → 1 → 2; an "refined" variant inserts redundant
+    /// re-writes (stutters) and an unshared helper variable.
+    fn stepper(extra: bool) -> Spec {
+        let mut b = SpecBuilder::new("s");
+        let x = b.var_int("x", 16, 0);
+        let mut body = vec![stmt::assign(x, expr::lit(1))];
+        if extra {
+            let h = b.var_int("helper", 16, 0);
+            body.push(stmt::assign(h, expr::var(x)));
+            body.push(stmt::assign(x, expr::lit(1))); // stutter
+        }
+        body.push(stmt::assign(x, expr::lit(2)));
+        let a = b.leaf("A", body);
+        let top = b.seq_in_order("Top", vec![a]);
+        b.finish(top).expect("valid")
+    }
+
+    #[test]
+    fn stuttering_and_added_observables_are_accepted() {
+        let orig = stepper(false);
+        let refined = stepper(true);
+        let r = check_stuttering_refinement(
+            &orig,
+            &traced(&orig),
+            &refined,
+            &traced(&refined),
+            &SourceMap::default(),
+        );
+        assert_eq!(r, Ok(()));
+    }
+
+    #[test]
+    fn diverging_intermediate_value_is_caught_with_span() {
+        let orig = stepper(false);
+        let mut b = SpecBuilder::new("s");
+        let x = b.var_int("x", 16, 0);
+        let a = b.leaf(
+            "A",
+            vec![
+                stmt::assign(x, expr::lit(7)), // value the original never held
+                stmt::assign(x, expr::lit(1)),
+                stmt::assign(x, expr::lit(2)),
+            ],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let bad = b.finish(top).expect("valid");
+
+        let mut map = SourceMap::default();
+        let (xid, _) = orig.variables().next().expect("has x");
+        map.record_variable(xid, Span::new(4, 2));
+
+        let err = check_stuttering_refinement(&orig, &traced(&orig), &bad, &traced(&bad), &map)
+            .expect_err("must diverge");
+        assert_eq!(err.observable, "x");
+        assert_eq!(err.change, 1);
+        assert_eq!((err.expected, err.got), (Some(1), Some(7)));
+        assert_eq!(
+            err.to_string(),
+            "trace divergence on `x`: change #1 expected 1, got 7 (declared at 4:2)"
+        );
+    }
+
+    #[test]
+    fn missing_final_change_is_caught() {
+        let orig = stepper(false);
+        let orig_trace = traced(&orig);
+        // Tamper: drop the original's last change from a copy of its own
+        // trace — the refined side now ends early.
+        let mut short = orig_trace.clone();
+        short.events.pop();
+        let err =
+            check_stuttering_refinement(&orig, &orig_trace, &orig, &short, &SourceMap::default())
+                .expect_err("must diverge");
+        assert_eq!(err.observable, "x");
+        assert_eq!((err.expected, err.got), (Some(2), None));
+        assert!(err.to_string().contains("no further change"));
+    }
+
+    #[test]
+    fn tampered_injected_event_is_caught() {
+        let orig = stepper(false);
+        let orig_trace = traced(&orig);
+        let mut tampered = orig_trace.clone();
+        // Inject a non-stuttering write the original never performed.
+        tampered.events.insert(
+            1,
+            TraceEvent {
+                time: 0,
+                seq: 1,
+                id: TraceId::Var(0),
+                value: 99,
+            },
+        );
+        let err = check_stuttering_refinement(
+            &orig,
+            &orig_trace,
+            &orig,
+            &tampered,
+            &SourceMap::default(),
+        )
+        .expect_err("must diverge");
+        assert_eq!(err.observable, "x");
+        assert_eq!(err.got, Some(99));
+    }
+
+    #[test]
+    fn initial_value_mismatch_is_change_zero() {
+        let orig = stepper(false);
+        let mut b = SpecBuilder::new("s");
+        let x = b.var_int("x", 16, 5); // different declared init
+        let a = b.leaf(
+            "A",
+            vec![stmt::assign(x, expr::lit(1)), stmt::assign(x, expr::lit(2))],
+        );
+        let top = b.seq_in_order("Top", vec![a]);
+        let bad = b.finish(top).expect("valid");
+        let err = check_stuttering_refinement(
+            &orig,
+            &traced(&orig),
+            &bad,
+            &traced(&bad),
+            &SourceMap::default(),
+        )
+        .expect_err("init differs");
+        assert_eq!(err.change, 0);
+        assert_eq!((err.expected, err.got), (Some(0), Some(5)));
+    }
+}

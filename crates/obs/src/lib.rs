@@ -65,6 +65,7 @@ pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod report;
+pub mod simtrace;
 pub mod span;
 
 pub use event::{Event, Trace};

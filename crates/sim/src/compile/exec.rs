@@ -248,8 +248,10 @@ fn resume(
             }
             Instr::StoreVar { slot, ty, value } => {
                 let v = eval(prog, spec, &proc.calls, &proc.params, state, stack, *value)?;
-                state.vars[*slot as usize] = Storage::Scalar(wrap_scalar(v, *ty));
+                let w = wrap_scalar(v, *ty);
+                state.vars[*slot as usize] = Storage::Scalar(w);
                 state.note_var_write(*slot as usize);
+                state.trace_var(*slot as usize, w);
                 proc.pc += 1;
             }
             Instr::StoreElem {
@@ -283,8 +285,10 @@ fn resume(
             }
             Instr::SetSignal { slot, ty, value } => {
                 let v = eval(prog, spec, &proc.calls, &proc.params, state, stack, *value)?;
-                state.signals[*slot as usize] = wrap_scalar(v, *ty);
+                let w = wrap_scalar(v, *ty);
+                state.signals[*slot as usize] = w;
                 state.note_signal_write(*slot as usize);
+                state.trace_signal(*slot as usize, w);
                 proc.pc += 1;
             }
             Instr::WaitUntil { site } => {
@@ -318,8 +322,10 @@ fn resume(
                 if rec.next < rec.to {
                     let v = rec.next;
                     rec.next += 1;
-                    state.vars[s.slot as usize] = Storage::Scalar(wrap_scalar(v, s.ty));
+                    let w = wrap_scalar(v, s.ty);
+                    state.vars[s.slot as usize] = Storage::Scalar(w);
                     state.note_var_write(s.slot as usize);
+                    state.trace_var(s.slot as usize, w);
                     proc.pc += 1;
                 } else {
                     proc.loops.pop();
@@ -361,8 +367,10 @@ fn resume(
                     let value = proc.params[rec.base as usize + *value_slot as usize];
                     match target {
                         OutTarget::Var { slot, ty } => {
-                            state.vars[*slot as usize] = Storage::Scalar(wrap_scalar(value, *ty));
+                            let w = wrap_scalar(value, *ty);
+                            state.vars[*slot as usize] = Storage::Scalar(w);
                             state.note_var_write(*slot as usize);
+                            state.trace_var(*slot as usize, w);
                         }
                         OutTarget::Elem { slot, ty, index } => {
                             // Index evaluates in the caller's context,
@@ -430,6 +438,7 @@ fn store_elem(
     i: i64,
     value: i64,
 ) -> Result<(), SimError> {
+    let w = wrap_scalar(value, ty);
     match &mut state.vars[slot as usize] {
         Storage::Array(items) => {
             let len = items.len();
@@ -441,11 +450,16 @@ fn store_elem(
                     index: i,
                     len: len as u32,
                 })?;
-            items[at] = wrap_scalar(value, ty);
+            items[at] = w;
+            state.note_var_write(slot as usize);
+            state.trace_elem(slot as usize, at, w);
         }
-        Storage::Scalar(x) => *x = wrap_scalar(value, ty),
+        Storage::Scalar(x) => {
+            *x = w;
+            state.note_var_write(slot as usize);
+            state.trace_var(slot as usize, w);
+        }
     }
-    state.note_var_write(slot as usize);
     Ok(())
 }
 
@@ -457,6 +471,9 @@ pub(crate) fn run(
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
     let mut state = SharedState::init(spec);
+    if config.trace {
+        state.enable_trace();
+    }
     state.activations[spec.top().index()] += 1;
     let mut processes: Vec<CProc> = vec![CProc::new(prog, spec, spec.top())];
     let mut now: u64 = 0;
@@ -485,12 +502,6 @@ pub(crate) fn run(
     let mut kill_list: Vec<usize> = Vec::new();
     let mut dirty_v: Vec<usize> = Vec::new();
     let mut dirty_s: Vec<usize> = Vec::new();
-
-    let finish = |state: &SharedState, now, steps, meter: &mut modref_obs::Meter, dispatches| {
-        meter.add(SLOT_INSTRS, steps);
-        meter.add(SLOT_DISPATCHES, dispatches);
-        SimResult::collect(spec, state, now, steps, true, meter)
-    };
 
     loop {
         meter.inc(SLOT_ROUNDS);
@@ -639,12 +650,23 @@ pub(crate) fn run(
         }
 
         if matches!(processes[0].status, CStatus::Done) {
-            return Ok(finish(&state, now, steps, &mut meter, dispatches));
+            meter.add(SLOT_INSTRS, steps);
+            meter.add(SLOT_DISPATCHES, dispatches);
+            let trace = state.take_trace();
+            return Ok(SimResult::collect(
+                spec, &state, now, steps, true, &meter, trace,
+            ));
         }
 
         if !woken.is_empty() {
             if woken.len() > 1 {
                 woken.sort_unstable();
+            }
+            if state.trace.is_some() {
+                for &pid in &woken {
+                    let b = processes[pid].behavior.index();
+                    state.trace_wake(pid, b);
+                }
             }
             std::mem::swap(&mut ready, &mut woken);
             continue;
@@ -666,6 +688,7 @@ pub(crate) fn run(
         match next_wake {
             Some(t) => {
                 now = t.max(now);
+                state.trace_time(now);
                 while let Some(&Reverse((t2, pid))) = timers.peek() {
                     if t2 > now {
                         break;
@@ -679,6 +702,12 @@ pub(crate) fn run(
                 }
                 if ready.len() > 1 {
                     ready.sort_unstable();
+                }
+                if state.trace.is_some() {
+                    for &pid in &ready {
+                        let b = processes[pid].behavior.index();
+                        state.trace_wake(pid, b);
+                    }
                 }
             }
             None => {

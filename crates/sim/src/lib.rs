@@ -57,8 +57,11 @@ pub mod process;
 pub mod result;
 pub mod sensitivity;
 pub mod simulator;
+pub mod trace;
 pub mod value;
+pub mod vcd;
 
 pub use error::SimError;
 pub use result::{SchedStats, SimResult};
 pub use simulator::{SimConfig, SimKernel, Simulator};
+pub use trace::{SimTrace, TraceEvent, TraceId};

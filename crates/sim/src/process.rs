@@ -18,6 +18,7 @@ use modref_spec::{
 };
 
 use crate::error::SimError;
+use crate::trace::{SimTrace, TraceId, TraceSink};
 use crate::value::{truthy, wrap_scalar, Storage};
 
 /// Shared mutable simulation state: variable and signal values.
@@ -41,6 +42,9 @@ pub(crate) struct SharedState {
     dirty_signals: Vec<usize>,
     var_dirty: Vec<bool>,
     sig_dirty: Vec<bool>,
+    /// Opt-in trace recorder (see [`crate::trace`]). `None` — the
+    /// default — keeps every trace hook to a single discriminant check.
+    pub(crate) trace: Option<Box<TraceSink>>,
 }
 
 impl SharedState {
@@ -65,6 +69,64 @@ impl SharedState {
             dirty_signals: Vec::new(),
             var_dirty,
             sig_dirty,
+            trace: None,
+        }
+    }
+
+    /// Installs a trace sink; every subsequent write and wake is recorded.
+    pub(crate) fn enable_trace(&mut self) {
+        self.trace = Some(Box::default());
+    }
+
+    /// Takes the finished trace out of the state, if one was recorded.
+    pub(crate) fn take_trace(&mut self) -> Option<SimTrace> {
+        self.trace.take().map(|t| t.finish())
+    }
+
+    /// Stamps the trace sink with a new simulated time (no-op untraced).
+    #[inline]
+    pub(crate) fn trace_time(&mut self, now: u64) {
+        if let Some(t) = &mut self.trace {
+            t.set_time(now);
+        }
+    }
+
+    /// Records a scalar-variable write (no-op untraced).
+    #[inline]
+    pub(crate) fn trace_var(&mut self, idx: usize, value: i64) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceId::Var(idx as u32), value);
+        }
+    }
+
+    /// Records an array-element write (no-op untraced).
+    #[inline]
+    pub(crate) fn trace_elem(&mut self, idx: usize, index: usize, value: i64) {
+        if let Some(t) = &mut self.trace {
+            t.record(
+                TraceId::Elem {
+                    var: idx as u32,
+                    index: index as u32,
+                },
+                value,
+            );
+        }
+    }
+
+    /// Records a signal write (no-op untraced).
+    #[inline]
+    pub(crate) fn trace_signal(&mut self, idx: usize, value: i64) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceId::Signal(idx as u32), value);
+        }
+    }
+
+    /// Records a process wake; `behavior` is the woken process's behavior
+    /// index (no-op untraced).
+    #[inline]
+    pub(crate) fn trace_wake(&mut self, pid: usize, behavior: usize) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceId::Wake(pid as u32), behavior as i64);
         }
     }
 
@@ -179,8 +241,8 @@ pub(crate) enum StepEvent {
 /// A lightweight process interpreting one concurrent behavior.
 #[derive(Debug)]
 pub(crate) struct Process<'a> {
-    /// The behavior this process interprets (diagnostics only).
-    #[allow(dead_code)]
+    /// The behavior this process interprets (trace wake events and
+    /// diagnostics).
     pub behavior: BehaviorId,
     pub name: &'a str,
     pub frames: Vec<Frame<'a>>,
@@ -409,8 +471,10 @@ impl<'a> Process<'a> {
             Stmt::SignalSet { signal, value } => {
                 let v = self.eval(spec, state, value)?;
                 let ty = spec.signal(*signal).ty().access_scalar();
-                state.signals[signal.index()] = wrap_scalar(v, ty);
+                let w = wrap_scalar(v, ty);
+                state.signals[signal.index()] = w;
                 state.note_signal_write(signal.index());
+                state.trace_signal(signal.index(), w);
                 advance(&mut self.frames);
                 Ok(StepEvent::Progress)
             }
@@ -575,8 +639,10 @@ impl<'a> Process<'a> {
 
     fn store_var(&mut self, spec: &Spec, state: &mut SharedState, var: VarId, value: i64) {
         let ty = spec.variable(var).ty().access_scalar();
-        state.vars[var.index()] = Storage::Scalar(wrap_scalar(value, ty));
+        let w = wrap_scalar(value, ty);
+        state.vars[var.index()] = Storage::Scalar(w);
         state.note_var_write(var.index());
+        state.trace_var(var.index(), w);
     }
 
     pub(crate) fn store_lvalue(
@@ -606,13 +672,17 @@ impl<'a> Process<'a> {
                                     index: i,
                                     len: len as u32,
                                 })?;
-                        items[slot] = wrap_scalar(value, elem_ty);
+                        let w = wrap_scalar(value, elem_ty);
+                        items[slot] = w;
                         state.note_var_write(v.index());
+                        state.trace_elem(v.index(), slot, w);
                         Ok(())
                     }
                     Storage::Scalar(x) => {
-                        *x = wrap_scalar(value, elem_ty);
+                        let w = wrap_scalar(value, elem_ty);
+                        *x = w;
                         state.note_var_write(v.index());
+                        state.trace_var(v.index(), w);
                         Ok(())
                     }
                 }

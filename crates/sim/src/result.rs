@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use modref_spec::Spec;
 
 use crate::process::SharedState;
+use crate::trace::SimTrace;
 use crate::value::Storage;
 
 /// Scheduler-internal work counters, reported per run so kernel
@@ -90,6 +91,11 @@ pub struct SimResult {
     pub signal_writes: u64,
     /// Scheduler work counters (excluded from equality).
     pub sched: SchedStats,
+    /// The recorded event trace, present when the run was configured with
+    /// [`SimConfig::trace`](crate::SimConfig). Excluded from equality —
+    /// [`SimResult`] equality is final-state equality; trace equality is
+    /// the (strictly stronger) property the trace tests assert directly.
+    pub trace: Option<SimTrace>,
     vars: BTreeMap<String, Storage>,
     signals: BTreeMap<String, i64>,
     activations: BTreeMap<String, u64>,
@@ -116,6 +122,7 @@ impl SimResult {
         steps: u64,
         completed: bool,
         meter: &modref_obs::Meter,
+        trace: Option<SimTrace>,
     ) -> Self {
         meter.publish();
         let sched = SchedStats::from_meter(meter);
@@ -138,6 +145,7 @@ impl SimResult {
             var_writes: state.var_writes,
             signal_writes: state.signal_writes,
             sched,
+            trace,
             vars,
             signals,
             activations,

@@ -95,6 +95,10 @@ pub struct SimConfig {
     pub max_steps: u64,
     /// Which scheduler kernel to run.
     pub kernel: SimKernel,
+    /// Record a full event trace (see [`crate::trace`]) onto
+    /// [`SimResult::trace`](crate::SimResult). Off by default; the
+    /// disabled cost is one discriminant check per write.
+    pub trace: bool,
 }
 
 impl Default for SimConfig {
@@ -102,6 +106,7 @@ impl Default for SimConfig {
         Self {
             max_steps: 5_000_000,
             kernel: SimKernel::EventDriven,
+            trace: false,
         }
     }
 }
@@ -232,6 +237,9 @@ impl<'a> Simulator<'a> {
         // hashing the expression tree on every block.
         let mut sens: HashMap<*const Expr, SensitivitySet> = HashMap::new();
         let mut state = SharedState::init(spec);
+        if self.config.trace {
+            state.enable_trace();
+        }
         state.activations[spec.top().index()] += 1;
         let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
         let mut now: u64 = 0;
@@ -398,13 +406,24 @@ impl<'a> Simulator<'a> {
 
             // Termination: root process finished.
             if matches!(processes[0].status, Status::Done) {
-                return Ok(SimResult::collect(spec, &state, now, steps, true, &meter));
+                let trace = state.take_trace();
+                return Ok(SimResult::collect(
+                    spec, &state, now, steps, true, &meter, trace,
+                ));
             }
 
             if !woken.is_empty() {
                 // Wakes arrive in notification order; restore pid order
-                // for the next round's sweep.
+                // for the next round's sweep. Wake events are recorded
+                // *after* the sort so the trace shows the pid order every
+                // kernel dispatches (and the reference kernel wakes) in.
                 woken.sort_unstable();
+                if state.trace.is_some() {
+                    for &pid in &woken {
+                        let b = processes[pid].behavior.index();
+                        state.trace_wake(pid, b);
+                    }
+                }
                 std::mem::swap(&mut ready, &mut woken);
                 continue;
             }
@@ -426,6 +445,7 @@ impl<'a> Simulator<'a> {
             match next_wake {
                 Some(t) => {
                     now = t.max(now);
+                    state.trace_time(now);
                     while let Some(&Reverse((t2, pid))) = timers.peek() {
                         if t2 > now {
                             break;
@@ -438,6 +458,12 @@ impl<'a> Simulator<'a> {
                         }
                     }
                     ready.sort_unstable();
+                    if state.trace.is_some() {
+                        for &pid in &ready {
+                            let b = processes[pid].behavior.index();
+                            state.trace_wake(pid, b);
+                        }
+                    }
                 }
                 None => {
                     let blocked: Vec<String> = processes
@@ -455,6 +481,9 @@ impl<'a> Simulator<'a> {
     fn run_round_robin(&self) -> Result<SimResult, SimError> {
         let spec = self.spec;
         let mut state = SharedState::init(spec);
+        if self.config.trace {
+            state.enable_trace();
+        }
         state.activations[spec.top().index()] += 1;
         let mut processes: Vec<Process> = vec![Process::new(spec, spec.top())];
         let mut now: u64 = 0;
@@ -504,7 +533,7 @@ impl<'a> Simulator<'a> {
                 .collect();
             let child_server: Vec<bool> = processes.iter().map(|p| p.is_server).collect();
             let mut kill_list: Vec<usize> = Vec::new();
-            for p in processes.iter_mut() {
+            for (pid, p) in processes.iter_mut().enumerate() {
                 let wake = match &p.status {
                     Status::WaitUntil(cond) => {
                         meter.inc(SLOT_COND_EVALS);
@@ -524,7 +553,12 @@ impl<'a> Simulator<'a> {
                     _ => false,
                 };
                 if wake {
+                    // This pass runs in ascending pid order, so wake
+                    // events land in the same order the event-driven
+                    // kernels record after their post-notification sort.
                     p.status = Status::Ready;
+                    let b = p.behavior.index();
+                    state.trace_wake(pid, b);
                 }
                 if matches!(p.status, Status::Ready) {
                     any_ready = true;
@@ -540,7 +574,10 @@ impl<'a> Simulator<'a> {
 
             // Termination: root process finished.
             if matches!(processes[0].status, Status::Done) {
-                return Ok(SimResult::collect(spec, &state, now, steps, true, &meter));
+                let trace = state.take_trace();
+                return Ok(SimResult::collect(
+                    spec, &state, now, steps, true, &meter, trace,
+                ));
             }
 
             if any_ready {
@@ -559,9 +596,12 @@ impl<'a> Simulator<'a> {
             match next_wake {
                 Some(t) => {
                     now = t.max(now);
-                    for p in processes.iter_mut() {
+                    state.trace_time(now);
+                    for (pid, p) in processes.iter_mut().enumerate() {
                         if matches!(p.status, Status::WaitTime(w) if w <= now) {
                             p.status = Status::Ready;
+                            let b = p.behavior.index();
+                            state.trace_wake(pid, b);
                         }
                     }
                 }

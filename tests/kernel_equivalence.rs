@@ -28,7 +28,15 @@ use modref::workloads::{
 };
 
 fn run_kernel(spec: &Spec, kernel: SimKernel, max_steps: u64) -> Result<SimResult, SimError> {
-    Simulator::with_config(spec, SimConfig { max_steps, kernel }).run()
+    Simulator::with_config(
+        spec,
+        SimConfig {
+            max_steps,
+            kernel,
+            ..SimConfig::default()
+        },
+    )
+    .run()
 }
 
 /// All three kernels on the same spec; results (or errors) must agree.

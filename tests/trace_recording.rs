@@ -1,0 +1,160 @@
+//! Trace-recording property tests: with `SimConfig::trace` on, all three
+//! kernels must record the *identical* event sequence — every variable,
+//! array-element and signal write and every process wake, in the same
+//! order with the same timestamps. This is strictly stronger than the
+//! final-state equality `kernel_equivalence.rs` pins down: two schedulers
+//! could agree on the final state while interleaving writes differently,
+//! and the trace would show it.
+//!
+//! On top of kernel agreement, the stuttering-refinement checker must
+//! accept every built-in workload against its Model 1–4 refinements
+//! (the refined trace stutter-compresses onto the original projection),
+//! and must reject a tampered trace with an injected divergence.
+
+use modref::core::{check_stuttering_refinement, refine, ImplModel};
+use modref::partition::Allocation;
+use modref::sim::{SimConfig, SimKernel, SimTrace, Simulator, TraceId};
+use modref::spec::span::SourceMap;
+use modref::spec::Spec;
+use modref::workloads::{
+    dsp_partition, dsp_spec, fig2_partition, fig2_spec, medical_allocation, medical_partition,
+    medical_spec, ring_spec, Design,
+};
+
+const MAX_STEPS: u64 = 5_000_000;
+
+fn traced_run(spec: &Spec, kernel: SimKernel) -> SimTrace {
+    let result = Simulator::with_config(
+        spec,
+        SimConfig {
+            max_steps: MAX_STEPS,
+            kernel,
+            trace: true,
+        },
+    )
+    .run()
+    .expect("traced run succeeds");
+    result.trace.expect("trace requested but not recorded")
+}
+
+/// All three kernels on the same spec; the recorded traces must be
+/// byte-identical, and return the (shared) trace for further checks.
+fn assert_traces_identical(spec: &Spec, context: &str) -> SimTrace {
+    let reference = traced_run(spec, SimKernel::RoundRobin);
+    let event = traced_run(spec, SimKernel::EventDriven);
+    let compiled = traced_run(spec, SimKernel::Compiled);
+    assert!(
+        !reference.is_empty(),
+        "{context}: workload recorded no events"
+    );
+    assert_eq!(event, reference, "{context}: event vs reference traces");
+    assert_eq!(compiled, event, "{context}: compiled vs event traces");
+    reference
+}
+
+fn workloads() -> Vec<(&'static str, Spec)> {
+    vec![
+        ("fig2", fig2_spec()),
+        ("medical", medical_spec()),
+        ("dsp", dsp_spec()),
+    ]
+}
+
+/// The headline property: for every built-in workload, original and
+/// refined to all four implementation models, the three kernels record
+/// identical traces — and each refined trace is a stuttering refinement
+/// of its original.
+#[test]
+fn kernels_record_identical_traces_and_refinements_stutter() {
+    let alloc = Allocation::proc_plus_asic();
+    let map = SourceMap::default();
+
+    for (name, spec) in &workloads() {
+        let orig_trace = assert_traces_identical(spec, &format!("{name} original"));
+
+        let graph = modref::graph::AccessGraph::derive(spec);
+        let part = match *name {
+            "fig2" => fig2_partition(spec, &alloc),
+            "dsp" => dsp_partition(spec, &alloc),
+            _ => medical_partition(spec, &medical_allocation(), Design::Design1),
+        };
+        for model in ImplModel::ALL {
+            let refined = refine(spec, &graph, &alloc, &part, model)
+                .unwrap_or_else(|e| panic!("{name} {model}: {e}"));
+            let refined_trace = assert_traces_identical(&refined.spec, &format!("{name} {model}"));
+            check_stuttering_refinement(spec, &orig_trace, &refined.spec, &refined_trace, &map)
+                .unwrap_or_else(|m| panic!("{name} {model}: {m}"));
+        }
+    }
+
+    // The polling worst case: many stations blocked on distinct signals.
+    assert_traces_identical(&ring_spec(8, 12), "ring8");
+}
+
+/// Tracing is strictly opt-in: the default config records nothing, so
+/// the untraced hot path stays allocation-free.
+#[test]
+fn trace_is_none_unless_requested() {
+    let spec = fig2_spec();
+    for kernel in [
+        SimKernel::RoundRobin,
+        SimKernel::EventDriven,
+        SimKernel::Compiled,
+    ] {
+        let result = Simulator::with_config(
+            &spec,
+            SimConfig {
+                max_steps: MAX_STEPS,
+                kernel,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .expect("untraced run succeeds");
+        assert!(result.trace.is_none(), "{kernel:?} recorded a trace");
+    }
+}
+
+/// The checker is not vacuous on real workloads: tampering with a single
+/// recorded value in the refined trace — a divergence no amount of
+/// stuttering can absorb — is caught and names the observable.
+#[test]
+fn tampered_refined_trace_is_rejected() {
+    let spec = medical_spec();
+    let alloc = Allocation::proc_plus_asic();
+    let graph = modref::graph::AccessGraph::derive(&spec);
+    let part = medical_partition(&spec, &medical_allocation(), Design::Design1);
+    let refined =
+        refine(&spec, &graph, &alloc, &part, ImplModel::Model2).expect("medical Model2 refines");
+
+    let orig_trace = traced_run(&spec, SimKernel::Compiled);
+    let mut tampered = traced_run(&refined.spec, SimKernel::Compiled);
+
+    // Flip the value of the last write to a variable *shared with the
+    // original spec* — the checker projects onto shared observables, and
+    // stuttering compression cannot hide a changed value.
+    let orig_names: std::collections::BTreeSet<&str> =
+        spec.variables().map(|(_, v)| v.name()).collect();
+    let shared: Vec<bool> = refined
+        .spec
+        .variables()
+        .map(|(_, v)| orig_names.contains(v.name()))
+        .collect();
+    let idx = tampered
+        .events
+        .iter()
+        .rposition(|e| match e.id {
+            TraceId::Var(v) | TraceId::Elem { var: v, .. } => shared[v as usize],
+            _ => false,
+        })
+        .expect("refined trace writes an original-spec variable");
+    tampered.events[idx].value = tampered.events[idx].value.wrapping_add(1);
+
+    let map = SourceMap::default();
+    let err = check_stuttering_refinement(&spec, &orig_trace, &refined.spec, &tampered, &map)
+        .expect_err("tampered trace must be rejected");
+    assert!(
+        err.to_string().starts_with("trace divergence on `"),
+        "unexpected report: {err}"
+    );
+}
