@@ -202,9 +202,15 @@ pub fn render_json_lines(diags: &[Diagnostic], file: &str) -> String {
     out
 }
 
-/// Sorts diagnostics into the canonical report order: by position
-/// (unknown positions last), then code, then message.
-pub fn sort_canonical(diags: &mut [Diagnostic]) {
+/// Sorts diagnostics into the canonical report order — by position
+/// (unknown positions last), then code, then message — and drops exact
+/// duplicates, so golden tests and `--format json` output are
+/// byte-stable regardless of which pass emitted a finding first.
+///
+/// Dedup is by full equality, not by `(code, span)`: distinct findings
+/// of one lint can legitimately share a position (or lack one), e.g.
+/// the two sides of an unmatched send/receive pair.
+pub fn sort_canonical(diags: &mut Vec<Diagnostic>) {
     diags.sort_by(|a, b| {
         let ka = a.span.map_or((u32::MAX, u32::MAX), |s| (s.line, s.col));
         let kb = b.span.map_or((u32::MAX, u32::MAX), |s| (s.line, s.col));
@@ -212,6 +218,7 @@ pub fn sort_canonical(diags: &mut [Diagnostic]) {
             .then_with(|| a.code.cmp(b.code))
             .then_with(|| a.message.cmp(&b.message))
     });
+    diags.dedup();
 }
 
 #[cfg(test)]
@@ -276,5 +283,21 @@ mod tests {
         assert_eq!(diags[0].message, "line2");
         assert_eq!(diags[1].message, "line9");
         assert_eq!(diags[2].message, "nowhere");
+    }
+
+    #[test]
+    fn canonical_sort_drops_exact_duplicates_only() {
+        let twice =
+            Diagnostic::new("DL02", Severity::Error, "dup").with_span(Some(Span::new(4, 2)));
+        let mut diags = vec![
+            twice.clone(),
+            // Same code + span, different message: both kept.
+            Diagnostic::new("DL02", Severity::Error, "other").with_span(Some(Span::new(4, 2))),
+            twice,
+        ];
+        sort_canonical(&mut diags);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].message, "dup");
+        assert_eq!(diags[1].message, "other");
     }
 }

@@ -15,10 +15,17 @@
 //!   obligations, reported as notes;
 //! * **conformance** (`RC01`–`RC04`) — checks on *refined* output per
 //!   implementation model: missing arbiters, overlapping address ranges,
-//!   one-sided (deadlocking) buses, width mismatches.
+//!   one-sided (deadlocking) buses, width mismatches;
+//! * **deadlock/liveness** (`DL01`–`DL05`) — abstract interpretation
+//!   (interval domain with widening, see [`absint`]) plus an
+//!   inter-process wait-dependency fixpoint (see [`deadlock`]) proving
+//!   never-enabled waits, waits on unwritten signals, busy loops,
+//!   circular waits and arbiter requests with no release path. Every
+//!   `DL` diagnostic is *sound*: the flagged spec provably deadlocks or
+//!   exceeds any step limit under every simulation kernel.
 //!
-//! The [`analyze_spec`] entry point runs the first three families over a
-//! spec; [`conformance::conformance_lints`] runs the fourth over a
+//! The [`analyze_spec`] entry point runs the spec-level families over a
+//! spec; [`conformance::conformance_lints`] runs conformance over a
 //! [`conformance::RefinedView`] built by the refiner. Diagnostics render
 //! as human-readable `file:line:col` lines or as JSONL following the
 //! modref-obs conventions.
@@ -41,9 +48,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod absint;
 pub mod cfg;
 pub mod conformance;
 pub mod dataflow;
+pub mod deadlock;
 pub mod diag;
 pub mod flow;
 pub mod race;
@@ -51,6 +60,7 @@ pub mod registry;
 pub mod structural;
 
 pub use conformance::{conformance_lints, BusView, MemoryView, RefinedView};
+pub use deadlock::{deadlock_lints, HandshakePair};
 pub use diag::{render_json_lines, sort_canonical, Diagnostic, Severity, Totals};
 pub use registry::{lint, Lint, LintConfig, LINTS};
 
@@ -70,6 +80,7 @@ pub fn analyze_spec(spec: &Spec, map: &SourceMap) -> Vec<Diagnostic> {
         diags.extend(flow::flow_lints(spec, map));
         let graph = AccessGraph::derive(spec);
         diags.extend(race::race_lints(spec, &graph, map));
+        diags.extend(deadlock::deadlock_lints(spec, Some(map), &[]));
     }
     sort_canonical(&mut diags);
     diags

@@ -90,6 +90,43 @@ pub fn lint(cd: &Codesign, opts: &LintOpts, json: bool) -> CmdResult {
     Ok(())
 }
 
+/// `modref lint --explain CODE`: print one lint's full documentation.
+/// Needs no spec file — the registry is the source of truth.
+pub fn explain_lint(code_or_name: &str) -> CmdResult {
+    let Some(l) = modref_analyze::lint(code_or_name) else {
+        let mut msg = format!("unknown lint `{code_or_name}`");
+        let known = modref_analyze::LINTS
+            .iter()
+            .flat_map(|l| [l.code, l.name])
+            .collect::<Vec<_>>()
+            .join(", ");
+        msg.push_str(&format!(" — known lints: {known}"));
+        return Err(msg.into());
+    };
+    println!(
+        "{} ({}), default severity: {}",
+        l.code, l.name, l.default_severity
+    );
+    println!("  {}", l.description);
+    println!();
+    // Re-wrap the registry text to the terminal-friendly width used
+    // throughout the CLI output.
+    let mut line = String::from(" ");
+    for word in l.explain.split_whitespace() {
+        if line.len() + word.len() + 1 > 76 {
+            println!("{line}");
+            line = String::from(" ");
+        }
+        line.push(' ');
+        line.push_str(word);
+    }
+    if line.trim().is_empty() {
+        return Ok(());
+    }
+    println!("{line}");
+    Ok(())
+}
+
 /// `modref print`: canonical re-print.
 pub fn print_spec(cd: &Codesign) -> CmdResult {
     print!("{}", cd.pretty());

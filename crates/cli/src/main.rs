@@ -80,6 +80,11 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
     match cmd {
         "check" => commands::check_source(&load_session_lenient(args, 1)?),
         "lint" => {
+            // `--explain` documents a lint from the registry; it needs
+            // no spec file and ignores every other flag.
+            if let Some(code) = flag_value(args, "--explain") {
+                return commands::explain_lint(&code);
+            }
             let cd = load_session_lenient(args, 1)?;
             let mut opts = LintOpts::new();
             if flag_value(args, "-p").is_some() {
@@ -264,6 +269,7 @@ fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--deny", true),
             ("--allow", true),
             ("-D", true),
+            ("--explain", true),
         ],
         "graph" => &[("--dot", false)],
         "simulate" => &[
@@ -385,10 +391,12 @@ fn print_usage() {
 USAGE:
   modref check    <spec>                      parse + validate, print stats
   modref lint     <spec> [-p <part> [-m N]]   static analysis: structural,
-                  [--format human|json]       dataflow, race + (with -p) the
-                  [--deny L] [-D L]           refinement-conformance lints;
+                  [--format human|json]       dataflow, race, deadlock +
+                  [--deny L] [-D L]           (with -p) the conformance lints;
                   [--allow L]                 `--deny warnings` fails on any
                                               warning, -D is short for --deny
+  modref lint     --explain CODE              print one lint's documentation
+                                              (e.g. DL04 or circular-wait)
   modref print    <spec>                      re-print the canonical form
   modref graph    <spec> [--dot]              list channels (or emit DOT)
   modref simulate <spec> [--profile]          run and print final state

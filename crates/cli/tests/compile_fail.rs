@@ -1,0 +1,150 @@
+//! Compile-fail golden harness (ROADMAP 5c).
+//!
+//! Every directory under `tests/compile-fail/<case>/` holds a `bad.spec`
+//! and an `expected.txt`. The harness runs the real `modref` binary on
+//! the spec (default `modref lint bad.spec`; an optional `cmd.txt`
+//! overrides the argument list) with the case directory as the working
+//! directory, and diffs the combined exit code + stdout + stderr
+//! byte-for-byte against `expected.txt` — so diagnostic positions,
+//! wording, ordering and dedup are all pinned.
+//!
+//! The special command `tamper-rc` runs in-process instead: the
+//! conformance lints (`RC01`–`RC04`) validate refined *architectures*,
+//! and the refiner never produces a broken one, so the canonical tamper
+//! from the core test suite (drop the arbiters) is applied before
+//! rendering the diagnostics through the same human renderer the CLI
+//! uses.
+//!
+//! Regenerate all expectations with:
+//!
+//! ```text
+//! UPDATE_EXPECTED=1 cargo test -p modref-cli --test compile_fail
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn case_dirs() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/compile-fail");
+    let mut dirs: Vec<PathBuf> = fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", root.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+fn run_case(dir: &Path) -> String {
+    let cmd_path = dir.join("cmd.txt");
+    let args: Vec<String> = if cmd_path.exists() {
+        fs::read_to_string(&cmd_path)
+            .expect("cmd.txt readable")
+            .split_whitespace()
+            .map(String::from)
+            .collect()
+    } else {
+        vec!["lint".into(), "bad.spec".into()]
+    };
+    if args.first().map(String::as_str) == Some("tamper-rc") {
+        return tampered_rc_output(dir);
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_modref"))
+        .args(&args)
+        .current_dir(dir)
+        .output()
+        .expect("modref binary runs");
+    format!(
+        "exit: {}\n--- stdout ---\n{}--- stderr ---\n{}",
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    )
+}
+
+/// The `RC` family golden: refine `bad.spec` under `part.part` to
+/// Model1, drop the arbiters the refiner inserted, and render the
+/// resulting conformance rejection exactly as `modref lint` would.
+#[allow(deprecated)] // lint_refined: the facade has no tampering hook
+fn tampered_rc_output(dir: &Path) -> String {
+    let src = fs::read_to_string(dir.join("bad.spec")).expect("bad.spec readable");
+    let spec = modref_spec::parser::parse(&src).expect("fixture spec parses");
+    let part_text = fs::read_to_string(dir.join("part.part")).expect("part.part readable");
+    let (alloc, part) =
+        modref_partition::textfmt::parse_partition(&spec, &part_text).expect("fixture part parses");
+    let graph = modref_graph::AccessGraph::derive(&spec);
+    let mut refined =
+        modref_core::refine(&spec, &graph, &alloc, &part, modref_core::ImplModel::Model1)
+            .expect("fixture refines");
+    refined.architecture.arbiters.clear();
+    let diags = modref_core::lint_refined(&spec, &graph, &refined);
+    let totals = modref_analyze::Totals::of(&diags);
+    let mut out = String::from("tampered Model1 architecture (arbiters removed):\n");
+    for d in &diags {
+        out.push_str(&d.render_human("bad.spec"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{} error(s), {} warning(s), {} note(s)\n",
+        totals.errors, totals.warnings, totals.notes
+    ));
+    out
+}
+
+#[test]
+fn compile_fail_goldens() {
+    let update = std::env::var_os("UPDATE_EXPECTED").is_some();
+    let dirs = case_dirs();
+    assert!(!dirs.is_empty(), "no compile-fail cases found");
+    let mut failures = Vec::new();
+    for dir in &dirs {
+        let name = dir.file_name().unwrap().to_string_lossy().to_string();
+        let actual = run_case(dir);
+        let expected_path = dir.join("expected.txt");
+        if update {
+            fs::write(&expected_path, &actual).expect("write expected.txt");
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!("{name}: reading expected.txt: {e} (run with UPDATE_EXPECTED=1 to create)")
+        });
+        if actual != expected {
+            failures.push(format!(
+                "case `{name}` diverged from expected.txt\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// The harness must cover a parse error, every spec-level lint family
+/// and each `DL` lint — losing a case directory should fail loudly, not
+/// silently shrink coverage.
+#[test]
+fn compile_fail_covers_required_families() {
+    let all: String = case_dirs()
+        .iter()
+        .map(|d| {
+            fs::read_to_string(d.join("expected.txt")).unwrap_or_default()
+                + &d.file_name().unwrap().to_string_lossy()
+        })
+        .collect();
+    for needle in [
+        "parse_error",
+        "[ST",
+        "[DF",
+        "[CC",
+        "[RC",
+        "[DL01]",
+        "[DL02]",
+        "[DL03]",
+        "[DL04]",
+        "[DL05]",
+    ] {
+        assert!(
+            all.contains(needle),
+            "no compile-fail coverage for {needle}"
+        );
+    }
+}

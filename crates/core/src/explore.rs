@@ -276,6 +276,7 @@ pub(crate) fn verify_pareto_impl(
     let pass_counter = modref_obs::counter("verify.pass");
     let fail_counter = modref_obs::counter("verify.fail");
     let reject_counter = modref_obs::counter("verify.static_reject");
+    let deadlock_counter = modref_obs::counter("verify.static_deadlock");
     let sim_config = SimConfig {
         kernel,
         trace: check_traces,
@@ -333,13 +334,6 @@ pub(crate) fn verify_pareto_impl(
                 refined_steps: 0,
                 bus_traffic: 0,
             };
-            let orig = match &original {
-                Ok(r) => r,
-                Err(e) => {
-                    record.detail = format!("original simulation failed: {e}");
-                    return record;
-                }
-            };
             let refined = match refine(spec, graph, allocation, partition, model) {
                 Ok(r) => r,
                 Err(e) => {
@@ -347,15 +341,32 @@ pub(crate) fn verify_pareto_impl(
                     return record;
                 }
             };
-            // Static conformance gate: a candidate whose architecture
-            // trips RC01-RC04 would deadlock or misdecode in simulation;
-            // reject it without spending the simulation time.
+            // Static gate: a candidate whose architecture trips
+            // RC01-RC04 would deadlock or misdecode in simulation, and
+            // one whose refined behaviors trip DL01-DL05 provably
+            // deadlocks; reject either without spending the simulation
+            // time (a statically-dead candidate would otherwise burn
+            // the whole step limit before failing).
             let diags = crate::lint::lint_refined_impl(spec, graph, &refined);
             if let Some(codes) = crate::lint::static_reject(&diags) {
                 reject_counter.inc();
+                if codes.split(", ").any(|c| c.starts_with("DL")) {
+                    deadlock_counter.inc();
+                }
                 record.detail = format!("static analysis rejected: {codes}");
                 return record;
             }
+            // The original-run outcome gates only the dynamic comparison:
+            // checking it *after* the static gate lets a DL-flagged
+            // candidate report the lint codes rather than the far less
+            // actionable "original simulation failed: deadlock".
+            let orig = match &original {
+                Ok(r) => r,
+                Err(e) => {
+                    record.detail = format!("original simulation failed: {e}");
+                    return record;
+                }
+            };
             let result = match Simulator::with_config(&refined.spec, sim_config).run() {
                 Ok(r) => r,
                 Err(e) => {

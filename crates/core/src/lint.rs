@@ -8,7 +8,10 @@
 //! runs them on every refined candidate first and rejects statically
 //! broken ones before spending simulation time.
 
-use modref_analyze::{conformance_lints, BusView, Diagnostic, MemoryView, RefinedView, Severity};
+use modref_analyze::{
+    conformance_lints, deadlock_lints, BusView, Diagnostic, HandshakePair, MemoryView, RefinedView,
+    Severity,
+};
 use modref_graph::{AccessGraph, ChannelKind};
 use modref_spec::Spec;
 
@@ -84,7 +87,42 @@ pub(crate) fn lint_refined_impl(
         buses,
         memories,
     };
-    conformance_lints(&view)
+    let mut diags = conformance_lints(&view);
+
+    // Deadlock/liveness lints over the refined behaviors themselves,
+    // seeded with the arbiters' exact request/ack wiring so a broken
+    // four-phase handshake is caught without relying on inference. A
+    // refined candidate has no source map — diagnostics carry object
+    // names instead of positions.
+    diags.extend(deadlock_lints(
+        &refined.spec,
+        None,
+        &arbiter_handshakes(refined),
+    ));
+    modref_analyze::sort_canonical(&mut diags);
+    diags
+}
+
+/// The request/ack pairs of every arbiter the refiner inserted, resolved
+/// against the refined spec's signal/behavior tables. Wire names follow
+/// the refiner's `{bus}_req_{slot}` convention; anything that fails to
+/// resolve (foreign architecture edits) is skipped rather than guessed.
+fn arbiter_handshakes(refined: &Refined) -> Vec<HandshakePair> {
+    let spec = &refined.spec;
+    let mut pairs = Vec::new();
+    for desc in &refined.architecture.arbiters {
+        let Some(server) = spec.behavior_by_name(&desc.name) else {
+            continue;
+        };
+        for slot in 0..desc.masters.len() {
+            let req = spec.signal_by_name(&format!("{}_req_{slot}", desc.bus));
+            let ack = spec.signal_by_name(&format!("{}_ack_{slot}", desc.bus));
+            if let (Some(req), Some(ack)) = (req, ack) {
+                pairs.push(HandshakePair { req, ack, server });
+            }
+        }
+    }
+    pairs
 }
 
 /// When any error-severity diagnostic is present, a short rejection
