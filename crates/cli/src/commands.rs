@@ -193,7 +193,7 @@ pub fn simulate(
     }
     let mut opts = opts.clone();
     if vcd.is_some() {
-        opts = opts.trace(true);
+        opts = opts.with_trace(true);
     }
     let result = cd.simulate(&opts)?;
     if let Some(path) = vcd {
@@ -341,12 +341,12 @@ pub fn explore(
     kernel: modref_sim::SimKernel,
     out: Option<&str>,
 ) -> CmdResult {
-    let mut eopts = ExploreOpts::new().seeds(seeds);
+    let mut eopts = ExploreOpts::new().with_seeds(seeds);
     if let Some(text) = part_text {
-        eopts = eopts.part(text);
+        eopts = eopts.with_part(text);
     }
     if let Some(t) = threads {
-        eopts = eopts.threads(t);
+        eopts = eopts.with_threads(t);
     }
     let workers = modref_partition::thread_count(threads);
 
@@ -407,12 +407,14 @@ pub fn explore(
     }
 
     if verify {
-        let mut vopts = VerifyOpts::new().kernel(kernel).check_traces(verify_traces);
+        let mut vopts = VerifyOpts::new()
+            .with_kernel(kernel)
+            .with_check_traces(verify_traces);
         if let Some(text) = part_text {
-            vopts = vopts.part(text);
+            vopts = vopts.with_part(text);
         }
         if let Some(t) = threads {
-            vopts = vopts.threads(t);
+            vopts = vopts.with_threads(t);
         }
         let started = std::time::Instant::now();
         let v = cd.verify(&result, &vopts)?;

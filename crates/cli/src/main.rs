@@ -88,7 +88,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
             let cd = load_session_lenient(args, 1)?;
             let mut opts = LintOpts::new();
             if flag_value(args, "-p").is_some() {
-                opts = opts.part(read_flag_file(args, "-p")?);
+                opts = opts.with_part(read_flag_file(args, "-p")?);
             }
             if args.iter().any(|a| a == "-m") {
                 if opts.part.is_none() {
@@ -96,7 +96,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                         "`-m` requires `-p <part>` (conformance lints need a partition)".into(),
                     );
                 }
-                opts = opts.model(parse_model(args)?);
+                opts = opts.with_model(parse_model(args)?);
             }
             let json = match flag_value(args, "--format").as_deref() {
                 None | Some("human") => false,
@@ -109,10 +109,10 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                 .into_iter()
                 .chain(flag_values(args, "-D"))
             {
-                opts = opts.deny(v);
+                opts = opts.with_deny(v);
             }
             for v in flag_values(args, "--allow") {
-                opts = opts.allow(v);
+                opts = opts.with_allow(v);
             }
             commands::lint(&cd, &opts, json)
         }
@@ -128,9 +128,10 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
             let vcd = flag_value(args, "--vcd");
             let mut opts = SimOpts::new();
             if let Some(v) = flag_value(args, "--max-steps") {
-                opts = opts.max_steps(v.parse().map_err(|e| format!("invalid --max-steps: {e}"))?);
+                opts = opts
+                    .with_max_steps(v.parse().map_err(|e| format!("invalid --max-steps: {e}"))?);
             }
-            opts = opts.kernel(parse_kernel(args)?);
+            opts = opts.with_kernel(parse_kernel(args)?);
             commands::simulate(&cd, profile, stats, vcd.as_deref(), &opts)
         }
         "refine" => {
@@ -216,6 +217,9 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>
                 cfg = cfg
                     .max_connections(v.parse().map_err(|e| format!("invalid --max-conns: {e}"))?);
             }
+            if let Some(v) = flag_value(args, "--cache") {
+                cfg = cfg.cache(v.parse().map_err(|e| format!("invalid --cache: {e}"))?);
+            }
             commands::serve(stdio, listen.as_deref(), cfg)
         }
         "report" => {
@@ -299,6 +303,7 @@ fn command_flags(cmd: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--queue", true),
             ("--deadline-ms", true),
             ("--max-conns", true),
+            ("--cache", true),
         ],
         _ => return None,
     })
@@ -421,10 +426,13 @@ USAGE:
   modref estimate <spec> -p <part>            lifetimes + channel rates report
   modref serve    --stdio | --listen ADDR     concurrent JSONL codesign service:
                   [--workers N] [--queue N]   one request per line on stdin (or
-                  [--deadline-ms MS]          per TCP connection), one JSON
-                  [--max-conns N]             response per line, tagged by id;
-                                              ops: parse refine estimate explore
-                                              verify lint cancel
+                  [--deadline-ms MS]          per TCP connection, multiplexed
+                  [--max-conns N] [--cache N] onto one shared pool), one JSON
+                                              response per line, tagged by id;
+                                              protocol v1 + v2 ops: parse
+                                              load_spec refine estimate explore
+                                              verify lint batch cancel; --cache
+                                              bounds the shared parsed-spec LRU
   modref vhdl     <spec>                      export to VHDL (refined specs)
   modref cgen     <spec> --process <name>     export a process to C + bus HAL
   modref report   <trace.jsonl>               render a trace recorded with

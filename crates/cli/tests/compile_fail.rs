@@ -66,7 +66,6 @@ fn run_case(dir: &Path) -> String {
 /// The `RC` family golden: refine `bad.spec` under `part.part` to
 /// Model1, drop the arbiters the refiner inserted, and render the
 /// resulting conformance rejection exactly as `modref lint` would.
-#[allow(deprecated)] // lint_refined: the facade has no tampering hook
 fn tampered_rc_output(dir: &Path) -> String {
     let src = fs::read_to_string(dir.join("bad.spec")).expect("bad.spec readable");
     let spec = modref_spec::parser::parse(&src).expect("fixture spec parses");
@@ -78,7 +77,7 @@ fn tampered_rc_output(dir: &Path) -> String {
         modref_core::refine(&spec, &graph, &alloc, &part, modref_core::ImplModel::Model1)
             .expect("fixture refines");
     refined.architecture.arbiters.clear();
-    let diags = modref_core::lint_refined(&spec, &graph, &refined);
+    let diags = modref_core::api::Codesign::from_spec(spec).lint_refined(&refined);
     let totals = modref_analyze::Totals::of(&diags);
     let mut out = String::from("tampered Model1 architecture (arbiters removed):\n");
     for d in &diags {

@@ -1,16 +1,19 @@
-//! End-to-end tests of `modref serve --stdio`: a golden scripted
-//! session, a 100-request mixed load from four concurrent writers, and
-//! the structured-error paths (timeout, cancel mid-explore, malformed
+//! End-to-end tests of `modref serve`: golden scripted sessions (wire
+//! protocol v1 and v2), v1-vs-v2 response equivalence, a 100-request
+//! mixed load from four concurrent writers, multi-connection TCP with a
+//! shared spec cache, streaming progress frames, and the
+//! structured-error paths (timeout, cancel mid-explore, malformed
 //! input) — all against the real binary, all required to drain cleanly
 //! with exit code 0.
 
 use std::collections::BTreeSet;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-use modref_core::api::{Response, ResponseBody};
+use modref_core::api::{ProgressFrame, Request, Response, ResponseBody};
+use modref_core::serve::spec_hash;
 
 const BIN: &str = env!("CARGO_BIN_EXE_modref");
 
@@ -73,6 +76,195 @@ fn golden_session_round_trips() {
     assert_eq!(
         out, golden,
         "serve responses diverged from the golden session"
+    );
+}
+
+#[test]
+fn v2_golden_session_round_trips() {
+    let session = include_str!("data/serve_session_v2.jsonl");
+    let golden = include_str!("data/serve_session_v2.golden.jsonl");
+    let mut child = spawn_serve(&["--workers", "1", "-q"]);
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(session.as_bytes())
+        .expect("session written");
+    drop(child.stdin.take());
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut out)
+        .expect("responses read");
+    assert!(child.wait().expect("exits").success());
+    assert_eq!(
+        out, golden,
+        "v2 serve responses (incl. progress frames) diverged from the golden session"
+    );
+}
+
+/// Every v1 request of the golden session, re-enveloped as v2, must be
+/// answered byte-identically — responses carry no version tag, so
+/// upgrading a client's envelope changes nothing about what it reads
+/// back.
+#[test]
+fn v2_envelope_answers_byte_identically_to_v1() {
+    let session = include_str!("data/serve_session.jsonl");
+    let golden = include_str!("data/serve_session.golden.jsonl");
+    let v2_session: String = session
+        .lines()
+        .map(|line| {
+            let mut req = Request::from_json(line).expect("golden session decodes");
+            assert_eq!(req.v, 1, "the recorded session is pre-versioned");
+            req.v = 2;
+            format!("{}\n", req.to_json_line())
+        })
+        .collect();
+    let mut child = spawn_serve(&["--workers", "1", "-q"]);
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(v2_session.as_bytes())
+        .expect("session written");
+    drop(child.stdin.take());
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut out)
+        .expect("responses read");
+    assert!(child.wait().expect("exits").success());
+    assert_eq!(out, golden, "v2 envelope must not change a single byte");
+}
+
+/// Two TCP clients load the same spec; the second must hit the shared
+/// content-addressed cache (asserted via the recorded trace counters)
+/// and both get the same hash back.
+#[test]
+fn tcp_connections_share_the_spec_cache() {
+    use std::net::TcpStream;
+    let trace_path = std::env::temp_dir().join(format!(
+        "modref_serve_cache_trace_{}.jsonl",
+        std::process::id()
+    ));
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "2",
+            "--workers",
+            "2",
+            "--trace",
+        ])
+        .arg(&trace_path)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("modref serve spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("listen banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .to_string();
+    assert!(
+        banner.contains("listening on"),
+        "unexpected banner: {banner}"
+    );
+
+    let spec = "spec shared;\nvar x : int<16> = 0;\n\
+                behavior L leaf { x := x + 1; }\n\
+                behavior T seq { children { L; } }\ntop T;\n";
+    let request = format!(
+        "{{\"v\":2,\"id\":1,\"op\":\"load_spec\",\"spec\":{}}}\n",
+        json_str(spec)
+    );
+    let mut hashes = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut reply = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut reply)
+            .expect("read reply");
+        match Response::from_json(reply.trim()).expect("decodes").body {
+            ResponseBody::Loaded { hash, .. } => hashes.push(hash),
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+    }
+    assert!(child.wait().expect("server exits").success());
+    assert_eq!(hashes[0], hashes[1], "content-addressed: one hash");
+    assert_eq!(hashes[0], spec_hash(spec));
+
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let _ = std::fs::remove_file(&trace_path);
+    let trace = modref_obs::jsonl::parse(&trace_text).expect("trace parses");
+    assert!(
+        trace.counter("serve.cache.hit").unwrap_or(0) >= 1,
+        "second connection must hit the shared spec cache"
+    );
+    assert!(trace.counter("serve.connections").unwrap_or(0) >= 2);
+}
+
+/// A streamed explore emits progress frames strictly before its final
+/// response, and the final response is byte-identical to the
+/// non-streamed run of the same request.
+#[test]
+fn streaming_explore_interleaves_frames_before_an_identical_final() {
+    let run = |stream: bool| -> String {
+        let flag = if stream { ",\"stream\":true" } else { "" };
+        let input = format!(
+            "{{\"v\":2,\"id\":1,\"op\":\"explore\",\"workload\":\"fig2\",\
+             \"seeds\":2,\"top\":3,\"threads\":1{flag}}}\n"
+        );
+        let mut child = spawn_serve(&["--workers", "1", "-q"]);
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("request written");
+        drop(child.stdin.take());
+        let mut out = String::new();
+        child
+            .stdout
+            .take()
+            .expect("stdout piped")
+            .read_to_string(&mut out)
+            .expect("responses read");
+        assert!(child.wait().expect("exits").success());
+        out
+    };
+    let streamed = run(true);
+    let lines: Vec<&str> = streamed.lines().collect();
+    let (final_line, frames) = lines.split_last().expect("final response present");
+    assert!(!frames.is_empty(), "streaming must emit progress frames");
+    for frame in frames {
+        let f = ProgressFrame::from_json(frame).expect("progress frame");
+        assert_eq!(f.id, 1);
+    }
+    assert!(
+        Response::from_json(final_line).is_ok(),
+        "last line is the response"
+    );
+    let plain = run(false);
+    assert_eq!(
+        plain.trim(),
+        *final_line,
+        "final response must be byte-identical with streaming off"
     );
 }
 

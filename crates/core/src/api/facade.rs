@@ -103,6 +103,74 @@ impl CancelToken {
     }
 }
 
+/// One progress event from a long-running operation, delivered through
+/// a [`ProgressFn`] callback.
+///
+/// Phases currently emitted: `explore.job` (one per partition-search
+/// job), `explore.candidates` (once, after ranking — `done == total ==`
+/// candidate count), `explore.rate` (one per candidate × model rate
+/// evaluation) and `verify.job` (one per candidate × model simulation
+/// pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Progress {
+    /// The work phase the event belongs to.
+    pub phase: &'static str,
+    /// Units completed so far within the phase.
+    pub done: u64,
+    /// Total units the phase will run.
+    pub total: u64,
+}
+
+/// A shared progress callback for long-running operations.
+///
+/// Attach one via [`ExploreOpts::with_progress`] /
+/// [`VerifyOpts::with_progress`]; the operation invokes it after each
+/// unit of work (see [`Progress`] for the phases). The callback may be
+/// called concurrently from several worker threads, so it must be
+/// cheap and internally synchronized — `modref serve` uses it to stream
+/// `{"event":"progress",...}` frames to the client while an explore is
+/// still running.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use modref_core::api::{Codesign, ExploreOpts, ProgressFn};
+/// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+/// let seen = Arc::new(AtomicU64::new(0));
+/// let counted = seen.clone();
+/// let opts = ExploreOpts::new()
+///     .with_seeds(1)
+///     .with_anneal_iterations(40)
+///     .with_migration_passes(2)
+///     .with_progress(ProgressFn::new(move |_| {
+///         counted.fetch_add(1, Ordering::Relaxed);
+///     }));
+/// cd.explore(&opts)?;
+/// assert!(seen.load(Ordering::Relaxed) > 0);
+/// # Ok::<(), modref_core::api::ModrefError>(())
+/// ```
+#[derive(Clone)]
+pub struct ProgressFn(Arc<dyn Fn(&Progress) + Send + Sync>);
+
+impl ProgressFn {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Delivers one event to the callback.
+    pub fn emit(&self, p: &Progress) {
+        (self.0)(p);
+    }
+}
+
+impl std::fmt::Debug for ProgressFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressFn(..)")
+    }
+}
+
 /// Basic size statistics of a loaded specification, as reported by the
 /// `parse` serve operation and `modref check`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +217,8 @@ pub struct ExploreOpts {
     pub migration_passes: u32,
     /// Cooperative stop token, checked between jobs.
     pub cancel: Option<CancelToken>,
+    /// Progress callback, invoked per finished job (see [`Progress`]).
+    pub progress: Option<ProgressFn>,
 }
 
 impl Default for ExploreOpts {
@@ -161,6 +231,7 @@ impl Default for ExploreOpts {
             anneal_iterations: d.anneal_iterations,
             migration_passes: d.migration_passes,
             cancel: None,
+            progress: None,
         }
     }
 }
@@ -168,50 +239,105 @@ impl Default for ExploreOpts {
 impl ExploreOpts {
     /// Default options: 4 seeds, automatic thread count, no partition
     /// file, no cancellation.
+    ///
+    /// ```
+    /// use modref_core::api::ExploreOpts;
+    /// let opts = ExploreOpts::new().with_seeds(2).with_threads(1);
+    /// assert_eq!((opts.seeds, opts.threads), (2, Some(1)));
+    /// ```
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Sets the partition text supplying the allocation.
     #[must_use]
-    pub fn part(mut self, text: impl Into<String>) -> Self {
+    pub fn with_part(mut self, text: impl Into<String>) -> Self {
         self.part = Some(text.into());
         self
     }
 
     /// Sets the seed count.
     #[must_use]
-    pub fn seeds(mut self, seeds: u64) -> Self {
+    pub fn with_seeds(mut self, seeds: u64) -> Self {
         self.seeds = seeds;
         self
     }
 
     /// Sets the worker-thread count.
     #[must_use]
-    pub fn threads(mut self, threads: usize) -> Self {
+    pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
     }
 
     /// Sets the annealing iteration budget.
     #[must_use]
-    pub fn anneal_iterations(mut self, iterations: u32) -> Self {
+    pub fn with_anneal_iterations(mut self, iterations: u32) -> Self {
         self.anneal_iterations = iterations;
         self
     }
 
     /// Sets the migration sweep budget.
     #[must_use]
-    pub fn migration_passes(mut self, passes: u32) -> Self {
+    pub fn with_migration_passes(mut self, passes: u32) -> Self {
         self.migration_passes = passes;
         self
     }
 
     /// Attaches a cooperative stop token.
     #[must_use]
-    pub fn cancel(mut self, token: CancelToken) -> Self {
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
         self
+    }
+
+    /// Attaches a progress callback (see [`ProgressFn`]).
+    #[must_use]
+    pub fn with_progress(mut self, f: ProgressFn) -> Self {
+        self.progress = Some(f);
+        self
+    }
+
+    /// Sets the partition text supplying the allocation.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_part`")]
+    #[must_use]
+    pub fn part(self, text: impl Into<String>) -> Self {
+        self.with_part(text)
+    }
+
+    /// Sets the seed count.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_seeds`")]
+    #[must_use]
+    pub fn seeds(self, seeds: u64) -> Self {
+        self.with_seeds(seeds)
+    }
+
+    /// Sets the worker-thread count.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_threads`")]
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.with_threads(threads)
+    }
+
+    /// Sets the annealing iteration budget.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_anneal_iterations`")]
+    #[must_use]
+    pub fn anneal_iterations(self, iterations: u32) -> Self {
+        self.with_anneal_iterations(iterations)
+    }
+
+    /// Sets the migration sweep budget.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_migration_passes`")]
+    #[must_use]
+    pub fn migration_passes(self, passes: u32) -> Self {
+        self.with_migration_passes(passes)
+    }
+
+    /// Attaches a cooperative stop token.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_cancel`")]
+    #[must_use]
+    pub fn cancel(self, token: CancelToken) -> Self {
+        self.with_cancel(token)
     }
 }
 
@@ -239,48 +365,100 @@ pub struct VerifyOpts {
     /// `modref explore --verify-traces` check. Off by default (tracing
     /// costs time and memory proportional to the write count).
     pub check_traces: bool,
+    /// Progress callback, invoked per finished candidate × model job
+    /// (see [`Progress`]).
+    pub progress: Option<ProgressFn>,
 }
 
 impl VerifyOpts {
     /// Default options: default allocation, automatic thread count,
     /// event-driven kernel.
+    ///
+    /// ```
+    /// use modref_core::api::VerifyOpts;
+    /// use modref_sim::SimKernel;
+    /// let opts = VerifyOpts::new().with_kernel(SimKernel::Compiled);
+    /// assert_eq!(opts.kernel, SimKernel::Compiled);
+    /// ```
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Picks the scheduler kernel for the verification simulations.
     #[must_use]
-    pub fn kernel(mut self, kernel: SimKernel) -> Self {
+    pub fn with_kernel(mut self, kernel: SimKernel) -> Self {
         self.kernel = kernel;
         self
     }
 
     /// Enables the stuttering-refinement trace check.
     #[must_use]
-    pub fn check_traces(mut self, on: bool) -> Self {
+    pub fn with_check_traces(mut self, on: bool) -> Self {
         self.check_traces = on;
         self
     }
 
     /// Sets the partition text supplying the allocation.
     #[must_use]
-    pub fn part(mut self, text: impl Into<String>) -> Self {
+    pub fn with_part(mut self, text: impl Into<String>) -> Self {
         self.part = Some(text.into());
         self
     }
 
     /// Sets the worker-thread count.
     #[must_use]
-    pub fn threads(mut self, threads: usize) -> Self {
+    pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
     }
 
     /// Attaches a cooperative stop token.
     #[must_use]
-    pub fn cancel(mut self, token: CancelToken) -> Self {
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
         self
+    }
+
+    /// Attaches a progress callback (see [`ProgressFn`]).
+    #[must_use]
+    pub fn with_progress(mut self, f: ProgressFn) -> Self {
+        self.progress = Some(f);
+        self
+    }
+
+    /// Picks the scheduler kernel for the verification simulations.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_kernel`")]
+    #[must_use]
+    pub fn kernel(self, kernel: SimKernel) -> Self {
+        self.with_kernel(kernel)
+    }
+
+    /// Enables the stuttering-refinement trace check.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_check_traces`")]
+    #[must_use]
+    pub fn check_traces(self, on: bool) -> Self {
+        self.with_check_traces(on)
+    }
+
+    /// Sets the partition text supplying the allocation.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_part`")]
+    #[must_use]
+    pub fn part(self, text: impl Into<String>) -> Self {
+        self.with_part(text)
+    }
+
+    /// Sets the worker-thread count.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_threads`")]
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.with_threads(threads)
+    }
+
+    /// Attaches a cooperative stop token.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_cancel`")]
+    #[must_use]
+    pub fn cancel(self, token: CancelToken) -> Self {
+        self.with_cancel(token)
     }
 }
 
@@ -303,36 +481,70 @@ pub struct LintOpts {
 
 impl LintOpts {
     /// Default options: spec-level lints only, default severities.
+    ///
+    /// ```
+    /// use modref_core::api::LintOpts;
+    /// let opts = LintOpts::new().with_deny("warnings").with_allow("DF02");
+    /// assert_eq!((opts.deny.len(), opts.allow.len()), (1, 1));
+    /// ```
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Supplies partition text, enabling the conformance lints.
     #[must_use]
-    pub fn part(mut self, text: impl Into<String>) -> Self {
+    pub fn with_part(mut self, text: impl Into<String>) -> Self {
         self.part = Some(text.into());
         self
     }
 
     /// Restricts conformance linting to one model.
     #[must_use]
-    pub fn model(mut self, model: ImplModel) -> Self {
+    pub fn with_model(mut self, model: ImplModel) -> Self {
         self.model = Some(model);
         self
     }
 
     /// Promotes a lint (or `warnings`) to error severity.
     #[must_use]
-    pub fn deny(mut self, code_or_name: impl Into<String>) -> Self {
+    pub fn with_deny(mut self, code_or_name: impl Into<String>) -> Self {
         self.deny.push(code_or_name.into());
         self
     }
 
     /// Suppresses a lint.
     #[must_use]
-    pub fn allow(mut self, code_or_name: impl Into<String>) -> Self {
+    pub fn with_allow(mut self, code_or_name: impl Into<String>) -> Self {
         self.allow.push(code_or_name.into());
         self
+    }
+
+    /// Supplies partition text, enabling the conformance lints.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_part`")]
+    #[must_use]
+    pub fn part(self, text: impl Into<String>) -> Self {
+        self.with_part(text)
+    }
+
+    /// Restricts conformance linting to one model.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_model`")]
+    #[must_use]
+    pub fn model(self, model: ImplModel) -> Self {
+        self.with_model(model)
+    }
+
+    /// Promotes a lint (or `warnings`) to error severity.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_deny`")]
+    #[must_use]
+    pub fn deny(self, code_or_name: impl Into<String>) -> Self {
+        self.with_deny(code_or_name)
+    }
+
+    /// Suppresses a lint.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_allow`")]
+    #[must_use]
+    pub fn allow(self, code_or_name: impl Into<String>) -> Self {
+        self.with_allow(code_or_name)
     }
 }
 
@@ -363,29 +575,56 @@ impl Default for SimOpts {
 
 impl SimOpts {
     /// Default options: event-driven kernel, default step budget.
+    ///
+    /// ```
+    /// use modref_core::api::SimOpts;
+    /// let opts = SimOpts::new().with_max_steps(10_000).with_trace(true);
+    /// assert_eq!((opts.max_steps, opts.trace), (Some(10_000), true));
+    /// ```
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Sets the micro-step budget.
     #[must_use]
-    pub fn max_steps(mut self, steps: u64) -> Self {
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
         self.max_steps = Some(steps);
         self
     }
 
     /// Picks the scheduler kernel.
     #[must_use]
-    pub fn kernel(mut self, kernel: SimKernel) -> Self {
+    pub fn with_kernel(mut self, kernel: SimKernel) -> Self {
         self.kernel = kernel;
         self
     }
 
     /// Enables event-trace recording.
     #[must_use]
-    pub fn trace(mut self, on: bool) -> Self {
+    pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
         self
+    }
+
+    /// Sets the micro-step budget.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_max_steps`")]
+    #[must_use]
+    pub fn max_steps(self, steps: u64) -> Self {
+        self.with_max_steps(steps)
+    }
+
+    /// Picks the scheduler kernel.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_kernel`")]
+    #[must_use]
+    pub fn kernel(self, kernel: SimKernel) -> Self {
+        self.with_kernel(kernel)
+    }
+
+    /// Enables event-trace recording.
+    #[deprecated(since = "0.2.0", note = "renamed to `with_trace`")]
+    #[must_use]
+    pub fn trace(self, on: bool) -> Self {
+        self.with_trace(on)
     }
 }
 
@@ -658,6 +897,27 @@ impl Codesign {
         Ok(refine(&self.spec, self.graph(), &alloc, &partition, model)?)
     }
 
+    /// Runs the refinement-conformance lints (`RC01`–`RC04`, plus the
+    /// deadlock family over the refined behaviors) on a refined
+    /// candidate produced by [`Codesign::refine`]. Prefer
+    /// [`Codesign::lint`] with [`LintOpts::with_part`] when starting
+    /// from partition text; this entry point is for callers that
+    /// already hold a [`Refined`].
+    ///
+    /// ```
+    /// use modref_core::api::Codesign;
+    /// use modref_core::ImplModel;
+    /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
+    /// let part = modref_workloads::named_partition("fig2").unwrap();
+    /// let refined = cd.refine(&part, ImplModel::Model1)?;
+    /// let diags = cd.lint_refined(&refined);
+    /// assert!(modref_core::static_reject(&diags).is_none(), "{diags:?}");
+    /// # Ok::<(), modref_core::api::ModrefError>(())
+    /// ```
+    pub fn lint_refined(&self, refined: &Refined) -> Vec<Diagnostic> {
+        crate::lint::lint_refined_impl(&self.spec, self.graph(), refined)
+    }
+
     /// Renders the lifetime/channel-rate estimation report for the
     /// specification under a partition.
     ///
@@ -735,7 +995,10 @@ impl Codesign {
     /// ```
     /// use modref_core::api::{Codesign, ExploreOpts};
     /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
-    /// let opts = ExploreOpts::new().seeds(1).anneal_iterations(40).migration_passes(2);
+    /// let opts = ExploreOpts::new()
+    ///     .with_seeds(1)
+    ///     .with_anneal_iterations(40)
+    ///     .with_migration_passes(2);
     /// let out = cd.explore(&opts)?;
     /// assert!(!out.pareto_front().is_empty());
     /// # Ok::<(), modref_core::api::ModrefError>(())
@@ -755,6 +1018,7 @@ impl Codesign {
             &CostConfig::default(),
             &expl,
             opts.cancel.as_ref(),
+            opts.progress.as_ref(),
         )?;
         if let Some(token) = &opts.cancel {
             token.check()?;
@@ -770,7 +1034,10 @@ impl Codesign {
     /// ```
     /// use modref_core::api::{Codesign, ExploreOpts, VerifyOpts};
     /// let cd = Codesign::from_spec(modref_workloads::fig2_spec());
-    /// let opts = ExploreOpts::new().seeds(1).anneal_iterations(40).migration_passes(2);
+    /// let opts = ExploreOpts::new()
+    ///     .with_seeds(1)
+    ///     .with_anneal_iterations(40)
+    ///     .with_migration_passes(2);
     /// let out = cd.explore(&opts)?;
     /// let v = cd.verify(&out, &VerifyOpts::new())?;
     /// assert!(v.all_equivalent());
@@ -792,6 +1059,7 @@ impl Codesign {
             opts.kernel,
             opts.check_traces,
             &self.map,
+            opts.progress.as_ref(),
         );
         if let Some(token) = &opts.cancel {
             token.check()?;
@@ -843,7 +1111,7 @@ mod tests {
     #[test]
     fn unknown_lint_name_is_invalid_request() {
         let cd = Codesign::from_spec(modref_workloads::fig2_spec());
-        let err = cd.lint(&LintOpts::new().deny("NOPE99")).unwrap_err();
+        let err = cd.lint(&LintOpts::new().with_deny("NOPE99")).unwrap_err();
         assert_eq!(err.code(), "invalid_request");
     }
 
@@ -860,7 +1128,7 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let err = cd
-            .explore(&ExploreOpts::new().seeds(2).cancel(token))
+            .explore(&ExploreOpts::new().with_seeds(2).with_cancel(token))
             .unwrap_err();
         assert_eq!(err, ModrefError::Cancelled);
     }

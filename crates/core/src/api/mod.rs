@@ -23,7 +23,10 @@
 //! ```
 //! use modref_core::api::{Codesign, ExploreOpts, VerifyOpts};
 //! let cd = Codesign::from_spec(modref_workloads::fig2_spec());
-//! let opts = ExploreOpts::new().seeds(1).anneal_iterations(40).migration_passes(2);
+//! let opts = ExploreOpts::new()
+//!     .with_seeds(1)
+//!     .with_anneal_iterations(40)
+//!     .with_migration_passes(2);
 //! let out = cd.explore(&opts)?;
 //! let verdict = cd.verify(&out, &VerifyOpts::new())?;
 //! assert!(verdict.all_equivalent());
@@ -36,11 +39,12 @@ mod wire;
 
 pub use error::ModrefError;
 pub use facade::{
-    CancelToken, Codesign, ExploreOpts, LintOpts, SimOpts, SpecStats, Stop, VerifyOpts,
+    CancelToken, Codesign, ExploreOpts, LintOpts, Progress, ProgressFn, SimOpts, SpecStats, Stop,
+    VerifyOpts,
 };
 pub use wire::{
-    DiagSummary, PointSummary, RecordSummary, Request, RequestOp, Response, ResponseBody,
-    SpecSource,
+    BatchItem, DiagSummary, PointSummary, ProgressFrame, RecordSummary, Request, RequestOp,
+    Response, ResponseBody, SimParams, SpecSource, SubResult,
 };
 
 pub(crate) use wire::model_from;

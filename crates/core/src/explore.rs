@@ -15,22 +15,25 @@
 //! full exploration is parallel end to end yet reproducible for a fixed
 //! seed count regardless of thread count.
 //!
-//! [`verify_pareto`] closes the loop from estimation to *verification*:
-//! every distinct Pareto-front candidate is refined under all four
-//! implementation models and the refined specification is simulated
-//! against the original (the paper's functional-equivalence check),
-//! again fanned out over `par_map` — so the explorer reports not just
-//! estimated cost/rate rankings but simulation-backed pass/fail verdicts
-//! and observed bus traffic for the frontier.
+//! [`Codesign::verify`](crate::api::Codesign::verify) closes the loop
+//! from estimation to *verification*: every distinct Pareto-front
+//! candidate is refined under all four implementation models and the
+//! refined specification is simulated against the original (the paper's
+//! functional-equivalence check), again fanned out over `par_map` — so
+//! the explorer reports not just estimated cost/rate rankings but
+//! simulation-backed pass/fail verdicts and observed bus traffic for the
+//! frontier.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use modref_graph::AccessGraph;
-use modref_partition::explore::{explore_with_cancel, Candidate, ExploreConfig};
+use modref_partition::explore::{explore_with_observer, Candidate, ExploreConfig};
 use modref_partition::{par_map, thread_count, Allocation, CostConfig, CostReport, Partition};
 use modref_sim::{SimConfig, SimKernel, Simulator};
 use modref_spec::span::SourceMap;
 use modref_spec::Spec;
 
-use crate::api::CancelToken;
+use crate::api::{CancelToken, Progress, ProgressFn};
 use crate::error::RefineError;
 use crate::model::ImplModel;
 use crate::rates::figure9_rates;
@@ -74,30 +77,15 @@ impl Exploration {
     }
 }
 
-/// Runs the multi-start partition exploration, evaluates every candidate
-/// under all four implementation models, and returns the ranked points.
+/// The implementation behind
+/// [`Codesign::explore`](crate::api::Codesign::explore). The token is
+/// checked before each partition job and each rate evaluation; on stop
+/// the partial result ranks whatever finished — the facade then checks
+/// its token, discards the partial result and reports the stop reason.
 ///
-/// Deterministic for a fixed `expl` config regardless of thread count.
-#[deprecated(
-    since = "0.1.0",
-    note = "use modref_core::api::Codesign::explore, which adds cancellation and unified errors"
-)]
-pub fn explore_designs(
-    spec: &Spec,
-    graph: &AccessGraph,
-    allocation: &Allocation,
-    cost_config: &CostConfig,
-    expl: &ExploreConfig,
-) -> Result<Exploration, RefineError> {
-    explore_designs_impl(spec, graph, allocation, cost_config, expl, None)
-}
-
-/// The shared implementation behind [`explore_designs`] and
-/// [`Codesign::explore`](crate::api::Codesign::explore): the legacy shim
-/// passes no token, the facade threads one through. The token is checked
-/// before each partition job and each rate evaluation; on stop the
-/// partial result ranks whatever finished — the facade then checks its
-/// token, discards the partial result and reports the stop reason.
+/// `progress` receives `explore.job` per finished partition job,
+/// `explore.candidates` once the candidate set is fixed, and
+/// `explore.rate` per finished rate evaluation.
 pub(crate) fn explore_designs_impl(
     spec: &Spec,
     graph: &AccessGraph,
@@ -105,6 +93,7 @@ pub(crate) fn explore_designs_impl(
     cost_config: &CostConfig,
     expl: &ExploreConfig,
     cancel: Option<&CancelToken>,
+    progress: Option<&ProgressFn>,
 ) -> Result<Exploration, RefineError> {
     let span = modref_obs::span("explore_designs");
     let span_id = span.id();
@@ -112,13 +101,24 @@ pub(crate) fn explore_designs_impl(
         let token = token.clone();
         Box::new(move || token.stopped().is_some()) as Box<dyn Fn() -> bool + Sync>
     });
-    let candidates = explore_with_cancel(
+    let on_job: Option<Box<dyn Fn(u64, u64) + Sync>> = progress.map(|p| {
+        let p = p.clone();
+        Box::new(move |done: u64, total: u64| {
+            p.emit(&Progress {
+                phase: "explore.job",
+                done,
+                total,
+            });
+        }) as Box<dyn Fn(u64, u64) + Sync>
+    });
+    let candidates = explore_with_observer(
         spec,
         graph,
         allocation,
         cost_config,
         expl,
         stop_fn.as_deref(),
+        on_job.as_deref(),
     );
     let lifetime = cost_config.lifetime;
 
@@ -129,6 +129,16 @@ pub(crate) fn explore_designs_impl(
         .enumerate()
         .flat_map(|(i, _)| ImplModel::ALL.iter().map(move |&m| (i, m)))
         .collect();
+    if let Some(p) = progress {
+        let n = candidates.len() as u64;
+        p.emit(&Progress {
+            phase: "explore.candidates",
+            done: n,
+            total: n,
+        });
+    }
+    let rate_total = jobs.len() as u64;
+    let rate_done = AtomicU64::new(0);
     let threads = thread_count(expl.threads);
     let rated = par_map(jobs, threads, |_, (ci, model)| {
         if cancel.is_some_and(|t| t.stopped().is_some()) {
@@ -136,8 +146,17 @@ pub(crate) fn explore_designs_impl(
         }
         let _job = modref_obs::span_under(span_id, "rate_eval").attr("model", model.name());
         let cand: &Candidate = &candidates[ci];
-        figure9_rates(spec, graph, allocation, &cand.partition, model, &lifetime)
-            .map(|table| Some((ci, model, table.max_rate(), table.bus_count())))
+        let out = figure9_rates(spec, graph, allocation, &cand.partition, model, &lifetime)
+            .map(|table| Some((ci, model, table.max_rate(), table.bus_count())));
+        if let Some(p) = progress {
+            let done = rate_done.fetch_add(1, Ordering::Relaxed) + 1;
+            p.emit(&Progress {
+                phase: "explore.rate",
+                done,
+                total: rate_total,
+            });
+        }
+        out
     });
 
     let mut points = Vec::with_capacity(rated.len());
@@ -216,43 +235,19 @@ impl Verification {
     }
 }
 
-/// Simulates original vs. refined specifications for every distinct
-/// Pareto-front candidate × Model1–4, in parallel over the deterministic
-/// [`par_map`].
+/// The implementation behind
+/// [`Codesign::verify`](crate::api::Codesign::verify): simulates
+/// original vs. refined specifications for every distinct Pareto-front
+/// candidate × Model1–4, in parallel over the deterministic [`par_map`].
 ///
 /// Refinement or simulation failures are *reported* (as non-equivalent
 /// records with the error in `detail`), not propagated — a design-space
 /// sweep should show which corners break, not abort on the first one.
-/// Output is identical regardless of thread count.
-#[deprecated(
-    since = "0.1.0",
-    note = "use modref_core::api::Codesign::verify, which adds cancellation and unified errors"
-)]
-pub fn verify_pareto(
-    spec: &Spec,
-    graph: &AccessGraph,
-    allocation: &Allocation,
-    exploration: &Exploration,
-    threads: Option<usize>,
-) -> Verification {
-    verify_pareto_impl(
-        spec,
-        graph,
-        allocation,
-        exploration,
-        threads,
-        None,
-        SimKernel::default(),
-        false,
-        &SourceMap::default(),
-    )
-}
-
-/// The shared implementation behind [`verify_pareto`] and
-/// [`Codesign::verify`](crate::api::Codesign::verify). The token is
-/// checked before each candidate × model job; jobs that start after a
-/// stop return a non-equivalent record marked `"stopped"` (the facade
-/// then checks its token and reports the stop reason instead).
+/// Output is identical regardless of thread count. The token is checked
+/// before each candidate × model job; jobs that start after a stop
+/// return a non-equivalent record marked `"stopped"` (the facade then
+/// checks its token and reports the stop reason instead). `progress`
+/// receives `verify.job` per finished candidate × model job.
 ///
 /// With `check_traces` set, both simulations record full event traces
 /// and each refined run must additionally pass the
@@ -270,6 +265,7 @@ pub(crate) fn verify_pareto_impl(
     kernel: SimKernel,
     check_traces: bool,
     map: &SourceMap,
+    progress: Option<&ProgressFn>,
 ) -> Verification {
     let span = modref_obs::span("verify_pareto");
     let span_id = span.id();
@@ -304,10 +300,23 @@ pub(crate) fn verify_pareto_impl(
     let jobs: Vec<(usize, ImplModel)> = (0..cands.len())
         .flat_map(|ci| ImplModel::ALL.iter().map(move |&m| (ci, m)))
         .collect();
+    let job_total = jobs.len() as u64;
+    let job_done = AtomicU64::new(0);
     let workers = thread_count(threads);
     let records = par_map(jobs, workers, |_, (ci, model)| {
         let (algorithm, seed, partition) = cands[ci];
+        let emit_done = || {
+            if let Some(p) = progress {
+                let done = job_done.fetch_add(1, Ordering::Relaxed) + 1;
+                p.emit(&Progress {
+                    phase: "verify.job",
+                    done,
+                    total: job_total,
+                });
+            }
+        };
         if cancel.is_some_and(|t| t.stopped().is_some()) {
+            emit_done();
             return VerifyRecord {
                 algorithm,
                 seed,
@@ -404,6 +413,7 @@ pub(crate) fn verify_pareto_impl(
         } else {
             fail_counter.inc();
         }
+        emit_done();
         record
     });
 
@@ -448,7 +458,6 @@ fn mark_pareto(points: &mut [DesignPoint]) {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims remain covered until removal
 mod tests {
     use super::*;
     use modref_workloads::{medical_allocation, medical_spec};
@@ -462,13 +471,24 @@ mod tests {
         }
     }
 
+    fn explore(spec: &Spec, graph: &AccessGraph, expl: &ExploreConfig) -> Exploration {
+        explore_designs_impl(
+            spec,
+            graph,
+            &medical_allocation(),
+            &CostConfig::default(),
+            expl,
+            None,
+            None,
+        )
+        .expect("exploration succeeds")
+    }
+
     #[test]
     fn explores_medical_design_space() {
         let spec = medical_spec();
         let graph = AccessGraph::derive(&spec);
-        let alloc = medical_allocation();
-        let out = explore_designs(&spec, &graph, &alloc, &CostConfig::default(), &small_expl())
-            .expect("exploration succeeds");
+        let out = explore(&spec, &graph, &small_expl());
         // (2 seeded jobs × 1 seed + 3 singleton jobs) × 4 models.
         assert_eq!(out.points.len(), 5 * 4);
         // Ranked by cost then rate.
@@ -490,30 +510,22 @@ mod tests {
     fn exploration_is_deterministic_across_thread_counts() {
         let spec = medical_spec();
         let graph = AccessGraph::derive(&spec);
-        let alloc = medical_allocation();
-        let cfg = CostConfig::default();
-        let a = explore_designs(
+        let a = explore(
             &spec,
             &graph,
-            &alloc,
-            &cfg,
             &ExploreConfig {
                 threads: Some(1),
                 ..small_expl()
             },
-        )
-        .expect("single-thread run");
-        let b = explore_designs(
+        );
+        let b = explore(
             &spec,
             &graph,
-            &alloc,
-            &cfg,
             &ExploreConfig {
                 threads: Some(8),
                 ..small_expl()
             },
-        )
-        .expect("multi-thread run");
+        );
         assert_eq!(a, b);
     }
 
@@ -522,9 +534,19 @@ mod tests {
         let spec = medical_spec();
         let graph = AccessGraph::derive(&spec);
         let alloc = medical_allocation();
-        let out = explore_designs(&spec, &graph, &alloc, &CostConfig::default(), &small_expl())
-            .expect("exploration succeeds");
-        let v = verify_pareto(&spec, &graph, &alloc, &out, Some(2));
+        let out = explore(&spec, &graph, &small_expl());
+        let v = verify_pareto_impl(
+            &spec,
+            &graph,
+            &alloc,
+            &out,
+            Some(2),
+            None,
+            SimKernel::default(),
+            false,
+            &SourceMap::default(),
+            None,
+        );
         // One record per distinct front candidate × 4 models.
         let distinct: std::collections::BTreeSet<(&str, u64)> = out
             .pareto_front()

@@ -79,11 +79,7 @@ pub use api::{Codesign, ModrefError};
 pub use arbiter::ArbiterPolicy;
 pub use arch::{ArbiterDesc, Architecture, Bus, BusKind, InterfaceDesc, MemoryModule};
 pub use error::RefineError;
-#[allow(deprecated)]
-pub use explore::{explore_designs, verify_pareto};
 pub use explore::{DesignPoint, Exploration, Verification, VerifyRecord};
-#[allow(deprecated)]
-pub use lint::lint_refined;
 pub use lint::static_reject;
 pub use model::ImplModel;
 pub use plan::RefinePlan;

@@ -4,9 +4,10 @@
 //! The conformance lints (`RC01`–`RC04`) validate the *architecture* a
 //! refinement produced — arbiters present on multi-master buses, disjoint
 //! address decode ranges, two-sided buses, sufficient bus widths. They
-//! are cheap (no simulation), so [`verify_pareto`](crate::verify_pareto)
-//! runs them on every refined candidate first and rejects statically
-//! broken ones before spending simulation time.
+//! are cheap (no simulation), so
+//! [`Codesign::verify`](crate::api::Codesign::verify) runs them on every
+//! refined candidate first and rejects statically broken ones before
+//! spending simulation time.
 
 use modref_analyze::{
     conformance_lints, deadlock_lints, BusView, Diagnostic, HandshakePair, MemoryView, RefinedView,
@@ -20,18 +21,10 @@ use crate::refine::Refined;
 /// Builds the neutral conformance view of a refined candidate and runs
 /// the `RC01`–`RC04` lints over it. `spec` and `graph` are the *original*
 /// specification and its access graph (the plan's variable ids and the
-/// channel ids in `refined.channel_buses` belong to them).
-#[deprecated(
-    since = "0.1.0",
-    note = "use modref_core::api::Codesign::lint with LintOpts::part, which runs the \
-            conformance lints alongside the spec-level families"
-)]
-pub fn lint_refined(spec: &Spec, graph: &AccessGraph, refined: &Refined) -> Vec<Diagnostic> {
-    lint_refined_impl(spec, graph, refined)
-}
-
-/// The implementation behind [`lint_refined`] and the conformance half
-/// of [`Codesign::lint`](crate::api::Codesign::lint).
+/// channel ids in `refined.channel_buses` belong to them). This is the
+/// conformance half of [`Codesign::lint`](crate::api::Codesign::lint)
+/// and the whole of
+/// [`Codesign::lint_refined`](crate::api::Codesign::lint_refined).
 pub(crate) fn lint_refined_impl(
     spec: &Spec,
     graph: &AccessGraph,
@@ -157,7 +150,6 @@ pub fn static_reject(diags: &[Diagnostic]) -> Option<String> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shim remains covered until removal
 mod tests {
     use super::*;
     use crate::{refine, ImplModel};
@@ -171,7 +163,7 @@ mod tests {
         let part = medical_partition(&spec, &alloc, Design::Design1);
         for model in ImplModel::ALL {
             let refined = refine(&spec, &graph, &alloc, &part, model).expect("refines");
-            let diags = lint_refined(&spec, &graph, &refined);
+            let diags = lint_refined_impl(&spec, &graph, &refined);
             assert!(
                 static_reject(&diags).is_none(),
                 "{model:?} rejected: {diags:?}"
@@ -189,7 +181,7 @@ mod tests {
         // Knock out the arbiters: the shared global bus has several
         // masters, so RC01 must fire.
         refined.architecture.arbiters.clear();
-        let diags = lint_refined(&spec, &graph, &refined);
+        let diags = lint_refined_impl(&spec, &graph, &refined);
         let reject = static_reject(&diags).expect("rejected");
         assert!(reject.contains("RC01"), "{reject}");
     }

@@ -1,10 +1,31 @@
 //! `modref serve` — a long-running concurrent codesign service.
 //!
-//! The server reads newline-delimited JSON requests (the
-//! [`api::Request`](crate::api::Request) wire format) from a byte
-//! stream, executes them on a bounded worker pool, and writes one JSON
-//! response line per request, tagged with the request's id. Responses
-//! may interleave in completion order; ids are what correlate them.
+//! The server reads newline-delimited JSON requests (the versioned
+//! [`api::Request`](crate::api::Request) wire format, v1 and v2) from
+//! one or more byte streams, executes them on a bounded worker pool,
+//! and writes one JSON response line per request, tagged with the
+//! request's id. Responses may interleave in completion order; ids are
+//! what correlate them.
+//!
+//! Production-scale serving model:
+//!
+//! * **one shared pool** — [`serve_listener`] multiplexes every TCP
+//!   connection onto a single bounded worker pool (one reader thread
+//!   per connection, `serve.connections` counter), so a thousand idle
+//!   clients cost a thousand parked readers, not a thousand pools;
+//! * **spec cache** — specs are content-addressed ([`spec_hash`]) and
+//!   parsed once into a shared session ([`ServeConfig::cache_capacity`]
+//!   entries, LRU-evicted); the v2 `load_spec` op returns the hash and
+//!   later requests — from any connection — reference it, sharing the
+//!   parse and the lazily-derived access graph (`serve.cache.hit` /
+//!   `.miss` / `.evict` counters);
+//! * **streaming** — a v2 request with `"stream":true` receives
+//!   incremental `{"event":"progress",...}` frames while its explore or
+//!   verify runs; the final response line is byte-identical with
+//!   streaming on or off;
+//! * **batching** — the v2 `batch` op runs several sub-requests against
+//!   one cached session and answers them in a single reply keyed by
+//!   sub-id.
 //!
 //! Robustness model — every failure is a structured response, never a
 //! dead server:
@@ -13,10 +34,16 @@
 //!   [`ServeConfig::default_deadline_ms`]); a reaper thread expires the
 //!   request's [`CancelToken`] when time runs out and the client gets a
 //!   `timeout` error;
-//! * **cancellation** — a `cancel` request flips the target's token;
-//!   in-flight explorations/verifications stop at their next checkpoint
-//!   and answer with a `cancelled` error, while the cancel itself is
-//!   acknowledged immediately from the reader thread;
+//! * **cancellation** — a `cancel` request flips the target's token
+//!   (ids are scoped per connection); in-flight explorations stop at
+//!   their next checkpoint and answer with a `cancelled` error, while
+//!   the cancel itself is acknowledged immediately from the reader
+//!   thread;
+//! * **disconnect drain** — a client that half-closes its write side
+//!   still receives every in-flight response; a client whose socket
+//!   *fails on write* is gone, so all of its in-flight work is
+//!   cancelled (`serve.disconnects` counter) instead of burning the
+//!   pool;
 //! * **backpressure** — the job queue is bounded; when it is full new
 //!   requests are rejected with an `overloaded` error instead of
 //!   buffering without limit;
@@ -27,10 +54,10 @@
 //!   work finishes, workers are joined, and [`serve`] returns its
 //!   [`ServeStats`].
 //!
-//! Every request runs under a `serve.request` span with queue-wait and
-//! execution-time histograms (`serve.queue_ns`, `serve.exec_ns`) and
-//! `serve.*` counters, so a `--trace` session round-trips through
-//! `modref report`.
+//! Every request runs under a `serve.request` span with queue-wait,
+//! execution-time and end-to-end histograms (`serve.queue_ns`,
+//! `serve.exec_ns`, `serve.request_ns`) and `serve.*` counters, so a
+//! `--trace` session round-trips through `modref report`.
 //!
 //! ```
 //! use modref_core::api::{Request, RequestOp, Response, SpecSource};
@@ -38,11 +65,9 @@
 //! let spec = "spec tiny;\nvar x : int<16> = 0;\n\
 //!             behavior L leaf { x := x + 5; }\n\
 //!             behavior T seq { children { L; } }\ntop T;\n";
-//! let req = Request {
-//!     id: 1,
-//!     deadline_ms: None,
-//!     op: RequestOp::Parse { source: SpecSource::Text(spec.into()) },
-//! };
+//! let req = Request::new(1, RequestOp::Parse {
+//!     source: SpecSource::Text(spec.into()),
+//! });
 //! let input = format!("{}\n", req.to_json_line());
 //! let mut out = Vec::new();
 //! let stats = serve(
@@ -55,22 +80,28 @@
 //! assert_eq!(Response::from_json(line.trim()).unwrap().id, 1);
 //! ```
 
+mod cache;
+
+pub use cache::spec_hash;
+
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
-use std::sync::{mpsc, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use modref_spec::Spec;
 
 use crate::api::{
-    CancelToken, Codesign, ExploreOpts, LintOpts, ModrefError, Request, RequestOp, Response,
-    ResponseBody, SpecSource, VerifyOpts,
+    CancelToken, Codesign, ExploreOpts, LintOpts, ModrefError, Progress, ProgressFn, ProgressFrame,
+    Request, RequestOp, Response, ResponseBody, SpecSource, SubResult, VerifyOpts,
 };
+
+use cache::SpecCache;
 
 /// How often the deadline reaper scans in-flight requests.
 const REAPER_TICK: Duration = Duration::from_millis(2);
@@ -85,6 +116,8 @@ pub struct ServeConfig {
     /// Bounded job-queue capacity; a full queue rejects with
     /// `overloaded`.
     pub queue: usize,
+    /// Bounded spec-cache capacity (parsed sessions, LRU-evicted).
+    pub cache_capacity: usize,
     /// Deadline applied to requests that carry none of their own.
     pub default_deadline_ms: Option<u64>,
     /// For [`serve_listener`]: stop accepting after this many
@@ -101,6 +134,7 @@ impl Default for ServeConfig {
         Self {
             workers: modref_partition::thread_count(None),
             queue: 64,
+            cache_capacity: 64,
             default_deadline_ms: None,
             max_connections: None,
             workload_resolver: None,
@@ -120,6 +154,13 @@ impl ServeConfig {
     #[must_use]
     pub fn queue(mut self, queue: usize) -> Self {
         self.queue = queue.max(1);
+        self
+    }
+
+    /// Sets the spec-cache capacity (parsed sessions, minimum 1).
+    #[must_use]
+    pub fn cache(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries.max(1);
         self
     }
 
@@ -145,8 +186,9 @@ impl ServeConfig {
     }
 }
 
-/// What a serve session did, returned by [`serve`] when the input
-/// drains.
+/// What a serve session did, returned by [`serve`] (one connection) or
+/// [`serve_listener`] (all connections, which share one pool and one
+/// set of counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct ServeStats {
@@ -168,8 +210,7 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Accumulates another session's counts (used by
-    /// [`serve_listener`]).
+    /// Accumulates another session's counts.
     pub fn merge(&mut self, other: &ServeStats) {
         self.accepted += other.accepted;
         self.completed += other.completed;
@@ -206,29 +247,115 @@ impl AtomicStats {
     }
 }
 
-/// One queued request: the decoded form, its stop token, and when it
-/// was enqueued (for the queue-wait histogram).
-struct Job {
-    req: Request,
-    token: CancelToken,
-    span_parent: u64,
-    enqueued: Instant,
+/// In-flight request registry, keyed `(connection id, request id)` —
+/// request ids are client-chosen and only unique per connection.
+type Registry = Mutex<HashMap<(u64, u64), (CancelToken, Option<Instant>)>>;
+
+/// The state every connection and worker shares: configuration, the
+/// spec cache, the in-flight registry and the counters.
+struct Core<'c> {
+    cfg: &'c ServeConfig,
+    cache: SpecCache,
+    registry: Registry,
+    stats: AtomicStats,
+    session_span: u64,
 }
 
-/// In-flight request registry: id → (token, optional deadline).
-type Registry = Mutex<HashMap<u64, (CancelToken, Option<Instant>)>>;
+impl<'c> Core<'c> {
+    fn new(cfg: &'c ServeConfig, session_span: u64) -> Self {
+        Core {
+            cfg,
+            cache: SpecCache::new(cfg.cache_capacity),
+            registry: Mutex::new(HashMap::new()),
+            stats: AtomicStats::default(),
+            session_span,
+        }
+    }
+
+    /// Resolves a request's spec source to a (shared, cached) session.
+    fn load(&self, source: &SpecSource) -> Result<Arc<Codesign>, ModrefError> {
+        match source {
+            SpecSource::Text(text) => {
+                let hash = spec_hash(text);
+                self.cache
+                    .get_or_insert(&hash, || Codesign::parse("<request>", text))
+            }
+            SpecSource::Workload(name) => {
+                let resolve = self.cfg.workload_resolver;
+                self.cache.get_or_insert(&format!("workload:{name}"), || {
+                    resolve
+                        .and_then(|f| f(name))
+                        .map(Codesign::from_spec)
+                        .ok_or_else(|| ModrefError::UnknownWorkload(name.clone()))
+                })
+            }
+            SpecSource::Hash(h) => self.cache.lookup(h).ok_or_else(|| {
+                ModrefError::InvalidRequest(format!(
+                    "unknown spec hash `{h}` (load it with `load_spec` first)"
+                ))
+            }),
+        }
+    }
+
+    /// Cancels every in-flight request of a disconnected connection.
+    fn cancel_conn(&self, conn_id: u64) {
+        modref_obs::counter("serve.disconnects").inc();
+        for ((conn, _), (token, _)) in lock(&self.registry).iter() {
+            if *conn == conn_id {
+                token.cancel();
+            }
+        }
+    }
+}
+
+/// The writer half of one client connection, shared by the reader
+/// thread (inline acks) and every worker answering its requests.
+struct Conn<'w> {
+    id: u64,
+    writer: Mutex<Box<dyn Write + Send + 'w>>,
+    alive: AtomicBool,
+}
+
+impl<'w> Conn<'w> {
+    fn new(id: u64, writer: Box<dyn Write + Send + 'w>) -> Self {
+        Conn {
+            id,
+            writer: Mutex::new(writer),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// Writes one response/frame line. The first write failure marks
+    /// the connection dead and cancels its in-flight work — a client
+    /// that cannot receive answers should not keep burning the pool.
+    fn send(&self, core: &Core<'_>, line: &str) {
+        if !self.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let failed = {
+            let mut w = lock(&self.writer);
+            writeln!(w, "{line}").is_err() || w.flush().is_err()
+        };
+        if failed && self.alive.swap(false, Ordering::SeqCst) {
+            core.cancel_conn(self.id);
+        }
+    }
+}
+
+/// One queued request: the decoded form, its stop token, the connection
+/// to answer on, and when it was enqueued (for the queue-wait
+/// histogram).
+struct Job<'w> {
+    req: Request,
+    token: CancelToken,
+    conn: Arc<Conn<'w>>,
+    enqueued: Instant,
+}
 
 /// Locks poison-tolerantly: a panicking worker must not take the whole
 /// server down with a poisoned mutex.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-fn emit<W: Write>(writer: &Mutex<W>, resp: &Response) {
-    let mut w = lock(writer);
-    // A vanished client is not a server error; keep draining.
-    let _ = writeln!(w, "{}", resp.to_json_line());
-    let _ = w.flush();
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -244,29 +371,27 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Runs one serve session: reads request lines from `reader` until end
 /// of input, answers on `writer`, drains queued work, and returns the
 /// session's [`ServeStats`]. See the [module docs](self) for the
-/// robustness model and an example.
+/// serving and robustness model and an example.
 pub fn serve<R: BufRead, W: Write + Send>(reader: R, writer: W, cfg: &ServeConfig) -> ServeStats {
-    let stats = AtomicStats::default();
-    let registry: Registry = Mutex::new(HashMap::new());
-    let writer = Mutex::new(writer);
-    let drained = AtomicBool::new(false);
     let session = modref_obs::span("serve.session").attr("workers", cfg.workers.max(1));
-    let session_id = session.id();
-    let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue.max(1));
+    let core = Core::new(cfg, session.id());
+    let conn = Arc::new(Conn::new(0, Box::new(writer)));
+    let (tx, rx) = mpsc::sync_channel::<Job<'_>>(cfg.queue.max(1));
     let rx = Mutex::new(rx);
+    let drained = AtomicBool::new(false);
 
     thread::scope(|s| {
         let workers: Vec<_> = (0..cfg.workers.max(1))
-            .map(|_| s.spawn(|| worker_loop(&rx, &writer, &registry, &stats, cfg)))
+            .map(|_| s.spawn(|| worker_loop(&rx, &core)))
             .collect();
         let reaper = s.spawn(|| {
             while !drained.load(Ordering::Relaxed) {
-                reap_deadlines(&registry);
+                reap_deadlines(&core.registry);
                 thread::sleep(REAPER_TICK);
             }
         });
 
-        read_loop(reader, &tx, &writer, &registry, &stats, cfg, session_id);
+        read_loop(reader, &conn, &tx, &core);
 
         drop(tx); // close the queue: workers drain and exit
         for w in workers {
@@ -276,7 +401,7 @@ pub fn serve<R: BufRead, W: Write + Send>(reader: R, writer: W, cfg: &ServeConfi
         let _ = reaper.join();
     });
     drop(session);
-    stats.snapshot()
+    core.stats.snapshot()
 }
 
 /// Serves one session over stdin/stdout (the `modref serve --stdio`
@@ -286,48 +411,82 @@ pub fn serve_stdio(cfg: &ServeConfig) -> ServeStats {
     serve(stdin.lock(), std::io::stdout(), cfg)
 }
 
-/// Accepts TCP connections and runs one serve session per connection,
-/// concurrently. Stops after [`ServeConfig::max_connections`]
-/// connections (forever when `None`) and returns the merged stats of
-/// every session.
+/// Accepts TCP connections and multiplexes all of them onto ONE shared
+/// bounded worker pool: each connection gets a reader thread, every
+/// request lands on the same queue (so [`ServeConfig::queue`] is the
+/// global backpressure bound), and the spec cache is shared — two
+/// clients loading the same spec share one parse. Stops accepting after
+/// [`ServeConfig::max_connections`] connections (forever when `None`),
+/// drains, and returns the pooled [`ServeStats`].
 pub fn serve_listener(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeStats> {
-    let total = Mutex::new(ServeStats::default());
-    thread::scope(|s| -> std::io::Result<()> {
-        let mut handles = Vec::new();
+    let session = modref_obs::span("serve.session").attr("workers", cfg.workers.max(1));
+    let core = Core::new(cfg, session.id());
+    let (tx, rx) = mpsc::sync_channel::<Job<'static>>(cfg.queue.max(1));
+    let rx = Mutex::new(rx);
+    let drained = AtomicBool::new(false);
+    let mut accept_err = None;
+
+    thread::scope(|s| {
+        let core = &core;
+        let rx = &rx;
+        let workers: Vec<_> = (0..cfg.workers.max(1))
+            .map(|_| s.spawn(move || worker_loop(rx, core)))
+            .collect();
+        let reaper = s.spawn(|| {
+            while !drained.load(Ordering::Relaxed) {
+                reap_deadlines(&core.registry);
+                thread::sleep(REAPER_TICK);
+            }
+        });
+
+        let mut readers = Vec::new();
         let mut accepted = 0usize;
         while cfg.max_connections.is_none_or(|max| accepted < max) {
-            let (stream, _) = listener.accept()?;
+            let (stream, _) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    accept_err = Some(e);
+                    break;
+                }
+            };
             accepted += 1;
-            let total = &total;
-            handles.push(s.spawn(move || {
-                let reader = match stream.try_clone() {
-                    Ok(clone) => BufReader::new(clone),
-                    Err(_) => return,
+            modref_obs::counter("serve.connections").inc();
+            let conn_id = accepted as u64;
+            let tx = tx.clone();
+            readers.push(s.spawn(move || {
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
                 };
-                let stats = serve(reader, stream, cfg);
-                lock(total).merge(&stats);
+                let conn = Arc::new(Conn::new(conn_id, Box::new(stream)));
+                read_loop(BufReader::new(read_half), &conn, &tx, core);
             }));
         }
-        for h in handles {
-            let _ = h.join();
+        for r in readers {
+            let _ = r.join();
         }
-        Ok(())
-    })?;
-    let stats = *lock(&total);
-    Ok(stats)
+        drop(tx); // all reader clones are gone too: workers drain and exit
+        for w in workers {
+            let _ = w.join();
+        }
+        drained.store(true, Ordering::Relaxed);
+        let _ = reaper.join();
+    });
+    drop(session);
+    match accept_err {
+        Some(e) => Err(e),
+        None => Ok(core.stats.snapshot()),
+    }
 }
 
-/// The reader half: decodes lines, acknowledges cancels inline, and
-/// enqueues everything else with backpressure.
-#[allow(clippy::too_many_arguments)]
-fn read_loop<R: BufRead, W: Write>(
+/// The reader half of one connection: decodes lines, acknowledges
+/// cancels inline, and enqueues everything else with backpressure. End
+/// of input (including a TCP half-close) just stops reading — in-flight
+/// responses still drain to the writer.
+fn read_loop<'w, R: BufRead>(
     reader: R,
-    tx: &SyncSender<Job>,
-    writer: &Mutex<W>,
-    registry: &Registry,
-    stats: &AtomicStats,
-    cfg: &ServeConfig,
-    session_span: u64,
+    conn: &Arc<Conn<'w>>,
+    tx: &SyncSender<Job<'w>>,
+    core: &Core<'_>,
 ) {
     for line in reader.lines() {
         let Ok(line) = line else {
@@ -339,7 +498,7 @@ fn read_loop<R: BufRead, W: Write>(
         let req = match Request::from_json(&line) {
             Ok(req) => req,
             Err(e) => {
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                core.stats.malformed.fetch_add(1, Ordering::Relaxed);
                 modref_obs::counter("serve.malformed").inc();
                 // Salvage the id when the object had one, so the client
                 // can still correlate; 0 otherwise.
@@ -350,13 +509,13 @@ fn read_loop<R: BufRead, W: Write>(
                     .and_then(|o| o.get("id"))
                     .and_then(|v| v.as_u64())
                     .unwrap_or(0);
-                emit(writer, &Response::err(id, &e));
+                conn.send(core, &Response::err(id, &e).to_json_line());
                 continue;
             }
         };
 
         if let RequestOp::Cancel { target } = req.op {
-            let found = match lock(registry).get(&target) {
+            let found = match lock(&core.registry).get(&(conn.id, target)) {
                 Some((token, _)) => {
                     token.cancel();
                     true
@@ -364,53 +523,51 @@ fn read_loop<R: BufRead, W: Write>(
                 None => false,
             };
             modref_obs::counter("serve.cancel_requests").inc();
-            emit(
-                writer,
-                &Response::ok(req.id, ResponseBody::Cancelled { target, found }),
-            );
+            let resp = Response::ok(req.id, ResponseBody::Cancelled { target, found });
+            conn.send(core, &resp.to_json_line());
             continue;
         }
 
         let token = CancelToken::new();
         let deadline = req
             .deadline_ms
-            .or(cfg.default_deadline_ms)
+            .or(core.cfg.default_deadline_ms)
             .map(|ms| Instant::now() + Duration::from_millis(ms));
         {
-            let mut reg = lock(registry);
-            if reg.contains_key(&req.id) {
+            let mut reg = lock(&core.registry);
+            if reg.contains_key(&(conn.id, req.id)) {
                 drop(reg);
                 let e = ModrefError::InvalidRequest(format!("id {} is already in flight", req.id));
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
-                emit(writer, &Response::err(req.id, &e));
+                core.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                conn.send(core, &Response::err(req.id, &e).to_json_line());
                 continue;
             }
-            reg.insert(req.id, (token.clone(), deadline));
+            reg.insert((conn.id, req.id), (token.clone(), deadline));
         }
 
         let id = req.id;
         let job = Job {
             req,
             token,
-            span_parent: session_span,
+            conn: Arc::clone(conn),
             enqueued: Instant::now(),
         };
         match tx.try_send(job) {
             Ok(()) => {
-                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                core.stats.accepted.fetch_add(1, Ordering::Relaxed);
                 modref_obs::counter("serve.accepted").inc();
             }
             Err(TrySendError::Full(_)) => {
-                lock(registry).remove(&id);
-                stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                lock(&core.registry).remove(&(conn.id, id));
+                core.stats.overloaded.fetch_add(1, Ordering::Relaxed);
                 modref_obs::counter("serve.overloaded").inc();
                 let e = ModrefError::Overloaded {
-                    capacity: cfg.queue.max(1),
+                    capacity: core.cfg.queue.max(1),
                 };
-                emit(writer, &Response::err(id, &e));
+                conn.send(core, &Response::err(id, &e).to_json_line());
             }
             Err(TrySendError::Disconnected(_)) => {
-                lock(registry).remove(&id);
+                lock(&core.registry).remove(&(conn.id, id));
                 break; // workers are gone; nothing more can be served
             }
         }
@@ -427,15 +584,10 @@ fn reap_deadlines(registry: &Registry) {
     }
 }
 
-/// The worker half: dequeues jobs, executes them with panic isolation,
-/// and emits the response.
-fn worker_loop<W: Write>(
-    rx: &Mutex<mpsc::Receiver<Job>>,
-    writer: &Mutex<W>,
-    registry: &Registry,
-    stats: &AtomicStats,
-    cfg: &ServeConfig,
-) {
+/// The worker half: dequeues jobs, executes them with panic isolation
+/// (streaming progress frames when asked to), and emits the response on
+/// the job's own connection.
+fn worker_loop<'w>(rx: &Mutex<mpsc::Receiver<Job<'w>>>, core: &Core<'_>) {
     loop {
         let job = lock(rx).recv();
         let Ok(job) = job else {
@@ -443,32 +595,45 @@ fn worker_loop<W: Write>(
         };
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         modref_obs::histogram("serve.queue_ns").record(queue_ns);
-        let span = modref_obs::span_under(job.span_parent, "serve.request")
+        let span = modref_obs::span_under(core.session_span, "serve.request")
             .attr("op", job.req.op.name())
-            .attr("request_id", job.req.id);
+            .attr("request_id", job.req.id)
+            .attr("conn", job.conn.id);
 
         let started = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| execute(&job.req.op, &job.token, cfg)))
-            .unwrap_or_else(|payload| Err(ModrefError::Internal(panic_message(payload))));
+        let streaming = job.req.stream
+            && matches!(
+                job.req.op,
+                RequestOp::Explore { .. } | RequestOp::Verify { .. }
+            );
+        let result = if streaming {
+            stream_execute(&job, core)
+        } else {
+            catch_unwind(AssertUnwindSafe(|| {
+                execute(&job.req.op, &job.token, core, None)
+            }))
+            .unwrap_or_else(|payload| Err(ModrefError::Internal(panic_message(payload))))
+        };
         modref_obs::histogram("serve.exec_ns").record(started.elapsed().as_nanos() as u64);
+        modref_obs::histogram("serve.request_ns").record(job.enqueued.elapsed().as_nanos() as u64);
 
-        lock(registry).remove(&job.req.id);
+        lock(&core.registry).remove(&(job.conn.id, job.req.id));
         let resp = match result {
             Ok(body) => {
-                stats.completed.fetch_add(1, Ordering::Relaxed);
+                core.stats.completed.fetch_add(1, Ordering::Relaxed);
                 modref_obs::counter("serve.completed").inc();
                 Response::ok(job.req.id, body)
             }
             Err(e) => {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
+                core.stats.errors.fetch_add(1, Ordering::Relaxed);
                 modref_obs::counter("serve.errors").inc();
                 match e {
                     ModrefError::Cancelled => {
-                        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                        core.stats.cancelled.fetch_add(1, Ordering::Relaxed);
                         modref_obs::counter("serve.cancelled").inc();
                     }
                     ModrefError::Timeout => {
-                        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        core.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                         modref_obs::counter("serve.timeout").inc();
                     }
                     _ => {}
@@ -477,36 +642,117 @@ fn worker_loop<W: Write>(
             }
         };
         drop(span);
-        emit(writer, &resp);
+        job.conn.send(core, &resp.to_json_line());
     }
 }
 
-/// Executes one non-cancel operation against a fresh [`Codesign`]
-/// session, honoring the request's stop token.
+/// Executes a streaming request: progress events are forwarded from the
+/// operation's callback (which may fire from any exploration thread)
+/// through a channel to one forwarder thread that owns the frame
+/// ordering on the connection. The forwarder is joined before the final
+/// response is emitted, so every frame precedes it.
+fn stream_execute<'w>(job: &Job<'w>, core: &Core<'_>) -> Result<ResponseBody, ModrefError> {
+    let (ptx, prx) = mpsc::channel::<ProgressFrame>();
+    let id = job.req.id;
+    let ptx = Mutex::new(ptx);
+    let progress = ProgressFn::new(move |p: &Progress| {
+        let _ = lock(&ptx).send(ProgressFrame {
+            id,
+            phase: p.phase.to_string(),
+            done: p.done,
+            total: p.total,
+        });
+    });
+    thread::scope(|s| {
+        let conn = &job.conn;
+        let forwarder = s.spawn(move || {
+            for frame in prx {
+                conn.send(core, &frame.to_json_line());
+            }
+        });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // `progress` (and every clone the opts hold) drops inside
+            // `execute`, closing the channel; the forwarder then drains
+            // and exits.
+            execute(&job.req.op, &job.token, core, Some(progress))
+        }))
+        .unwrap_or_else(|payload| Err(ModrefError::Internal(panic_message(payload))));
+        let _ = forwarder.join();
+        result
+    })
+}
+
+/// The body of a structured failure, for batch sub-results.
+fn error_body(e: &ModrefError) -> ResponseBody {
+    ResponseBody::Error {
+        code: e.code().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Executes one non-cancel operation, honoring the request's stop
+/// token. Specs resolve through the shared cache; `load_spec` populates
+/// it; `batch` runs its items sequentially against one session.
 fn execute(
     op: &RequestOp,
     token: &CancelToken,
-    cfg: &ServeConfig,
+    core: &Core<'_>,
+    progress: Option<ProgressFn>,
 ) -> Result<ResponseBody, ModrefError> {
     token.check()?; // the deadline may have expired while queued
-    let load = |source: &SpecSource| -> Result<Codesign, ModrefError> {
-        match source {
-            SpecSource::Text(text) => Codesign::parse("<request>", text),
-            SpecSource::Workload(name) => cfg
-                .workload_resolver
-                .and_then(|resolve| resolve(name))
-                .map(Codesign::from_spec)
-                .ok_or_else(|| ModrefError::UnknownWorkload(name.clone())),
-        }
-    };
     match op {
-        RequestOp::Parse { source } => Ok(ResponseBody::Parsed(load(source)?.stats())),
-        RequestOp::Refine {
-            source,
-            part,
-            model,
-        } => {
-            let cd = load(source)?;
+        RequestOp::LoadSpec { text } => {
+            let hash = spec_hash(text);
+            let cd = core
+                .cache
+                .get_or_insert(&hash, || Codesign::parse("<request>", text))?;
+            Ok(ResponseBody::Loaded {
+                hash,
+                stats: cd.stats(),
+            })
+        }
+        RequestOp::Batch { items, .. } => {
+            let cd = core.load(op.source().expect("batch carries a source"))?;
+            let mut results = Vec::with_capacity(items.len());
+            for item in items {
+                // Deadline and cancellation are batch-level: they fail
+                // the whole batch, not one item.
+                token.check()?;
+                match execute_spec_op(&cd, &item.op, token, None) {
+                    Ok(body) => results.push(SubResult {
+                        sub: item.sub,
+                        body,
+                    }),
+                    Err(e @ (ModrefError::Cancelled | ModrefError::Timeout)) => return Err(e),
+                    Err(e) => results.push(SubResult {
+                        sub: item.sub,
+                        body: error_body(&e),
+                    }),
+                }
+            }
+            Ok(ResponseBody::Batch { results })
+        }
+        RequestOp::Cancel { .. } => Err(ModrefError::InvalidRequest(
+            "cancel is handled by the reader, not the worker pool".into(),
+        )),
+        op => {
+            let cd = core.load(op.source().expect("spec ops carry a source"))?;
+            execute_spec_op(&cd, op, token, progress.as_ref())
+        }
+    }
+}
+
+/// Executes one spec-consuming operation against an already-resolved
+/// session — the shared tail of direct requests and batch items.
+fn execute_spec_op(
+    cd: &Codesign,
+    op: &RequestOp,
+    token: &CancelToken,
+    progress: Option<&ProgressFn>,
+) -> Result<ResponseBody, ModrefError> {
+    match op {
+        RequestOp::Parse { .. } => Ok(ResponseBody::Parsed(cd.stats())),
+        RequestOp::Refine { part, model, .. } => {
             let model = crate::api::model_from(u64::from(*model))?;
             let refined = cd.refine(part, model)?;
             Ok(ResponseBody::Refined {
@@ -516,88 +762,91 @@ fn execute(
                 printed_lines: modref_spec::printer::line_count(&refined.spec),
             })
         }
-        RequestOp::Estimate { source, part } => Ok(ResponseBody::Estimated {
-            report: load(source)?.estimate(part)?,
+        RequestOp::Estimate { part, .. } => Ok(ResponseBody::Estimated {
+            report: cd.estimate(part)?,
         }),
         RequestOp::Explore {
-            source,
             part,
             seeds,
             threads,
             top,
+            ..
         } => {
-            let cd = load(source)?;
-            let mut opts = ExploreOpts::new().cancel(token.clone());
+            let mut opts = ExploreOpts::new().with_cancel(token.clone());
+            if let Some(pf) = progress {
+                opts = opts.with_progress(pf.clone());
+            }
             if let Some(p) = part {
-                opts = opts.part(p.clone());
+                opts = opts.with_part(p.clone());
             }
             if let Some(k) = seeds {
-                opts = opts.seeds(*k);
+                opts = opts.with_seeds(*k);
             }
             if let Some(t) = threads {
-                opts = opts.threads(*t);
+                opts = opts.with_threads(*t);
             }
             let out = cd.explore(&opts)?;
             Ok(ResponseBody::from_exploration(&out, *top))
         }
         RequestOp::Verify {
-            source,
             part,
             seeds,
             threads,
-            kernel,
-            verify_traces,
+            sim,
+            ..
         } => {
-            let cd = load(source)?;
-            let mut eopts = ExploreOpts::new().cancel(token.clone());
-            let mut vopts = VerifyOpts::new().cancel(token.clone());
-            if let Some(k) = kernel {
-                vopts = vopts.kernel(*k);
+            let mut eopts = ExploreOpts::new().with_cancel(token.clone());
+            let mut vopts = VerifyOpts::new().with_cancel(token.clone());
+            if let Some(pf) = progress {
+                eopts = eopts.with_progress(pf.clone());
+                vopts = vopts.with_progress(pf.clone());
             }
-            if let Some(t) = verify_traces {
-                vopts = vopts.check_traces(*t);
+            if let Some(k) = sim.kernel {
+                vopts = vopts.with_kernel(k);
+            }
+            if let Some(t) = sim.verify_traces {
+                vopts = vopts.with_check_traces(t);
             }
             if let Some(p) = part {
-                eopts = eopts.part(p.clone());
-                vopts = vopts.part(p.clone());
+                eopts = eopts.with_part(p.clone());
+                vopts = vopts.with_part(p.clone());
             }
             if let Some(k) = seeds {
-                eopts = eopts.seeds(*k);
+                eopts = eopts.with_seeds(*k);
             }
             if let Some(t) = threads {
-                eopts = eopts.threads(*t);
-                vopts = vopts.threads(*t);
+                eopts = eopts.with_threads(*t);
+                vopts = vopts.with_threads(*t);
             }
             let out = cd.explore(&eopts)?;
             let v = cd.verify(&out, &vopts)?;
             Ok(ResponseBody::from_verification(&v))
         }
         RequestOp::Lint {
-            source,
             part,
             model,
             deny,
             allow,
+            ..
         } => {
-            let cd = load(source)?;
             let mut opts = LintOpts::new();
             if let Some(p) = part {
-                opts = opts.part(p.clone());
+                opts = opts.with_part(p.clone());
             }
             if let Some(n) = model {
-                opts = opts.model(crate::api::model_from(u64::from(*n))?);
+                opts = opts.with_model(crate::api::model_from(u64::from(*n))?);
             }
             for name in deny {
-                opts = opts.deny(name.clone());
+                opts = opts.with_deny(name.clone());
             }
             for name in allow {
-                opts = opts.allow(name.clone());
+                opts = opts.with_allow(name.clone());
             }
             Ok(ResponseBody::from_diagnostics(&cd.lint(&opts)?))
         }
-        RequestOp::Cancel { .. } => Err(ModrefError::InvalidRequest(
-            "cancel is handled by the reader, not the worker pool".into(),
-        )),
+        RequestOp::LoadSpec { .. } | RequestOp::Batch { .. } | RequestOp::Cancel { .. } => Err(
+            ModrefError::InvalidRequest(format!("`{}` is not a spec-level operation", op.name())),
+        ),
     }
 }
 
@@ -612,6 +861,7 @@ mod tests {
         let text = String::from_utf8(out).expect("utf8 output");
         let responses = text
             .lines()
+            .filter(|l| !ProgressFrame::is_progress_line(l))
             .map(|l| Response::from_json(l).expect("decodable response"))
             .collect();
         (stats, responses)
@@ -806,6 +1056,227 @@ mod tests {
     }
 
     #[test]
+    fn two_connections_share_one_spec_cache() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::TcpStream;
+        modref_obs::init(modref_obs::ClockMode::Wall);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = thread::spawn(move || {
+            serve_listener(listener, &cfg().workers(2).max_connections(2)).expect("serve")
+        });
+        let spec = "spec shared;\nvar x : int<16> = 0;\n\
+                    behavior L leaf { x := x + 1; }\n\
+                    behavior T seq { children { L; } }\ntop T;\n";
+        let load = format!(
+            "{}\n",
+            Request::v2(
+                1,
+                RequestOp::LoadSpec {
+                    text: spec.to_string()
+                }
+            )
+            .to_json_line()
+        );
+        let mut hashes = Vec::new();
+        for _ in 0..2 {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(load.as_bytes()).expect("send");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut reply = String::new();
+            BufReader::new(&stream)
+                .read_line(&mut reply)
+                .expect("read reply");
+            match Response::from_json(reply.trim()).expect("decodes").body {
+                ResponseBody::Loaded { hash, .. } => hashes.push(hash),
+                other => panic!("expected Loaded, got {other:?}"),
+            }
+        }
+        let stats = server.join().expect("join");
+        assert_eq!(stats.completed, 2);
+        assert_eq!(
+            hashes[0], hashes[1],
+            "content-addressed: same text, same hash"
+        );
+        assert_eq!(hashes[0], spec_hash(spec));
+        let trace = modref_obs::shutdown();
+        assert!(
+            trace.counter("serve.cache.hit").unwrap_or(0) >= 1,
+            "second connection must hit the shared cache"
+        );
+        assert!(trace.counter("serve.connections").unwrap_or(0) >= 2);
+    }
+
+    #[test]
+    fn load_spec_then_hash_ops_reuse_the_session() {
+        let spec = "spec cached;\nvar x : int<16> = 0;\n\
+                    behavior L leaf { x := x + 1; }\n\
+                    behavior T seq { children { L; } }\ntop T;\n";
+        let hash = spec_hash(spec);
+        let mut input = String::new();
+        input.push_str(&format!(
+            "{}\n",
+            Request::v2(
+                1,
+                RequestOp::LoadSpec {
+                    text: spec.to_string()
+                }
+            )
+            .to_json_line()
+        ));
+        input.push_str(&format!(
+            "{{\"v\":2,\"id\":2,\"op\":\"parse\",\"hash\":\"{hash}\"}}\n"
+        ));
+        input.push_str(&format!(
+            "{{\"v\":2,\"id\":3,\"op\":\"lint\",\"hash\":\"{hash}\"}}\n"
+        ));
+        input.push_str("{\"v\":2,\"id\":4,\"op\":\"parse\",\"hash\":\"ffffffffffffffff\"}\n");
+        let (stats, responses) = run(&input, &cfg().workers(1));
+        assert_eq!(stats.completed, 3);
+        match body_of(&responses, 1) {
+            ResponseBody::Loaded { hash: h, stats } => {
+                assert_eq!(h, &hash);
+                assert_eq!(stats.name, "cached");
+            }
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+        assert!(matches!(body_of(&responses, 2), ResponseBody::Parsed(_)));
+        assert!(matches!(
+            body_of(&responses, 3),
+            ResponseBody::Linted { .. }
+        ));
+        assert_eq!(error_code(&responses, 4), "invalid_request");
+    }
+
+    #[test]
+    fn batch_answers_every_item_against_one_session() {
+        let input = format!(
+            "{}\n",
+            r#"{"v":2,"id":1,"op":"batch","workload":"fig2","items":[{"sub":1,"op":"parse"},{"sub":2,"op":"refine","part":"not a partition","model":1},{"sub":3,"op":"lint"}]}"#
+        );
+        let (stats, responses) = run(&input, &cfg().workers(1));
+        assert_eq!(stats.completed, 1, "the batch is one request");
+        match body_of(&responses, 1) {
+            ResponseBody::Batch { results } => {
+                assert_eq!(results.len(), 3);
+                assert_eq!(results[0].sub, 1);
+                assert!(matches!(results[0].body, ResponseBody::Parsed(_)));
+                assert!(matches!(
+                    &results[1].body,
+                    ResponseBody::Error { code, .. } if code == "partition"
+                ));
+                assert!(matches!(results[2].body, ResponseBody::Linted { .. }));
+            }
+            other => panic!("expected Batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_explore_frames_precede_an_unchanged_final_response() {
+        let streamed = format!(
+            "{}\n",
+            Request::v2(
+                1,
+                RequestOp::Explore {
+                    source: SpecSource::Workload("fig2".into()),
+                    part: None,
+                    seeds: Some(2),
+                    threads: Some(1),
+                    top: Some(3),
+                }
+            )
+            .with_stream(true)
+            .to_json_line()
+        );
+        let mut out = Vec::new();
+        let stats = serve(
+            Cursor::new(streamed.into_bytes()),
+            &mut out,
+            &cfg().workers(1),
+        );
+        assert_eq!(stats.completed, 1);
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 1, "expected progress frames, got {lines:?}");
+        let (final_line, frames) = lines.split_last().expect("at least the final response");
+        for frame in frames {
+            let f = ProgressFrame::from_json(frame).expect("progress frame");
+            assert_eq!(f.id, 1);
+            assert!(f.done <= f.total, "{f:?}");
+        }
+        assert!(
+            frames
+                .iter()
+                .any(|l| ProgressFrame::from_json(l).unwrap().phase == "explore.job"),
+            "per-seed-job completion frames present"
+        );
+        let streamed_final = Response::from_json(final_line).expect("final response");
+        assert!(matches!(streamed_final.body, ResponseBody::Explored { .. }));
+
+        // Streaming off: byte-identical final response, no frames.
+        let plain = format!(
+            "{}\n",
+            Request::v2(
+                1,
+                RequestOp::Explore {
+                    source: SpecSource::Workload("fig2".into()),
+                    part: None,
+                    seeds: Some(2),
+                    threads: Some(1),
+                    top: Some(3),
+                }
+            )
+            .to_json_line()
+        );
+        let mut out = Vec::new();
+        serve(Cursor::new(plain.into_bytes()), &mut out, &cfg().workers(1));
+        let plain_text = String::from_utf8(out).expect("utf8");
+        assert_eq!(plain_text.trim(), *final_line);
+    }
+
+    #[test]
+    fn dead_connection_cancels_its_inflight_work() {
+        /// A client whose socket fails on every write — the server must
+        /// cancel its work, not complete it into the void.
+        struct DeadWriter;
+        impl Write for DeadWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("peer gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("peer gone"))
+            }
+        }
+        let input = format!(
+            "{}\n",
+            Request::v2(
+                1,
+                RequestOp::Explore {
+                    source: SpecSource::Workload("medical".into()),
+                    part: None,
+                    seeds: Some(64),
+                    threads: Some(1),
+                    top: None,
+                }
+            )
+            .with_stream(true)
+            .to_json_line()
+        );
+        let stats = serve(
+            Cursor::new(input.into_bytes()),
+            DeadWriter,
+            &cfg().workers(1),
+        );
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(
+            stats.cancelled, 1,
+            "first failed frame write must cancel the in-flight explore: {stats:?}"
+        );
+    }
+
+    #[test]
     fn serve_counters_round_trip_through_a_trace() {
         modref_obs::init(modref_obs::ClockMode::Wall);
         let input = line(1, r#""op":"parse","workload":"fig2""#);
@@ -814,6 +1285,7 @@ mod tests {
         let trace = modref_obs::shutdown();
         assert!(trace.counter("serve.accepted").unwrap_or(0) >= 1);
         assert!(trace.counter("serve.completed").unwrap_or(0) >= 1);
+        assert!(trace.counter("serve.cache.miss").unwrap_or(0) >= 1);
         assert!(
             !trace.spans_named("serve.request").is_empty(),
             "per-request span recorded"

@@ -16,11 +16,11 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
     let cd = Codesign::from_spec(medical_spec());
     let opts = |threads: Option<usize>| {
         let mut o = ExploreOpts::new()
-            .seeds(2)
-            .anneal_iterations(120)
-            .migration_passes(3);
+            .with_seeds(2)
+            .with_anneal_iterations(120)
+            .with_migration_passes(3);
         if let Some(t) = threads {
-            o = o.threads(t);
+            o = o.with_threads(t);
         }
         o
     };
@@ -73,7 +73,7 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
     // derives `Eq` over exact fields only (no floats), so equality here
     // really is byte-for-byte.
     let verified_single = cd
-        .verify(&first, &VerifyOpts::new().threads(1))
+        .verify(&first, &VerifyOpts::new().with_threads(1))
         .expect("verify 1 thread");
     assert!(
         !verified_single.records.is_empty(),
@@ -86,7 +86,7 @@ fn ranked_results_are_identical_across_runs_and_thread_counts() {
     );
     for threads in [2, 5, 16] {
         let run = cd
-            .verify(&first, &VerifyOpts::new().threads(threads))
+            .verify(&first, &VerifyOpts::new().with_threads(threads))
             .expect("verify");
         assert_eq!(
             verified_single, run,

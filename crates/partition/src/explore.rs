@@ -212,6 +212,23 @@ pub fn explore_with_cancel(
     expl: &ExploreConfig,
     should_stop: Option<&(dyn Fn() -> bool + Sync)>,
 ) -> Vec<Candidate> {
+    explore_with_observer(spec, graph, allocation, config, expl, should_stop, None)
+}
+
+/// [`explore_with_cancel`] plus a completion observer: `on_job_done` is
+/// called once per *finished* job (skipped jobs do not report) with the
+/// running count of completed jobs and the total job count. The observer
+/// runs on worker threads, so it must be cheap and `Sync`; candidate
+/// ranking and output are unaffected.
+pub fn explore_with_observer(
+    spec: &Spec,
+    graph: &AccessGraph,
+    allocation: &Allocation,
+    config: &CostConfig,
+    expl: &ExploreConfig,
+    should_stop: Option<&(dyn Fn() -> bool + Sync)>,
+    on_job_done: Option<&(dyn Fn(u64, u64) + Sync)>,
+) -> Vec<Candidate> {
     let mut jobs = Vec::new();
     for seed in 0..expl.seeds {
         jobs.push(Job::Anneal {
@@ -239,6 +256,8 @@ pub fn explore_with_cancel(
     let job_ns = modref_obs::histogram("explore.job_ns");
 
     let warm = warm_lifetimes(spec, allocation, config);
+    let job_total = jobs.len() as u64;
+    let jobs_done = std::sync::atomic::AtomicU64::new(0);
     let mut candidates: Vec<Candidate> = par_map(jobs, threads, |_, job| {
         if should_stop.is_some_and(|stop| stop()) {
             return None;
@@ -250,6 +269,10 @@ pub fn explore_with_cancel(
         let mut table = warm.clone();
         let candidate = run_job(spec, graph, allocation, config, job, &mut table);
         job_ns.record(job_span.elapsed_ns());
+        if let Some(observer) = on_job_done {
+            let done = jobs_done.fetch_add(1, Ordering::Relaxed) + 1;
+            observer(done, job_total);
+        }
         Some(candidate)
     })
     .into_iter()

@@ -282,7 +282,7 @@ fn verify_gate_counts_static_deadlocks() {
     obs::init(ClockMode::Wall);
     let cd = Codesign::from_spec(bad);
     let exploration = cd
-        .explore(&ExploreOpts::new().seeds(1))
+        .explore(&ExploreOpts::new().with_seeds(1))
         .expect("exploration succeeds");
     let verification = cd
         .verify(&exploration, &VerifyOpts::new())

@@ -1,20 +1,17 @@
 //! Facade equivalence: the [`Codesign`] facade produces byte-identical
-//! results to the legacy free functions it supersedes, on every shipped
-//! workload. This is the migration-safety net for the `api` redesign —
-//! callers moving from `explore_designs`/`verify_pareto`/`lint_refined`
-//! (and the open-coded refine/estimate/simulate call chains) to the
-//! facade must observe no behavioral change whatsoever.
-
-// The whole point of this suite is to call the deprecated shims and
-// compare them against the facade.
-#![allow(deprecated)]
+//! results to the open-coded library call chains it supersedes
+//! (refine/lint/estimate/simulate assembled by hand from the per-crate
+//! functions), on every shipped workload, and its explore/verify
+//! pipeline is deterministic across thread counts. This is the
+//! migration-safety net for the `api` redesign — callers moving from
+//! hand-assembled pipelines to the facade must observe no behavioral
+//! change whatsoever.
 
 use modref::analyze::{analyze_spec, render_json_lines, sort_canonical, LintConfig};
 use modref::core::api::{Codesign, ExploreOpts, LintOpts, SimOpts, VerifyOpts};
-use modref::core::{explore_designs, lint_refined, refine, verify_pareto, ImplModel};
+use modref::core::{refine, ImplModel};
 use modref::graph::AccessGraph;
-use modref::partition::explore::ExploreConfig;
-use modref::partition::{parse_partition, CostConfig};
+use modref::partition::parse_partition;
 use modref::spec::{printer, SourceMap};
 use modref::workloads::{named_partition, named_spec};
 
@@ -28,34 +25,32 @@ fn session(workload: &str) -> (Codesign, String) {
 }
 
 #[test]
-fn explore_and_verify_match_the_legacy_functions() {
+fn explore_and_verify_are_deterministic_across_thread_counts() {
     for workload in PARTITIONED {
         let (cd, part) = session(workload);
-        let config = ExploreConfig {
-            seeds: 2,
-            anneal_iterations: 120,
-            migration_passes: 3,
-            threads: Some(2),
+        let opts = |threads: usize| {
+            ExploreOpts::new()
+                .with_part(part.clone())
+                .with_seeds(2)
+                .with_anneal_iterations(120)
+                .with_migration_passes(3)
+                .with_threads(threads)
         };
-        let opts = ExploreOpts::new()
-            .part(part.clone())
-            .seeds(config.seeds)
-            .anneal_iterations(config.anneal_iterations)
-            .migration_passes(config.migration_passes)
-            .threads(2);
 
-        let (alloc, _) = parse_partition(cd.spec(), &part).expect("partition parses");
-        let graph = AccessGraph::derive(cd.spec());
-        let legacy = explore_designs(cd.spec(), &graph, &alloc, &CostConfig::default(), &config)
-            .expect("legacy explore");
-        let facade = cd.explore(&opts).expect("facade explore");
-        assert_eq!(legacy, facade, "{workload}: exploration results differ");
+        let single = cd.explore(&opts(1)).expect("single-thread explore");
+        let multi = cd.explore(&opts(4)).expect("multi-thread explore");
+        assert_eq!(single, multi, "{workload}: exploration results differ");
 
-        let legacy_v = verify_pareto(cd.spec(), &graph, &alloc, &legacy, Some(2));
-        let facade_v = cd
-            .verify(&facade, &VerifyOpts::new().part(part.clone()).threads(2))
-            .expect("facade verify");
-        assert_eq!(legacy_v, facade_v, "{workload}: verification differs");
+        let verify = |threads: usize| {
+            cd.verify(
+                &multi,
+                &VerifyOpts::new()
+                    .with_part(part.clone())
+                    .with_threads(threads),
+            )
+            .expect("facade verify")
+        };
+        assert_eq!(verify(1), verify(4), "{workload}: verification differs");
     }
 }
 
@@ -71,13 +66,13 @@ fn lint_matches_the_legacy_composition() {
         let mut legacy = analyze_spec(cd.spec(), &map);
         for model in ImplModel::ALL {
             let refined = refine(cd.spec(), &graph, &alloc, &partition, model).expect("refines");
-            legacy.extend(lint_refined(cd.spec(), &graph, &refined));
+            legacy.extend(cd.lint_refined(&refined));
         }
         sort_canonical(&mut legacy);
         let legacy = LintConfig::new().apply_all(legacy);
 
         let facade = cd
-            .lint(&LintOpts::new().part(part.clone()))
+            .lint(&LintOpts::new().with_part(part.clone()))
             .expect("facade lint");
         assert_eq!(
             render_json_lines(&legacy, workload),

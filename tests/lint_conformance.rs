@@ -6,14 +6,14 @@
 //! check the corresponding lint fires, so the property is not passing
 //! vacuously.
 
-// This suite deliberately exercises the legacy `lint_refined` shim: the
-// tamper tests mutate a `Refined` by hand, which the `Codesign` facade
-// (refining internally) cannot express. `tests/facade_equivalence.rs`
-// covers the facade side.
-#![allow(deprecated)]
+// The tamper tests mutate a `Refined` by hand, which
+// `Codesign::lint` (refining internally) cannot express — they go
+// through `Codesign::lint_refined`, the facade entry point for
+// already-refined candidates.
 
 use modref::analyze::Severity;
-use modref::core::{lint_refined, refine, static_reject, ImplModel, Refined};
+use modref::core::api::Codesign;
+use modref::core::{refine, static_reject, ImplModel, Refined};
 use modref::graph::AccessGraph;
 use modref::partition::{Allocation, Partition};
 use modref::spec::Spec;
@@ -27,10 +27,11 @@ use modref::workloads::{
 /// static gate would let every candidate through to simulation.
 fn assert_all_models_conform(label: &str, spec: &Spec, alloc: &Allocation, part: &Partition) {
     let graph = AccessGraph::derive(spec);
+    let cd = Codesign::from_spec(spec.clone());
     for model in ImplModel::ALL {
         let refined = refine(spec, &graph, alloc, part, model)
             .unwrap_or_else(|e| panic!("{label}/{model}: refinement failed: {e}"));
-        let diags = lint_refined(spec, &graph, &refined);
+        let diags = cd.lint_refined(&refined);
         assert!(
             diags.iter().all(|d| d.severity < Severity::Error),
             "{label}/{model}: conformance errors: {diags:#?}"
@@ -71,30 +72,30 @@ fn dsp_conforms_under_every_model() {
 
 /// Refines medical/Design1 under `model` — the shared fixture the tamper
 /// tests mutate.
-fn medical_refined(model: ImplModel) -> (Spec, AccessGraph, Refined) {
+fn medical_refined(model: ImplModel) -> (Codesign, Refined) {
     let spec = medical_spec();
     let graph = AccessGraph::derive(&spec);
     let alloc = medical_allocation();
     let part = medical_partition(&spec, &alloc, Design::Design1);
     let refined = refine(&spec, &graph, &alloc, &part, model).expect("refines");
-    (spec, graph, refined)
+    (Codesign::from_spec(spec), refined)
 }
 
-fn reject_codes(spec: &Spec, graph: &AccessGraph, refined: &Refined) -> String {
-    static_reject(&lint_refined(spec, graph, refined)).expect("tampered candidate must be rejected")
+fn reject_codes(cd: &Codesign, refined: &Refined) -> String {
+    static_reject(&cd.lint_refined(refined)).expect("tampered candidate must be rejected")
 }
 
 #[test]
 fn removing_arbiters_trips_rc01() {
-    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    let (cd, mut refined) = medical_refined(ImplModel::Model1);
     refined.architecture.arbiters.clear();
-    let codes = reject_codes(&spec, &graph, &refined);
+    let codes = reject_codes(&cd, &refined);
     assert!(codes.contains("RC01"), "{codes}");
 }
 
 #[test]
 fn overlapping_decode_ranges_trip_rc02() {
-    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    let (cd, mut refined) = medical_refined(ImplModel::Model1);
     // Ghost module decoding the same variables as the real global memory:
     // identical (hence overlapping) address ranges.
     let original = refined
@@ -107,26 +108,26 @@ fn overlapping_decode_ranges_trip_rc02() {
     let mut ghost = original;
     ghost.name = "Ghost".into();
     refined.plan.memories.push(ghost);
-    let codes = reject_codes(&spec, &graph, &refined);
+    let codes = reject_codes(&cd, &refined);
     assert!(codes.contains("RC02"), "{codes}");
 }
 
 #[test]
 fn orphaning_a_bus_trips_rc03() {
-    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    let (cd, mut refined) = medical_refined(ImplModel::Model1);
     for bus in &mut refined.architecture.buses {
         bus.slaves.clear();
     }
-    let codes = reject_codes(&spec, &graph, &refined);
+    let codes = reject_codes(&cd, &refined);
     assert!(codes.contains("RC03"), "{codes}");
 }
 
 #[test]
 fn narrowing_every_bus_trips_rc04() {
-    let (spec, graph, mut refined) = medical_refined(ImplModel::Model1);
+    let (cd, mut refined) = medical_refined(ImplModel::Model1);
     for bus in &mut refined.architecture.buses {
         bus.data_bits = 1;
     }
-    let codes = reject_codes(&spec, &graph, &refined);
+    let codes = reject_codes(&cd, &refined);
     assert!(codes.contains("RC04"), "{codes}");
 }

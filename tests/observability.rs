@@ -19,7 +19,7 @@ fn hold() -> MutexGuard<'static, ()> {
 fn explore_medical(seeds: u64, threads: usize) {
     let cd = Codesign::from_spec(medical_spec());
     let result = cd
-        .explore(&ExploreOpts::new().seeds(seeds).threads(threads))
+        .explore(&ExploreOpts::new().with_seeds(seeds).with_threads(threads))
         .expect("exploration succeeds");
     assert!(!result.points.is_empty());
 }
